@@ -1,0 +1,374 @@
+//! Fixed-priority AMC response-time analysis (dual criticality).
+//!
+//! The paper's related work is dominated by fixed-priority mixed-criticality
+//! scheduling via Response-Time Analysis (\[7\], \[11\], \[22\], \[33\], \[35\]); this
+//! module implements the standard trio for dual-criticality FP-AMC from
+//! Baruah, Burns & Davis, *"Response-time analysis for mixed criticality
+//! systems"* (RTSS'11), so the repository can compare partitioned EDF-VD
+//! against partitioned FP (the setting of Kelly et al. \[22\]):
+//!
+//! * **LO-mode test** — classic RTA with level-1 WCETs over all tasks:
+//!   `R_i = C_i(1) + Σ_{j ∈ hp(i)} ⌈R_i/T_j⌉·C_j(1) ≤ D_i`;
+//! * **stable HI-mode test** — RTA with level-2 WCETs over HI tasks only;
+//! * **AMC-rtb transition bound** — for HI tasks, LO-criticality
+//!   interference is frozen at the LO-mode response time:
+//!   `R*_i = C_i(2) + Σ_{j ∈ hpH(i)} ⌈R*_i/T_j⌉·C_j(2)
+//!                  + Σ_{k ∈ hpL(i)} ⌈R^LO_i/T_k⌉·C_k(1) ≤ D_i`.
+//!
+//! Priorities are deadline-monotonic (= rate-monotonic for the
+//! implicit-deadline model), which Vestal showed is not optimal for MC
+//! systems but is the standard baseline; Audsley-style priority assignment
+//! is provided as an upgrade ([`amc_rtb_audsley`]).
+
+use mcs_model::{CritLevel, McTask, Tick};
+
+/// Outcome of the AMC-rtb analysis for one task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskResponse {
+    /// LO-mode response time, if it converged within the deadline.
+    pub lo: Option<Tick>,
+    /// AMC-rtb transition response time (HI tasks only).
+    pub transition: Option<Tick>,
+}
+
+/// Iterate a response-time recurrence to fixed point, bailing out once the
+/// response exceeds `deadline` (divergence).
+fn fixed_point<F: Fn(Tick) -> Tick>(c: Tick, deadline: Tick, f: F) -> Option<Tick> {
+    let mut r = c;
+    loop {
+        let next = f(r);
+        if next > deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        debug_assert!(next > r, "response-time recurrences are non-decreasing");
+        r = next;
+    }
+}
+
+#[inline]
+fn jobs_in(window: Tick, period: Tick) -> Tick {
+    window.div_ceil(period)
+}
+
+/// Run the full dual-criticality AMC-rtb analysis on `tasks`, which must be
+/// sorted by **descending priority** (index 0 = highest).
+///
+/// Returns per-task responses, or `None` for a task as soon as its test
+/// fails (the remaining entries are still computed — useful for reporting).
+///
+/// # Panics
+///
+/// Panics if any task has criticality above 2.
+#[must_use]
+pub fn amc_rtb_responses(tasks: &[&McTask]) -> Vec<TaskResponse> {
+    assert!(
+        tasks.iter().all(|t| t.level().get() <= 2),
+        "AMC-rtb analysis is dual-criticality only"
+    );
+    let l1 = CritLevel::new(1);
+    let l2 = CritLevel::new(2);
+    let mut out = Vec::with_capacity(tasks.len());
+
+    for (i, task) in tasks.iter().enumerate() {
+        let deadline = task.period();
+        let hp = &tasks[..i];
+
+        // LO-mode RTA over all higher-priority tasks at level-1 WCETs.
+        let lo = fixed_point(task.wcet(l1), deadline, |r| {
+            task.wcet(l1)
+                + hp.iter().map(|j| jobs_in(r, j.period()) * j.wcet(l1)).sum::<Tick>()
+        });
+
+        // Transition bound for HI tasks: HI interference grows with R*, LO
+        // interference is capped at the LO response time.
+        let transition = if task.level() == l2 {
+            lo.and_then(|r_lo| {
+                let lo_interference: Tick = hp
+                    .iter()
+                    .filter(|j| j.level() == l1)
+                    .map(|j| jobs_in(r_lo, j.period()) * j.wcet(l1))
+                    .sum();
+                fixed_point(task.wcet(l2), deadline, |r| {
+                    task.wcet(l2)
+                        + lo_interference
+                        + hp.iter()
+                            .filter(|j| j.level() == l2)
+                            .map(|j| jobs_in(r, j.period()) * j.wcet(l2))
+                            .sum::<Tick>()
+                })
+            })
+        } else {
+            None
+        };
+
+        out.push(TaskResponse { lo, transition });
+    }
+    out
+}
+
+/// Whether a priority-ordered dual-criticality subset is FP-AMC schedulable
+/// per AMC-rtb: every task passes the LO test and every HI task passes the
+/// transition test. (The transition bound dominates the stable HI-mode
+/// test, so the latter needs no separate check.)
+#[must_use]
+pub fn amc_rtb_schedulable(tasks: &[&McTask]) -> bool {
+    amc_rtb_responses(tasks).iter().zip(tasks).all(|(r, t)| {
+        r.lo.is_some() && (t.level().get() < 2 || r.transition.is_some())
+    })
+}
+
+/// Static mixed-criticality (SMC) response-time test — the pre-AMC
+/// baseline of Baruah, Burns & Davis: no mode switch, each task suffers
+/// interference from higher-priority task `j` at `C_j(min(l_i, l_j))`
+/// (lower-criticality tasks are *trusted* not to exceed the budget relevant
+/// to `τ_i`'s level):
+///
+/// `R_i = C_i(l_i) + Σ_{j ∈ hp(i)} ⌈R_i/T_j⌉·C_j(min(l_i, l_j)) ≤ D_i`.
+///
+/// AMC-rtb dominates SMC (its frozen-LO interference bound is never
+/// larger), which the tests spot-check.
+#[must_use]
+pub fn smc_schedulable(tasks: &[&McTask]) -> bool {
+    assert!(
+        tasks.iter().all(|t| t.level().get() <= 2),
+        "SMC analysis is dual-criticality only"
+    );
+    for (i, task) in tasks.iter().enumerate() {
+        let deadline = task.period();
+        let own = task.wcet(task.level());
+        let hp = &tasks[..i];
+        let r = fixed_point(own, deadline, |r| {
+            own + hp
+                .iter()
+                .map(|j| {
+                    let level = task.level().min(j.level());
+                    jobs_in(r, j.period()) * j.wcet(level)
+                })
+                .sum::<Tick>()
+        });
+        if r.is_none() {
+            return false;
+        }
+    }
+    true
+}
+
+/// SMC with deadline-monotonic priorities.
+#[must_use]
+pub fn smc_dm(tasks: &[&McTask]) -> bool {
+    smc_schedulable(&deadline_monotonic_order(tasks))
+}
+
+/// Sort a subset into deadline-monotonic (shortest period first) priority
+/// order; ties favour higher criticality, then smaller id (deterministic).
+#[must_use]
+pub fn deadline_monotonic_order<'a>(tasks: &[&'a McTask]) -> Vec<&'a McTask> {
+    let mut sorted = tasks.to_vec();
+    sorted.sort_by(|a, b| {
+        a.period()
+            .cmp(&b.period())
+            .then_with(|| b.level().cmp(&a.level()))
+            .then_with(|| a.id().cmp(&b.id()))
+    });
+    sorted
+}
+
+/// AMC-rtb with deadline-monotonic priorities (the common configuration).
+#[must_use]
+pub fn amc_rtb_dm(tasks: &[&McTask]) -> bool {
+    amc_rtb_schedulable(&deadline_monotonic_order(tasks))
+}
+
+/// Audsley's optimal priority assignment driven by the AMC-rtb test:
+/// repeatedly find some task that is schedulable at the lowest remaining
+/// priority given all others above it. Returns the priority order
+/// (highest first) if one exists.
+#[must_use]
+pub fn amc_rtb_audsley<'a>(tasks: &[&'a McTask]) -> Option<Vec<&'a McTask>> {
+    let mut remaining: Vec<&McTask> = tasks.to_vec();
+    let mut order_rev: Vec<&McTask> = Vec::with_capacity(tasks.len());
+    while !remaining.is_empty() {
+        let mut placed = None;
+        for (idx, candidate) in remaining.iter().enumerate() {
+            // Candidate at the lowest priority: everyone else above it, in
+            // any order (RTA at the lowest slot is order-insensitive).
+            let mut trial: Vec<&McTask> =
+                remaining.iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, t)| *t).collect();
+            trial.push(candidate);
+            let responses = amc_rtb_responses(&trial);
+            let last = responses.last().expect("non-empty");
+            let ok = last.lo.is_some()
+                && (candidate.level().get() < 2 || last.transition.is_some());
+            if ok {
+                placed = Some(idx);
+                break;
+            }
+        }
+        let idx = placed?;
+        order_rev.push(remaining.remove(idx));
+    }
+    order_rev.reverse();
+    Some(order_rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{TaskBuilder, TaskId};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    #[test]
+    fn classic_rta_example() {
+        // Liu & Layland style: (C,T) = (1,4), (2,6), (3,13) — RM schedulable.
+        let a = task(0, 4, 1, &[1]);
+        let b = task(1, 6, 1, &[2]);
+        let c = task(2, 13, 1, &[3]);
+        let rs = amc_rtb_responses(&[&a, &b, &c]);
+        assert_eq!(rs[0].lo, Some(1));
+        assert_eq!(rs[1].lo, Some(3));
+        // R_c = 3 + ⌈R/4⌉·1 + ⌈R/6⌉·2 → 3+1+2=6 → 3+2+2=7 → 3+2+4=9 →
+        //       3+3+4=10 → 3+3+4=10 ✓.
+        assert_eq!(rs[2].lo, Some(10));
+    }
+
+    #[test]
+    fn rta_detects_overload() {
+        let a = task(0, 4, 1, &[3]);
+        let b = task(1, 8, 1, &[5]);
+        let rs = amc_rtb_responses(&[&a, &b]);
+        assert_eq!(rs[0].lo, Some(3));
+        assert_eq!(rs[1].lo, None); // 5 + 2·3 = 11 > 8
+    }
+
+    #[test]
+    fn transition_bound_accounts_for_frozen_lo_interference() {
+        // HI task at lowest priority under one LO task.
+        let lo = task(0, 10, 1, &[4]);
+        let hi = task(1, 40, 2, &[6, 14]);
+        let rs = amc_rtb_responses(&[&lo, &hi]);
+        // LO mode: R = 6 + ⌈R/10⌉·4 → 10 → 6+4=10 ✓ (⌈10/10⌉=1) → 10.
+        assert_eq!(rs[1].lo, Some(10));
+        // Transition: C(2)=14 + frozen LO ⌈10/10⌉·4 = 4 → R* = 18.
+        assert_eq!(rs[1].transition, Some(18));
+        assert!(amc_rtb_schedulable(&[&lo, &hi]));
+    }
+
+    #[test]
+    fn transition_bound_can_fail_where_lo_passes() {
+        let lo = task(0, 10, 1, &[4]);
+        let hi = task(1, 20, 2, &[7, 13]);
+        let rs = amc_rtb_responses(&[&lo, &hi]);
+        // R^LO = 7 + ⌈R/10⌉·4 → 11 → 15 → 15 ✓ (two LO preemptions).
+        assert_eq!(rs[1].lo, Some(15));
+        // Transition: 13 + ⌈15/10⌉·4 = 13 + 8 = 21 > 20 ⇒ fail.
+        assert_eq!(rs[1].transition, None);
+        assert!(!amc_rtb_schedulable(&[&lo, &hi]));
+    }
+
+    #[test]
+    fn dm_order_sorts_by_period_then_level() {
+        let a = task(0, 20, 1, &[1]);
+        let b = task(1, 10, 2, &[1, 2]);
+        let c = task(2, 10, 1, &[1]);
+        let order = deadline_monotonic_order(&[&a, &b, &c]);
+        let ids: Vec<u32> = order.iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![1, 2, 0]); // period 10 (HI first), then 20
+    }
+
+    #[test]
+    fn audsley_dominates_dm() {
+        // A set DM rejects but Audsley accepts: the classic MC inversion —
+        // a long-period HI task needs priority over a short-period LO task.
+        let lo = task(0, 10, 1, &[4]);
+        let hi = task(1, 12, 2, &[2, 9]);
+        // DM: lo (T=10) above hi (T=12).
+        // hi transition: 9 + ⌈R_lo… ⌉ — R^LO_hi = 2+4 = 6;
+        //   R* = 9 + ⌈6/10⌉·4 = 13 > 12 ⇒ DM fails.
+        assert!(!amc_rtb_dm(&[&lo, &hi]));
+        // Audsley can put hi on top: hi R* = 9 ≤ 12; lo below: R = 4 + ⌈R/12⌉·2
+        //   → 4+2=6 → 6 ✓.
+        let order = amc_rtb_audsley(&[&lo, &hi]).expect("Audsley finds an order");
+        let ids: Vec<u32> = order.iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![1, 0]);
+        assert!(amc_rtb_schedulable(&order.to_vec()));
+    }
+
+    #[test]
+    fn audsley_rejects_infeasible() {
+        let a = task(0, 10, 2, &[6, 9]);
+        let b = task(1, 10, 2, &[6, 9]);
+        assert!(amc_rtb_audsley(&[&a, &b]).is_none());
+    }
+
+    #[test]
+    fn empty_and_single_task_sets() {
+        assert!(amc_rtb_dm(&[]));
+        let t = task(0, 10, 2, &[3, 9]);
+        assert!(amc_rtb_dm(&[&t]));
+        let too_big = task(1, 10, 2, &[3, 11]);
+        assert!(!amc_rtb_dm(&[&too_big]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dual-criticality")]
+    fn rejects_k3_tasks() {
+        let t = task(0, 10, 3, &[1, 2, 3]);
+        let _ = amc_rtb_responses(&[&t]);
+    }
+}
+
+#[cfg(test)]
+mod smc_tests {
+    use super::*;
+    use mcs_model::{TaskBuilder, TaskId};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    #[test]
+    fn smc_counts_interference_at_the_lower_of_the_levels() {
+        // HI task below a LO task: LO interference at C(1) only.
+        let lo = task(0, 10, 1, &[4]);
+        let hi = task(1, 40, 2, &[6, 14]);
+        assert!(smc_dm(&[&lo, &hi]));
+        // LO task below a HI task: HI interference also capped at C(1).
+        let hi_top = task(0, 10, 2, &[4, 9]);
+        let lo_low = task(1, 40, 1, &[14]);
+        // R_lo = 14 + ⌈R/10⌉·4 → 18 → 22 → 26 → 26 ✓ ≤ 40.
+        assert!(smc_dm(&[&hi_top, &lo_low]));
+    }
+
+    #[test]
+    fn amc_rtb_dominates_smc_on_samples() {
+        let sets: Vec<Vec<McTask>> = vec![
+            vec![task(0, 10, 1, &[4]), task(1, 40, 2, &[6, 14])],
+            vec![task(0, 8, 2, &[2, 3]), task(1, 16, 1, &[4]), task(2, 32, 2, &[4, 8])],
+            vec![task(0, 10, 1, &[4]), task(1, 20, 2, &[7, 13])],
+            vec![task(0, 5, 1, &[1]), task(1, 10, 2, &[2, 5]), task(2, 50, 1, &[10])],
+        ];
+        for set in &sets {
+            let refs: Vec<&McTask> = set.iter().collect();
+            if smc_dm(&refs) {
+                assert!(
+                    amc_rtb_dm(&refs),
+                    "AMC-rtb must accept whatever SMC accepts: {set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smc_rejects_overload() {
+        let a = task(0, 10, 2, &[6, 9]);
+        let b = task(1, 10, 2, &[6, 9]);
+        assert!(!smc_dm(&[&a, &b]));
+        assert!(smc_dm(&[]));
+    }
+}

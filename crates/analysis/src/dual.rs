@@ -1,0 +1,171 @@
+//! Dual-criticality (K = 2) closed forms: Eq. (7) and the canonical EDF-VD
+//! virtual-deadline factor.
+//!
+//! These are special cases of [`crate::theorem1`]; they exist both as an
+//! independently-derived cross-check (property-tested for agreement) and as
+//! the faster path for the common dual-criticality setting.
+
+use mcs_model::{CritLevel, LevelUtils};
+
+use crate::EPS;
+
+/// Outcome of the dual-criticality schedulability test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DualReport {
+    /// `U_1(1)` — LO tasks at LO level.
+    pub u_lo_lo: f64,
+    /// `U_2(1)` — HI tasks at LO level.
+    pub u_hi_lo: f64,
+    /// `U_2(2)` — HI tasks at HI level.
+    pub u_hi_hi: f64,
+    /// The value of the min-term in Eq. (7).
+    pub minterm: f64,
+    /// Whether Eq. (7) holds.
+    pub schedulable: bool,
+    /// Whether plain EDF suffices (`U_1(1) + U_2(2) ≤ 1`, no virtual
+    /// deadlines required).
+    pub plain_edf: bool,
+}
+
+/// Eq. (7): a dual-criticality subset is EDF-VD schedulable if
+///
+/// ```text
+/// U_1(1) + min{ U_2(2), U_2(1) / (1 − U_2(2)) } ≤ 1.
+/// ```
+#[must_use]
+pub fn dual_condition<U: LevelUtils>(u: &U) -> DualReport {
+    assert_eq!(u.num_levels(), 2, "dual_condition requires a 2-level system");
+    let l1 = CritLevel::new(1);
+    let l2 = CritLevel::new(2);
+    let u_lo_lo = u.util_jk(l1, l1);
+    let u_hi_lo = u.util_jk(l2, l1);
+    let u_hi_hi = u.util_jk(l2, l2);
+    let fraction =
+        if 1.0 - u_hi_hi > EPS { u_hi_lo / (1.0 - u_hi_hi) } else { f64::INFINITY };
+    let minterm = u_hi_hi.min(fraction);
+    let schedulable = u_lo_lo + minterm <= 1.0 + EPS;
+    let plain_edf = u_lo_lo + u_hi_hi <= 1.0 + EPS;
+    DualReport { u_lo_lo, u_hi_lo, u_hi_hi, minterm, schedulable, plain_edf }
+}
+
+/// The canonical EDF-VD deadline-shrink factor for HI tasks in LO mode:
+///
+/// ```text
+/// x = U_2(1) / (1 − U_1(1))
+/// ```
+///
+/// Valid (and returned as `Some`) only when the subset passes Eq. (7) and
+/// plain EDF does *not* already suffice; callers use `x = 1` otherwise.
+/// The factor is clamped into `(0, 1]`; `x = 0` (no HI tasks) is reported
+/// as `Some(1.0)` since no shrinking is needed.
+#[must_use]
+pub fn dual_vd_factor<U: LevelUtils>(u: &U) -> Option<f64> {
+    let r = dual_condition(u);
+    if !r.schedulable {
+        return None;
+    }
+    if r.plain_edf || r.u_hi_lo == 0.0 {
+        return Some(1.0);
+    }
+    let den = 1.0 - r.u_lo_lo;
+    if den <= EPS {
+        return None;
+    }
+    let x = r.u_hi_lo / den;
+    (x > 0.0 && x <= 1.0 + EPS).then(|| x.min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1::Theorem1;
+    use mcs_model::{McTask, TaskBuilder, TaskId, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn table(tasks: &[McTask]) -> UtilTable {
+        UtilTable::from_tasks(2, tasks.iter())
+    }
+
+    #[test]
+    fn plain_edf_case() {
+        let t = table(&[task(0, 10, 1, &[3]), task(1, 10, 2, &[2, 5])]);
+        let r = dual_condition(&t);
+        assert!(r.schedulable);
+        assert!(r.plain_edf);
+        assert_eq!(dual_vd_factor(&t), Some(1.0));
+    }
+
+    #[test]
+    fn vd_needed_case() {
+        // U_1(1)=0.5, U_2(1)=0.1, U_2(2)=0.6 — fails plain, passes Eq. (7).
+        let t = table(&[task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])]);
+        let r = dual_condition(&t);
+        assert!(r.schedulable);
+        assert!(!r.plain_edf);
+        let x = dual_vd_factor(&t).unwrap();
+        assert!((x - 0.1 / 0.5).abs() < 1e-12, "x = {x}");
+        // x must satisfy both mode conditions:
+        // LO: U_1(1) + U_2(1)/x ≤ 1;  HI: x·U_1(1) + U_2(2) ≤ 1.
+        assert!(r.u_lo_lo + r.u_hi_lo / x <= 1.0 + 1e-9);
+        assert!(x * r.u_lo_lo + r.u_hi_hi <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn unschedulable_case() {
+        let t = table(&[task(0, 10, 1, &[7]), task(1, 10, 2, &[4, 8])]);
+        let r = dual_condition(&t);
+        assert!(!r.schedulable);
+        assert_eq!(dual_vd_factor(&t), None);
+    }
+
+    #[test]
+    fn saturated_high_mode() {
+        // U_2(2) = 1.0 exactly, nothing else: schedulable (min-term = 1).
+        let t = table(&[task(0, 10, 2, &[1, 10])]);
+        let r = dual_condition(&t);
+        assert!(r.schedulable);
+        assert!((r.minterm - 1.0).abs() < 1e-12);
+        // U_2(2) > 1: not schedulable.
+        let t = table(&[task(0, 10, 2, &[1, 11])]);
+        assert!(!dual_condition(&t).schedulable);
+    }
+
+    #[test]
+    fn agrees_with_theorem1_on_grid() {
+        // Exhaustive small grid of dual-criticality utilization patterns:
+        // Eq. (7) and Theorem 1 must agree on feasibility, and when feasible
+        // U^Ψ = θ(1) = U_1(1) + minterm.
+        let period = 1000u64;
+        for lo in (0..=10).map(|v| v * 100) {
+            for hi_lo in (1..=8).map(|v| v * 100) {
+                for hi_hi in (1..=10).map(|v| v * 100) {
+                    if hi_hi < hi_lo {
+                        continue;
+                    }
+                    let mut tasks = vec![task(0, period, 2, &[hi_lo, hi_hi])];
+                    if lo > 0 {
+                        tasks.push(task(1, period, 1, &[lo]));
+                    }
+                    let t = UtilTable::from_tasks(2, tasks.iter());
+                    let r = dual_condition(&t);
+                    let a = Theorem1::compute(&t);
+                    assert_eq!(
+                        r.schedulable,
+                        a.feasible(),
+                        "disagreement at lo={lo} hi_lo={hi_lo} hi_hi={hi_hi}"
+                    );
+                    if r.schedulable {
+                        let u = a.core_utilization().unwrap();
+                        assert!(
+                            (u - (r.u_lo_lo + r.minterm)).abs() < 1e-9,
+                            "U mismatch at lo={lo} hi_lo={hi_lo} hi_hi={hi_hi}: {u}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

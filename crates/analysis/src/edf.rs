@@ -1,0 +1,55 @@
+//! Classic single-level EDF utilization test.
+
+use mcs_model::LevelUtils;
+
+use crate::EPS;
+
+/// Liu & Layland: a set of implicit-deadline periodic tasks is schedulable
+/// by preemptive EDF on one processor iff its total utilization is ≤ 1.
+///
+/// In the MC model this is the `K = 1` degenerate case, where every task is
+/// counted at its (single) level.
+#[must_use]
+pub fn edf_utilization_test<U: LevelUtils>(u: &U) -> bool {
+    u.own_level_total() <= 1.0 + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{TaskBuilder, TaskId, UtilTable};
+
+    fn table(utils: &[(u64, u64)]) -> UtilTable {
+        let mut t = UtilTable::new(1);
+        for (i, &(c, p)) in utils.iter().enumerate() {
+            let task = TaskBuilder::new(TaskId(i as u32))
+                .period(p)
+                .level(1)
+                .wcet(&[c])
+                .build()
+                .unwrap();
+            t.add(&task);
+        }
+        t
+    }
+
+    #[test]
+    fn under_full_utilization_passes() {
+        assert!(edf_utilization_test(&table(&[(1, 4), (1, 2), (1, 8)]))); // 0.875
+    }
+
+    #[test]
+    fn exactly_full_utilization_passes() {
+        assert!(edf_utilization_test(&table(&[(1, 2), (1, 2)]))); // 1.0
+    }
+
+    #[test]
+    fn over_full_utilization_fails() {
+        assert!(!edf_utilization_test(&table(&[(3, 4), (2, 4)]))); // 1.25
+    }
+
+    #[test]
+    fn empty_set_passes() {
+        assert!(edf_utilization_test(&UtilTable::new(1)));
+    }
+}

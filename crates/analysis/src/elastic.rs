@@ -1,0 +1,122 @@
+//! Elastic degradation factors — a graceful alternative to AMC's
+//! drop-everything rule, in the spirit of the elastic mixed-criticality
+//! model of Su & Zhu (\[31\] in the paper, by the same author group).
+//!
+//! AMC discards every task below the operation mode. Instead, the spare
+//! capacity that Theorem 1 *proves* unused — the available utilization
+//! `A(k*) = µ(k*) − θ(k*)` — can serve the dropped tasks at a stretched
+//! period: at mode `l`, tasks below `l` are released every `factor_l · p_i`
+//! with their level-1 budgets, where
+//!
+//! ```text
+//! factor_l = Σ_{j < l} U_j(1) / A(k*)        (clamped to ≥ 1)
+//! ```
+//!
+//! so their degraded bandwidth `Σ U_j(1) / factor_l ≤ A(k*)` fits inside
+//! the proven slack and the mandatory guarantee is untouched (the same
+//! utilization argument as Inequality (5) with `θ' = θ + A ≤ µ`).
+//!
+//! `None` entries mean "no useful service possible" (zero slack) — the
+//! policy then degenerates to AMC dropping.
+
+use mcs_model::{CritLevel, LevelUtils};
+
+use crate::theorem1::Theorem1;
+use crate::EPS;
+
+/// Safety margin applied to the proven slack (fraction in (0, 1]); serving
+/// at exactly 100 % of the slack leaves no room for the quantization of
+/// stretched periods to integer ticks.
+pub const ELASTIC_SAFETY: f64 = 0.95;
+
+/// Per-mode stretch factors for below-mode tasks: `factors[l-1]` applies at
+/// operation level `l` (entry for `l = 1` is always `Some(1.0)`; nothing is
+/// degraded at the base mode). `None` = drop (no slack).
+#[must_use]
+pub fn elastic_stretch_factors<U: LevelUtils>(
+    u: &U,
+    analysis: &Theorem1,
+) -> Option<Vec<Option<f64>>> {
+    let k = u.num_levels();
+    let kstar = analysis.smallest_passing()?;
+    let slack = analysis.available(kstar).unwrap_or(0.0).max(0.0) * ELASTIC_SAFETY;
+    let mut factors: Vec<Option<f64>> = vec![Some(1.0)];
+    let mut below = 0.0; // Σ_{j < l} U_j(1)
+    for l in 2..=k {
+        let prev = CritLevel::new(l - 1);
+        below += u.util_jk(prev, CritLevel::LO);
+        let factor = if below <= EPS {
+            Some(1.0) // nothing below this mode has load
+        } else if slack > EPS {
+            Some((below / slack).max(1.0))
+        } else {
+            None
+        };
+        factors.push(factor);
+    }
+    Some(factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{McTask, TaskBuilder, TaskId, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn factors(k: u8, tasks: &[McTask]) -> Option<Vec<Option<f64>>> {
+        let t = UtilTable::from_tasks(k, tasks.iter());
+        let a = Theorem1::compute(&t);
+        elastic_stretch_factors(&t, &a)
+    }
+
+    #[test]
+    fn slack_rich_core_gets_small_factors() {
+        // U_1(1) = 0.3, HI = (0.1, 0.2): θ(1) = 0.5, slack ≈ 0.5.
+        let tasks = [task(0, 10, 1, &[3]), task(1, 100, 2, &[10, 20])];
+        let f = factors(2, &tasks).unwrap();
+        assert_eq!(f[0], Some(1.0));
+        let f2 = f[1].unwrap();
+        // 0.3 / (0.5·0.95) ≈ 0.63 → clamped to 1: LO fully served.
+        assert!((f2 - 1.0).abs() < 1e-9, "factor {f2}");
+    }
+
+    #[test]
+    fn tight_core_stretches_proportionally() {
+        // U_1(1) = 0.6, HI = (0.05, 0.3):
+        // θ(1) = 0.6 + min{0.3, 0.05/0.7} = 0.6714…, slack ≈ 0.3286.
+        let tasks = [task(0, 10, 1, &[6]), task(1, 100, 2, &[5, 30])];
+        let f = factors(2, &tasks).unwrap();
+        let f2 = f[1].unwrap();
+        let slack = 1.0 - (0.6 + 0.05 / 0.7);
+        let expected = 0.6 / (slack * ELASTIC_SAFETY);
+        assert!((f2 - expected).abs() < 1e-6, "factor {f2} vs {expected}");
+        assert!(f2 > 1.5);
+    }
+
+    #[test]
+    fn zero_slack_means_drop() {
+        // Exactly saturated: U_2(2) = 1 alone; adding any LO task leaves no
+        // slack — factors for modes above their level are None.
+        let tasks = [task(0, 10, 1, &[1]), task(1, 10, 2, &[1, 9])];
+        // θ(1) = 0.1 + min{0.9, 0.1/0.1 = 1} = 1.0, slack 0.
+        let f = factors(2, &tasks).unwrap();
+        assert_eq!(f[1], None);
+    }
+
+    #[test]
+    fn infeasible_core_has_no_factors() {
+        let tasks = [task(0, 10, 2, &[6, 11])];
+        assert!(factors(2, &tasks).is_none());
+    }
+
+    #[test]
+    fn empty_levels_need_no_stretch() {
+        // No level-1 tasks at all: factor at mode 2 is 1.0 regardless.
+        let tasks = [task(0, 10, 2, &[2, 5])];
+        let f = factors(2, &tasks).unwrap();
+        assert_eq!(f[1], Some(1.0));
+    }
+}

@@ -1,0 +1,236 @@
+//! Exact-rational evaluation of the schedulability conditions — the
+//! cross-validation oracle for the `f64` implementation in
+//! [`crate::theorem1`].
+//!
+//! All quantities (utilizations, λ factors, θ/µ) are computed with
+//! [`mcs_model::rational::Ratio`] over `i128`. Deep λ recursions can
+//! overflow `i128`; any overflow yields `None` ("undecidable exactly"),
+//! which the cross-check suite simply skips. The tolerance contract this
+//! module certifies: the `f64` analysis may disagree with the exact one
+//! only when some condition's slack `A(k)` is within the `EPS`
+//! neighbourhood of zero.
+
+use mcs_model::rational::Ratio;
+use mcs_model::{CritLevel, McTask};
+
+/// Exact per-level utilization sums of a subset.
+fn util_jk(tasks: &[&McTask], j: u8, k: u8) -> Option<Ratio> {
+    let (jl, kl) = (CritLevel::new(j), CritLevel::new(k));
+    let mut sum = Ratio::ZERO;
+    for t in tasks.iter().filter(|t| t.level() == jl) {
+        let u = Ratio::from_ticks(t.wcet(kl), t.period())?;
+        sum = sum.add(u)?;
+    }
+    Some(sum)
+}
+
+/// Exact evaluation of Eq. (4): `Σ_k U_k(k) ≤ 1`.
+#[must_use]
+pub fn simple_condition_exact(tasks: &[&McTask], levels: u8) -> Option<bool> {
+    let mut total = Ratio::ZERO;
+    for k in 1..=levels {
+        total = total.add(util_jk(tasks, k, k)?)?;
+    }
+    Some(total <= Ratio::ONE)
+}
+
+/// Exact evaluation of Theorem 1: does some condition `k ∈ 1..K-1` hold?
+///
+/// Mirrors [`crate::theorem1::Theorem1`] exactly (λ validity guards, the
+/// min-term guard `U_K(K) < 1`), with `Ratio` in place of `f64`. Returns
+/// `None` when `i128` overflows along the way.
+#[must_use]
+pub fn theorem1_feasible_exact(tasks: &[&McTask], levels: u8) -> Option<bool> {
+    assert!(levels >= 1);
+    if levels == 1 {
+        return simple_condition_exact(tasks, 1);
+    }
+    let k = levels;
+
+    // λ recursion.
+    let mut lambdas: Vec<Option<Ratio>> = vec![None; usize::from(k) + 1];
+    lambdas[1] = Some(Ratio::ZERO);
+    let mut prod = Ratio::ONE; // Π (1 - λ_x) over valid prefix
+    for j in 2..=k {
+        let mut num = Ratio::ZERO;
+        for x in j..=k {
+            num = num.add(util_jk(tasks, x, j - 1)?)?;
+        }
+        let num = num.div(prod)?;
+        let den = Ratio::ONE.sub(util_jk(tasks, j - 1, j - 1)?.div(prod)?)?;
+        if !den.is_positive() {
+            break;
+        }
+        let lambda = num.div(den)?;
+        if lambda.is_negative() || lambda >= Ratio::ONE {
+            break;
+        }
+        prod = prod.mul(Ratio::ONE.sub(lambda)?)?;
+        lambdas[usize::from(j)] = Some(lambda);
+    }
+
+    // Min-term.
+    let ukk = util_jk(tasks, k, k)?;
+    let ukk1 = util_jk(tasks, k, k - 1)?;
+    let one_minus = Ratio::ONE.sub(ukk)?;
+    let minterm = if one_minus.is_positive() {
+        let fraction = ukk1.div(one_minus)?;
+        if fraction < ukk {
+            fraction
+        } else {
+            ukk
+        }
+    } else {
+        ukk // ≥ 1: condition will fail on its own
+    };
+
+    // Conditions k' = 1..K-1.
+    let mut suffix = Ratio::ZERO;
+    let mut thetas: Vec<Ratio> = vec![Ratio::ZERO; usize::from(k)];
+    for i in (1..k).rev() {
+        suffix = suffix.add(util_jk(tasks, i, i)?)?;
+        thetas[usize::from(i)] = suffix.add(minterm)?;
+    }
+    let mut mu = Ratio::ONE;
+    for kk in 1..k {
+        let Some(lambda) = lambdas[usize::from(kk)] else {
+            break;
+        };
+        mu = mu.mul(Ratio::ONE.sub(lambda)?)?;
+        if thetas[usize::from(kk)] <= mu {
+            return Some(true);
+        }
+    }
+    Some(false)
+}
+
+/// Minimum absolute slack `|µ(k) − θ(k)|` across evaluable conditions, as
+/// `f64` — the cross-check uses this to identify boundary cases where the
+/// `f64` analysis is allowed to disagree.
+#[must_use]
+pub fn min_abs_slack_exact(tasks: &[&McTask], levels: u8) -> Option<f64> {
+    if levels == 1 {
+        let mut total = Ratio::ZERO;
+        for t in tasks {
+            total = total.add(Ratio::from_ticks(t.wcet(CritLevel::LO), t.period())?)?;
+        }
+        return Some((1.0 - total.to_f64()).abs());
+    }
+    let k = levels;
+    let mut best: Option<f64> = None;
+    // Recompute pieces (compact duplicate of the feasibility walk).
+    let mut lambdas: Vec<Option<Ratio>> = vec![None; usize::from(k) + 1];
+    lambdas[1] = Some(Ratio::ZERO);
+    let mut prod = Ratio::ONE;
+    for j in 2..=k {
+        let mut num = Ratio::ZERO;
+        for x in j..=k {
+            num = num.add(util_jk(tasks, x, j - 1)?)?;
+        }
+        let num = num.div(prod)?;
+        let den = Ratio::ONE.sub(util_jk(tasks, j - 1, j - 1)?.div(prod)?)?;
+        if !den.is_positive() {
+            break;
+        }
+        let lambda = num.div(den)?;
+        if lambda.is_negative() || lambda >= Ratio::ONE {
+            break;
+        }
+        prod = prod.mul(Ratio::ONE.sub(lambda)?)?;
+        lambdas[usize::from(j)] = Some(lambda);
+    }
+    let ukk = util_jk(tasks, k, k)?;
+    let ukk1 = util_jk(tasks, k, k - 1)?;
+    let one_minus = Ratio::ONE.sub(ukk)?;
+    let minterm = if one_minus.is_positive() {
+        let fraction = ukk1.div(one_minus)?;
+        if fraction < ukk {
+            fraction
+        } else {
+            ukk
+        }
+    } else {
+        ukk
+    };
+    let mut suffix = Ratio::ZERO;
+    let mut thetas: Vec<Ratio> = vec![Ratio::ZERO; usize::from(k)];
+    for i in (1..k).rev() {
+        suffix = suffix.add(util_jk(tasks, i, i)?)?;
+        thetas[usize::from(i)] = suffix.add(minterm)?;
+    }
+    let mut mu = Ratio::ONE;
+    for kk in 1..k {
+        let Some(lambda) = lambdas[usize::from(kk)] else {
+            break;
+        };
+        mu = mu.mul(Ratio::ONE.sub(lambda)?)?;
+        let slack = mu.sub(thetas[usize::from(kk)])?.to_f64().abs();
+        best = Some(best.map_or(slack, |b: f64| b.min(slack)));
+    }
+    best.or(Some(f64::INFINITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1::Theorem1;
+    use mcs_model::{TaskBuilder, TaskId, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_f64_on_the_worked_example() {
+        let tasks = [
+            task(0, 1000, 1, &[450]),
+            task(1, 1000, 2, &[175, 326]),
+            task(2, 1000, 1, &[280]),
+            task(3, 1000, 2, &[339, 633]),
+            task(4, 1000, 1, &[300]),
+        ];
+        let refs: Vec<&McTask> = tasks.iter().collect();
+        // Whole set on one core: infeasible both ways.
+        let exact = theorem1_feasible_exact(&refs, 2).unwrap();
+        let table = UtilTable::from_tasks(2, refs.iter().copied());
+        assert_eq!(exact, Theorem1::compute(&table).feasible());
+        // The CA-TPA P2 subset {τ2, τ1, τ3}: feasible both ways.
+        let subset = [&tasks[1], &tasks[0], &tasks[2]];
+        let exact = theorem1_feasible_exact(&subset, 2).unwrap();
+        assert!(exact);
+        let table = UtilTable::from_tasks(2, subset.iter().copied());
+        assert_eq!(exact, Theorem1::compute(&table).feasible());
+    }
+
+    #[test]
+    fn exact_boundary_cases_decide_correctly() {
+        // θ(1) exactly 1: feasible (≤).
+        let t = task(0, 10, 2, &[1, 10]);
+        assert_eq!(theorem1_feasible_exact(&[&t], 2), Some(true));
+        // One tick over: infeasible. (u(2) = 11/10 > 1.)
+        let t = task(0, 10, 2, &[1, 11]);
+        assert_eq!(theorem1_feasible_exact(&[&t], 2), Some(false));
+    }
+
+    #[test]
+    fn k1_reduces_to_simple_condition() {
+        let a = task(0, 10, 1, &[5]);
+        let b = task(1, 10, 1, &[5]);
+        assert_eq!(theorem1_feasible_exact(&[&a, &b], 1), Some(true));
+        let c = task(2, 10, 1, &[6]);
+        assert_eq!(theorem1_feasible_exact(&[&a, &c], 1), Some(false));
+    }
+
+    #[test]
+    fn slack_is_zero_at_exact_boundary() {
+        let t = task(0, 10, 2, &[1, 10]);
+        let s = min_abs_slack_exact(&[&t], 2).unwrap();
+        assert!(s.abs() < 1e-15, "slack {s}");
+    }
+
+    #[test]
+    fn empty_subset_is_feasible() {
+        assert_eq!(theorem1_feasible_exact(&[], 3), Some(true));
+        assert_eq!(simple_condition_exact(&[], 4), Some(true));
+    }
+}

@@ -1,0 +1,146 @@
+//! Sensitivity analysis: how much load headroom a subset has.
+//!
+//! The *critical scaling factor* of a subset is the largest `s` such that
+//! inflating every task's utilization by `s` keeps the subset
+//! Theorem-1-feasible. `s < 1` means the subset is infeasible as given;
+//! `s = 1.3` means 30 % of uniform growth margin. Feasibility is
+//! anti-monotone in `s` (inflating utilizations only lowers every available
+//! utilization `A(k)`), so binary search applies.
+
+use mcs_model::{CritLevel, LevelUtils};
+
+use crate::theorem1::Theorem1;
+
+/// A view of `base` with every utilization multiplied by `scale`.
+#[derive(Clone, Copy)]
+pub struct ScaledView<'a, U: LevelUtils> {
+    base: &'a U,
+    scale: f64,
+}
+
+impl<'a, U: LevelUtils> ScaledView<'a, U> {
+    /// Wrap a utilization view with a uniform scale factor.
+    #[must_use]
+    pub fn new(base: &'a U, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+        Self { base, scale }
+    }
+}
+
+impl<U: LevelUtils> LevelUtils for ScaledView<'_, U> {
+    fn num_levels(&self) -> u8 {
+        self.base.num_levels()
+    }
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        self.base.util_jk(j, k) * self.scale
+    }
+}
+
+/// Binary-search precision of [`critical_scaling`].
+const TOLERANCE: f64 = 1e-6;
+
+/// The largest uniform utilization scale keeping the view Theorem-1
+/// feasible, or `None` when even a vanishing load is infeasible (cannot
+/// happen for non-degenerate views) or the view is empty (unbounded —
+/// reported as `None` as well since no finite answer exists).
+#[must_use]
+pub fn critical_scaling<U: LevelUtils>(u: &U) -> Option<f64> {
+    let feasible_at = |s: f64| Theorem1::compute(&ScaledView::new(u, s)).feasible();
+    // An empty / zero-utilization view is feasible at any scale.
+    let total: f64 = CritLevel::up_to(u.num_levels())
+        .map(|j| u.util_jk(j, CritLevel::LO))
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    if !feasible_at(TOLERANCE) {
+        return Some(0.0);
+    }
+    // Bracket: grow hi until infeasible (bounded — scaling U_K(K) past 1
+    // always kills feasibility).
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while feasible_at(hi) {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e9 {
+            return None; // degenerate: nothing ever becomes infeasible
+        }
+    }
+    while hi - lo > TOLERANCE {
+        let mid = 0.5 * (lo + hi);
+        if feasible_at(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{McTask, TaskBuilder, TaskId, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    #[test]
+    fn single_level_scaling_is_inverse_utilization() {
+        // One task at 0.4: critical scale = 1/0.4 = 2.5.
+        let t = task(0, 10, 1, &[4]);
+        let table = UtilTable::from_tasks(1, [&t]);
+        let s = critical_scaling(&table).unwrap();
+        assert!((s - 2.5).abs() < 1e-4, "s = {s}");
+    }
+
+    #[test]
+    fn infeasible_subset_scales_below_one() {
+        let a = task(0, 10, 1, &[7]);
+        let b = task(1, 10, 1, &[7]);
+        let table = UtilTable::from_tasks(1, [&a, &b]);
+        let s = critical_scaling(&table).unwrap();
+        assert!(s < 1.0, "s = {s}");
+        assert!((s - 1.0 / 1.4).abs() < 1e-4, "s = {s}");
+    }
+
+    #[test]
+    fn dual_criticality_scaling_respects_theorem1() {
+        // U_1(1)=0.5, U_2(1)=0.1, U_2(2)=0.6: feasible at 1 (θ = 0.75).
+        let lo = task(0, 10, 1, &[5]);
+        let hi = task(1, 100, 2, &[10, 60]);
+        let table = UtilTable::from_tasks(2, [&lo, &hi]);
+        let s = critical_scaling(&table).unwrap();
+        assert!(s > 1.0, "must have headroom: {s}");
+        // Verify the boundary: feasible just below, infeasible just above.
+        assert!(Theorem1::compute(&ScaledView::new(&table, s - 1e-3)).feasible());
+        assert!(!Theorem1::compute(&ScaledView::new(&table, s + 1e-3)).feasible());
+    }
+
+    #[test]
+    fn empty_view_has_no_finite_scale() {
+        let table = UtilTable::new(3);
+        assert_eq!(critical_scaling(&table), None);
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_load() {
+        // Adding a task can only lower the critical scale.
+        let a = task(0, 10, 2, &[2, 4]);
+        let b = task(1, 20, 1, &[5]);
+        let small = UtilTable::from_tasks(2, [&a]);
+        let big = UtilTable::from_tasks(2, [&a, &b]);
+        let s_small = critical_scaling(&small).unwrap();
+        let s_big = critical_scaling(&big).unwrap();
+        assert!(s_big <= s_small + 1e-6, "{s_big} > {s_small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_scale() {
+        let table = UtilTable::new(1);
+        let _ = ScaledView::new(&table, -1.0);
+    }
+}

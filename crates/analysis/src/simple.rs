@@ -1,0 +1,60 @@
+//! The simple sufficient schedulability condition, Eq. (4).
+
+use mcs_model::LevelUtils;
+
+use crate::EPS;
+
+/// Eq. (4): the MC tasks on a core are schedulable under EDF-VD if
+///
+/// ```text
+/// Σ_{k=1}^{K} U_k^Ψ(k) ≤ 1
+/// ```
+///
+/// i.e. if the core can accommodate the *maximum* utilization demand of every
+/// task at its own criticality level. In that case EDF-VD degenerates to
+/// plain EDF (no virtual deadlines needed). This is the pessimistic test
+/// classical partitioning heuristics use first.
+#[must_use]
+pub fn simple_condition<U: LevelUtils>(u: &U) -> bool {
+    u.own_level_total() <= 1.0 + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{McTask, TaskBuilder, TaskId, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    #[test]
+    fn counts_each_task_at_its_own_level() {
+        // u(own): 0.5 (L2 at level 2) + 0.4 (L1) = 0.9 ≤ 1, even though
+        // level-2 WCETs alone would mislead a max-only reading.
+        let mut t = UtilTable::new(2);
+        t.add(&task(0, 100, 2, &[10, 50]));
+        t.add(&task(1, 100, 1, &[40]));
+        assert!(simple_condition(&t));
+    }
+
+    #[test]
+    fn fails_above_unity() {
+        let mut t = UtilTable::new(2);
+        t.add(&task(0, 100, 2, &[10, 60]));
+        t.add(&task(1, 100, 1, &[50]));
+        assert!(!simple_condition(&t)); // 0.6 + 0.5 = 1.1
+    }
+
+    #[test]
+    fn boundary_exactly_one_passes() {
+        let mut t = UtilTable::new(3);
+        t.add(&task(0, 100, 3, &[10, 20, 100]));
+        assert!(simple_condition(&t)); // exactly 1.0
+    }
+
+    #[test]
+    fn empty_core_passes() {
+        assert!(simple_condition(&UtilTable::new(4)));
+    }
+}

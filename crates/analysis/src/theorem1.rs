@@ -1,0 +1,497 @@
+//! The improved EDF-VD schedulability condition (Theorem 1 of the paper,
+//! originally Theorem 3 of Baruah et al., ESA'11) and the derived *core
+//! utilization* metric (Eq. (8)–(9)) that CA-TPA minimizes.
+//!
+//! For a subset `Ψ` of tasks on one core of a `K`-level system, define for
+//! each `k ∈ 1..K-1`:
+//!
+//! ```text
+//! θ(k) = Σ_{i=k}^{K-1} U_i(i) + min{ U_K(K), U_K(K-1)/(1 - U_K(K)) }
+//! µ(k) = Π_{j=1}^{k} (1 - λ_j)
+//! ```
+//!
+//! with `λ_1 = 0` and, for `j > 1` (Eq. (6)):
+//!
+//! ```text
+//!         Σ_{x=j}^{K} U_x(j-1) / Π_{x=1}^{j-1}(1-λ_x)
+//! λ_j = ─────────────────────────────────────────────────
+//!         1 - U_{j-1}(j-1) / Π_{x=1}^{j-1}(1-λ_x)
+//! ```
+//!
+//! The subset is schedulable by EDF-VD if `θ(k) ≤ µ(k)` for **some** `k`.
+//! The *available utilization* is `A(k) = µ(k) - θ(k)` and the core
+//! utilization is
+//!
+//! ```text
+//! U^Ψ = max_{k : A(k) ≥ 0} (1 - A(k)),   or ∞ if no condition holds.
+//! ```
+//!
+//! Validity guards (any violation makes the affected condition fail, which
+//! matches the paper's "feasible iff Inequality (5) holds for some k"):
+//!
+//! * the min-term fraction is only finite when `U_K(K) < 1`; when
+//!   `U_K(K) ≥ 1` the fraction is treated as `+∞` so the min-term becomes
+//!   `U_K(K)` and the condition fails on its own;
+//! * `λ_j` must satisfy `0 ≤ λ_j < 1` with a positive denominator; an
+//!   invalid `λ_j` invalidates `µ(k)` for every `k ≥ j`.
+//!
+//! `K = 1` systems degenerate to plain EDF and are handled explicitly.
+
+use mcs_model::{CritLevel, LevelUtils, MAX_LEVELS};
+
+use crate::EPS;
+
+/// Full evaluation of Theorem 1 on one core's utilization view.
+///
+/// Computed once in `O(K²)`; all queries afterwards are `O(1)`/`O(K)`.
+///
+/// ```
+/// use mcs_analysis::Theorem1;
+/// use mcs_model::{TaskBuilder, TaskId, UtilTable};
+///
+/// // U_1(1) = 0.5, U_2(1) = 0.1, U_2(2) = 0.6: fails Eq. (4) (1.1 > 1)
+/// // but passes the improved condition (0.5 + 0.1/0.4 = 0.75 ≤ 1).
+/// let lo = TaskBuilder::new(TaskId(0)).period(10).level(1).wcet(&[5]).build().unwrap();
+/// let hi = TaskBuilder::new(TaskId(1)).period(100).level(2).wcet(&[10, 60]).build().unwrap();
+/// let table = UtilTable::from_tasks(2, [&lo, &hi]);
+///
+/// let analysis = Theorem1::compute(&table);
+/// assert!(analysis.feasible());
+/// assert!(!analysis.plain_edf_sufficient());
+/// assert!((analysis.core_utilization().unwrap() - 0.75).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Theorem1 {
+    k: u8,
+    /// `λ_1..λ_K` (index `j-1`); `None` marks an invalid factor.
+    /// `λ` values above `K-1` are computed too because the runtime
+    /// virtual-deadline assignment uses `λ_K`.
+    lambdas: [Option<f64>; MAX_LEVELS as usize],
+    /// `θ(1)..θ(K-1)` (index `k-1`); `f64::INFINITY` when the min-term is
+    /// undefined.
+    theta: [f64; MAX_LEVELS as usize],
+    /// `µ(1)..µ(K-1)` (index `k-1`); `None` when some `λ_j (j ≤ k)` is
+    /// invalid.
+    mu: [Option<f64>; MAX_LEVELS as usize],
+    /// Whether the min-term resolved to the fraction
+    /// `U_K(K-1)/(1-U_K(K))` rather than `U_K(K)` — the runtime needs this
+    /// to decide whether level-K tasks keep shrunk deadlines in high modes.
+    minterm_is_fraction: bool,
+    /// Eq. (4) value, used for the K = 1 degenerate case.
+    own_level_total: f64,
+}
+
+impl Theorem1 {
+    /// Evaluate the theorem on a utilization view.
+    #[must_use]
+    pub fn compute<U: LevelUtils>(u: &U) -> Self {
+        let k = u.num_levels();
+        assert!(
+            (1..=MAX_LEVELS).contains(&k),
+            "system level count {k} out of 1..={MAX_LEVELS}"
+        );
+        let own_level_total = u.own_level_total();
+        let mut out = Self {
+            k,
+            lambdas: [None; MAX_LEVELS as usize],
+            theta: [f64::INFINITY; MAX_LEVELS as usize],
+            mu: [None; MAX_LEVELS as usize],
+            minterm_is_fraction: false,
+            own_level_total,
+        };
+        if k == 1 {
+            return out;
+        }
+
+        let lk = CritLevel::new(k);
+        let lk1 = CritLevel::new(k - 1);
+
+        // --- λ recursion (Eq. (6)), λ_1 = 0. ---
+        out.lambdas[0] = Some(0.0);
+        let mut prod = 1.0; // Π_{x=1}^{j-1} (1 - λ_x)
+        for j in 2..=k {
+            let jl = CritLevel::new(j);
+            let prev = CritLevel::new(j - 1);
+            // Numerator: Σ_{x=j}^{K} U_x(j-1), scaled by 1/prod.
+            let mut num = 0.0;
+            for x in j..=k {
+                num += u.util_jk(CritLevel::new(x), prev);
+            }
+            num /= prod;
+            // Denominator: 1 - U_{j-1}(j-1)/prod.
+            let den = 1.0 - u.util_jk(prev, prev) / prod;
+            let lambda = if den > EPS { num / den } else { f64::NAN };
+            if lambda.is_finite() && (0.0..1.0).contains(&lambda) {
+                out.lambdas[jl.index()] = Some(lambda);
+                prod *= 1.0 - lambda;
+            } else {
+                // λ_j invalid ⇒ λ_{j'} for j' > j are invalid too (the
+                // recursion depends on the product); stop here.
+                break;
+            }
+        }
+
+        // --- min-term: min{ U_K(K), U_K(K-1)/(1-U_K(K)) }. ---
+        let ukk = u.util_jk(lk, lk);
+        let ukk1 = u.util_jk(lk, lk1);
+        let fraction = if 1.0 - ukk > EPS { ukk1 / (1.0 - ukk) } else { f64::INFINITY };
+        let minterm = ukk.min(fraction);
+        out.minterm_is_fraction = fraction < ukk;
+
+        // --- θ(k) and µ(k) for k = 1..K-1. ---
+        // Suffix sums of U_i(i) from i = k to K-1.
+        let mut suffix = 0.0;
+        let mut thetas = [0.0f64; MAX_LEVELS as usize];
+        for i in (1..=k - 1).rev() {
+            let li = CritLevel::new(i);
+            suffix += u.util_jk(li, li);
+            thetas[li.index()] = suffix + minterm;
+        }
+        let mut muprod = 1.0;
+        for kk in 1..=k - 1 {
+            let idx = usize::from(kk - 1);
+            out.theta[idx] = thetas[idx];
+            match out.lambdas[idx] {
+                Some(l) => {
+                    muprod *= 1.0 - l;
+                    out.mu[idx] = Some(muprod);
+                }
+                None => {
+                    // Invalid λ — µ(k) undefined from here on.
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// System criticality level count `K`.
+    #[inline]
+    #[must_use]
+    pub fn num_levels(&self) -> u8 {
+        self.k
+    }
+
+    /// `λ_j` (1-based), or `None` when invalid / out of range.
+    #[must_use]
+    pub fn lambda(&self, j: u8) -> Option<f64> {
+        if (1..=self.k).contains(&j) {
+            self.lambdas[usize::from(j - 1)]
+        } else {
+            None
+        }
+    }
+
+    /// `θ(k)` for `k ∈ 1..K-1` (the left side of Inequality (5)).
+    #[must_use]
+    pub fn theta(&self, k: u8) -> Option<f64> {
+        (self.k >= 2 && (1..=self.k - 1).contains(&k)).then(|| self.theta[usize::from(k - 1)])
+    }
+
+    /// `µ(k)` for `k ∈ 1..K-1` (the right side of Inequality (5)), `None`
+    /// when some `λ_j (j ≤ k)` is invalid.
+    #[must_use]
+    pub fn mu(&self, k: u8) -> Option<f64> {
+        if self.k >= 2 && (1..=self.k - 1).contains(&k) {
+            self.mu[usize::from(k - 1)]
+        } else {
+            None
+        }
+    }
+
+    /// Available utilization `A(k) = µ(k) − θ(k)` (Eq. (8)), `None` when the
+    /// condition's ingredients are undefined.
+    #[must_use]
+    pub fn available(&self, k: u8) -> Option<f64> {
+        let mu = self.mu(k)?;
+        let theta = self.theta(k)?;
+        if theta.is_finite() {
+            Some(mu - theta)
+        } else {
+            None
+        }
+    }
+
+    /// Whether Inequality (5) holds for this specific `k`.
+    #[must_use]
+    pub fn condition_holds(&self, k: u8) -> bool {
+        if self.k == 1 {
+            return k == 1 && self.own_level_total <= 1.0 + EPS;
+        }
+        matches!(self.available(k), Some(a) if a >= -EPS)
+    }
+
+    /// Smallest `k` for which Inequality (5) holds — the `k*` that the
+    /// runtime protocol is built around.
+    #[must_use]
+    pub fn smallest_passing(&self) -> Option<u8> {
+        if self.k == 1 {
+            return self.condition_holds(1).then_some(1);
+        }
+        (1..=self.k - 1).find(|&k| self.condition_holds(k))
+    }
+
+    /// Whether the subset is schedulable by EDF-VD per Theorem 1 (some
+    /// condition holds).
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.smallest_passing().is_some()
+    }
+
+    /// Core utilization `U^Ψ` (Eq. (9)): `max_{A(k) ≥ 0} (1 − A(k))`, or
+    /// `None` (representing ∞) when no condition holds.
+    ///
+    /// For `K = 2` this equals `θ(1)`; for `K = 1` it is the plain EDF
+    /// utilization.
+    #[must_use]
+    pub fn core_utilization(&self) -> Option<f64> {
+        if self.k == 1 {
+            return (self.own_level_total <= 1.0 + EPS).then_some(self.own_level_total);
+        }
+        let mut best: Option<f64> = None;
+        for k in 1..=self.k - 1 {
+            if let Some(a) = self.available(k) {
+                if a >= -EPS {
+                    let v = 1.0 - a;
+                    best = Some(best.map_or(v, |b: f64| b.max(v)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether the min-term picked the fraction `U_K(K-1)/(1-U_K(K))` —
+    /// i.e. schedulability leans on virtually-shortened deadlines for
+    /// level-K tasks.
+    #[inline]
+    #[must_use]
+    pub fn minterm_is_fraction(&self) -> bool {
+        self.minterm_is_fraction
+    }
+
+    /// Whether the simple condition Eq. (4) already holds, in which case
+    /// EDF-VD degenerates to plain EDF and no virtual deadlines are needed.
+    #[inline]
+    #[must_use]
+    pub fn plain_edf_sufficient(&self) -> bool {
+        self.own_level_total <= 1.0 + EPS
+    }
+
+    /// Alternative reading of Eq. (9): `U^Ψ = 1 − max_k A(k)` over the
+    /// *valid* conditions — the best available slack.
+    ///
+    /// The scraped paper text reads as a max over *satisfied* conditions of
+    /// `1 − A(k)` ([`Self::core_utilization`]), but for `K ≥ 3` that
+    /// aggregate is non-monotone (placing a task that invalidates a tight
+    /// condition can *lower* the reported utilization), which would steer
+    /// CA-TPA toward fragile cores. Both readings coincide for `K ≤ 2`
+    /// (including the paper's worked example). The partitioner uses this
+    /// monotone variant by default; the ablation battery compares the two.
+    #[must_use]
+    pub fn core_utilization_slack(&self) -> Option<f64> {
+        if self.k == 1 {
+            return (self.own_level_total <= 1.0 + EPS).then_some(self.own_level_total);
+        }
+        let mut best_slack: Option<f64> = None;
+        for k in 1..=self.k - 1 {
+            if let Some(a) = self.available(k) {
+                if a >= -EPS {
+                    best_slack = Some(best_slack.map_or(a, |b: f64| b.max(a)));
+                }
+            }
+        }
+        best_slack.map(|a| 1.0 - a)
+    }
+}
+
+/// Convenience: compute the core utilization (Eq. (9)) of a utilization
+/// view in one call. `None` means "infinite" (no condition of Theorem 1
+/// holds, the subset is not EDF-VD schedulable by this test).
+#[must_use]
+pub fn core_utilization<U: LevelUtils>(u: &U) -> Option<f64> {
+    Theorem1::compute(u).core_utilization()
+}
+
+/// Convenience: whether a utilization view passes Theorem 1 (Proposition 2's
+/// per-core requirement).
+#[must_use]
+pub fn is_feasible<U: LevelUtils>(u: &U) -> bool {
+    Theorem1::compute(u).feasible()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::simple_condition;
+    use mcs_model::{McTask, TaskBuilder, TaskId, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn table(k: u8, tasks: &[McTask]) -> UtilTable {
+        UtilTable::from_tasks(k, tasks.iter())
+    }
+
+    #[test]
+    fn empty_core_is_feasible_with_zero_utilization() {
+        let t = UtilTable::new(4);
+        let a = Theorem1::compute(&t);
+        assert!(a.feasible());
+        assert_eq!(a.smallest_passing(), Some(1));
+        assert_eq!(a.core_utilization(), Some(0.0));
+    }
+
+    #[test]
+    fn k1_degenerates_to_edf() {
+        let t = table(1, &[task(0, 10, 1, &[5]), task(1, 10, 1, &[4])]);
+        let a = Theorem1::compute(&t);
+        assert!(a.feasible());
+        assert!((a.core_utilization().unwrap() - 0.9).abs() < 1e-12);
+        let t2 = table(1, &[task(0, 10, 1, &[6]), task(1, 10, 1, &[5])]);
+        assert!(!Theorem1::compute(&t2).feasible());
+        assert_eq!(Theorem1::compute(&t2).core_utilization(), None);
+    }
+
+    /// The worked example of the paper: after allocating τ4 (level 2,
+    /// u(1)=0.339, u(2)=0.633) to an empty core,
+    /// `U = 0 + min{0.633, 0.339/(1-0.633)} = 0.633`.
+    #[test]
+    fn paper_worked_example_tau4() {
+        let t = table(2, &[task(0, 1000, 2, &[339, 633])]);
+        let a = Theorem1::compute(&t);
+        assert!(a.feasible());
+        let u = a.core_utilization().unwrap();
+        assert!((u - 0.633).abs() < 1e-9, "got {u}");
+        // min-term picked U_K(K): 0.339/0.367 = 0.9237 > 0.633.
+        assert!(!a.minterm_is_fraction());
+    }
+
+    /// Dual-criticality sanity: LO-heavy system where only the fraction
+    /// branch makes it schedulable.
+    #[test]
+    fn fraction_branch_extends_schedulability() {
+        // U_1(1) = 0.5, U_2(1) = 0.1, U_2(2) = 0.6:
+        // simple test: 0.5 + 0.6 = 1.1 > 1 fails.
+        // improved: 0.5 + min{0.6, 0.1/0.4 = 0.25} = 0.75 ≤ 1 passes.
+        let tasks = [task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])];
+        let t = table(2, &tasks);
+        assert!(!simple_condition(&t));
+        let a = Theorem1::compute(&t);
+        assert!(a.feasible());
+        assert!(a.minterm_is_fraction());
+        assert!((a.core_utilization().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_condition_implies_theorem1() {
+        // Eq. (4) ⇒ Inequality (5) at k = 1 (θ(1) ≤ Σ own-level ≤ 1 = µ(1)).
+        let tasks = [
+            task(0, 10, 1, &[2]),
+            task(1, 20, 2, &[2, 6]),
+            task(2, 40, 3, &[2, 4, 12]),
+        ];
+        let t = table(3, &tasks);
+        assert!(simple_condition(&t));
+        assert!(Theorem1::compute(&t).condition_holds(1));
+    }
+
+    #[test]
+    fn overloaded_high_mode_is_infeasible() {
+        // U_K(K) > 1: nothing can save it.
+        let t = table(2, &[task(0, 10, 2, &[1, 11])]);
+        let a = Theorem1::compute(&t);
+        assert!(!a.feasible());
+        assert_eq!(a.core_utilization(), None);
+    }
+
+    #[test]
+    fn exactly_full_high_mode_is_feasible_when_alone() {
+        // U_K(K) = 1, no other tasks: min-term = 1, θ(1) = 1 = µ(1).
+        let t = table(2, &[task(0, 10, 2, &[1, 10])]);
+        let a = Theorem1::compute(&t);
+        assert!(a.feasible());
+        assert!((a.core_utilization().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_recursion_dual_case() {
+        // λ_2 = (U_2(1)) / (1 - U_1(1)).
+        let tasks = [task(0, 10, 1, &[4]), task(1, 10, 2, &[3, 5])];
+        let t = table(2, &tasks);
+        let a = Theorem1::compute(&t);
+        assert_eq!(a.lambda(1), Some(0.0));
+        let l2 = a.lambda(2).unwrap();
+        assert!((l2 - 0.3 / 0.6).abs() < 1e-12, "λ₂ = {l2}");
+    }
+
+    #[test]
+    fn lambda_invalid_when_low_level_saturated() {
+        // U_1(1) = 1.0 ⇒ λ_2 denominator = 0 ⇒ invalid; but condition k=1
+        // can still hold if high-mode fits: θ(1) = U_1(1) + minterm.
+        let tasks = [task(0, 10, 1, &[10]), task(1, 100, 2, &[1, 2])];
+        let t = table(2, &tasks);
+        let a = Theorem1::compute(&t);
+        assert_eq!(a.lambda(2), None);
+        // θ(1) = 1.0 + min{0.02, 0.01/0.98} ≈ 1.0102 > 1 ⇒ infeasible.
+        assert!(!a.feasible());
+    }
+
+    #[test]
+    fn three_level_system_multiple_conditions() {
+        // Construct a 3-level set where condition k=1 fails but k=2 holds.
+        // Level-1 tasks are heavy at level 1, but get dropped by level 2.
+        let tasks = [
+            task(0, 10, 1, &[6]),           // u(1)=0.6
+            task(1, 100, 2, &[5, 30]),      // u(1)=0.05, u(2)=0.3
+            task(2, 100, 3, &[5, 10, 40]),  // u(1)=0.05, u(2)=0.1, u(3)=0.4
+        ];
+        let t = table(3, &tasks);
+        let a = Theorem1::compute(&t);
+        // θ(1) = U_1(1) + U_2(2) + min{U_3(3), U_3(2)/(1-U_3(3))}
+        //      = 0.6 + 0.3 + min{0.4, 0.1/0.6} = 0.9 + 1/6 ≈ 1.0667 > µ(1)=1.
+        assert!(!a.condition_holds(1));
+        // λ_2 = (U_2(1)+U_3(1)) / (1 - U_1(1)) = 0.1/0.4 = 0.25.
+        assert!((a.lambda(2).unwrap() - 0.25).abs() < 1e-12);
+        // θ(2) = U_2(2) + min-term = 0.3 + 1/6 ≈ 0.4667;
+        // µ(2) = (1-0)·(1-0.25) = 0.75 ⇒ holds.
+        assert!(a.condition_holds(2));
+        assert_eq!(a.smallest_passing(), Some(2));
+        assert!(a.feasible());
+        // Core utilization: only k=2 feasible ⇒ 1 - (0.75 - 0.4667) ≈ 0.7167.
+        let u = a.core_utilization().unwrap();
+        assert!((u - (1.0 - (0.75 - (0.3 + 0.1 / 0.6)))).abs() < 1e-9, "u = {u}");
+    }
+
+    #[test]
+    fn theta_mu_accessors_bounds() {
+        let t = table(3, &[task(0, 10, 1, &[1])]);
+        let a = Theorem1::compute(&t);
+        assert!(a.theta(0).is_none());
+        assert!(a.theta(3).is_none()); // only 1..K-1
+        assert!(a.theta(1).is_some());
+        assert!(a.theta(2).is_some());
+        assert!(a.mu(1).is_some());
+        assert!(a.lambda(0).is_none());
+        assert!(a.lambda(4).is_none());
+    }
+
+    #[test]
+    fn core_utilization_k2_equals_theta1() {
+        let tasks = [task(0, 10, 1, &[2]), task(1, 10, 2, &[1, 4])];
+        let t = table(2, &tasks);
+        let a = Theorem1::compute(&t);
+        assert!((a.core_utilization().unwrap() - a.theta(1).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_task_never_decreases_core_utilization() {
+        let base_tasks = [task(0, 10, 1, &[2]), task(1, 20, 2, &[2, 8])];
+        let t = table(2, &base_tasks);
+        let before = Theorem1::compute(&t).core_utilization().unwrap();
+        let extra = task(2, 50, 2, &[5, 10]);
+        let view = mcs_model::WithTask::new(&t, &extra);
+        let after = Theorem1::compute(&view).core_utilization().unwrap();
+        assert!(after >= before - 1e-12, "{after} < {before}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Virtual-deadline assignment for the EDF-VD runtime.
+//!
+//! Theorem 1 is existence-style: it guarantees schedulability when
+//! Inequality (5) holds for some `k* ∈ 1..K-1`, under a runtime protocol
+//! (sketched in the paper, detailed in Baruah et al. ESA'11) where
+//! high-criticality tasks run with *shortened (virtual) relative deadlines*
+//! while the core operates below their level. This module turns a Theorem-1
+//! result into the concrete per-mode deadline multipliers the simulator
+//! applies:
+//!
+//! * At operation level `l < k*`, a task of level `j > l` uses relative
+//!   deadline `p_i · Π_{x=2}^{l+1} λ_x` (the paper's cumulative
+//!   `p_i(l+1) = λ_{l+1}·p_i(l)`, `p_i(1) = p_i`); a task of level exactly
+//!   `l` keeps its original deadline.
+//! * At operation level `l ∈ k*..K-1`, tasks of levels `l..K-1` are
+//!   restored to original deadlines. Level-K tasks keep a **single**
+//!   dual-criticality-style shrink
+//!
+//!   ```text
+//!   x_K = U_K(K-1) / ( µ(k*) − Σ_{i=k*}^{K-1} U_i(i) )
+//!   ```
+//!
+//!   whenever the min-term of Inequality (5) resolved to the fraction
+//!   (i.e. schedulability leans on shortening level-K deadlines); for
+//!   `K = 2, k* = 1` this is exactly the canonical EDF-VD factor
+//!   `x = U_2(1)/(1 − U_1(1))`. Inequality (5) at `k*` guarantees
+//!   `0 < x_K ≤ 1 − U_K(K)`, so the mode-(K-1) demand
+//!   `Σ U_i(i) + U_K(K-1)/x_K ≤ µ(k*)` fits *and* a job that overruns into
+//!   mode K still has at least `(1 − x_K)·p_i ≥ U_K(K)·p_i` of window left.
+//!
+//!   Using one constant factor across modes `k*..K-1` (rather than a
+//!   per-mode one) is essential for soundness: a factor that shrinks as the
+//!   mode rises would *shorten an in-flight job's deadline at the switch*,
+//!   creating priority inversions the analysis never accounted for — our
+//!   simulation-backed soundness experiment caught exactly that failure
+//!   mode. For the same reason level-K tasks already use
+//!   `min(λ-product, x_K)` below `k*`, and the simulator never shrinks an
+//!   in-flight job's effective deadline on a mode switch.
+//! * At operation level `K` every (remaining) task uses its original
+//!   deadline.
+//!
+//! The factors are all clamped into `(0, 1]`; a factor of 1 means "no
+//! virtual deadline".
+
+use mcs_model::{CritLevel, LevelUtils, MAX_LEVELS};
+
+use crate::theorem1::Theorem1;
+use crate::EPS;
+
+/// Per-mode virtual-deadline multipliers for one core's task subset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VdAssignment {
+    k: u8,
+    kstar: u8,
+    /// `low[l-1]` = multiplier at operation level `l < k*` for active tasks
+    /// of level `> l` (cumulative λ product).
+    low: [f64; MAX_LEVELS as usize],
+    /// Constant multiplier for level-K tasks at operation levels `< K`.
+    xk: f64,
+}
+
+impl VdAssignment {
+    /// Derive the assignment from a Theorem-1 evaluation of the same
+    /// utilization view. Returns `None` when the view is not feasible (no
+    /// condition of Inequality (5) holds), since then no protocol is
+    /// guaranteed.
+    #[must_use]
+    pub fn compute<U: LevelUtils>(u: &U, analysis: &Theorem1) -> Option<Self> {
+        let k = u.num_levels();
+        assert_eq!(k, analysis.num_levels(), "analysis/view level mismatch");
+        let kstar = analysis.smallest_passing()?;
+        let mut out =
+            Self { k, kstar, low: [1.0; MAX_LEVELS as usize], xk: 1.0 };
+        if k == 1 || analysis.plain_edf_sufficient() {
+            // Eq. (4) holds: EDF-VD reduces to plain EDF, no shrinking.
+            return Some(out);
+        }
+
+        // Cumulative λ product for modes below k*: factor at mode l is
+        // Π_{x=2}^{l+1} λ_x.
+        let mut prod = 1.0;
+        for l in 1..kstar {
+            let lambda = analysis
+                .lambda(l + 1)
+                .expect("λ_2..λ_{k*} are valid whenever condition k* holds");
+            // λ = 0 only when no tasks above level l exist, in which case
+            // the factor is never consulted; keep 1.0 to stay in (0, 1].
+            if lambda > 0.0 {
+                prod *= lambda;
+                out.low[usize::from(l - 1)] = prod.clamp(EPS, 1.0);
+            }
+        }
+
+        // Single level-K shrink for modes k*..K-1 when the min-term leaned
+        // on the fraction.
+        if analysis.minterm_is_fraction() {
+            let lk = CritLevel::new(k);
+            let ukk1 = u.util_jk(lk, CritLevel::new(k - 1));
+            if ukk1 > 0.0 {
+                let own_sum: f64 = (kstar..k)
+                    .map(|i| {
+                        let li = CritLevel::new(i);
+                        u.util_jk(li, li)
+                    })
+                    .sum();
+                let mu = analysis.mu(kstar).expect("µ(k*) valid when condition k* holds");
+                let den = mu - own_sum;
+                out.xk = if den > EPS { (ukk1 / den).clamp(EPS, 1.0) } else { 1.0 };
+            }
+        }
+        Some(out)
+    }
+
+    /// The smallest passing condition `k*` the protocol is built around.
+    #[inline]
+    #[must_use]
+    pub fn kstar(&self) -> u8 {
+        self.kstar
+    }
+
+    /// The constant level-K shrink factor (1.0 when unused).
+    #[inline]
+    #[must_use]
+    pub fn level_k_factor(&self) -> f64 {
+        self.xk
+    }
+
+    /// Relative-deadline multiplier for an *active* task of criticality
+    /// `task_level` while the core operates at `mode`.
+    ///
+    /// Panics if the task would already be dropped (`task_level < mode`).
+    #[must_use]
+    pub fn factor(&self, mode: CritLevel, task_level: CritLevel) -> f64 {
+        assert!(
+            task_level >= mode,
+            "task of level {task_level} is dropped at mode {mode}"
+        );
+        let l = mode.get();
+        let is_top = task_level.get() == self.k;
+        if l < self.kstar {
+            if task_level == mode {
+                1.0
+            } else {
+                let base = self.low[usize::from(l - 1)];
+                if is_top {
+                    base.min(self.xk)
+                } else {
+                    base
+                }
+            }
+        } else if l < self.k && is_top {
+            self.xk
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{McTask, TaskBuilder, TaskId, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn assignment(k: u8, tasks: &[McTask]) -> Option<(Theorem1, VdAssignment)> {
+        let t = UtilTable::from_tasks(k, tasks.iter());
+        let a = Theorem1::compute(&t);
+        let vd = VdAssignment::compute(&t, &a)?;
+        Some((a, vd))
+    }
+
+    const M1: CritLevel = CritLevel::LO;
+
+    #[test]
+    fn infeasible_view_yields_none() {
+        let tasks = [task(0, 10, 1, &[9]), task(1, 10, 2, &[5, 9])];
+        assert!(assignment(2, &tasks).is_none());
+    }
+
+    #[test]
+    fn plain_edf_case_has_unit_factors() {
+        let tasks = [task(0, 10, 1, &[3]), task(1, 10, 2, &[2, 5])];
+        let (_, vd) = assignment(2, &tasks).unwrap();
+        assert_eq!(vd.factor(M1, M1), 1.0);
+        assert_eq!(vd.factor(M1, CritLevel::new(2)), 1.0);
+        assert_eq!(vd.factor(CritLevel::new(2), CritLevel::new(2)), 1.0);
+    }
+
+    #[test]
+    fn dual_vd_case_matches_canonical_x() {
+        // U_1(1)=0.5, U_2(1)=0.1, U_2(2)=0.6: x = 0.1/0.5 = 0.2.
+        let tasks = [task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])];
+        let (a, vd) = assignment(2, &tasks).unwrap();
+        assert!(a.minterm_is_fraction());
+        assert_eq!(vd.kstar(), 1);
+        let x = vd.factor(M1, CritLevel::new(2));
+        assert!((x - 0.2).abs() < 1e-12, "x = {x}");
+        assert!((vd.level_k_factor() - 0.2).abs() < 1e-12);
+        // LO tasks unaffected; HI mode restores original deadlines.
+        assert_eq!(vd.factor(M1, M1), 1.0);
+        assert_eq!(vd.factor(CritLevel::new(2), CritLevel::new(2)), 1.0);
+        // Agreement with the standalone closed form.
+        let t = UtilTable::from_tasks(2, tasks.iter());
+        assert!((crate::dual::dual_vd_factor(&t).unwrap() - x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_level_kstar2_uses_lambda_below_and_xk_above() {
+        // Same set as the theorem1 test: k* = 2, λ_2 = 0.25.
+        let tasks = [
+            task(0, 10, 1, &[6]),
+            task(1, 100, 2, &[5, 30]),
+            task(2, 100, 3, &[5, 10, 40]),
+        ];
+        let (a, vd) = assignment(3, &tasks).unwrap();
+        assert_eq!(vd.kstar(), 2);
+        assert!(a.minterm_is_fraction());
+        // x_K = U_3(2) / (µ(2) − U_2(2)) = 0.1 / (0.75 − 0.3) = 2/9.
+        let xk = vd.level_k_factor();
+        assert!((xk - 0.1 / 0.45).abs() < 1e-12, "x_K = {xk}");
+        // Mode 1 (< k*): level-2 gets λ_2 = 0.25; level-3 (top) gets
+        // min(λ_2, x_K) = 0.2222….
+        assert!((vd.factor(M1, CritLevel::new(2)) - 0.25).abs() < 1e-12);
+        assert!((vd.factor(M1, CritLevel::new(3)) - xk).abs() < 1e-12);
+        assert_eq!(vd.factor(M1, M1), 1.0);
+        // Mode 2 (= k*): level-2 restored; level-3 keeps x_K.
+        assert_eq!(vd.factor(CritLevel::new(2), CritLevel::new(2)), 1.0);
+        assert!((vd.factor(CritLevel::new(2), CritLevel::new(3)) - xk).abs() < 1e-12);
+        // Mode 3: original.
+        assert_eq!(vd.factor(CritLevel::new(3), CritLevel::new(3)), 1.0);
+    }
+
+    #[test]
+    fn level_k_factor_is_mode_monotone() {
+        // The factor for the top level must never *decrease* as the mode
+        // rises (a decrease would shrink in-flight deadlines — the unsound
+        // behaviour the soundness experiment caught).
+        let tasks = [
+            task(0, 50, 1, &[10]),
+            task(1, 100, 2, &[10, 25]),
+            task(2, 200, 3, &[10, 20, 60]),
+            task(3, 400, 4, &[10, 20, 30, 100]),
+        ];
+        if let Some((_, vd)) = assignment(4, &tasks) {
+            let mut prev = 0.0f64;
+            for mode in CritLevel::up_to(4) {
+                let f = vd.factor(mode, CritLevel::new(4));
+                assert!(
+                    f >= prev - 1e-12,
+                    "top-level factor decreased at mode {mode}: {prev} -> {f}"
+                );
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn factors_always_in_unit_interval() {
+        let tasks = [
+            task(0, 50, 1, &[10]),
+            task(1, 100, 2, &[10, 25]),
+            task(2, 200, 3, &[10, 20, 80]),
+            task(3, 400, 4, &[10, 20, 30, 100]),
+        ];
+        if let Some((_, vd)) = assignment(4, &tasks) {
+            for mode in CritLevel::up_to(4) {
+                for lvl in CritLevel::up_to(4).filter(|l| *l >= mode) {
+                    let f = vd.factor(mode, lvl);
+                    assert!(f > 0.0 && f <= 1.0, "factor {f} at mode {mode} level {lvl}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped")]
+    fn querying_dropped_task_panics() {
+        let tasks = [task(0, 10, 2, &[1, 2])];
+        let (_, vd) = assignment(2, &tasks).unwrap();
+        let _ = vd.factor(CritLevel::new(2), CritLevel::new(1));
+    }
+}

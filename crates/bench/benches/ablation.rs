@@ -1,0 +1,33 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the cost of
+//! each CA-TPA variant (ordering rule, probe metric, objective) relative to
+//! the full algorithm, plus the contribution-ordering step in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs_bench::default_fixture;
+use mcs_partition::{order_by_contribution, BinPacker, CatpaVariant, Partitioner};
+
+fn bench_variants(c: &mut Criterion) {
+    let ts = default_fixture(31);
+    let mut group = c.benchmark_group("catpa_variants");
+    for variant in CatpaVariant::battery() {
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| black_box(variant.partition(&ts, 8)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let ts = default_fixture(31);
+    c.bench_function("order_by_contribution", |b| {
+        b.iter(|| black_box(order_by_contribution(&ts)));
+    });
+    c.bench_function("order_by_max_util", |b| {
+        b.iter(|| black_box(BinPacker::decreasing_max_util_order(&ts)));
+    });
+}
+
+criterion_group!(benches, bench_variants, bench_orderings);
+criterion_main!(benches);

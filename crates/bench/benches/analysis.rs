@@ -1,0 +1,62 @@
+//! Schedulability-test micro-benchmarks: the Theorem-1 evaluation is the
+//! inner loop of every partitioner probe (called O(M·N) times per
+//! partition), and the DBF extension's cost justifies the paper's remark
+//! that \[20\]'s test has "much higher complexity".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mcs_analysis::{dbf::dbf_schedulable, dual_condition, simple_condition, Theorem1};
+use mcs_bench::fixture;
+use mcs_model::{McTask, UtilTable, WithTask};
+
+fn bench_theorem1_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_compute");
+    for k in [2u8, 3, 4, 6] {
+        let ts = fixture(24, 1, k, 0.4, 3);
+        let table = ts.util_table();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &table, |b, t| {
+            b.iter(|| black_box(Theorem1::compute(t).core_utilization()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_vs_rebuild(c: &mut Criterion) {
+    // The zero-copy WithTask probe vs rebuilding the table per probe — the
+    // design choice that keeps CA-TPA at O((M+N)·N).
+    let ts = fixture(24, 1, 4, 0.4, 3);
+    let table = ts.util_table();
+    let extra = ts.tasks()[0].clone();
+    c.bench_function("probe_with_task_view", |b| {
+        b.iter(|| {
+            let view = WithTask::new(&table, &extra);
+            black_box(Theorem1::compute(&view).feasible())
+        });
+    });
+    c.bench_function("probe_rebuild_table", |b| {
+        b.iter(|| {
+            let mut t = table.clone();
+            t.add(&extra);
+            black_box(Theorem1::compute(&t).feasible())
+        });
+    });
+}
+
+fn bench_test_hierarchy(c: &mut Criterion) {
+    let ts = fixture(12, 1, 2, 0.6, 9);
+    let table = UtilTable::from_tasks(2, ts.tasks().iter());
+    let refs: Vec<&McTask> = ts.tasks().iter().collect();
+    c.bench_function("eq4_simple_condition", |b| {
+        b.iter(|| black_box(simple_condition(&table)));
+    });
+    c.bench_function("eq7_dual_condition", |b| {
+        b.iter(|| black_box(dual_condition(&table).schedulable));
+    });
+    c.bench_function("dbf_demand_analysis", |b| {
+        b.iter(|| black_box(dbf_schedulable(&refs).schedulable()));
+    });
+}
+
+criterion_group!(benches, bench_theorem1_by_k, bench_probe_vs_rebuild, bench_test_hierarchy);
+criterion_main!(benches);

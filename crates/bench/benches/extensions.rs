@@ -1,0 +1,99 @@
+//! Benchmarks for the extension modules: sensitivity analysis, elastic
+//! factors, AMC/SMC response-time tests, exact rational arithmetic, period
+//! transformation and the sporadic/overhead simulator paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs_analysis::amc::{amc_rtb_audsley, amc_rtb_dm, smc_dm};
+use mcs_analysis::exact_arith::theorem1_feasible_exact;
+use mcs_analysis::{critical_scaling, elastic_stretch_factors, Theorem1, VdAssignment};
+use mcs_bench::fixture;
+use mcs_model::rational::Ratio;
+use mcs_model::{promote_critical, CritLevel, McTask, UtilTable};
+use mcs_sim::{ArrivalModel, CoreSim, LevelCap, Overheads, SchedulerKind, Trace};
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let ts = fixture(24, 1, 4, 0.4, 3);
+    let table = ts.util_table();
+    c.bench_function("critical_scaling", |b| {
+        b.iter(|| black_box(critical_scaling(&table)));
+    });
+    let analysis = Theorem1::compute(&table);
+    c.bench_function("elastic_stretch_factors", |b| {
+        b.iter(|| black_box(elastic_stretch_factors(&table, &analysis)));
+    });
+}
+
+fn bench_fp_tests(c: &mut Criterion) {
+    let ts = fixture(12, 1, 2, 0.5, 9);
+    let refs: Vec<&McTask> = ts.tasks().iter().collect();
+    c.bench_function("amc_rtb_dm_n12", |b| b.iter(|| black_box(amc_rtb_dm(&refs))));
+    c.bench_function("smc_dm_n12", |b| b.iter(|| black_box(smc_dm(&refs))));
+    c.bench_function("amc_rtb_audsley_n12", |b| {
+        b.iter(|| black_box(amc_rtb_audsley(&refs).is_some()));
+    });
+}
+
+fn bench_exact_arith(c: &mut Criterion) {
+    let ts = fixture(12, 1, 4, 0.4, 5);
+    let refs: Vec<&McTask> = ts.tasks().iter().collect();
+    c.bench_function("theorem1_exact_rational", |b| {
+        b.iter(|| black_box(theorem1_feasible_exact(&refs, 4)));
+    });
+    c.bench_function("ratio_arithmetic_chain", |b| {
+        b.iter(|| {
+            let mut acc = Ratio::ZERO;
+            for i in 1..50i128 {
+                acc = acc.add(Ratio::new(1, i).unwrap()).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let ts = fixture(120, 8, 4, 0.5, 7);
+    c.bench_function("period_transform_promote", |b| {
+        b.iter(|| black_box(promote_critical(&ts, CritLevel::new(3), 2)));
+    });
+}
+
+fn bench_sim_paths(c: &mut Criterion) {
+    let ts = fixture(16, 1, 3, 0.5, 21);
+    let tasks: Vec<&McTask> = ts.tasks().iter().collect();
+    let table = UtilTable::from_tasks(3, tasks.iter().copied());
+    let analysis = Theorem1::compute(&table);
+    let vd = VdAssignment::compute(&table, &analysis).expect("fixture feasible");
+    let horizon = 1_000_000;
+    c.bench_function("core_sim_sporadic", |b| {
+        let sim = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone()))
+            .with_arrivals(ArrivalModel::Sporadic { slack: 0.3, seed: 5 });
+        b.iter(|| {
+            black_box(sim.run(&mut LevelCap::lo(), horizon, &mut Trace::disabled()))
+        });
+    });
+    c.bench_function("core_sim_with_overheads", |b| {
+        let sim = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone()))
+            .with_overheads(Overheads { context_switch: 50, mode_switch: 200 });
+        b.iter(|| {
+            black_box(sim.run(&mut LevelCap::new(3), horizon, &mut Trace::disabled()))
+        });
+    });
+    c.bench_function("core_sim_fixed_priority", |b| {
+        let sim = CoreSim::new(tasks.clone(), SchedulerKind::deadline_monotonic(&tasks));
+        b.iter(|| {
+            black_box(sim.run(&mut LevelCap::lo(), horizon, &mut Trace::disabled()))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sensitivity,
+    bench_fp_tests,
+    bench_exact_arith,
+    bench_transform,
+    bench_sim_paths
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! One benchmark group per paper artifact (Tables I–III, Figures 1–5): each
+//! measures the kernel that regenerates that artifact — for tables, the
+//! full worked-example trace; for figures, one Monte-Carlo trial (generate
+//! one task set at the figure's representative parameter point and run all
+//! five schemes on it). `mcs-exp figN --trials T` is exactly `T` such
+//! kernels per x value.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mcs_exp::tables;
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_partition::paper_schemes;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_contributions", |b| b.iter(|| black_box(tables::table1())));
+    c.bench_function("table2_ffd_trace", |b| b.iter(|| black_box(tables::table2())));
+    c.bench_function("table3_catpa_trace", |b| b.iter(|| black_box(tables::table3())));
+}
+
+/// One sweep trial at a parameter point: generate + run all five schemes.
+fn trial(params: &GenParams, seed: u64) -> usize {
+    let ts = generate_task_set(params, seed);
+    paper_schemes()
+        .iter()
+        .filter(|s| s.partition(&ts, params.cores).is_ok())
+        .count()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_trial");
+    // Representative x values: the schedulability transition of each sweep.
+    let points: Vec<(&str, GenParams)> = vec![
+        ("fig1_nsu_0.55", GenParams::default().with_nsu(0.55)),
+        ("fig2_ifc_0.5", GenParams::default().with_ifc(0.5).with_nsu(0.5)),
+        ("fig3_alpha_0.3", GenParams::default().with_nsu(0.55)),
+        ("fig4_m32", GenParams::default().with_cores(32).with_nsu(0.55)),
+        ("fig5_k6", GenParams::default().with_levels(6).with_nsu(0.4)),
+    ];
+    for (name, params) in points {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(trial(p, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Partitioner cost scaling: CA-TPA's complexity is O((M + N)·N) (§III);
+//! these benches measure it against FFD/BFD/WFD/Hybrid over N and M.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mcs_bench::fixture;
+use mcs_partition::{paper_schemes, Catpa, CatpaLs, ExactBnb, Partitioner};
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catpa_scaling_n");
+    for n in [50usize, 100, 200, 400, 800] {
+        let ts = fixture(n, 8, 4, 0.45, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ts, |b, ts| {
+            let catpa = Catpa::default();
+            b.iter(|| black_box(catpa.partition(ts, 8)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catpa_scaling_m");
+    for m in [2usize, 4, 8, 16, 32, 64] {
+        let ts = fixture(160, m, 4, 0.45, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &ts, |b, ts| {
+            let catpa = Catpa::default();
+            b.iter(|| black_box(catpa.partition(ts, m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_schemes(c: &mut Criterion) {
+    let ts = fixture(120, 8, 4, 0.45, 11);
+    let mut group = c.benchmark_group("schemes_n120_m8");
+    for scheme in paper_schemes() {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| black_box(scheme.partition(&ts, 8)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_and_repair(c: &mut Criterion) {
+    // Small instance near the transition: exact search and LS repair both
+    // do real work here.
+    let ts = fixture(12, 3, 4, 0.66, 5);
+    c.bench_function("exact_bnb_n12_m3", |b| {
+        let exact = ExactBnb::default();
+        b.iter(|| black_box(exact.decide(&ts, 3)));
+    });
+    c.bench_function("catpa_ls_n12_m3", |b| {
+        let ls = CatpaLs::default();
+        b.iter(|| black_box(ls.partition(&ts, 3)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scaling_n,
+    bench_scaling_m,
+    bench_all_schemes,
+    bench_exact_and_repair
+);
+criterion_main!(benches);

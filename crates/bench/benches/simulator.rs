@@ -1,0 +1,80 @@
+//! Simulator throughput: events per simulated horizon under nominal and
+//! overrun-heavy behaviours — establishes that the soundness experiment's
+//! cost is dominated by simulation, not analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mcs_analysis::{Theorem1, VdAssignment};
+use mcs_bench::fixture;
+use mcs_model::{McTask, UtilTable};
+use mcs_sim::{CoreSim, GlobalSim, LevelCap, Probabilistic, SchedulerKind, Trace};
+
+fn core_sim_fixture(n: usize) -> (Vec<McTask>, VdAssignment) {
+    let ts = fixture(n, 1, 3, 0.5, 21);
+    let tasks: Vec<McTask> = ts.tasks().to_vec();
+    let table = UtilTable::from_tasks(3, tasks.iter());
+    let analysis = Theorem1::compute(&table);
+    let vd = VdAssignment::compute(&table, &analysis).expect("fixture is feasible");
+    (tasks, vd)
+}
+
+fn bench_nominal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_sim_nominal");
+    for n in [8usize, 16, 32] {
+        let (tasks, vd) = core_sim_fixture(n);
+        let horizon = 2_000_000u64; // 2 simulated seconds at 1000 ticks/ms
+        group.throughput(Throughput::Elements(horizon));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            let refs: Vec<&McTask> = tasks.iter().collect();
+            let sim = CoreSim::new(refs, SchedulerKind::EdfVd(vd.clone()));
+            b.iter(|| {
+                let mut scenario = LevelCap::lo();
+                black_box(sim.run(&mut scenario, horizon, &mut Trace::disabled()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overrun_heavy(c: &mut Criterion) {
+    let (tasks, vd) = core_sim_fixture(16);
+    let horizon = 2_000_000u64;
+    c.bench_function("core_sim_overrun_p30", |b| {
+        let refs: Vec<&McTask> = tasks.iter().collect();
+        let sim = CoreSim::new(refs, SchedulerKind::EdfVd(vd.clone()));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut scenario = Probabilistic::new(0.3, 3, seed);
+            black_box(sim.run(&mut scenario, horizon, &mut Trace::disabled()))
+        });
+    });
+}
+
+fn bench_global(c: &mut Criterion) {
+    // Global EDF over m cores vs the partitioned per-core loop: the global
+    // queue pays an O(n log n) sort per event.
+    let ts = fixture(16, 4, 2, 0.5, 13);
+    let tasks: Vec<McTask> = ts.tasks().to_vec();
+    let horizon = 2_000_000u64;
+    c.bench_function("global_sim_m4_nominal", |b| {
+        let refs: Vec<&McTask> = tasks.iter().collect();
+        let sim = GlobalSim::new(refs, 4, SchedulerKind::PlainEdf);
+        b.iter(|| {
+            let mut scenario = LevelCap::lo();
+            black_box(sim.run(&mut scenario, horizon, &mut Trace::disabled()))
+        });
+    });
+    c.bench_function("global_sim_m4_worst_case", |b| {
+        let refs: Vec<&McTask> = tasks.iter().collect();
+        let sim = GlobalSim::new(refs, 4, SchedulerKind::PlainEdf);
+        b.iter(|| {
+            let mut scenario = LevelCap::new(2);
+            black_box(sim.run(&mut scenario, horizon, &mut Trace::disabled()))
+        });
+    });
+}
+
+criterion_group!(benches, bench_nominal, bench_overrun_heavy, bench_global);
+criterion_main!(benches);

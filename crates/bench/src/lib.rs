@@ -1,0 +1,23 @@
+//! Shared fixtures for the Criterion benchmarks (see `benches/`).
+
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_model::TaskSet;
+
+/// A deterministic task set at the paper's parameter point, scaled to the
+/// requested size.
+#[must_use]
+pub fn fixture(n: usize, cores: usize, levels: u8, nsu: f64, seed: u64) -> TaskSet {
+    let params = GenParams::default()
+        .with_n_range(n, n)
+        .with_cores(cores)
+        .with_levels(levels)
+        .with_nsu(nsu);
+    generate_task_set(&params, seed)
+}
+
+/// Default fixture used across benches: a schedulable point (NSU = 0.5) so
+/// partitioners run to completion.
+#[must_use]
+pub fn default_fixture(seed: u64) -> TaskSet {
+    fixture(120, 8, 4, 0.5, seed)
+}

@@ -1,0 +1,77 @@
+//! CA-TPA ablation: run the variant battery (each variant disables or swaps
+//! one design choice) over a common workload and compare schedulability.
+
+use mcs_gen::{GenParams, WcetGrowth};
+use mcs_partition::{CatpaVariant, Partitioner};
+
+use crate::report::{fmt3, Table};
+use crate::sweep::{run_point, PointResult, SweepConfig};
+
+/// Results of the ablation battery at a range of NSU points.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// Swept NSU values.
+    pub xs: Vec<f64>,
+    /// `points[i][v]` = variant `v` at `xs[i]`.
+    pub points: Vec<Vec<PointResult>>,
+}
+
+/// Run the ablation battery over NSU ∈ {0.5, 0.6, 0.7}.
+#[must_use]
+pub fn ablation(config: &SweepConfig) -> AblationResult {
+    ablation_with(config, WcetGrowth::default())
+}
+
+/// Ablation with an explicit WCET-growth reading.
+#[must_use]
+pub fn ablation_with(config: &SweepConfig, growth: WcetGrowth) -> AblationResult {
+    let xs = vec![0.5, 0.6, 0.7];
+    let points = xs
+        .iter()
+        .map(|&nsu| {
+            let params = GenParams::default().with_growth(growth).with_nsu(nsu);
+            let schemes: Vec<Box<dyn Partitioner + Send + Sync>> = CatpaVariant::battery()
+                .into_iter()
+                .map(|v| Box::new(v) as Box<dyn Partitioner + Send + Sync>)
+                .collect();
+            run_point(&params, &schemes, config)
+        })
+        .collect();
+    AblationResult { xs, points }
+}
+
+impl AblationResult {
+    /// Schedulability-ratio table: one row per variant, one column per NSU.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut header = vec!["variant".to_string()];
+        header.extend(self.xs.iter().map(|x| format!("NSU={x:.1}")));
+        let mut t = Table::new(header);
+        if let Some(first) = self.points.first() {
+            for (v, r0) in first.iter().enumerate() {
+                let mut row = vec![r0.scheme.to_string()];
+                for point in &self.points {
+                    row.push(fmt3(point[v].ratio()));
+                }
+                t.push_row(row);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_ablation_runs() {
+        let config = SweepConfig { trials: 4, threads: 2, seed: 9 };
+        let r = ablation(&config);
+        assert_eq!(r.xs.len(), 3);
+        let t = r.table();
+        assert_eq!(t.rows.len(), CatpaVariant::battery().len());
+        // The full CA-TPA variant is listed first.
+        assert_eq!(t.rows[0][0], "CA-TPA(var)");
+    }
+}

@@ -1,0 +1,169 @@
+//! Terminal line charts for the figure sweeps — a dependency-free stand-in
+//! for the paper's plots (`mcs-exp figN --chart`).
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; NaN y values are skipped.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['o', '*', '+', 'x', '#', '@', '%', '&'];
+
+/// Render a multi-series scatter/line chart into a `width × height`
+/// character grid with a y-axis and x-axis ticks.
+///
+/// Ranges are derived from the data; a degenerate y range is padded. Points
+/// from later series overwrite earlier ones on collisions (legend order =
+/// draw order).
+#[must_use]
+pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let pts = series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .filter(|(_, y)| y.is_finite());
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut any = false;
+    for (x, y) in pts {
+        any = true;
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if !any {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+        y_min -= 1e-9;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            if !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    // Y axis: top, middle, bottom labels.
+    for (r, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height / 2 || r == height - 1 {
+            format!("{y_here:7.3} |")
+        } else {
+            "        |".to_string()
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label}{}", line.trim_end());
+    }
+    let _ = writeln!(out, "        +{}", "-".repeat(width));
+    let _ = writeln!(out, "         {x_min:<10.3}{:>w$.3}", x_max, w = width.saturating_sub(10));
+    // Legend.
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "         {}", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series {
+                label: "A".into(),
+                points: (0..=10).map(|i| (f64::from(i), f64::from(i) / 10.0)).collect(),
+            },
+            Series {
+                label: "B".into(),
+                points: (0..=10).map(|i| (f64::from(i), 1.0 - f64::from(i) / 10.0)).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let s = render_chart("demo", &demo(), 40, 10);
+        assert!(s.starts_with("demo\n"));
+        assert!(s.contains("o A"), "{s}");
+        assert!(s.contains("* B"), "{s}");
+        assert!(s.contains('|'));
+        assert!(s.contains('+'));
+        // Extremes appear as axis labels.
+        assert!(s.contains("1.000"), "{s}");
+        assert!(s.contains("0.000"), "{s}");
+    }
+
+    #[test]
+    fn increasing_series_slopes_up() {
+        let only_a = vec![demo().remove(0)];
+        let s = render_chart("t", &only_a, 40, 8);
+        let rows: Vec<&str> = s.lines().skip(1).take(8).collect();
+        // Topmost glyph must be right of the bottom-most glyph.
+        let top_col = rows.first().and_then(|r| r.find('o'));
+        let bottom_col = rows.last().and_then(|r| r.find('o'));
+        match (top_col, bottom_col) {
+            (Some(t), Some(b)) => assert!(t > b, "{s}"),
+            other => panic!("missing glyphs {other:?} in\n{s}"),
+        }
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let s = render_chart(
+            "t",
+            &[Series { label: "A".into(), points: vec![(0.0, f64::NAN), (1.0, 0.5)] }],
+            30,
+            6,
+        );
+        assert_eq!(s.matches('o').count(), 2, "{s}"); // 1 point + legend glyph
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let s = render_chart("t", &[], 30, 6);
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_do_not_divide_by_zero() {
+        let s = render_chart(
+            "t",
+            &[Series { label: "flat".into(), points: vec![(0.0, 0.5), (1.0, 0.5)] }],
+            30,
+            6,
+        );
+        assert!(s.contains('o'), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_canvas() {
+        let _ = render_chart("t", &[], 5, 2);
+    }
+}

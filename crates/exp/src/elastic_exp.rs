@@ -1,0 +1,117 @@
+//! Elastic-degradation experiment (beyond the paper): AMC drops every task
+//! below the operation mode; the elastic policy serves them from the
+//! analysis' *proven* slack instead. This experiment measures, under
+//! sustained worst-case behaviour, (a) that the mandatory guarantee holds
+//! under both policies and (b) how much low-criticality service each policy
+//! delivers.
+//!
+//! **Finding** (see EXPERIMENTS.md): under *sustained* overruns the elastic
+//! policy actually completes ~25 % fewer jobs than plain AMC dropping. The
+//! mechanism is AMC's idle-reset rule: dropping lets the core go idle and
+//! snap back to level-1 operation almost immediately, restoring full-rate
+//! service, while elastic background service keeps the core busy at the
+//! elevated mode, pinning every below-mode task at its stretched rate (and
+//! wasting budget on degraded jobs that are killed at their level-1 cap).
+//! Elastic degradation only pays off when idle resets are rare — exactly
+//! the regime its literature assumes.
+
+use mcs_analysis::{elastic_stretch_factors, Theorem1, VdAssignment};
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_model::{CoreId, CritLevel, McTask, UtilTable};
+use mcs_partition::{Catpa, Partitioner};
+use mcs_sim::{CoreSim, DegradationPolicy, LevelCap, SchedulerKind, SimConfig, Trace};
+
+use crate::report::{fmt3, Table};
+use crate::sweep::SweepConfig;
+
+/// Aggregate outcome of the elastic experiment.
+#[derive(Clone, Debug, Default)]
+pub struct ElasticResult {
+    /// Partitions simulated.
+    pub runs: usize,
+    /// Completed jobs under the Drop policy.
+    pub drop_completed: u64,
+    /// Completed jobs under the Elastic policy.
+    pub elastic_completed: u64,
+    /// Jobs killed mid-service by the elastic budget cap.
+    pub elastic_killed: u64,
+    /// Mandatory-guarantee violations (must be zero for both).
+    pub violations: usize,
+}
+
+impl ElasticResult {
+    /// Render as a table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["policy", "jobs completed", "relative"]);
+        let rel = if self.drop_completed == 0 {
+            f64::NAN
+        } else {
+            self.elastic_completed as f64 / self.drop_completed as f64
+        };
+        t.push_row(["AMC drop".to_string(), self.drop_completed.to_string(), fmt3(1.0)]);
+        t.push_row([
+            "elastic".to_string(),
+            self.elastic_completed.to_string(),
+            fmt3(rel),
+        ]);
+        t
+    }
+}
+
+/// Run the experiment at a loaded point (NSU = 0.6) under sustained
+/// worst-case behaviour, where modes stay elevated for long stretches.
+#[must_use]
+pub fn elastic_experiment(config: &SweepConfig, horizon_periods: u32) -> ElasticResult {
+    let params = GenParams::default().with_n_range(16, 32).with_cores(4).with_nsu(0.6);
+    let sim_config = SimConfig { horizon_periods, ..Default::default() };
+    let catpa = Catpa::default();
+    let mut result = ElasticResult::default();
+
+    for trial in 0..config.trials {
+        let ts = generate_task_set(&params, config.seed + trial as u64);
+        let Ok(partition) = catpa.partition(&ts, params.cores) else { continue };
+        result.runs += 1;
+        for core in CoreId::all(params.cores) {
+            let tasks: Vec<&McTask> = partition.tasks_on(core).map(|id| ts.task(id)).collect();
+            let table = UtilTable::from_tasks(ts.num_levels(), tasks.iter().copied());
+            let analysis = Theorem1::compute(&table);
+            let vd = VdAssignment::compute(&table, &analysis).expect("CA-TPA output");
+            let factors = elastic_stretch_factors(&table, &analysis).expect("feasible");
+            let horizon = sim_config.horizon_for(&tasks);
+            let top = ts.num_levels();
+
+            let drop_run = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone()))
+                .run(&mut LevelCap::new(top), horizon, &mut Trace::disabled());
+            let elastic_run = CoreSim::new(tasks, SchedulerKind::EdfVd(vd))
+                .with_degradation(DegradationPolicy::Elastic { factors })
+                .run(&mut LevelCap::new(top), horizon, &mut Trace::disabled());
+
+            result.drop_completed += drop_run.completed;
+            result.elastic_completed += elastic_run.completed;
+            result.elastic_killed += elastic_run.dropped;
+            if drop_run.mandatory_misses(CritLevel::new(top)) > 0
+                || elastic_run.mandatory_misses(CritLevel::new(top)) > 0
+            {
+                result.violations += 1;
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elastic_never_violates_the_guarantee() {
+        let config = SweepConfig { trials: 10, threads: 1, seed: 21 };
+        let r = elastic_experiment(&config, 4);
+        assert!(r.runs > 0, "vacuous");
+        assert_eq!(r.violations, 0, "{r:?}");
+        // Both policies deliver substantial service; their relative order
+        // is a measured finding (the idle-reset effect), not an invariant.
+        assert!(r.drop_completed > 0 && r.elastic_completed > 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Extension experiment (beyond the paper's figures): on dual-criticality
+//! workloads, compare partitioned **EDF-VD** (CA-TPA and FFD) against
+//! partitioned **fixed-priority AMC** (the \[22\] setting, with
+//! deadline-monotonic and Audsley priorities) and against the
+//! **DBF-based** partitioner (the \[20\] approach) — the three families the
+//! paper's related-work section positions CA-TPA among.
+
+use mcs_gen::GenParams;
+use mcs_partition::{BinPacker, Catpa, DbfFirstFit, FpAmc, Partitioner};
+
+use crate::report::{fmt3, Table};
+use crate::sweep::{run_point, PointResult, SweepConfig};
+
+/// The scheme line-up of the extension comparison.
+#[must_use]
+pub fn dual_schemes() -> Vec<Box<dyn Partitioner + Send + Sync>> {
+    vec![
+        Box::new(Catpa::default()),
+        Box::new(BinPacker::ffd()),
+        Box::new(FpAmc::dm_du()),
+        Box::new(FpAmc::audsley()),
+        Box::new(DbfFirstFit),
+    ]
+}
+
+/// Results of the dual-criticality scheduler-family comparison.
+#[derive(Clone, Debug)]
+pub struct DualComparison {
+    /// Swept NSU values.
+    pub xs: Vec<f64>,
+    /// `points[i][s]` = scheme `s` at `xs[i]`.
+    pub points: Vec<Vec<PointResult>>,
+}
+
+/// Sweep NSU ∈ 0.55..0.90 on dual-criticality workloads (K = 2, M = 4,
+/// N ∈ [16, 48]; smaller than the paper's default N because the FP-AMC and
+/// DBF admission tests are orders of magnitude more expensive than the
+/// utilization tests — the "much higher complexity" the paper attributes
+/// to \[20\], measured directly by the `analysis` benchmarks).
+#[must_use]
+pub fn dual_comparison(config: &SweepConfig) -> DualComparison {
+    let xs: Vec<f64> = (0..=7).map(|i| 0.55 + 0.05 * f64::from(i)).collect();
+    let points = xs
+        .iter()
+        .map(|&nsu| {
+            let params = GenParams::default()
+                .with_levels(2)
+                .with_cores(4)
+                .with_n_range(16, 48)
+                .with_nsu(nsu);
+            run_point(&params, &dual_schemes(), config)
+        })
+        .collect();
+    DualComparison { xs, points }
+}
+
+impl DualComparison {
+    /// Schedulability-ratio table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let names: Vec<&'static str> = self
+            .points
+            .first()
+            .map(|p| p.iter().map(|r| r.scheme).collect())
+            .unwrap_or_default();
+        let mut header = vec!["NSU".to_string()];
+        header.extend(names.iter().map(ToString::to_string));
+        let mut t = Table::new(header);
+        for (x, row) in self.xs.iter().zip(&self.points) {
+            let mut cells = vec![fmt3(*x)];
+            cells.extend(row.iter().map(|r| fmt3(r.ratio())));
+            t.push_row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_comparison_runs() {
+        let config = SweepConfig { trials: 4, threads: 1, seed: 2 };
+        let params = GenParams::default().with_levels(2).with_nsu(0.6).with_n_range(10, 16);
+        let r = run_point(&params, &dual_schemes(), &config);
+        assert_eq!(r.len(), 5);
+        for p in &r {
+            assert!(p.ratio() >= 0.0 && p.ratio() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn table_has_all_schemes() {
+        let config = SweepConfig { trials: 2, threads: 1, seed: 2 };
+        // Shrink the sweep by calling run_point directly at two xs.
+        let mut cmp = DualComparison { xs: vec![0.6, 0.7], points: Vec::new() };
+        for &nsu in &cmp.xs {
+            let params =
+                GenParams::default().with_levels(2).with_nsu(nsu).with_n_range(8, 12);
+            cmp.points.push(run_point(&params, &dual_schemes(), &config));
+        }
+        let t = cmp.table();
+        assert_eq!(t.header.len(), 6);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

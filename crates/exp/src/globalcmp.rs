@@ -1,0 +1,122 @@
+//! Partitioned-vs-global experiment — the §I premise check. The paper
+//! chooses partitioning because "partitioned scheduling generally
+//! outperforms global scheduling in terms of the feasibility performance"
+//! (Bastoni et al. \[9\]). This experiment puts that premise to the test on
+//! the paper's own workload model:
+//!
+//! * **partitioned**: CA-TPA acceptance (an *analytical* guarantee — the
+//!   conservative side);
+//! * **global**: global EDF + AMC on `m` cores with free migration,
+//!   accepted iff *simulation* shows zero mandatory misses under the
+//!   worst-case behaviour of every level (an *empirical upper bound* — the
+//!   optimistic side).
+//!
+//! The comparison is deliberately biased in favour of global scheduling;
+//! partitioned CA-TPA holding its own against it is therefore meaningful.
+
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_model::{CritLevel, McTask};
+use mcs_partition::{Catpa, Partitioner};
+use mcs_sim::{GlobalSim, LevelCap, SchedulerKind, SimConfig, Trace};
+
+use crate::report::{fmt3, Table};
+use crate::sweep::SweepConfig;
+
+/// Results of one NSU point.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalCmpPoint {
+    /// Swept NSU.
+    pub nsu: f64,
+    /// Trials.
+    pub trials: usize,
+    /// Task sets CA-TPA accepts analytically.
+    pub partitioned: usize,
+    /// Task sets surviving global EDF + AMC empirically.
+    pub global_ok: usize,
+}
+
+/// Full sweep result.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalCmpResult {
+    /// Points.
+    pub points: Vec<GlobalCmpPoint>,
+}
+
+impl GlobalCmpResult {
+    /// Render as a table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "NSU",
+            "partitioned CA-TPA (analytical)",
+            "global EDF+AMC (empirical)",
+        ]);
+        for p in &self.points {
+            let n = p.trials.max(1) as f64;
+            t.push_row([
+                fmt3(p.nsu),
+                fmt3(p.partitioned as f64 / n),
+                fmt3(p.global_ok as f64 / n),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run the sweep (K = 2, M = 4, smallish N so the simulations stay cheap).
+#[must_use]
+pub fn global_comparison(config: &SweepConfig, horizon_periods: u32) -> GlobalCmpResult {
+    let sim_config = SimConfig { horizon_periods, ..Default::default() };
+    let catpa = Catpa::default();
+    let mut result = GlobalCmpResult::default();
+    for nsu in [0.55, 0.65, 0.75, 0.85] {
+        let params = GenParams::default()
+            .with_levels(2)
+            .with_cores(4)
+            .with_n_range(12, 32)
+            .with_nsu(nsu);
+        let mut point = GlobalCmpPoint { nsu, trials: config.trials, ..Default::default() };
+        for trial in 0..config.trials {
+            let ts = generate_task_set(&params, config.seed + trial as u64);
+            if catpa.partition(&ts, params.cores).is_ok() {
+                point.partitioned += 1;
+            }
+            let refs: Vec<&McTask> = ts.tasks().iter().collect();
+            let horizon = sim_config.horizon_for(&refs);
+            let mut ok = true;
+            for b in 1..=2u8 {
+                let r = GlobalSim::new(refs.clone(), params.cores, SchedulerKind::PlainEdf)
+                    .run(&mut LevelCap::new(b), horizon, &mut Trace::disabled());
+                if r.mandatory_misses(CritLevel::new(b)) > 0 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                point.global_ok += 1;
+            }
+        }
+        result.points.push(point);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_counts_are_bounded() {
+        let config = SweepConfig { trials: 6, threads: 1, seed: 31 };
+        let r = global_comparison(&config, 3);
+        assert_eq!(r.points.len(), 4);
+        for p in &r.points {
+            assert!(p.partitioned <= p.trials);
+            assert!(p.global_ok <= p.trials);
+        }
+        // At the lightest point both approaches accept nearly everything.
+        let light = &r.points[0];
+        assert!(light.partitioned >= light.trials - 1);
+        assert_eq!(r.table().rows.len(), 4);
+    }
+}

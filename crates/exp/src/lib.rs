@@ -1,0 +1,38 @@
+//! # mcs-exp
+//!
+//! Experiment harness reproducing every table and figure of the ICPP'16
+//! CA-TPA paper, plus soundness and ablation experiments.
+//!
+//! * [`sweep`] — parallel Monte-Carlo engine: generate task sets, run every
+//!   partitioning scheme on each (paired comparison), aggregate the paper's
+//!   four metrics (schedulability ratio, `U_sys`, `U_avg`, `Λ`);
+//! * [`figures`] — the five parameter sweeps (Fig. 1: NSU, Fig. 2: IFC,
+//!   Fig. 3: α, Fig. 4: M, Fig. 5: K);
+//! * [`tables`] — the §III worked example (Tables I–III) and the parameter
+//!   table (Table IV);
+//! * [`soundness`] — simulation-backed validation: partitions accepted by
+//!   the analysis must exhibit zero mandatory deadline misses;
+//! * [`ablation`] — CA-TPA variant comparison;
+//! * [`report`] — plain-text/CSV rendering.
+
+pub mod ablation;
+pub mod chart;
+pub mod describe;
+pub mod elastic_exp;
+pub mod example;
+pub mod extension;
+pub mod figures;
+pub mod globalcmp;
+pub mod optgap;
+pub mod overhead;
+pub mod partition_cmd;
+pub mod report;
+pub mod soundness;
+pub mod stats;
+pub mod sweep;
+pub mod tables;
+
+pub use example::paper_example_task_set;
+pub use figures::{figure, FigureId, FigureResult};
+pub use report::{render_csv, render_table};
+pub use sweep::{run_point, PointResult, SweepConfig};

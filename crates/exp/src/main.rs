@@ -1,0 +1,327 @@
+//! `mcs-exp` — command-line experiment runner.
+//!
+//! ```text
+//! mcs-exp <command> [--trials N] [--threads N] [--seed S] [--csv]
+//!         [--horizon-periods H]
+//!
+//! commands:
+//!   fig1 | fig2 | fig3 | fig4 | fig5   reproduce one figure (4 panels each)
+//!   figs                               all five figures
+//!   table1 | table2 | table3 | table4  the paper's tables
+//!   tables                             all four tables
+//!   soundness                          simulation-backed validation
+//!   ablation                           CA-TPA variant battery
+//!   dualcmp                            EDF-VD vs FP-AMC vs DBF (K = 2)
+//!   partition --file F [--cores N] [--scheme S] [--validate]
+//!                                      partition a task-set file
+//!   all                                everything above
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use mcs_exp::ablation::ablation_with;
+use mcs_exp::describe;
+use mcs_exp::elastic_exp::elastic_experiment;
+use mcs_exp::extension::dual_comparison;
+use mcs_exp::globalcmp::global_comparison;
+use mcs_exp::figures::{figure_full, Baselines, FigureId, FigureOptions};
+use mcs_gen::WcetGrowth;
+use mcs_exp::report::{render_csv, render_table, Table};
+use mcs_exp::optgap::optimality_gap;
+use mcs_exp::overhead::overhead_sweep;
+use mcs_exp::partition_cmd;
+use mcs_exp::soundness::soundness;
+use mcs_exp::sweep::SweepConfig;
+use mcs_exp::tables;
+use mcs_gen::GenParams;
+
+struct Options {
+    commands: Vec<String>,
+    /// `partition` subcommand inputs: file, cores, scheme, validate.
+    partition_file: Option<String>,
+    partition_cores: usize,
+    partition_scheme: String,
+    partition_validate: bool,
+    config: SweepConfig,
+    csv: bool,
+    chart: bool,
+    horizon_periods: u32,
+    baselines: Baselines,
+    growth: WcetGrowth,
+    random_k: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|soundness|ablation|dualcmp|gap|overhead|elastic|globalcmp|partition|describe|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        commands: Vec::new(),
+        partition_file: None,
+        partition_cores: 4,
+        partition_scheme: "catpa".to_string(),
+        partition_validate: false,
+        config: SweepConfig::default(),
+        csv: false,
+        chart: false,
+        horizon_periods: 8,
+        baselines: Baselines::Strong,
+        growth: WcetGrowth::default(),
+        random_k: false,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let v = args.next().ok_or("--trials needs a value")?;
+                opts.config.trials = v.parse().map_err(|_| format!("bad --trials: {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.config.threads = v.parse().map_err(|_| format!("bad --threads: {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.config.seed = v.parse().map_err(|_| format!("bad --seed: {v}"))?;
+            }
+            "--horizon-periods" => {
+                let v = args.next().ok_or("--horizon-periods needs a value")?;
+                opts.horizon_periods =
+                    v.parse().map_err(|_| format!("bad --horizon-periods: {v}"))?;
+            }
+            "--csv" => opts.csv = true,
+            "--chart" => opts.chart = true,
+            "--weak-baselines" => opts.baselines = Baselines::Weak,
+            "--geometric" => opts.growth = WcetGrowth::Geometric,
+            "--random-k" => opts.random_k = true,
+            "--file" => opts.partition_file = Some(args.next().ok_or("--file needs a path")?),
+            "--cores" => {
+                let v = args.next().ok_or("--cores needs a value")?;
+                opts.partition_cores = v.parse().map_err(|_| format!("bad --cores: {v}"))?;
+            }
+            "--scheme" => {
+                opts.partition_scheme = args.next().ok_or("--scheme needs a name")?;
+            }
+            "--validate" => opts.partition_validate = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            cmd if !cmd.starts_with('-') => opts.commands.push(cmd.to_string()),
+            other => return Err(format!("unknown flag: {other}\n{}", usage())),
+        }
+    }
+    if opts.commands.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+fn print_table(title: &str, table: &Table, csv: bool) {
+    if csv {
+        print!("# {title}\n{}", render_csv(table));
+    } else {
+        println!("== {title} ==");
+        println!("{}", render_table(table));
+    }
+}
+
+fn run_figure(id: FigureId, opts: &Options) {
+    eprintln!(
+        "[mcs-exp] figure {}: {} trials/point, {} threads",
+        id.number(),
+        opts.config.trials,
+        opts.config.effective_threads()
+    );
+    let result = figure_full(
+        id,
+        &opts.config,
+        FigureOptions { baselines: opts.baselines, growth: opts.growth, random_k: opts.random_k },
+    );
+    if opts.chart {
+        for chart in result.chart_panels() {
+            println!("{chart}");
+        }
+    } else {
+        for (title, table) in result.panels() {
+            print_table(&title, &table, opts.csv);
+        }
+    }
+}
+
+fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
+    match cmd {
+        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" => {
+            let id = FigureId::parse(cmd).expect("validated");
+            run_figure(id, opts);
+        }
+        "figs" => {
+            for f in ["fig1", "fig2", "fig3", "fig4", "fig5"] {
+                run_command(f, opts)?;
+            }
+        }
+        "table1" => print_table(
+            "Table I — example task parameters and utilization contributions",
+            &tables::table1(),
+            opts.csv,
+        ),
+        "table2" => {
+            let (t, ok) = tables::table2();
+            print_table("Table II — task allocations under FFD", &t, opts.csv);
+            println!("FFD result: {}\n", if ok { "feasible" } else { "FAILURE (as in the paper)" });
+        }
+        "table3" => {
+            let (t, ok) = tables::table3();
+            print_table("Table III — task allocations under CA-TPA", &t, opts.csv);
+            println!("CA-TPA result: {}\n", if ok { "feasible (as in the paper)" } else { "FAILURE" });
+        }
+        "table4" => print_table("Table IV — system parameters", &tables::table4(), opts.csv),
+        "tables" => {
+            for t in ["table1", "table2", "table3", "table4"] {
+                run_command(t, opts)?;
+            }
+        }
+        "soundness" => {
+            eprintln!(
+                "[mcs-exp] soundness: {} trials, horizon {} periods",
+                opts.config.trials, opts.horizon_periods
+            );
+            let r = soundness(
+                &GenParams::default().with_growth(opts.growth),
+                &opts.config,
+                opts.horizon_periods,
+            );
+            print_table("Soundness — mandatory misses under worst-case behaviours", &r.table(), opts.csv);
+            println!(
+                "partitioned {}/{} sets; {} mode switches observed; sound: {}",
+                r.partitioned,
+                r.trials,
+                r.mode_switches,
+                r.sound()
+            );
+            if !r.sound() {
+                return Err("soundness violation detected".into());
+            }
+        }
+        "ablation" => {
+            eprintln!("[mcs-exp] ablation: {} trials/point", opts.config.trials);
+            let r = ablation_with(&opts.config, opts.growth);
+            print_table("Ablation — CA-TPA variant schedulability ratio", &r.table(), opts.csv);
+        }
+        "gap" => {
+            eprintln!("[mcs-exp] optimality gap: {} small instances", opts.config.trials);
+            let r = optimality_gap(&opts.config);
+            print_table(
+                "Optimality gap — heuristic acceptance vs exact branch-and-bound",
+                &r.table(),
+                opts.csv,
+            );
+            println!(
+                "{} of {} instances feasible (exact); coverage = accepted/feasible",
+                r.feasible, r.trials
+            );
+        }
+        "globalcmp" => {
+            eprintln!(
+                "[mcs-exp] partitioned vs global: {} trials/point, horizon {} periods",
+                opts.config.trials, opts.horizon_periods
+            );
+            let r = global_comparison(&opts.config, opts.horizon_periods);
+            print_table(
+                "Partitioned (CA-TPA, analytical) vs global EDF+AMC (empirical)",
+                &r.table(),
+                opts.csv,
+            );
+        }
+        "elastic" => {
+            eprintln!(
+                "[mcs-exp] elastic degradation: {} trials, horizon {} periods",
+                opts.config.trials, opts.horizon_periods
+            );
+            let r = elastic_experiment(&opts.config, opts.horizon_periods);
+            print_table(
+                "Elastic degradation — LO service retained vs AMC dropping",
+                &r.table(),
+                opts.csv,
+            );
+            println!(
+                "{} partitions, {} elastic kills, guarantee violations: {}",
+                r.runs, r.elastic_killed, r.violations
+            );
+            if r.violations > 0 {
+                return Err("elastic policy broke the mandatory guarantee".into());
+            }
+        }
+        "overhead" => {
+            eprintln!(
+                "[mcs-exp] overhead sensitivity: {} trials, horizon {} periods",
+                opts.config.trials, opts.horizon_periods
+            );
+            let r = overhead_sweep(&opts.config, opts.horizon_periods);
+            print_table(
+                "Overhead sensitivity — guarantee violations vs kernel cost",
+                &r.table(),
+                opts.csv,
+            );
+        }
+        "describe" => {
+            let path = opts
+                .partition_file
+                .as_ref()
+                .ok_or("describe requires --file <task-set.csv>")?;
+            let input = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            println!("{}", describe::run(&input)?);
+        }
+        "partition" => {
+            let path = opts
+                .partition_file
+                .as_ref()
+                .ok_or("partition requires --file <task-set.csv>")?;
+            let input = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let report = partition_cmd::run(
+                &input,
+                opts.partition_cores,
+                &opts.partition_scheme,
+                opts.partition_validate,
+            )?;
+            println!("{report}");
+        }
+        "dualcmp" => {
+            eprintln!("[mcs-exp] dual-criticality family comparison: {} trials/point", opts.config.trials);
+            let r = dual_comparison(&opts.config);
+            print_table(
+                "Extension — EDF-VD vs FP-AMC vs DBF partitioning (K = 2)",
+                &r.table(),
+                opts.csv,
+            );
+        }
+        "all" => {
+            for c in [
+                "tables", "figs", "soundness", "ablation", "dualcmp", "gap", "overhead",
+                "elastic", "globalcmp",
+            ] {
+                run_command(c, opts)?;
+            }
+        }
+        other => return Err(format!("unknown command: {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for cmd in opts.commands.clone() {
+        if let Err(e) = run_command(&cmd, &opts) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,126 @@
+//! Overhead-sensitivity experiment (beyond the paper): the schedulability
+//! analyses assume zero kernel cost, folding context-switch and mode-switch
+//! overheads into WCETs. This experiment measures how quickly the MC
+//! guarantee erodes when the simulator charges those overheads explicitly —
+//! i.e. how much WCET margin an implementer must provision.
+//!
+//! For each overhead level (in ticks; 1 000 ticks = one paper time unit =
+//! roughly "1 ms" at the avionics scale), CA-TPA-accepted partitions are
+//! executed under the full worst case and the fraction of runs with any
+//! mandatory miss is reported.
+
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_model::{CoreId, CritLevel, McTask};
+use mcs_partition::{Catpa, Partitioner};
+use mcs_sim::{CoreSim, LevelCap, Overheads, SchedulerKind, SimConfig, Trace};
+
+use mcs_analysis::{Theorem1, VdAssignment};
+use mcs_model::UtilTable;
+
+use crate::report::{fmt3, Table};
+use crate::sweep::SweepConfig;
+
+/// One row of the overhead sweep.
+#[derive(Clone, Debug)]
+pub struct OverheadPoint {
+    /// Context-switch cost (ticks).
+    pub context_switch: u64,
+    /// Runs simulated.
+    pub runs: usize,
+    /// Runs with at least one mandatory miss.
+    pub violated: usize,
+}
+
+/// Results of the overhead sweep.
+#[derive(Clone, Debug, Default)]
+pub struct OverheadResult {
+    /// Swept points.
+    pub points: Vec<OverheadPoint>,
+}
+
+impl OverheadResult {
+    /// Render as a table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["context-switch (ticks)", "runs", "violated", "violation rate"]);
+        for p in &self.points {
+            let rate = if p.runs == 0 { 0.0 } else { p.violated as f64 / p.runs as f64 };
+            t.push_row([
+                p.context_switch.to_string(),
+                p.runs.to_string(),
+                p.violated.to_string(),
+                fmt3(rate),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run the sweep over context-switch costs (ticks).
+#[must_use]
+pub fn overhead_sweep(config: &SweepConfig, horizon_periods: u32) -> OverheadResult {
+    let params = GenParams::default().with_n_range(16, 32).with_cores(4).with_nsu(0.6);
+    // Ticks; 1 000 ticks = 1 paper time unit. Periods span 50–2 000 units,
+    // so the ladder reaches ~10 % of a short period.
+    let costs: &[u64] = &[0, 500, 1_000, 2_000, 5_000, 10_000];
+    let sim_config = SimConfig { horizon_periods, ..Default::default() };
+    let catpa = Catpa::default();
+
+    let mut result = OverheadResult {
+        points: costs
+            .iter()
+            .map(|&c| OverheadPoint { context_switch: c, runs: 0, violated: 0 })
+            .collect(),
+    };
+
+    for trial in 0..config.trials {
+        let ts = generate_task_set(&params, config.seed + trial as u64);
+        let Ok(partition) = catpa.partition(&ts, params.cores) else { continue };
+        // Build per-core simulators once per overhead level; worst-case
+        // behaviour at the top level stresses mode switches too.
+        for point in &mut result.points {
+            let mut violated = false;
+            for core in CoreId::all(params.cores) {
+                let tasks: Vec<&McTask> =
+                    partition.tasks_on(core).map(|id| ts.task(id)).collect();
+                let table = UtilTable::from_tasks(ts.num_levels(), tasks.iter().copied());
+                let analysis = Theorem1::compute(&table);
+                let vd = VdAssignment::compute(&table, &analysis).expect("CA-TPA output");
+                let horizon = sim_config.horizon_for(&tasks);
+                let report = CoreSim::new(tasks, SchedulerKind::EdfVd(vd))
+                    .with_overheads(Overheads {
+                        context_switch: point.context_switch,
+                        mode_switch: point.context_switch,
+                    })
+                    .run(&mut LevelCap::new(ts.num_levels()), horizon, &mut Trace::disabled());
+                if report.mandatory_misses(CritLevel::new(ts.num_levels())) > 0 {
+                    violated = true;
+                }
+            }
+            point.runs += 1;
+            if violated {
+                point.violated += 1;
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_overhead_never_violates_and_rates_are_monotoneish() {
+        let config = SweepConfig { trials: 8, threads: 1, seed: 4 };
+        let r = overhead_sweep(&config, 3);
+        assert!(!r.points.is_empty());
+        let zero = &r.points[0];
+        assert_eq!(zero.context_switch, 0);
+        assert_eq!(zero.violated, 0, "soundness at zero overhead: {zero:?}");
+        // The largest overhead must violate at least as often as zero.
+        let last = r.points.last().unwrap();
+        assert!(last.violated >= zero.violated);
+        assert_eq!(r.table().rows.len(), r.points.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! The `mcs-exp partition` subcommand: partition a user-provided task-set
+//! file (see `mcs_model::io` for the format), print the mapping and quality
+//! metrics, and optionally validate the result by simulation.
+
+use mcs_model::{parse_task_set, CoreId, CritLevel, TaskSet};
+use mcs_partition::{
+    BinPacker, Catpa, CatpaLs, Hybrid, PartitionQuality, Partitioner, SimAnneal,
+};
+use mcs_sim::system::SystemScheduler;
+use mcs_sim::{simulate_partition, LevelCap, SimConfig};
+
+use crate::report::{fmt3, render_table, Table};
+
+/// Look up a scheme by CLI name.
+pub fn scheme_by_name(name: &str) -> Option<Box<dyn Partitioner + Send + Sync>> {
+    match name.to_ascii_lowercase().as_str() {
+        "catpa" | "ca-tpa" => Some(Box::new(Catpa::default())),
+        "ffd" => Some(Box::new(BinPacker::ffd())),
+        "bfd" => Some(Box::new(BinPacker::bfd())),
+        "wfd" => Some(Box::new(BinPacker::wfd())),
+        "nfd" => Some(Box::new(BinPacker::nfd())),
+        "hybrid" => Some(Box::new(Hybrid::default())),
+        "catpa-ls" | "ls" => Some(Box::new(CatpaLs::default())),
+        "sa" | "anneal" => Some(Box::new(SimAnneal::default())),
+        _ => None,
+    }
+}
+
+/// Run the subcommand; returns the rendered report or an error string.
+pub fn run(input: &str, cores: usize, scheme_name: &str, validate: bool) -> Result<String, String> {
+    let ts: TaskSet = parse_task_set(input).map_err(|e| format!("parse error: {e}"))?;
+    let scheme = scheme_by_name(scheme_name)
+        .ok_or_else(|| format!("unknown scheme {scheme_name:?} (catpa|ffd|bfd|wfd|nfd|hybrid|catpa-ls|sa)"))?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "task set: N = {}, K = {}, raw level-1 utilization = {:.3}\n\n",
+        ts.len(),
+        ts.num_levels(),
+        ts.raw_util()
+    ));
+
+    let partition = match scheme.partition(&ts, cores) {
+        Ok(p) => p,
+        Err(f) => {
+            return Err(format!(
+                "{} found no feasible partition on {cores} cores: {f}",
+                scheme.name()
+            ))
+        }
+    };
+    let quality = PartitionQuality::evaluate(&ts, &partition)
+        .expect("partitioner output passes Theorem 1");
+
+    let mut table = Table::new(["core", "tasks", "U"]);
+    for core in CoreId::all(cores) {
+        let ids: Vec<String> =
+            partition.tasks_on(core).map(|id| format!("τ{}", id.0)).collect();
+        table.push_row([
+            core.to_string(),
+            ids.join(" "),
+            fmt3(quality.per_core[core.index()]),
+        ]);
+    }
+    out.push_str(&render_table(&table));
+    out.push_str(&format!(
+        "\nU_sys = {:.3}, U_avg = {:.3}, imbalance Λ = {:.3}\n",
+        quality.u_sys, quality.u_avg, quality.imbalance
+    ));
+
+    if validate {
+        let k = ts.num_levels();
+        for b in 1..=k {
+            let (report, _) = simulate_partition(
+                &ts,
+                &partition,
+                SystemScheduler::EdfVd,
+                &SimConfig { horizon_periods: 8, ..Default::default() },
+                |_| LevelCap::new(b),
+            )
+            .map_err(|e| e.to_string())?;
+            let ok = report.guarantee_held(CritLevel::new(b));
+            out.push_str(&format!(
+                "simulated worst-case behaviour level {b}: {}\n",
+                if ok { "guarantee held" } else { "GUARANTEE VIOLATED" }
+            ));
+            if !ok {
+                return Err(out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "K=2\n100,1,30\n100,2,10,25\n200,1,60\n200,2,20,50\n";
+
+    #[test]
+    fn partitions_and_reports() {
+        let out = run(DEMO, 2, "catpa", false).unwrap();
+        assert!(out.contains("U_sys"), "{out}");
+        assert!(out.contains("P1"), "{out}");
+    }
+
+    #[test]
+    fn validation_passes_for_feasible_input() {
+        let out = run(DEMO, 2, "ffd", true).unwrap();
+        assert!(out.contains("guarantee held"), "{out}");
+        assert!(!out.contains("VIOLATED"), "{out}");
+    }
+
+    #[test]
+    fn all_scheme_names_resolve() {
+        for n in ["catpa", "CA-TPA", "ffd", "bfd", "wfd", "nfd", "hybrid", "catpa-ls", "sa"] {
+            assert!(scheme_by_name(n).is_some(), "{n}");
+        }
+        assert!(scheme_by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn infeasible_input_reports_cleanly() {
+        let overload = "K=1\n10,1,8\n10,1,8\n10,1,8\n";
+        let err = run(overload, 2, "catpa", false).unwrap_err();
+        assert!(err.contains("no feasible partition"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let err = run("garbage line\n", 2, "catpa", false).unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text and CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A rendered table: a header row plus data rows of equal arity.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Build from string-convertible headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; arity must match the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+}
+
+/// Render a table as aligned plain text.
+#[must_use]
+pub fn render_table(table: &Table) -> String {
+    let cols = table.header.len();
+    let mut widths: Vec<usize> = table.header.iter().map(String::len).collect();
+    for row in &table.rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = w.saturating_sub(cell.chars().count());
+            // Right-align numeric-looking cells, left-align the rest.
+            let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
+                && cell.parse::<f64>().is_ok();
+            if numeric {
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+                out.push_str(cell);
+            } else {
+                out.push_str(cell);
+                if i + 1 < cells.len() {
+                    for _ in 0..pad {
+                        out.push(' ');
+                    }
+                }
+            }
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &table.header);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in &table.rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Render a table as RFC-4180-ish CSV (quotes only where needed).
+#[must_use]
+pub fn render_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let esc = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut write_row = |cells: &[String]| {
+        let line: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    };
+    write_row(&table.header);
+    for row in &table.rows {
+        write_row(row);
+    }
+    out
+}
+
+/// Format a ratio/utilization with 3 decimals; NaN renders as "-".
+#[must_use]
+pub fn fmt3(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let mut t = Table::new(["x", "ratio"]);
+        t.push_row(["0.4".to_string(), fmt3(0.98765)]);
+        t.push_row(["0.8".to_string(), fmt3(f64::NAN)]);
+        t
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(&demo());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("ratio"));
+        assert!(lines[2].contains("0.988"));
+        assert!(lines[3].contains('-'));
+    }
+
+    #[test]
+    fn csv_renders_plain_cells() {
+        let s = render_csv(&demo());
+        assert_eq!(s.lines().next(), Some("x,ratio"));
+        assert!(s.contains("0.4,0.988"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(["a"]);
+        t.push_row([r#"x,y "z""#]);
+        let s = render_csv(&t);
+        assert!(s.contains(r#""x,y ""z""""#), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt3_handles_nan() {
+        assert_eq!(fmt3(f64::NAN), "-");
+        assert_eq!(fmt3(0.5), "0.500");
+    }
+}

@@ -1,0 +1,173 @@
+//! Statistical helpers for the Monte-Carlo harness: Wilson score intervals
+//! for schedulability ratios (a binomial proportion) and running
+//! mean/variance (Welford) for the quality metrics. The paper reports bare
+//! means over 50,000 trials; at the reduced default trial counts the
+//! intervals make it explicit which scheme differences are resolved.
+
+/// Wilson score interval for a binomial proportion at ~95 % confidence.
+///
+/// Returns `(low, high)`; degenerate inputs (`n == 0`) give `(0, 1)`.
+#[must_use]
+pub fn wilson_interval(successes: usize, n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_985; // 97.5th percentile of the normal distribution
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let centre = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (((centre - margin) / denom).max(0.0), ((centre + margin) / denom).min(1.0))
+}
+
+/// Whether two binomial observations are resolved (their 95 % Wilson
+/// intervals do not overlap).
+#[must_use]
+pub fn proportions_resolved(a: (usize, usize), b: (usize, usize)) -> bool {
+    let (alo, ahi) = wilson_interval(a.0, a.1);
+    let (blo, bhi) = wilson_interval(b.0, b.1);
+    ahi < blo || bhi < alo
+}
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (NaN when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (NaN for < 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean (NaN for < 2 observations).
+    #[must_use]
+    pub fn stderr(&self) -> f64 {
+        (self.variance() / self.n as f64).sqrt()
+    }
+
+    /// Merge another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        // Tighter with more data.
+        let (lo2, hi2) = wilson_interval(5000, 10000);
+        assert!(hi2 - lo2 < hi - lo);
+        // Extremes stay in [0, 1] and exclude the impossible.
+        let (lo, hi) = wilson_interval(0, 20);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.3);
+        let (lo, hi) = wilson_interval(20, 20);
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.7);
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn resolution_check() {
+        assert!(proportions_resolved((10, 100), (90, 100)));
+        assert!(!proportions_resolved((48, 100), (52, 100)));
+    }
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 4.571428…
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37).collect();
+        let mut whole = Welford::default();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::default();
+        let mut b = Welford::default();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        // Merging an empty accumulator is the identity.
+        let before = a;
+        a.merge(&Welford::default());
+        assert!((a.mean() - before.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_welford_is_nan() {
+        let w = Welford::default();
+        assert!(w.mean().is_nan());
+        assert!(w.variance().is_nan());
+    }
+}

@@ -1,0 +1,264 @@
+//! Parallel Monte-Carlo sweep engine.
+//!
+//! One *point* = one generator parameterization. For each of `trials` task
+//! sets (deterministically seeded), every scheme partitions the same set —
+//! the paired design the paper uses — and the four §IV metrics are
+//! aggregated: schedulability ratio over all trials; `U_sys`, `U_avg`, `Λ`
+//! averaged over the *schedulable* trials of that scheme only.
+//!
+//! Trials are split across threads with crossbeam scoped threads; per-thread
+//! partial sums are merged at the end, so results are independent of the
+//! thread count.
+
+use crossbeam::thread;
+
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_partition::{PartitionQuality, Partitioner};
+
+/// Sweep execution knobs.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Task sets per data point (the paper uses 50,000; the default trades
+    /// precision for turnaround and is overridable via `--trials`).
+    pub trials: usize,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Base RNG seed; trial `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { trials: 2_000, threads: 0, seed: 0x5EED }
+    }
+}
+
+impl SweepConfig {
+    /// Resolved worker-thread count.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+/// Aggregated metrics of one scheme at one sweep point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointResult {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Total trials.
+    pub trials: usize,
+    /// Trials the scheme found a feasible partition for.
+    pub schedulable: usize,
+    /// Mean `U_sys` over schedulable trials (NaN if none).
+    pub u_sys: f64,
+    /// Mean `U_avg` over schedulable trials (NaN if none).
+    pub u_avg: f64,
+    /// Mean `Λ` over schedulable trials (NaN if none).
+    pub imbalance: f64,
+}
+
+impl PointResult {
+    /// Schedulability ratio in `[0, 1]`.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.schedulable as f64 / self.trials as f64
+        }
+    }
+
+    /// 95 % Wilson interval of the schedulability ratio.
+    #[must_use]
+    pub fn ratio_interval(&self) -> (f64, f64) {
+        crate::stats::wilson_interval(self.schedulable, self.trials)
+    }
+
+    /// Whether this scheme's ratio is statistically distinguishable from
+    /// another's at this point (non-overlapping 95 % intervals).
+    #[must_use]
+    pub fn resolved_against(&self, other: &PointResult) -> bool {
+        crate::stats::proportions_resolved(
+            (self.schedulable, self.trials),
+            (other.schedulable, other.trials),
+        )
+    }
+}
+
+#[derive(Clone, Default)]
+struct Acc {
+    schedulable: usize,
+    /// Trials with an evaluable Theorem-1 quality report (schemes whose
+    /// admission test is not Theorem 1 — FP-AMC, DBF — may produce
+    /// partitions without one).
+    with_quality: usize,
+    u_sys: f64,
+    u_avg: f64,
+    imbalance: f64,
+}
+
+impl Acc {
+    fn merge(&mut self, other: &Acc) {
+        self.schedulable += other.schedulable;
+        self.with_quality += other.with_quality;
+        self.u_sys += other.u_sys;
+        self.u_avg += other.u_avg;
+        self.imbalance += other.imbalance;
+    }
+}
+
+/// Run all `schemes` over `trials` generated task sets at one parameter
+/// point.
+#[must_use]
+pub fn run_point(
+    params: &GenParams,
+    schemes: &[Box<dyn Partitioner + Send + Sync>],
+    config: &SweepConfig,
+) -> Vec<PointResult> {
+    let threads = config.effective_threads().max(1).min(config.trials.max(1));
+    let chunk = config.trials.div_ceil(threads);
+
+    let merged: Vec<Acc> = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(config.trials);
+            if lo >= hi {
+                break;
+            }
+            handles.push(s.spawn(move |_| {
+                let mut accs = vec![Acc::default(); schemes.len()];
+                for trial in lo..hi {
+                    let ts = generate_task_set(params, config.seed + trial as u64);
+                    for (i, scheme) in schemes.iter().enumerate() {
+                        if let Ok(partition) = scheme.partition(&ts, params.cores) {
+                            let a = &mut accs[i];
+                            a.schedulable += 1;
+                            // Quality is defined via the Theorem-1 core
+                            // utilization; schemes with other admission
+                            // tests (FP-AMC, DBF) may yield partitions it
+                            // cannot rate — count them as schedulable only.
+                            if let Some(q) = PartitionQuality::evaluate(&ts, &partition) {
+                                a.with_quality += 1;
+                                a.u_sys += q.u_sys;
+                                a.u_avg += q.u_avg;
+                                a.imbalance += q.imbalance;
+                            }
+                        }
+                    }
+                }
+                accs
+            }));
+        }
+        let mut merged = vec![Acc::default(); schemes.len()];
+        for h in handles {
+            let partial = h.join().expect("sweep worker panicked");
+            for (m, p) in merged.iter_mut().zip(&partial) {
+                m.merge(p);
+            }
+        }
+        merged
+    })
+    .expect("sweep scope panicked");
+
+    schemes
+        .iter()
+        .zip(merged)
+        .map(|(scheme, acc)| {
+            let n = acc.with_quality as f64;
+            PointResult {
+                scheme: scheme.name(),
+                trials: config.trials,
+                schedulable: acc.schedulable,
+                u_sys: acc.u_sys / n,
+                u_avg: acc.u_avg / n,
+                imbalance: acc.imbalance / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_partition::paper_schemes;
+
+    fn small_config(trials: usize) -> SweepConfig {
+        SweepConfig { trials, threads: 2, seed: 7 }
+    }
+
+    fn small_params() -> GenParams {
+        // Small N keeps the test fast.
+        GenParams::default().with_n_range(10, 20).with_cores(4)
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let params = small_params();
+        let schemes = paper_schemes();
+        let a = run_point(&params, &schemes, &SweepConfig { threads: 1, ..small_config(40) });
+        let b = run_point(&params, &schemes, &SweepConfig { threads: 4, ..small_config(40) });
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.schedulable, y.schedulable);
+            assert!((x.u_sys - y.u_sys).abs() < 1e-9 || x.schedulable == 0);
+        }
+    }
+
+    #[test]
+    fn catpa_at_least_matches_wfd() {
+        // At moderate load CA-TPA should not be worse than WFD.
+        let params = small_params().with_nsu(0.7);
+        let schemes = paper_schemes();
+        let results = run_point(&params, &schemes, &small_config(60));
+        let wfd = results.iter().find(|r| r.scheme == "WFD").unwrap();
+        let catpa = results.iter().find(|r| r.scheme == "CA-TPA").unwrap();
+        assert!(
+            catpa.schedulable >= wfd.schedulable,
+            "CA-TPA {} < WFD {}",
+            catpa.schedulable,
+            wfd.schedulable
+        );
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        let params = small_params();
+        let schemes = paper_schemes();
+        for r in run_point(&params, &schemes, &small_config(20)) {
+            assert!(r.ratio() >= 0.0 && r.ratio() <= 1.0);
+            if r.schedulable > 0 {
+                assert!(r.u_sys > 0.0 && r.u_sys <= 1.0 + 1e-9);
+                assert!(r.u_avg > 0.0 && r.u_avg <= r.u_sys + 1e-9);
+                assert!(r.imbalance >= 0.0 && r.imbalance <= 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod ci_tests {
+    use super::*;
+
+    #[test]
+    fn intervals_cover_the_point_estimate() {
+        let r = PointResult {
+            scheme: "X",
+            trials: 400,
+            schedulable: 100,
+            u_sys: 0.9,
+            u_avg: 0.8,
+            imbalance: 0.1,
+        };
+        let (lo, hi) = r.ratio_interval();
+        assert!(lo < r.ratio() && r.ratio() < hi);
+        let other = PointResult { schedulable: 300, ..r.clone() };
+        assert!(r.resolved_against(&other));
+        let close = PointResult { schedulable: 104, ..r.clone() };
+        assert!(!r.resolved_against(&close));
+    }
+}

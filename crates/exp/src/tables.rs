@@ -1,0 +1,262 @@
+//! Tables I–IV of the paper.
+//!
+//! Tables I–III are the §III worked example (parameters + utilization
+//! contributions, the FFD allocation trace that fails, and the CA-TPA
+//! allocation trace that succeeds). Table IV is the simulation parameter
+//! space, printed from the generator defaults so documentation can never
+//! drift from the code.
+
+use mcs_analysis::Theorem1;
+use mcs_model::{CritLevel, TaskSet, UtilTable, WithTask};
+use mcs_partition::{
+    contribution::{contribution, system_totals},
+    order_by_contribution, BinPacker, FitTest,
+};
+
+use crate::example::{display_name, paper_example_task_set};
+use crate::report::{fmt3, Table};
+
+/// Table I: the example's task parameters and utilization contributions.
+#[must_use]
+pub fn table1() -> Table {
+    let ts = paper_example_task_set();
+    let totals = system_totals(&ts);
+    let mut t = Table::new(["task", "c(1)", "c(2)", "p", "l", "u(1)", "u(2)", "C(1)", "C(2)", "C"]);
+    for task in ts.tasks() {
+        let c = contribution(task, &totals);
+        let l2 = CritLevel::new(2);
+        let (c2, u2, cc2) = if task.level() == l2 {
+            (task.wcet(l2).to_string(), fmt3(task.util(l2)), fmt3(c.per_level[1]))
+        } else {
+            ("-".into(), "-".into(), "-".into())
+        };
+        t.push_row([
+            display_name(task.id()),
+            task.wcet(CritLevel::LO).to_string(),
+            c2,
+            task.period().to_string(),
+            task.level().to_string(),
+            fmt3(task.util(CritLevel::LO)),
+            u2,
+            fmt3(c.per_level[0]),
+            cc2,
+            fmt3(c.max),
+        ]);
+    }
+    t
+}
+
+/// One step of an allocation trace.
+#[derive(Clone, Debug)]
+pub struct AllocStep {
+    /// Paper-style task name.
+    pub task: String,
+    /// Target core ("P1"/"P2") or "FAIL".
+    pub core: String,
+    /// Core utilizations after the step.
+    pub core_utils: Vec<f64>,
+}
+
+fn steps_to_table(steps: &[AllocStep], cores: usize) -> Table {
+    let mut header = vec!["task".to_string(), "core".to_string()];
+    header.extend((0..cores).map(|m| format!("U(P{})", m + 1)));
+    let mut t = Table::new(header);
+    for s in steps {
+        let mut row = vec![s.task.clone(), s.core.clone()];
+        row.extend(s.core_utils.iter().map(|&u| fmt3(u)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Trace FFD on the example: per-step target core and the Theorem-1 core
+/// utilizations (`∞` renders as the failing step). Returns the table and
+/// whether FFD succeeded.
+#[must_use]
+pub fn table2() -> (Table, bool) {
+    let ts = paper_example_task_set();
+    let cores = 2;
+    let order = BinPacker::decreasing_max_util_order(&ts);
+    let fit = FitTest::SimpleThenImproved;
+    let mut tables: Vec<UtilTable> = (0..cores).map(|_| UtilTable::new(2)).collect();
+    let mut steps = Vec::new();
+    let mut ok = true;
+    for task in order {
+        let chosen = (0..cores).find(|&m| fit.feasible(&WithTask::new(&tables[m], task)));
+        match chosen {
+            Some(m) => {
+                tables[m].add(task);
+                steps.push(AllocStep {
+                    task: display_name(task.id()),
+                    core: format!("P{}", m + 1),
+                    core_utils: tables
+                        .iter()
+                        .map(|t| Theorem1::compute(t).core_utilization().unwrap_or(f64::NAN))
+                        .collect(),
+                });
+            }
+            None => {
+                ok = false;
+                steps.push(AllocStep {
+                    task: display_name(task.id()),
+                    core: "FAIL".into(),
+                    core_utils: tables
+                        .iter()
+                        .map(|t| Theorem1::compute(t).core_utilization().unwrap_or(f64::NAN))
+                        .collect(),
+                });
+                break;
+            }
+        }
+    }
+    (steps_to_table(&steps, cores), ok)
+}
+
+/// Trace CA-TPA on the example (same layout as Table III of the paper).
+/// Returns the table and whether CA-TPA succeeded.
+#[must_use]
+pub fn table3() -> (Table, bool) {
+    let ts = paper_example_task_set();
+    let cores = 2;
+    let order = order_by_contribution(&ts);
+    let mut tables: Vec<UtilTable> = (0..cores).map(|_| UtilTable::new(2)).collect();
+    let mut utils = vec![0.0f64; cores];
+    let mut steps = Vec::new();
+    let mut ok = true;
+    for id in order {
+        let task = ts.task(id);
+        // Replicate CA-TPA's selection (α = 0.7 default).
+        let rebalance = mcs_partition::catpa::imbalance(&utils) > mcs_partition::DEFAULT_ALPHA;
+        let mut best: Option<(usize, f64)> = None;
+        for m in 0..cores {
+            let Some(new_u) = mcs_partition::catpa::probe(&tables[m], task) else { continue };
+            let key = if rebalance { utils[m] } else { new_u - utils[m] };
+            if best.is_none_or(|(_, bk)| key < bk) {
+                best = Some((m, key));
+            }
+        }
+        match best {
+            Some((m, _)) => {
+                tables[m].add(task);
+                utils[m] = Theorem1::compute(&tables[m])
+                    .core_utilization()
+                    .expect("probed feasible");
+                steps.push(AllocStep {
+                    task: display_name(id),
+                    core: format!("P{}", m + 1),
+                    core_utils: utils.clone(),
+                });
+            }
+            None => {
+                ok = false;
+                steps.push(AllocStep {
+                    task: display_name(id),
+                    core: "FAIL".into(),
+                    core_utils: utils.clone(),
+                });
+                break;
+            }
+        }
+    }
+    (steps_to_table(&steps, cores), ok)
+}
+
+/// Table IV: the simulation parameter space, read back from the generator
+/// defaults.
+#[must_use]
+pub fn table4() -> Table {
+    let p = mcs_gen::GenParams::default();
+    let mut t = Table::new(["parameter", "values/ranges", "default"]);
+    t.push_row(["Number of cores (M)", "2, 4, 8, 16, 32", &p.cores.to_string()]);
+    t.push_row(["System criticality level (K)", "[2, 6]", &p.levels.to_string()]);
+    t.push_row(["Threshold for workload imbalance (α)", "[0.1, 0.5]", "0.7"]);
+    t.push_row(["Normalized system utilization (NSU)", "[0.4, 0.8]", &fmt3(p.nsu)]);
+    t.push_row([
+        "Number of tasks (N)".to_string(),
+        format!("[{}, {}]", p.n_range.0, p.n_range.1),
+        "drawn per set".to_string(),
+    ]);
+    t.push_row([
+        "Task periods (P)".to_string(),
+        p.period_ranges
+            .iter()
+            .map(|r| format!("[{}, {}]", r.lo, r.hi))
+            .collect::<Vec<_>>()
+            .join(", "),
+        "drawn per task".to_string(),
+    ]);
+    t.push_row(["Increment factor (IFC)", "[0.3, 0.7]", &fmt3(p.ifc)]);
+    t
+}
+
+/// Does the full worked example hold: FFD fails, CA-TPA succeeds?
+#[must_use]
+pub fn example_reproduces() -> bool {
+    let (_, ffd_ok) = table2();
+    let (_, catpa_ok) = table3();
+    !ffd_ok && catpa_ok
+}
+
+/// The example task set, re-exported for the quickstart binary.
+#[must_use]
+pub fn example_task_set() -> TaskSet {
+    paper_example_task_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_tasks() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 5);
+        // τ4's numbers from the paper's prose survive.
+        let tau4 = &t.rows[3];
+        assert_eq!(tau4[0], "τ4");
+        assert_eq!(tau4[5], "0.339");
+        assert_eq!(tau4[6], "0.633");
+    }
+
+    #[test]
+    fn table2_shows_ffd_failure() {
+        let (t, ok) = table2();
+        assert!(!ok, "FFD must fail on the example");
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[0], "τ3");
+        assert_eq!(last[1], "FAIL");
+        // Four successful placements + the failing step.
+        assert_eq!(t.rows.len(), 5);
+    }
+
+    #[test]
+    fn table3_shows_catpa_success() {
+        let (t, ok) = table3();
+        assert!(ok, "CA-TPA must succeed on the example");
+        assert_eq!(t.rows.len(), 5);
+        // Paper's mapping: τ4→P1, τ2→P2, τ1→P2, τ5→P1, τ3→P2.
+        let mapping: Vec<(String, String)> =
+            t.rows.iter().map(|r| (r[0].clone(), r[1].clone())).collect();
+        assert_eq!(
+            mapping,
+            [
+                ("τ4".to_string(), "P1".to_string()),
+                ("τ2".to_string(), "P2".to_string()),
+                ("τ1".to_string(), "P2".to_string()),
+                ("τ5".to_string(), "P1".to_string()),
+                ("τ3".to_string(), "P2".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn example_reproduces_paper_result() {
+        assert!(example_reproduces());
+    }
+
+    #[test]
+    fn table4_lists_all_parameters() {
+        let t = table4();
+        assert_eq!(t.rows.len(), 7);
+    }
+}

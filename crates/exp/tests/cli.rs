@@ -1,0 +1,124 @@
+//! End-to-end tests of the `mcs-exp` binary itself.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcs-exp"))
+}
+
+fn demo_file() -> tempfile_lite::TempPath {
+    let mut f = tempfile_lite::TempPath::new("mcs-exp-cli-test.csv");
+    writeln!(f.file, "K=2").unwrap();
+    writeln!(f.file, "100000,1,30000").unwrap();
+    writeln!(f.file, "100000,2,10000,25000").unwrap();
+    writeln!(f.file, "200000,1,60000").unwrap();
+    writeln!(f.file, "200000,2,20000,50000").unwrap();
+    f.file.flush().unwrap();
+    f
+}
+
+/// Minimal self-cleaning temp file (std-only; no tempfile crate).
+mod tempfile_lite {
+    use std::fs::File;
+    use std::path::PathBuf;
+
+    pub struct TempPath {
+        pub path: PathBuf,
+        pub file: File,
+    }
+
+    impl TempPath {
+        pub fn new(name: &str) -> Self {
+            let path = std::env::temp_dir().join(format!("{}-{name}", std::process::id()));
+            let file = File::create(&path).expect("create temp file");
+            Self { path, file }
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn tables_command_reproduces_the_worked_example() {
+    let out = bin().args(["tables"]).output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I"), "{stdout}");
+    assert!(stdout.contains("FAILURE (as in the paper)"), "{stdout}");
+    assert!(stdout.contains("feasible (as in the paper)"), "{stdout}");
+}
+
+#[test]
+fn figure_command_emits_four_panels() {
+    let out = bin()
+        .args(["fig2", "--trials", "8", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for panel in ["(a: schedulability ratio)", "(b: U_sys)", "(c: U_avg)", "(d: imbalance"] {
+        assert!(stdout.contains(panel), "missing {panel} in {stdout}");
+    }
+}
+
+#[test]
+fn csv_flag_switches_format() {
+    let out = bin()
+        .args(["table4", "--csv"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parameter,values/ranges,default"), "{stdout}");
+}
+
+#[test]
+fn partition_and_describe_work_on_a_file() {
+    let f = demo_file();
+    let path = f.path.to_str().unwrap();
+    let out = bin()
+        .args(["partition", "--file", path, "--cores", "2", "--scheme", "catpa"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("U_sys"));
+
+    let out = bin().args(["describe", "--file", path]).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Theorem 1"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().args(["bogus"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = bin()
+        .args(["partition", "--file", "/nonexistent/x.csv"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn chart_flag_renders_ascii_panels() {
+    let out = bin()
+        .args(["fig3", "--trials", "6", "--chart"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# CA-TPA"), "legend missing: {stdout}");
+    assert!(stdout.contains('|'), "no axis: {stdout}");
+}

@@ -1,0 +1,22 @@
+//! # mcs-gen
+//!
+//! Synthetic mixed-criticality workload generators.
+//!
+//! * [`paper`] — the generator of §IV-A / Table IV of the ICPP'16 CA-TPA
+//!   paper: normalized system utilization (NSU), tri-range periods, uniform
+//!   criticality levels, and geometric WCET growth by the increment factor
+//!   (IFC);
+//! * [`mod@uunifast`] — the classic UUniFast / UUniFast-Discard utilization
+//!   vector generator, offered as an alternative workload model;
+//! * [`params`] — parameter records with the paper's defaults.
+//!
+//! All generators are deterministic given a seed (`rand::SmallRng`), which
+//! the experiment harness exploits for reproducible parallel sweeps.
+
+pub mod paper;
+pub mod params;
+pub mod uunifast;
+
+pub use paper::generate_task_set;
+pub use params::{GenParams, PeriodModel, PeriodRange, WcetGrowth, DEFAULT_PERIOD_RANGES};
+pub use uunifast::{uunifast, uunifast_discard};

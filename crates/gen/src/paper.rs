@@ -1,0 +1,395 @@
+//! The §IV-A workload generator.
+//!
+//! Given `(M, N, NSU)` the base level-1 utilization is
+//! `u_base(1) = NSU · M / N`. For each task:
+//!
+//! 1. the period `p_i` is drawn by first picking one of the period ranges
+//!    uniformly, then a period uniformly within it;
+//! 2. `c_i(1)` is drawn uniformly from `[0.2·p_i·u_base, 1.8·p_i·u_base]`;
+//! 3. the criticality `l_i` is uniform in `[1, K]`;
+//! 4. WCETs grow with the level by the increment factor, either linearly
+//!    (`c_i(k) = c_i(1)·(1 + IFC·(k−1))`, the default) or geometrically
+//!    (`c_i(k) = c_i(k−1)·(1 + IFC)`) — see `params::WcetGrowth`.
+//!
+//! Everything is scaled to integer ticks; WCETs are clamped to `[1, …]` so
+//! quantization never produces zero execution times, and WCET vectors are
+//! forced non-decreasing after rounding.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mcs_model::{CritLevel, McTask, TaskId, TaskSet, Tick};
+
+use crate::params::{GenParams, PeriodModel, WcetGrowth};
+
+/// Generate one task set per the paper's §IV-A model.
+///
+/// Deterministic for a given `(params, seed)` pair.
+///
+/// ```
+/// use mcs_gen::{generate_task_set, GenParams};
+///
+/// let params = GenParams::default();        // M=8, K=4, NSU=0.6, IFC=0.4
+/// let ts = generate_task_set(&params, 42);
+/// assert!(ts.len() >= 40 && ts.len() <= 200);
+/// assert!((ts.raw_util() / 8.0 - 0.6).abs() < 0.2); // concentrates at NSU
+/// ```
+///
+/// # Panics
+///
+/// Panics if `params.validate()` fails.
+#[must_use]
+pub fn generate_task_set(params: &GenParams, seed: u64) -> TaskSet {
+    params.validate().expect("invalid generator parameters");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generate_with_rng(params, &mut rng)
+}
+
+/// Same as [`generate_task_set`] but drawing from a caller-provided RNG
+/// (used by the sweep harness to derive many sets from one seeded stream).
+#[must_use]
+pub fn generate_with_rng(params: &GenParams, rng: &mut SmallRng) -> TaskSet {
+    let n = rng.gen_range(params.n_range.0..=params.n_range.1);
+    let k = match params.levels_range {
+        Some((lo, hi)) => rng.gen_range(lo..=hi),
+        None => params.levels,
+    };
+    let u_base = params.nsu * params.cores as f64 / n as f64;
+
+    let mut tasks = Vec::with_capacity(n);
+    let span_lo = params.period_ranges.iter().map(|r| r.lo).min().expect("validated");
+    let span_hi = params.period_ranges.iter().map(|r| r.hi).max().expect("validated");
+    for i in 0..n {
+        let period_units = match params.period_model {
+            PeriodModel::TriRange => {
+                let range = &params.period_ranges[rng.gen_range(0..params.period_ranges.len())];
+                rng.gen_range(range.lo..=range.hi)
+            }
+            PeriodModel::LogUniform => {
+                let (lo, hi) = ((span_lo as f64).ln(), (span_hi as f64).ln());
+                (rng.gen_range(lo..=hi).exp().round() as u64).clamp(span_lo, span_hi)
+            }
+            PeriodModel::Harmonic => {
+                let mut max_i = 0u32;
+                while span_lo.saturating_mul(1 << (max_i + 1)) <= span_hi {
+                    max_i += 1;
+                }
+                span_lo * (1 << rng.gen_range(0..=max_i))
+            }
+        };
+        let period: Tick = period_units * params.ticks_per_unit;
+
+        // c_i(1) uniform in [0.2, 1.8] · p_i · u_base, at least 1 tick and
+        // never above the period (a level-1 utilization above 1 would make
+        // the task trivially infeasible alone, which the model excludes).
+        let lo = 0.2 * period as f64 * u_base;
+        let hi = 1.8 * period as f64 * u_base;
+        let c1 = (rng.gen_range(lo..=hi).round() as Tick).clamp(1, period);
+
+        let level = match &params.level_weights {
+            None => rng.gen_range(1..=k),
+            Some(weights) => {
+                let total: f64 = weights.iter().sum();
+                let mut draw = rng.gen_range(0.0..total);
+                let mut chosen = params.levels;
+                for (idx, w) in weights.iter().enumerate() {
+                    if draw < *w {
+                        chosen = u8::try_from(idx + 1).expect("level fits u8");
+                        break;
+                    }
+                    draw -= w;
+                }
+                chosen
+            }
+        };
+        let mut wcet = Vec::with_capacity(usize::from(level));
+        let mut prev: Tick = 0;
+        for k in 0..level {
+            let c = match params.growth {
+                WcetGrowth::Linear => c1 as f64 * (1.0 + params.ifc * f64::from(k)),
+                WcetGrowth::Geometric => c1 as f64 * (1.0 + params.ifc).powi(i32::from(k)),
+            };
+            let this = (c.round() as Tick).max(prev.max(1));
+            wcet.push(this);
+            prev = this;
+        }
+
+        let task = McTask::new(
+            TaskId(u32::try_from(i).expect("task index fits u32")),
+            period,
+            CritLevel::new(level),
+            wcet,
+        )
+        .expect("generator produces valid tasks by construction");
+        tasks.push(task);
+    }
+    TaskSet::new(k, tasks).expect("generator produces a valid task set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::LevelUtils;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = GenParams::default();
+        let a = generate_task_set(&p, 42);
+        let b = generate_task_set(&p, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.tasks().iter().zip(b.tasks()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = GenParams::default();
+        let a = generate_task_set(&p, 1);
+        let b = generate_task_set(&p, 2);
+        // Astronomically unlikely to coincide.
+        assert!(a.len() != b.len() || a.tasks() != b.tasks());
+    }
+
+    #[test]
+    fn respects_structural_invariants() {
+        let p = GenParams::default().with_levels(6);
+        for seed in 0..20 {
+            let ts = generate_task_set(&p, seed);
+            assert!(ts.len() >= 40 && ts.len() <= 200);
+            for t in ts.tasks() {
+                assert!(t.level().get() >= 1 && t.level().get() <= 6);
+                assert!(t.period() >= 50 * p.ticks_per_unit);
+                assert!(t.period() <= 2000 * p.ticks_per_unit);
+                // WCET vector non-decreasing, all >= 1 (checked by McTask,
+                // but assert the level-1 clamp too).
+                assert!(t.wcet(CritLevel::LO) >= 1);
+                assert!(t.wcet(CritLevel::LO) <= t.period());
+            }
+        }
+    }
+
+    #[test]
+    fn nsu_is_approximately_met() {
+        // Mean of u(1) draws is u_base, so aggregate raw utilization should
+        // concentrate near NSU · M.
+        let p = GenParams::default().with_nsu(0.6).with_cores(8);
+        let mut total = 0.0;
+        let runs = 50u32;
+        for seed in 0..u64::from(runs) {
+            let ts = generate_task_set(&p, seed);
+            total += ts.raw_util() / p.cores as f64;
+        }
+        let mean = total / f64::from(runs);
+        assert!(
+            (mean - 0.6).abs() < 0.05,
+            "mean NSU {mean} too far from target 0.6"
+        );
+    }
+
+    #[test]
+    fn geometric_ifc_controls_consecutive_ratio() {
+        let p = GenParams::default()
+            .with_ifc(0.5)
+            .with_levels(4)
+            .with_growth(WcetGrowth::Geometric);
+        let ts = generate_task_set(&p, 7);
+        for t in ts.tasks() {
+            let v = t.wcet_vector();
+            for w in v.windows(2) {
+                // Growth ratio ≈ 1.5, distorted only by integer rounding.
+                let ratio = w[1] as f64 / w[0] as f64;
+                assert!(
+                    (ratio - 1.5).abs() < 0.51,
+                    "wcet ratio {ratio} far from 1+IFC for {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_ifc_grows_arithmetically() {
+        let p = GenParams::default().with_ifc(0.5).with_levels(4);
+        let ts = generate_task_set(&p, 7);
+        for t in ts.tasks().iter().filter(|t| t.level().get() == 4) {
+            let v = t.wcet_vector();
+            // c(4)/c(1) ≈ 1 + 3·IFC = 2.5.
+            let ratio = v[3] as f64 / v[0] as f64;
+            assert!((ratio - 2.5).abs() < 0.1, "linear growth ratio {ratio} for {t:?}");
+            // Increments are constant (up to rounding): c(k+1) − c(k) ≈ IFC·c(1).
+            let d1 = v[1] as f64 - v[0] as f64;
+            let d2 = v[2] as f64 - v[1] as f64;
+            assert!((d1 - d2).abs() <= 1.5, "uneven increments for {t:?}");
+        }
+    }
+
+    #[test]
+    fn linear_is_lighter_than_geometric() {
+        let lin = GenParams::default().with_ifc(0.7).with_levels(6);
+        let geo = lin.clone().with_growth(WcetGrowth::Geometric);
+        let tl = generate_task_set(&lin, 9);
+        let tg = generate_task_set(&geo, 9);
+        let own = |ts: &mcs_model::TaskSet| -> f64 {
+            ts.tasks().iter().map(mcs_model::McTask::util_own).sum()
+        };
+        assert!(own(&tl) < own(&tg), "linear must yield lighter own-level load");
+    }
+
+    #[test]
+    fn levels_cover_full_range() {
+        let p = GenParams::default().with_levels(4);
+        let ts = generate_task_set(&p, 3);
+        let mut seen = [false; 4];
+        for t in ts.tasks() {
+            seen[t.level().index()] = true;
+        }
+        // With N ≥ 40 uniform draws, all four levels appear w.h.p.
+        assert!(seen.iter().all(|&s| s), "levels seen: {seen:?}");
+    }
+
+    #[test]
+    fn util_table_consistent_with_tasks() {
+        let p = GenParams::default();
+        let ts = generate_task_set(&p, 11);
+        let tab = ts.util_table();
+        for k in CritLevel::up_to(p.levels) {
+            assert!((tab.util_at_or_above(k) - ts.total_util_at(k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid generator parameters")]
+    fn invalid_params_panic() {
+        let _ = generate_task_set(&GenParams::default().with_cores(0), 0);
+    }
+}
+
+#[cfg(test)]
+mod weighted_tests {
+    use super::*;
+
+    #[test]
+    fn weights_skew_the_level_distribution() {
+        // 8:1:1:1 weights: level 1 should dominate.
+        let p = GenParams::default()
+            .with_level_weights(vec![8.0, 1.0, 1.0, 1.0])
+            .with_n_range(200, 200);
+        let mut counts = [0usize; 4];
+        for seed in 0..20 {
+            let ts = generate_task_set(&p, seed);
+            for t in ts.tasks() {
+                counts[t.level().index()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let lo_share = counts[0] as f64 / total as f64;
+        assert!(
+            (lo_share - 8.0 / 11.0).abs() < 0.05,
+            "level-1 share {lo_share} far from 8/11 ({counts:?})"
+        );
+    }
+
+    #[test]
+    fn zero_weight_levels_never_drawn() {
+        let p = GenParams::default()
+            .with_level_weights(vec![1.0, 0.0, 0.0, 1.0])
+            .with_n_range(100, 100);
+        let ts = generate_task_set(&p, 5);
+        for t in ts.tasks() {
+            assert!(matches!(t.level().get(), 1 | 4), "drew level {}", t.level());
+        }
+    }
+}
+
+#[cfg(test)]
+mod period_model_tests {
+    use super::*;
+    use crate::params::PeriodModel;
+
+    #[test]
+    fn harmonic_periods_divide_each_other() {
+        let p = GenParams::default()
+            .with_period_model(PeriodModel::Harmonic)
+            .with_n_range(60, 60);
+        let ts = generate_task_set(&p, 3);
+        let base = 50 * p.ticks_per_unit;
+        for t in ts.tasks() {
+            assert_eq!(t.period() % base, 0, "period {} not harmonic", t.period());
+            let ratio = t.period() / base;
+            assert!(ratio.is_power_of_two(), "ratio {ratio} not a power of two");
+            assert!(t.period() <= 2000 * p.ticks_per_unit);
+        }
+        // Harmonic sets have small hyperperiods.
+        assert!(ts.hyperperiod() <= 2048 * base);
+    }
+
+    #[test]
+    fn log_uniform_spans_the_range() {
+        let p = GenParams::default()
+            .with_period_model(PeriodModel::LogUniform)
+            .with_n_range(200, 200);
+        let ts = generate_task_set(&p, 9);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for t in ts.tasks() {
+            let units = t.period() / p.ticks_per_unit;
+            assert!((50..=2000).contains(&units));
+            if units < 150 {
+                lo_seen = true;
+            }
+            if units > 700 {
+                hi_seen = true;
+            }
+        }
+        assert!(lo_seen && hi_seen, "log-uniform should cover both ends");
+    }
+
+    #[test]
+    fn period_models_are_deterministic_and_distinct() {
+        let tri = GenParams::default();
+        let log = GenParams::default().with_period_model(PeriodModel::LogUniform);
+        let a = generate_task_set(&tri, 5);
+        let b = generate_task_set(&log, 5);
+        assert_ne!(a.tasks(), b.tasks());
+        assert_eq!(generate_task_set(&log, 5).tasks(), b.tasks());
+    }
+}
+
+#[cfg(test)]
+mod random_k_tests {
+    use super::*;
+
+    #[test]
+    fn random_k_varies_across_seeds_and_stays_in_range() {
+        let p = GenParams::default().with_level_range(2, 6);
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..30 {
+            let ts = generate_task_set(&p, seed);
+            assert!((2..=6).contains(&ts.num_levels()), "K = {}", ts.num_levels());
+            seen.insert(ts.num_levels());
+            for t in ts.tasks() {
+                assert!(t.level().get() <= ts.num_levels());
+            }
+        }
+        assert!(seen.len() >= 3, "K barely varied: {seen:?}");
+    }
+
+    #[test]
+    fn level_range_raises_levels_bound() {
+        let p = GenParams::default().with_levels(2).with_level_range(2, 6);
+        assert_eq!(p.levels, 6);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn level_range_validation() {
+        let with_range = |range| GenParams { levels_range: Some(range), ..Default::default() };
+        assert!(with_range((0, 3)).validate().is_err());
+        assert!(with_range((3, 2)).validate().is_err());
+        // Default levels = 4, so hi = 6 exceeds the bound.
+        assert!(with_range((2, 6)).validate().is_err(), "hi above levels must fail");
+        let p = GenParams::default()
+            .with_level_range(2, 4)
+            .with_level_weights(vec![1.0; 4]);
+        assert!(p.validate().is_err(), "range + weights must fail");
+    }
+}

@@ -1,0 +1,285 @@
+//! Generation parameters (Table IV of the paper) and their defaults.
+
+use mcs_model::{Tick, TICKS_PER_UNIT};
+
+/// How WCETs grow with the criticality level (§IV-A's "increment factor
+/// (IFC) defined as the ratio of WCETs for two consecutive criticality
+/// levels" admits two readings; both are provided).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WcetGrowth {
+    /// `c_i(k) = c_i(1) · (1 + IFC·(k−1))` — arithmetic growth. The
+    /// default: it reproduces the paper's Figure-4 trend (schedulability
+    /// *improves* with more cores at the default point), which the
+    /// geometric reading inverts by overloading the workload.
+    #[default]
+    Linear,
+    /// `c_i(k) = c_i(k−1) · (1 + IFC)` — geometric growth (the literal
+    /// "consecutive ratio" reading).
+    Geometric,
+}
+
+/// How periods are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PeriodModel {
+    /// The paper's model: pick one of the ranges uniformly, then a period
+    /// uniformly inside it.
+    #[default]
+    TriRange,
+    /// Log-uniform over the overall `[min, max]` span of the ranges — the
+    /// common alternative in the schedulability literature (equal weight
+    /// per order of magnitude).
+    LogUniform,
+    /// Harmonic: periods are `base · 2^i` with `base` the smallest range
+    /// bound and `i` drawn so the result stays within the overall span.
+    /// Harmonic sets have small hyperperiods and tight EDF behaviour.
+    Harmonic,
+}
+
+/// An inclusive period range in *paper time units* (before tick scaling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeriodRange {
+    /// Lower bound (inclusive), units.
+    pub lo: u64,
+    /// Upper bound (inclusive), units.
+    pub hi: u64,
+}
+
+impl PeriodRange {
+    /// Construct, asserting `lo ≤ hi` and `lo ≥ 1`.
+    #[must_use]
+    pub const fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "invalid period range");
+        Self { lo, hi }
+    }
+}
+
+/// The paper's three period ranges: `[50, 200]`, `[200, 500]`, `[500, 2000]`
+/// time units. A task first picks one range uniformly, then a period
+/// uniformly inside it.
+pub const DEFAULT_PERIOD_RANGES: [PeriodRange; 3] =
+    [PeriodRange::new(50, 200), PeriodRange::new(200, 500), PeriodRange::new(500, 2000)];
+
+/// Full parameter record for the §IV-A workload generator.
+///
+/// Defaults are the paper's: `M = 8`, `K = 4`, `NSU = 0.6`, `IFC = 0.4`,
+/// `N ∈ [40, 200]`, periods from [`DEFAULT_PERIOD_RANGES`]. (The workload
+/// imbalance threshold α is a *partitioner* parameter, not a generator one —
+/// see `mcs-partition`.)
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenParams {
+    /// Number of cores `M` the normalized utilization refers to.
+    pub cores: usize,
+    /// System criticality level `K ∈ [2, 6]` in the paper.
+    pub levels: u8,
+    /// When set, `K` is drawn uniformly from this inclusive range *per task
+    /// set* — §IV-A's "the system criticality level K is selected randomly
+    /// in the range [2, 6]". `levels` then acts as an upper bound for table
+    /// sizing and must be ≥ the range maximum.
+    pub levels_range: Option<(u8, u8)>,
+    /// Normalized system utilization: aggregate level-1 utilization of the
+    /// task set divided by the number of cores; `[0.4, 0.8]` in the paper.
+    pub nsu: f64,
+    /// Increment factor (see [`WcetGrowth`]); `[0.3, 0.7]` in the paper.
+    pub ifc: f64,
+    /// WCET growth model across criticality levels.
+    pub growth: WcetGrowth,
+    /// Inclusive range the task count `N` is drawn from; `[40, 200]`.
+    pub n_range: (usize, usize),
+    /// Optional per-level weights for drawing task criticalities
+    /// (`weights[l-1]` ∝ probability of level `l`); `None` = uniform over
+    /// `[1, K]`, the paper's model. Real systems skew heavily toward low
+    /// criticality, which this knob lets experiments model.
+    pub level_weights: Option<Vec<f64>>,
+    /// Candidate period ranges (units); one is picked uniformly per task.
+    pub period_ranges: Vec<PeriodRange>,
+    /// How periods are drawn from those ranges.
+    pub period_model: PeriodModel,
+    /// Ticks per paper time unit (see `mcs_model::TICKS_PER_UNIT`).
+    pub ticks_per_unit: Tick,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        Self {
+            cores: 8,
+            levels: 4,
+            levels_range: None,
+            nsu: 0.6,
+            ifc: 0.4,
+            growth: WcetGrowth::default(),
+            n_range: (40, 200),
+            level_weights: None,
+            period_ranges: DEFAULT_PERIOD_RANGES.to_vec(),
+            period_model: PeriodModel::default(),
+            ticks_per_unit: TICKS_PER_UNIT,
+        }
+    }
+}
+
+impl GenParams {
+    /// Validate parameter sanity; returns a human-readable reason on error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be >= 1".into());
+        }
+        if !(1..=mcs_model::MAX_LEVELS).contains(&self.levels) {
+            return Err(format!("levels must be in 1..={}", mcs_model::MAX_LEVELS));
+        }
+        if !(self.nsu > 0.0 && self.nsu <= 1.0) {
+            return Err("nsu must be in (0, 1]".into());
+        }
+        if !(0.0..=5.0).contains(&self.ifc) {
+            return Err("ifc must be in [0, 5]".into());
+        }
+        if self.n_range.0 == 0 || self.n_range.0 > self.n_range.1 {
+            return Err("n_range must satisfy 1 <= lo <= hi".into());
+        }
+        if self.period_ranges.is_empty() {
+            return Err("need at least one period range".into());
+        }
+        if let Some((lo, hi)) = self.levels_range {
+            if lo < 1 || lo > hi || hi > self.levels {
+                return Err(format!(
+                    "levels_range ({lo}, {hi}) must satisfy 1 <= lo <= hi <= levels ({})",
+                    self.levels
+                ));
+            }
+        }
+        if self.levels_range.is_some() && self.level_weights.is_some() {
+            return Err("levels_range and level_weights cannot be combined".into());
+        }
+        if let Some(w) = &self.level_weights {
+            if w.len() != usize::from(self.levels) {
+                return Err(format!(
+                    "level_weights needs exactly {} entries, got {}",
+                    self.levels,
+                    w.len()
+                ));
+            }
+            if w.iter().any(|&x| x.is_nan() || x < 0.0 || !x.is_finite()) {
+                return Err("level_weights must be finite and non-negative".into());
+            }
+            if w.iter().sum::<f64>() <= 0.0 {
+                return Err("level_weights must have positive total".into());
+            }
+        }
+        if self.ticks_per_unit == 0 {
+            return Err("ticks_per_unit must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Builder-style setters for sweep code.
+    #[must_use]
+    pub fn with_cores(mut self, m: usize) -> Self {
+        self.cores = m;
+        self
+    }
+
+    /// Set the system criticality level `K`.
+    #[must_use]
+    pub fn with_levels(mut self, k: u8) -> Self {
+        self.levels = k;
+        self
+    }
+
+    /// Set the normalized system utilization.
+    #[must_use]
+    pub fn with_nsu(mut self, nsu: f64) -> Self {
+        self.nsu = nsu;
+        self
+    }
+
+    /// Set the WCET increment factor.
+    #[must_use]
+    pub fn with_ifc(mut self, ifc: f64) -> Self {
+        self.ifc = ifc;
+        self
+    }
+
+    /// Set the WCET growth model.
+    #[must_use]
+    pub fn with_growth(mut self, growth: WcetGrowth) -> Self {
+        self.growth = growth;
+        self
+    }
+
+    /// Set the task-count range (inclusive).
+    #[must_use]
+    pub fn with_n_range(mut self, lo: usize, hi: usize) -> Self {
+        self.n_range = (lo, hi);
+        self
+    }
+
+    /// Set the period model.
+    #[must_use]
+    pub fn with_period_model(mut self, model: PeriodModel) -> Self {
+        self.period_model = model;
+        self
+    }
+
+    /// Draw `K` per task set from an inclusive range (paper §IV-A). Also
+    /// raises `levels` to the range maximum.
+    #[must_use]
+    pub fn with_level_range(mut self, lo: u8, hi: u8) -> Self {
+        self.levels_range = Some((lo, hi));
+        self.levels = self.levels.max(hi);
+        self
+    }
+
+    /// Set per-level criticality weights (see [`Self::level_weights`]).
+    #[must_use]
+    pub fn with_level_weights(mut self, weights: Vec<f64>) -> Self {
+        self.level_weights = Some(weights);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let p = GenParams::default();
+        assert_eq!(p.cores, 8);
+        assert_eq!(p.levels, 4);
+        assert!((p.nsu - 0.6).abs() < 1e-12);
+        assert!((p.ifc - 0.4).abs() < 1e-12);
+        assert_eq!(p.n_range, (40, 200));
+        assert_eq!(p.period_ranges.len(), 3);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn level_weight_validation() {
+        let base = GenParams::default(); // K = 4
+        assert!(base.clone().with_level_weights(vec![4.0, 2.0, 1.0, 1.0]).validate().is_ok());
+        assert!(base.clone().with_level_weights(vec![1.0, 1.0]).validate().is_err());
+        assert!(base.clone().with_level_weights(vec![1.0, -1.0, 1.0, 1.0]).validate().is_err());
+        assert!(base.clone().with_level_weights(vec![0.0; 4]).validate().is_err());
+        assert!(base
+            .with_level_weights(vec![f64::NAN, 1.0, 1.0, 1.0])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(GenParams::default().with_cores(0).validate().is_err());
+        assert!(GenParams::default().with_levels(0).validate().is_err());
+        assert!(GenParams::default().with_nsu(0.0).validate().is_err());
+        assert!(GenParams::default().with_nsu(1.5).validate().is_err());
+        assert!(GenParams::default().with_ifc(-0.1).validate().is_err());
+        assert!(GenParams::default().with_n_range(5, 2).validate().is_err());
+        let mut p = GenParams::default();
+        p.period_ranges.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid period range")]
+    fn period_range_rejects_inverted_bounds() {
+        let _ = PeriodRange::new(10, 5);
+    }
+}

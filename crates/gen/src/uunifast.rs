@@ -1,0 +1,125 @@
+//! UUniFast and UUniFast-Discard utilization generators (Bini & Buttazzo),
+//! offered as an alternative workload model to the paper's §IV-A scheme.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// UUniFast: draw `n` non-negative utilizations summing to `total`,
+/// uniformly over the simplex. Classic algorithm; `total` may exceed 1 for
+/// multiprocessor workloads (use [`uunifast_discard`] if individual
+/// utilizations must stay ≤ 1).
+#[must_use]
+pub fn uunifast(rng: &mut SmallRng, n: usize, total: f64) -> Vec<f64> {
+    assert!(n >= 1, "need at least one task");
+    assert!(total >= 0.0, "total utilization must be non-negative");
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let exp = 1.0 / (n - i) as f64;
+        let next = sum * rng.gen_range(0.0f64..1.0).powf(exp);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+}
+
+/// UUniFast-Discard: repeat UUniFast until every utilization is ≤ `cap`
+/// (typically 1.0). Returns `None` after `max_tries` failures, which only
+/// happens when `total/n` is close to `cap`.
+#[must_use]
+pub fn uunifast_discard(
+    rng: &mut SmallRng,
+    n: usize,
+    total: f64,
+    cap: f64,
+    max_tries: usize,
+) -> Option<Vec<f64>> {
+    assert!(cap > 0.0);
+    assert!(
+        total <= cap * n as f64,
+        "infeasible: total {total} exceeds n·cap = {}",
+        cap * n as f64
+    );
+    for _ in 0..max_tries {
+        let v = uunifast(rng, n, total);
+        if v.iter().all(|&u| u <= cap) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sums_to_total() {
+        let mut r = rng(1);
+        for n in [1, 2, 5, 50] {
+            let v = uunifast(&mut r, n, 3.2);
+            assert_eq!(v.len(), n);
+            let s: f64 = v.iter().sum();
+            assert!((s - 3.2).abs() < 1e-9, "sum {s}");
+            assert!(v.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut r = rng(2);
+        assert_eq!(uunifast(&mut r, 1, 0.7), vec![0.7]);
+    }
+
+    #[test]
+    fn discard_respects_cap() {
+        let mut r = rng(3);
+        let v = uunifast_discard(&mut r, 10, 4.0, 1.0, 1000).unwrap();
+        assert!(v.iter().all(|&u| u <= 1.0));
+        let s: f64 = v.iter().sum();
+        assert!((s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discard_gives_up_gracefully() {
+        // total/n extremely close to cap: nearly impossible to satisfy.
+        let mut r = rng(4);
+        let v = uunifast_discard(&mut r, 4, 3.9999999, 1.0, 3);
+        // Either finds one (unlikely) or returns None; must not panic/loop.
+        if let Some(v) = v {
+            assert!(v.iter().all(|&u| u <= 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn discard_rejects_impossible_request() {
+        let mut r = rng(5);
+        let _ = uunifast_discard(&mut r, 2, 3.0, 1.0, 10);
+    }
+
+    #[test]
+    fn distribution_mean_is_uniform() {
+        // Each slot's expected share is total/n.
+        let mut r = rng(6);
+        let n = 5;
+        let mut means = vec![0.0; n];
+        let runs = 4000;
+        for _ in 0..runs {
+            let v = uunifast(&mut r, n, 1.0);
+            for (m, u) in means.iter_mut().zip(&v) {
+                *m += u;
+            }
+        }
+        for m in &mut means {
+            *m /= f64::from(runs);
+            assert!((*m - 0.2).abs() < 0.02, "slot mean {m}");
+        }
+    }
+}

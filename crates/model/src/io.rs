@@ -1,0 +1,221 @@
+//! Plain-text (CSV) serialization of task sets, so the tools can operate on
+//! user-provided workloads rather than only generated ones.
+//!
+//! Format: one task per line, `period,level,c(1),c(2),…,c(level)`, in ticks;
+//! `#`-prefixed lines and blank lines are ignored. A `K=<levels>` header
+//! line may pin the system criticality level (otherwise the maximum task
+//! level is used). Task ids are assigned by position.
+//!
+//! ```text
+//! # avionics demo, K = 2
+//! K=2
+//! 100000,1,20000
+//! 200000,2,30000,60000
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::level::CritLevel;
+use crate::task::{McTask, TaskId};
+use crate::taskset::TaskSet;
+use crate::time::Tick;
+
+/// Parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a task set from the CSV format described in the module docs.
+pub fn parse_task_set(input: &str) -> Result<TaskSet, ParseError> {
+    let mut tasks: Vec<McTask> = Vec::new();
+    let mut pinned_k: Option<u8> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("K=") {
+            let k: u8 = rest.trim().parse().map_err(|_| ParseError {
+                line: line_no,
+                reason: format!("invalid K header: {rest:?}"),
+            })?;
+            pinned_k = Some(k);
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 3 {
+            return Err(ParseError {
+                line: line_no,
+                reason: "expected at least `period,level,c(1)`".into(),
+            });
+        }
+        let period: Tick = fields[0].parse().map_err(|_| ParseError {
+            line: line_no,
+            reason: format!("invalid period {:?}", fields[0]),
+        })?;
+        let level: u8 = fields[1].parse().map_err(|_| ParseError {
+            line: line_no,
+            reason: format!("invalid level {:?}", fields[1]),
+        })?;
+        let level = CritLevel::try_new(level).ok_or_else(|| ParseError {
+            line: line_no,
+            reason: format!("level {level} out of range"),
+        })?;
+        let wcet: Vec<Tick> = fields[2..]
+            .iter()
+            .map(|f| {
+                f.parse().map_err(|_| ParseError {
+                    line: line_no,
+                    reason: format!("invalid WCET {f:?}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let id = TaskId(u32::try_from(tasks.len()).expect("task count fits u32"));
+        let task = McTask::new(id, period, level, wcet).map_err(|e| ParseError {
+            line: line_no,
+            reason: e.to_string(),
+        })?;
+        tasks.push(task);
+    }
+    let k = pinned_k
+        .or_else(|| tasks.iter().map(|t| t.level().get()).max())
+        .unwrap_or(1);
+    TaskSet::new(k, tasks).map_err(|e| ParseError { line: 0, reason: e.to_string() })
+}
+
+/// Serialize a task set into the CSV format (round-trips with
+/// [`parse_task_set`]).
+#[must_use]
+pub fn format_task_set(ts: &TaskSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} tasks, K={}", ts.len(), ts.num_levels());
+    let _ = writeln!(out, "K={}", ts.num_levels());
+    for t in ts.tasks() {
+        let wcets: Vec<String> = t.wcet_vector().iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "{},{},{}", t.period(), t.level(), wcets.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_input() {
+        let input = "# comment\nK=3\n\n100,1,20\n200, 2, 30, 60\n";
+        let ts = parse_task_set(input).unwrap();
+        assert_eq!(ts.num_levels(), 3);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.tasks()[1].wcet(CritLevel::new(2)), 60);
+    }
+
+    #[test]
+    fn infers_k_from_max_level() {
+        let ts = parse_task_set("100,1,20\n200,4,10,20,30,40\n").unwrap();
+        assert_eq!(ts.num_levels(), 4);
+    }
+
+    #[test]
+    fn empty_input_is_a_single_level_empty_set() {
+        let ts = parse_task_set("# nothing\n").unwrap();
+        assert!(ts.is_empty());
+        assert_eq!(ts.num_levels(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = parse_task_set("100,1,20\nbogus,2,3,4\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("period"), "{err}");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_via_task_validation() {
+        let err = parse_task_set("100,2,20\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("WCET"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_k_header() {
+        let err = parse_task_set("K=banana\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_level_above_pinned_k() {
+        let err = parse_task_set("K=2\n100,3,1,2,3\n").unwrap_err();
+        assert!(err.reason.contains("above system K"), "{err}");
+    }
+
+    #[test]
+    fn round_trips() {
+        let input = "K=3\n100,1,20\n200,3,10,20,30\n";
+        let ts = parse_task_set(input).unwrap();
+        let printed = format_task_set(&ts);
+        let again = parse_task_set(&printed).unwrap();
+        assert_eq!(ts.num_levels(), again.num_levels());
+        assert_eq!(ts.tasks(), again.tasks());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any valid task set survives a format/parse round trip exactly.
+        #[test]
+        fn round_trip_any_task_set(
+            specs in proptest::collection::vec(
+                (1u8..=5, 10u64..=5000, 1u64..=100, 1.0f64..=2.0),
+                0..12,
+            )
+        ) {
+            let tasks: Vec<_> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, (level, period, c1, growth))| {
+                    let mut wcet = Vec::new();
+                    let mut c = f64::from(u32::try_from(*c1).unwrap());
+                    for _ in 0..*level {
+                        wcet.push((c.round() as u64).clamp(1, *period * 3));
+                        c *= growth;
+                    }
+                    // Enforce monotonicity after rounding.
+                    for i in 1..wcet.len() {
+                        wcet[i] = wcet[i].max(wcet[i - 1]);
+                    }
+                    TaskBuilder::new(TaskId(u32::try_from(i).unwrap()))
+                        .period(*period)
+                        .level(*level)
+                        .wcet(&wcet)
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+            let k = tasks.iter().map(|t| t.level().get()).max().unwrap_or(1);
+            let ts = TaskSet::new(k, tasks).unwrap();
+            let printed = format_task_set(&ts);
+            let parsed = parse_task_set(&printed).unwrap();
+            prop_assert_eq!(parsed.num_levels(), ts.num_levels());
+            prop_assert_eq!(parsed.tasks(), ts.tasks());
+        }
+    }
+}

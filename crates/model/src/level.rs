@@ -1,0 +1,131 @@
+//! Criticality levels.
+
+use std::fmt;
+
+/// Upper bound on the number of criticality levels supported by the model.
+///
+/// The paper notes that real certification standards use at most a handful of
+/// levels (DO-178B/C has five); its experiments use `K ∈ [2, 6]`. Eight gives
+/// headroom while keeping tables small enough to treat `K` as a constant in
+/// complexity terms.
+pub const MAX_LEVELS: u8 = 8;
+
+/// A 1-based criticality level (`1 ≤ level ≤ MAX_LEVELS`).
+///
+/// Level 1 is the *lowest* criticality; the system boots in level-1 operation
+/// mode. A task of criticality `l` provides WCET estimates for levels
+/// `1..=l` and is dropped whenever the (core-local) operation mode exceeds
+/// `l`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CritLevel(u8);
+
+impl CritLevel {
+    /// Lowest criticality level.
+    pub const LO: CritLevel = CritLevel(1);
+
+    /// Construct a level, panicking if out of `1..=MAX_LEVELS`.
+    #[must_use]
+    pub fn new(level: u8) -> Self {
+        Self::try_new(level).expect("criticality level must be in 1..=MAX_LEVELS")
+    }
+
+    /// Construct a level, returning `None` if out of `1..=MAX_LEVELS`.
+    #[must_use]
+    pub fn try_new(level: u8) -> Option<Self> {
+        (1..=MAX_LEVELS).contains(&level).then_some(CritLevel(level))
+    }
+
+    /// The raw 1-based level value.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based index for table lookups (`level - 1`).
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0 - 1)
+    }
+
+    /// The next higher level, if within bounds.
+    #[must_use]
+    pub fn next(self) -> Option<Self> {
+        Self::try_new(self.0 + 1)
+    }
+
+    /// Iterate over all levels `1..=k`.
+    pub fn up_to(k: u8) -> impl Iterator<Item = CritLevel> {
+        debug_assert!(k <= MAX_LEVELS);
+        (1..=k).map(CritLevel)
+    }
+}
+
+impl fmt::Debug for CritLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for CritLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<CritLevel> for u8 {
+    fn from(l: CritLevel) -> u8 {
+        l.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(CritLevel::try_new(0).is_none());
+        assert!(CritLevel::try_new(1).is_some());
+        assert!(CritLevel::try_new(MAX_LEVELS).is_some());
+        assert!(CritLevel::try_new(MAX_LEVELS + 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "criticality level")]
+    fn new_panics_on_zero() {
+        let _ = CritLevel::new(0);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_level() {
+        assert!(CritLevel::new(1) < CritLevel::new(2));
+        assert!(CritLevel::new(5) > CritLevel::new(3));
+        assert_eq!(CritLevel::new(4), CritLevel::new(4));
+    }
+
+    #[test]
+    fn index_is_zero_based() {
+        assert_eq!(CritLevel::new(1).index(), 0);
+        assert_eq!(CritLevel::new(6).index(), 5);
+    }
+
+    #[test]
+    fn next_stops_at_max() {
+        assert_eq!(CritLevel::new(1).next(), Some(CritLevel::new(2)));
+        assert_eq!(CritLevel::new(MAX_LEVELS).next(), None);
+    }
+
+    #[test]
+    fn up_to_iterates_in_order() {
+        let v: Vec<u8> = CritLevel::up_to(4).map(CritLevel::get).collect();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(CritLevel::new(3).to_string(), "3");
+        assert_eq!(format!("{:?}", CritLevel::new(3)), "L3");
+    }
+}

@@ -1,0 +1,46 @@
+//! # mcs-model
+//!
+//! Core data model for mixed-criticality (MC) real-time task systems, as used
+//! by the ICPP'16 paper *"Criticality-Aware Partitioning for Multicore
+//! Mixed-Criticality Systems"* (Han, Tao, Zhu, Aydin).
+//!
+//! The model follows Vestal's classic formulation: a system has `K > 1`
+//! criticality levels; each implicit-deadline periodic task `τ_i = (C_i, p_i,
+//! l_i)` has its own criticality `l_i ∈ [1, K]` and a vector of worst-case
+//! execution times `C_i = <c_i(1), …, c_i(l_i)>` that is non-decreasing in the
+//! level. The utilization of `τ_i` at level `k ≤ l_i` is `u_i(k) = c_i(k) /
+//! p_i`.
+//!
+//! This crate provides:
+//!
+//! * [`Tick`] integer time, [`CritLevel`] 1-based criticality levels,
+//!   [`TaskId`] / [`CoreId`] newtypes;
+//! * [`McTask`] and its builder, with validation of the WCET monotonicity
+//!   invariants;
+//! * [`TaskSet`] — an immutable collection of tasks plus the system
+//!   criticality level `K`, with the per-level utilization sums `U_j(k)`
+//!   (Eq. (1)) and `U(k)` (Eq. (2)) of the paper;
+//! * [`UtilTable`] — an incrementally-maintained triangular table of
+//!   `U_j(k)` values for a *subset* of tasks (one per core during
+//!   partitioning), plus the [`LevelUtils`] abstraction that the analysis
+//!   crate consumes;
+//! * [`Partition`] — a task-to-core mapping `Γ = {Ψ_1, …, Ψ_M}`.
+
+pub mod io;
+pub mod level;
+pub mod partition;
+pub mod rational;
+pub mod task;
+pub mod taskset;
+pub mod time;
+pub mod transform;
+pub mod util;
+
+pub use io::{format_task_set, parse_task_set, ParseError};
+pub use level::{CritLevel, MAX_LEVELS};
+pub use partition::{CoreId, Partition, PartitionError};
+pub use task::{McTask, TaskBuildError, TaskBuilder, TaskId};
+pub use taskset::{TaskSet, TaskSetError};
+pub use time::{gcd, hyperperiod, lcm_saturating, Tick, TICKS_PER_UNIT};
+pub use transform::{period_transform, promote_critical, transform_task};
+pub use util::{LevelUtils, UtilTable, WithTask, WithoutTask};

@@ -1,0 +1,298 @@
+//! Task-to-core partitions `Γ = {Ψ_1, …, Ψ_M}`.
+
+use std::fmt;
+
+use crate::task::TaskId;
+use crate::taskset::TaskSet;
+use crate::util::UtilTable;
+
+/// Identifier of a processing core `P_m` (0-based internally; the paper's
+/// cores are 1-based, display adds 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Zero-based index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Iterate over all cores `P_0..P_{m-1}`.
+    pub fn all(m: usize) -> impl Iterator<Item = CoreId> {
+        (0..u16::try_from(m).expect("core count fits in u16")).map(CoreId)
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// Errors from partition construction / validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A task was assigned to a core index `>= M`.
+    CoreOutOfRange { task: TaskId, core: CoreId, cores: usize },
+    /// Assignment vector length does not match the task set.
+    WrongLength { expected: usize, got: usize },
+    /// A task was left unassigned where a complete partition was required.
+    Unassigned { task: TaskId },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::CoreOutOfRange { task, core, cores } => {
+                write!(f, "task {task} assigned to {core} but system has {cores} cores")
+            }
+            PartitionError::WrongLength { expected, got } => {
+                write!(f, "assignment vector has {got} entries, task set has {expected}")
+            }
+            PartitionError::Unassigned { task } => write!(f, "task {task} is unassigned"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A (possibly partial) task-to-core mapping.
+///
+/// `assignment[i]` is the core of task `TaskId(i)`, or `None` while the task
+/// is not (yet) placed. A *complete* partition has every task placed; only
+/// complete partitions are "feasible partitionings" in the paper's sense.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Partition {
+    cores: usize,
+    assignment: Vec<Option<CoreId>>,
+}
+
+impl Partition {
+    /// Empty partition over `m` cores for `n` tasks.
+    #[must_use]
+    pub fn empty(cores: usize, tasks: usize) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        Self { cores, assignment: vec![None; tasks] }
+    }
+
+    /// Build from an explicit assignment vector, validating core bounds.
+    pub fn from_assignment(
+        cores: usize,
+        assignment: Vec<Option<CoreId>>,
+    ) -> Result<Self, PartitionError> {
+        for (i, a) in assignment.iter().enumerate() {
+            if let Some(c) = a {
+                if c.index() >= cores {
+                    return Err(PartitionError::CoreOutOfRange {
+                        task: TaskId(u32::try_from(i).expect("task index fits u32")),
+                        core: *c,
+                        cores,
+                    });
+                }
+            }
+        }
+        Ok(Self { cores, assignment })
+    }
+
+    /// Number of cores `M`.
+    #[inline]
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of tasks covered by the assignment vector.
+    #[inline]
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Core of a task, if placed.
+    #[inline]
+    #[must_use]
+    pub fn core_of(&self, task: TaskId) -> Option<CoreId> {
+        self.assignment[task.index()]
+    }
+
+    /// Place (or move) a task on a core.
+    pub fn assign(&mut self, task: TaskId, core: CoreId) {
+        assert!(core.index() < self.cores, "core {core} out of range");
+        self.assignment[task.index()] = Some(core);
+    }
+
+    /// Remove a task from the mapping.
+    pub fn unassign(&mut self, task: TaskId) {
+        self.assignment[task.index()] = None;
+    }
+
+    /// True when every task is placed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.assignment.iter().all(Option::is_some)
+    }
+
+    /// Ids of unassigned tasks.
+    pub fn unassigned(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .map(|(i, _)| TaskId(u32::try_from(i).expect("task index fits u32")))
+    }
+
+    /// Task ids of subset `Ψ_m` in id order.
+    pub fn tasks_on(&self, core: CoreId) -> impl Iterator<Item = TaskId> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| **a == Some(core))
+            .map(|(i, _)| TaskId(u32::try_from(i).expect("task index fits u32")))
+    }
+
+    /// Number of tasks on each core.
+    #[must_use]
+    pub fn load_counts(&self) -> Vec<usize> {
+        let mut v = vec![0usize; self.cores];
+        for a in self.assignment.iter().flatten() {
+            v[a.index()] += 1;
+        }
+        v
+    }
+
+    /// Per-core utilization tables `U_j^{Ψ_m}(k)` for a given task set.
+    #[must_use]
+    pub fn core_tables(&self, ts: &TaskSet) -> Vec<UtilTable> {
+        assert_eq!(ts.len(), self.assignment.len(), "partition/task-set size mismatch");
+        let mut tables: Vec<UtilTable> =
+            (0..self.cores).map(|_| UtilTable::new(ts.num_levels())).collect();
+        for (i, a) in self.assignment.iter().enumerate() {
+            if let Some(c) = a {
+                tables[c.index()].add(&ts.tasks()[i]);
+            }
+        }
+        tables
+    }
+
+    /// Validate that the partition is complete for `ts`.
+    pub fn require_complete(&self, ts: &TaskSet) -> Result<(), PartitionError> {
+        if self.assignment.len() != ts.len() {
+            return Err(PartitionError::WrongLength {
+                expected: ts.len(),
+                got: self.assignment.len(),
+            });
+        }
+        match self.unassigned().next() {
+            Some(t) => Err(PartitionError::Unassigned { task: t }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Debug for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Partition({} cores, {} tasks)", self.cores, self.assignment.len())?;
+        for c in CoreId::all(self.cores) {
+            let ids: Vec<String> = self.tasks_on(c).map(|t| format!("τ{t}")).collect();
+            writeln!(f, "  {c}: {{{}}}", ids.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+
+    fn ts3() -> TaskSet {
+        let mk = |id: u32| {
+            TaskBuilder::new(TaskId(id)).period(100).level(1).wcet(&[10]).build().unwrap()
+        };
+        TaskSet::new(1, vec![mk(0), mk(1), mk(2)]).unwrap()
+    }
+
+    #[test]
+    fn empty_partition_has_no_assignments() {
+        let p = Partition::empty(2, 3);
+        assert!(!p.is_complete());
+        assert_eq!(p.unassigned().count(), 3);
+        assert_eq!(p.load_counts(), vec![0, 0]);
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut p = Partition::empty(2, 3);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(1));
+        p.assign(TaskId(2), CoreId(1));
+        assert!(p.is_complete());
+        assert_eq!(p.core_of(TaskId(2)), Some(CoreId(1)));
+        assert_eq!(p.tasks_on(CoreId(1)).count(), 2);
+        assert_eq!(p.load_counts(), vec![1, 2]);
+        p.unassign(TaskId(1));
+        assert!(!p.is_complete());
+        assert_eq!(p.unassigned().collect::<Vec<_>>(), vec![TaskId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assign_out_of_range_panics() {
+        let mut p = Partition::empty(2, 1);
+        p.assign(TaskId(0), CoreId(2));
+    }
+
+    #[test]
+    fn from_assignment_validates() {
+        let ok = Partition::from_assignment(2, vec![Some(CoreId(0)), None]);
+        assert!(ok.is_ok());
+        let bad = Partition::from_assignment(2, vec![Some(CoreId(5))]);
+        assert!(matches!(bad, Err(PartitionError::CoreOutOfRange { .. })));
+    }
+
+    #[test]
+    fn core_tables_sum_assigned_tasks() {
+        let ts = ts3();
+        let mut p = Partition::empty(2, 3);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(0));
+        p.assign(TaskId(2), CoreId(1));
+        let tables = p.core_tables(&ts);
+        use crate::level::CritLevel;
+        use crate::util::LevelUtils;
+        assert!((tables[0].util_jk(CritLevel::LO, CritLevel::LO) - 0.2).abs() < 1e-12);
+        assert!((tables[1].util_jk(CritLevel::LO, CritLevel::LO) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn require_complete_reports_first_missing() {
+        let ts = ts3();
+        let mut p = Partition::empty(2, 3);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(2), CoreId(0));
+        assert_eq!(
+            p.require_complete(&ts),
+            Err(PartitionError::Unassigned { task: TaskId(1) })
+        );
+        p.assign(TaskId(1), CoreId(1));
+        assert!(p.require_complete(&ts).is_ok());
+    }
+
+    #[test]
+    fn require_complete_checks_length() {
+        let ts = ts3();
+        let p = Partition::empty(2, 2);
+        assert!(matches!(
+            p.require_complete(&ts),
+            Err(PartitionError::WrongLength { expected: 3, got: 2 })
+        ));
+    }
+}

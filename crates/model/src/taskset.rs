@@ -1,0 +1,255 @@
+//! Task sets: a collection of MC tasks plus the system criticality level `K`.
+
+use std::fmt;
+
+use crate::level::CritLevel;
+use crate::task::{McTask, TaskId};
+use crate::time::{hyperperiod, Tick};
+use crate::util::{LevelUtils, UtilTable};
+
+/// Errors detected when assembling a [`TaskSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskSetError {
+    /// Task ids must be dense `0..N` in order (so they index vectors).
+    NonDenseIds { position: usize, id: TaskId },
+    /// A task's criticality exceeds the system level `K`.
+    LevelAboveSystem { id: TaskId, level: u8, system: u8 },
+    /// `K` must be at least 1.
+    ZeroLevels,
+}
+
+impl fmt::Display for TaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskSetError::NonDenseIds { position, id } => {
+                write!(f, "task at position {position} has id {id}, expected {position}")
+            }
+            TaskSetError::LevelAboveSystem { id, level, system } => {
+                write!(f, "task {id} has level {level} above system K={system}")
+            }
+            TaskSetError::ZeroLevels => write!(f, "system criticality level K must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for TaskSetError {}
+
+/// An immutable set of mixed-criticality tasks `Ψ = {τ_1, …, τ_N}` together
+/// with the system criticality level `K`.
+///
+/// Task ids are dense (`TaskId(i)` is the task at position `i`), which lets
+/// partitions and simulators use plain vectors keyed by id.
+#[derive(Clone, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<McTask>,
+    k: u8,
+}
+
+impl TaskSet {
+    /// Build a task set, validating id density and level bounds.
+    pub fn new(k: u8, tasks: Vec<McTask>) -> Result<Self, TaskSetError> {
+        if k == 0 {
+            return Err(TaskSetError::ZeroLevels);
+        }
+        for (i, t) in tasks.iter().enumerate() {
+            if t.id().index() != i {
+                return Err(TaskSetError::NonDenseIds { position: i, id: t.id() });
+            }
+            if t.level().get() > k {
+                return Err(TaskSetError::LevelAboveSystem {
+                    id: t.id(),
+                    level: t.level().get(),
+                    system: k,
+                });
+            }
+        }
+        Ok(Self { tasks, k })
+    }
+
+    /// System criticality level `K`.
+    #[inline]
+    #[must_use]
+    pub fn num_levels(&self) -> u8 {
+        self.k
+    }
+
+    /// Number of tasks `N`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the set holds no tasks.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    #[inline]
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &McTask {
+        &self.tasks[id.index()]
+    }
+
+    /// All tasks in id order.
+    #[inline]
+    #[must_use]
+    pub fn tasks(&self) -> &[McTask] {
+        &self.tasks
+    }
+
+    /// Iterate over the tasks at criticality level exactly `j` (`L_j`).
+    pub fn tasks_at_level(&self, j: CritLevel) -> impl Iterator<Item = &McTask> {
+        self.tasks.iter().filter(move |t| t.level() == j)
+    }
+
+    /// `U_j(k)` over the whole set (Eq. (1)).
+    #[must_use]
+    pub fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        if k > j {
+            return 0.0;
+        }
+        self.tasks_at_level(j).map(|t| t.util(k)).sum()
+    }
+
+    /// `U(k) = Σ_{j=k}^{K} U_j(k)` over the whole set (Eq. (2)): total
+    /// level-`k` utilization of tasks with criticality `k` or higher.
+    #[must_use]
+    pub fn total_util_at(&self, k: CritLevel) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.level() >= k)
+            .map(|t| t.util(k))
+            .sum()
+    }
+
+    /// Total level-1 "raw" utilization `Σ_i u_i(1)` — the numerator of the
+    /// paper's normalized system utilization (NSU · M).
+    #[must_use]
+    pub fn raw_util(&self) -> f64 {
+        self.tasks.iter().map(|t| t.util(CritLevel::LO)).sum()
+    }
+
+    /// Aggregate utilization table for the entire set.
+    #[must_use]
+    pub fn util_table(&self) -> UtilTable {
+        UtilTable::from_tasks(self.k, self.tasks.iter())
+    }
+
+    /// Hyperperiod (LCM of periods), saturating at `Tick::MAX`.
+    #[must_use]
+    pub fn hyperperiod(&self) -> Tick {
+        hyperperiod(self.tasks.iter().map(McTask::period))
+    }
+
+    /// Largest period in the set (0 if empty) — a convenient simulation
+    /// horizon unit when the hyperperiod overflows.
+    #[must_use]
+    pub fn max_period(&self) -> Tick {
+        self.tasks.iter().map(McTask::period).max().unwrap_or(0)
+    }
+}
+
+impl LevelUtils for TaskSet {
+    fn num_levels(&self) -> u8 {
+        self.k
+    }
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        TaskSet::util_jk(self, j, k)
+    }
+}
+
+impl fmt::Debug for TaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TaskSet(K={}, N={})", self.k, self.tasks.len())?;
+        for t in &self.tasks {
+            writeln!(f, "  {t:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+
+    fn t(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn demo() -> TaskSet {
+        TaskSet::new(
+            2,
+            vec![
+                t(0, 100, 1, &[20]),          // u(1)=0.2
+                t(1, 100, 2, &[10, 40]),      // u(1)=0.1, u(2)=0.4
+                t(2, 200, 2, &[30, 50]),      // u(1)=0.15, u(2)=0.25
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn level_groups() {
+        let ts = demo();
+        assert_eq!(ts.tasks_at_level(CritLevel::new(1)).count(), 1);
+        assert_eq!(ts.tasks_at_level(CritLevel::new(2)).count(), 2);
+    }
+
+    #[test]
+    fn equation_1_and_2() {
+        let ts = demo();
+        let l1 = CritLevel::new(1);
+        let l2 = CritLevel::new(2);
+        assert!((ts.util_jk(l1, l1) - 0.2).abs() < 1e-12);
+        assert!((ts.util_jk(l2, l1) - 0.25).abs() < 1e-12);
+        assert!((ts.util_jk(l2, l2) - 0.65).abs() < 1e-12);
+        // U(1) = 0.2 + 0.25, U(2) = 0.65
+        assert!((ts.total_util_at(l1) - 0.45).abs() < 1e-12);
+        assert!((ts.total_util_at(l2) - 0.65).abs() < 1e-12);
+        assert!((ts.raw_util() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn util_table_matches_direct_sums() {
+        let ts = demo();
+        let tab = ts.util_table();
+        for j in CritLevel::up_to(2) {
+            for k in CritLevel::up_to(j.get()) {
+                assert!((tab.util_jk(j, k) - ts.util_jk(j, k)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let r = TaskSet::new(2, vec![t(1, 10, 1, &[1])]);
+        assert!(matches!(r, Err(TaskSetError::NonDenseIds { position: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_level_above_k() {
+        let r = TaskSet::new(1, vec![t(0, 10, 2, &[1, 2])]);
+        assert!(matches!(r, Err(TaskSetError::LevelAboveSystem { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert_eq!(TaskSet::new(0, vec![]).unwrap_err(), TaskSetError::ZeroLevels);
+    }
+
+    #[test]
+    fn hyperperiod_and_max_period() {
+        let ts = demo();
+        assert_eq!(ts.hyperperiod(), 200);
+        assert_eq!(ts.max_period(), 200);
+        let empty = TaskSet::new(2, vec![]).unwrap();
+        assert_eq!(empty.hyperperiod(), 0);
+        assert_eq!(empty.max_period(), 0);
+        assert!(empty.is_empty());
+    }
+}

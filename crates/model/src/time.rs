@@ -1,0 +1,102 @@
+//! Integer time base.
+//!
+//! All timing parameters (periods, WCETs, absolute times in the simulator)
+//! are expressed in integer [`Tick`]s. The workload generator scales the
+//! paper's real-valued parameters by [`TICKS_PER_UNIT`] so that WCETs round
+//! to at least one tick with negligible quantization error, and the
+//! discrete-event simulator stays exact (no floating-point time).
+
+/// One tick of model time. Periods, WCETs and absolute simulation times are
+/// all measured in ticks.
+pub type Tick = u64;
+
+/// Number of ticks per "time unit" of the paper's parameter space (the
+/// paper draws periods from `[50, 2000]` units).
+pub const TICKS_PER_UNIT: Tick = 1_000;
+
+/// Greatest common divisor (Euclid). `gcd(0, x) == x`.
+#[must_use]
+pub fn gcd(mut a: Tick, mut b: Tick) -> Tick {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple, saturating at `Tick::MAX` on overflow.
+///
+/// Hyperperiods of randomly generated task sets routinely overflow `u64`;
+/// saturation lets callers clamp simulation horizons instead of panicking.
+#[must_use]
+pub fn lcm_saturating(a: Tick, b: Tick) -> Tick {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).saturating_mul(b)
+}
+
+/// Hyperperiod (LCM of all periods), saturating at `Tick::MAX`.
+///
+/// Returns 0 for an empty iterator.
+#[must_use]
+pub fn hyperperiod<I: IntoIterator<Item = Tick>>(periods: I) -> Tick {
+    periods.into_iter().fold(0, |acc, p| {
+        if acc == 0 {
+            p
+        } else if acc == Tick::MAX {
+            Tick::MAX
+        } else {
+            lcm_saturating(acc, p)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+        assert_eq!(gcd(100, 100), 100);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm_saturating(0, 5), 0);
+        assert_eq!(lcm_saturating(4, 6), 12);
+        assert_eq!(lcm_saturating(7, 13), 91);
+    }
+
+    #[test]
+    fn lcm_saturates_instead_of_overflowing() {
+        let big = Tick::MAX - 1; // even
+        assert_eq!(lcm_saturating(big, big - 1), Tick::MAX);
+    }
+
+    #[test]
+    fn hyperperiod_of_empty_is_zero() {
+        assert_eq!(hyperperiod(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn hyperperiod_matches_pairwise_lcm() {
+        assert_eq!(hyperperiod([4, 6, 10]), 60);
+        assert_eq!(hyperperiod([5]), 5);
+        assert_eq!(hyperperiod([2, 3, 5, 7]), 210);
+    }
+
+    #[test]
+    fn hyperperiod_saturates() {
+        assert_eq!(hyperperiod([Tick::MAX - 1, Tick::MAX - 2]), Tick::MAX);
+        // Once saturated, further periods keep it saturated.
+        assert_eq!(hyperperiod([Tick::MAX - 1, Tick::MAX - 2, 3]), Tick::MAX);
+    }
+}

@@ -1,0 +1,114 @@
+//! Period transformation (Sha, Lehoczky & Rajkumar) — the classic
+//! mixed-criticality technique the paper's related work cites via \[6\],
+//! \[18\], \[30\]: splitting a task into `f` slices with period `p/f` and
+//! WCETs `⌈c/f⌉` raises its rate-monotonic priority without changing its
+//! bandwidth, fixing criticality inversion under fixed-priority scheduling.
+//!
+//! The transform is utilization-neutral up to the ⌈·⌉ rounding (each slice
+//! rounds up, so utilization never *decreases* — the usual implementation
+//! pessimism) and preserves the criticality level.
+
+use crate::level::CritLevel;
+use crate::task::{McTask, TaskId};
+use crate::taskset::TaskSet;
+
+/// Transform one task by factor `f ≥ 1`: period `p/f` (must divide evenly
+/// or the next-lower divisor-friendly period is *not* chosen — the caller
+/// picks `f`; a non-dividing `f` returns `None` to avoid silently changing
+/// the bandwidth), WCETs `⌈c/f⌉`.
+#[must_use]
+pub fn transform_task(task: &McTask, f: u64) -> Option<McTask> {
+    if f == 0 || !task.period().is_multiple_of(f) {
+        return None;
+    }
+    let wcet: Vec<u64> = task.wcet_vector().iter().map(|c| c.div_ceil(f)).collect();
+    McTask::new(task.id(), task.period() / f, task.level(), wcet).ok()
+}
+
+/// Transform every task selected by `factor_of` (return 1 to leave a task
+/// untouched). Returns `None` if any requested factor does not divide the
+/// task's period.
+#[must_use]
+pub fn period_transform<F: Fn(&McTask) -> u64>(ts: &TaskSet, factor_of: F) -> Option<TaskSet> {
+    let tasks: Option<Vec<McTask>> = ts
+        .tasks()
+        .iter()
+        .map(|t| {
+            let f = factor_of(t);
+            if f <= 1 {
+                Some(t.clone())
+            } else {
+                transform_task(t, f)
+            }
+        })
+        .collect();
+    TaskSet::new(ts.num_levels(), tasks?).ok()
+}
+
+/// Convenience: transform all tasks at criticality ≥ `level` by `f` — the
+/// standard "promote the critical work" recipe.
+#[must_use]
+pub fn promote_critical(ts: &TaskSet, level: CritLevel, f: u64) -> Option<TaskSet> {
+    period_transform(ts, |t| if t.level() >= level { f } else { 1 })
+}
+
+/// Ids of the tasks a transform touched (factor > 1), for reporting.
+#[must_use]
+pub fn transformed_ids<F: Fn(&McTask) -> u64>(ts: &TaskSet, factor_of: F) -> Vec<TaskId> {
+    ts.tasks().iter().filter(|t| factor_of(t) > 1).map(McTask::id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    #[test]
+    fn transform_divides_period_and_ceils_wcet() {
+        let t = task(0, 100, 2, &[10, 25]);
+        let half = transform_task(&t, 2).unwrap();
+        assert_eq!(half.period(), 50);
+        assert_eq!(half.wcet_vector(), &[5, 13]); // 25/2 rounds up
+        assert_eq!(half.level(), t.level());
+        assert_eq!(half.id(), t.id());
+    }
+
+    #[test]
+    fn non_dividing_factor_is_rejected() {
+        let t = task(0, 100, 1, &[10]);
+        assert!(transform_task(&t, 3).is_none());
+        assert!(transform_task(&t, 0).is_none());
+    }
+
+    #[test]
+    fn utilization_never_decreases() {
+        let t = task(0, 100, 2, &[7, 13]);
+        let q = transform_task(&t, 4).unwrap();
+        for k in CritLevel::up_to(2) {
+            assert!(q.util(k) >= t.util(k) - 1e-12);
+            // And stays within one rounding step.
+            assert!(q.util(k) <= t.util(k) + 4.0 / 100.0);
+        }
+    }
+
+    #[test]
+    fn promote_critical_transforms_only_high_levels() {
+        let ts = TaskSet::new(
+            2,
+            vec![task(0, 100, 1, &[20]), task(1, 100, 2, &[10, 30])],
+        )
+        .unwrap();
+        let promoted = promote_critical(&ts, CritLevel::new(2), 2).unwrap();
+        assert_eq!(promoted.tasks()[0].period(), 100); // LO untouched
+        assert_eq!(promoted.tasks()[1].period(), 50);
+        assert_eq!(
+            transformed_ids(&ts, |t| if t.level().get() >= 2 { 2 } else { 1 }),
+            vec![TaskId(1)]
+        );
+    }
+
+}

@@ -1,0 +1,328 @@
+//! Per-level utilization tables and the [`LevelUtils`] abstraction.
+//!
+//! The EDF-VD schedulability conditions consume only the aggregated values
+//! `U_j^Ψ(k)` — the level-`k` utilization of the tasks in subset `Ψ` whose
+//! own criticality is exactly `j` (Eq. (3) of the paper):
+//!
+//! ```text
+//! U_j^Ψ(k) = Σ_{τ_i ∈ Ψ ∩ L_j} u_i(k),    1 ≤ k ≤ j ≤ K
+//! ```
+//!
+//! [`UtilTable`] maintains this triangular table incrementally so that the
+//! partitioner can probe "what if task τ were added to core P_m" in `O(K)`
+//! without copying the table: [`WithTask`] / [`WithoutTask`] are zero-copy
+//! adapter views.
+
+use crate::level::CritLevel;
+use crate::task::McTask;
+
+/// Read access to the per-level utilization sums of a subset of tasks.
+///
+/// Implemented by [`UtilTable`] and by the probe adapters [`WithTask`] /
+/// [`WithoutTask`], so the analysis crate can evaluate schedulability
+/// conditions on hypothetical assignments without mutation.
+pub trait LevelUtils {
+    /// Number of criticality levels `K` of the system (not of the subset).
+    fn num_levels(&self) -> u8;
+
+    /// `U_j(k)`: total level-`k` utilization of the subset's tasks whose own
+    /// criticality is exactly `j`. Must return 0.0 when `k > j`.
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64;
+
+    /// `Σ_{j=k}^{K} U_j(k)` — total level-`k` utilization of tasks with
+    /// criticality `k` or higher (Eq. (2) restricted to the subset).
+    fn util_at_or_above(&self, k: CritLevel) -> f64 {
+        let mut s = 0.0;
+        let mut j = k;
+        loop {
+            s += self.util_jk(j, k);
+            match j.next() {
+                Some(n) if n.get() <= self.num_levels() => j = n,
+                _ => break,
+            }
+        }
+        s
+    }
+
+    /// `Σ_{k=1}^{K} U_k(k)` — the left-hand side of the simple sufficient
+    /// condition, Eq. (4): each task counted at its own level.
+    fn own_level_total(&self) -> f64 {
+        CritLevel::up_to(self.num_levels()).map(|k| self.util_jk(k, k)).sum()
+    }
+}
+
+/// Incrementally maintained triangular table of `U_j(k)` values for one
+/// subset of tasks (typically: the tasks currently assigned to one core).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilTable {
+    k: u8,
+    /// Row-major lower triangle: entry for `(j, k)` with `k ≤ j` lives at
+    /// `tri_index(j, k)`.
+    sums: Vec<f64>,
+    tasks: usize,
+}
+
+#[inline]
+fn tri_index(j: CritLevel, k: CritLevel) -> usize {
+    let j = j.index();
+    let k = k.index();
+    debug_assert!(k <= j);
+    j * (j + 1) / 2 + k
+}
+
+impl UtilTable {
+    /// Empty table for a system with `k` criticality levels.
+    #[must_use]
+    pub fn new(k: u8) -> Self {
+        assert!(k >= 1, "a system needs at least one criticality level");
+        let n = usize::from(k);
+        Self { k, sums: vec![0.0; n * (n + 1) / 2], tasks: 0 }
+    }
+
+    /// Build a table from an iterator of tasks.
+    #[must_use]
+    pub fn from_tasks<'a, I: IntoIterator<Item = &'a McTask>>(k: u8, tasks: I) -> Self {
+        let mut t = Self::new(k);
+        for task in tasks {
+            t.add(task);
+        }
+        t
+    }
+
+    /// Number of tasks accumulated in the table.
+    #[inline]
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks
+    }
+
+    /// Add a task's utilizations to the table.
+    pub fn add(&mut self, task: &McTask) {
+        let j = task.level();
+        assert!(j.get() <= self.k, "task level {} exceeds system K={}", j, self.k);
+        for k in CritLevel::up_to(j.get()) {
+            self.sums[tri_index(j, k)] += task.util(k);
+        }
+        self.tasks += 1;
+    }
+
+    /// Remove a previously added task's utilizations.
+    ///
+    /// Floating-point subtraction can leave tiny negative residue; it is
+    /// clamped to zero to keep the table usable as a utilization.
+    pub fn remove(&mut self, task: &McTask) {
+        let j = task.level();
+        assert!(j.get() <= self.k, "task level {} exceeds system K={}", j, self.k);
+        assert!(self.tasks > 0, "removing a task from an empty table");
+        for k in CritLevel::up_to(j.get()) {
+            let e = &mut self.sums[tri_index(j, k)];
+            *e = (*e - task.util(k)).max(0.0);
+        }
+        self.tasks -= 1;
+    }
+}
+
+impl LevelUtils for UtilTable {
+    #[inline]
+    fn num_levels(&self) -> u8 {
+        self.k
+    }
+
+    #[inline]
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        if k > j || j.get() > self.k {
+            0.0
+        } else {
+            self.sums[tri_index(j, k)]
+        }
+    }
+}
+
+impl<T: LevelUtils + ?Sized> LevelUtils for &T {
+    fn num_levels(&self) -> u8 {
+        (**self).num_levels()
+    }
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        (**self).util_jk(j, k)
+    }
+}
+
+/// Zero-copy view of `base ∪ {task}` — evaluates conditions for a probe
+/// assignment without mutating the underlying table (`Ψ_m ∪ {τ_i}` in
+/// Eq. (14)/(15)).
+#[derive(Clone, Copy)]
+pub struct WithTask<'a, B: LevelUtils> {
+    base: &'a B,
+    task: &'a McTask,
+}
+
+impl<'a, B: LevelUtils> WithTask<'a, B> {
+    /// View of `base` with `task` hypothetically added.
+    #[must_use]
+    pub fn new(base: &'a B, task: &'a McTask) -> Self {
+        assert!(task.level().get() <= base.num_levels());
+        Self { base, task }
+    }
+}
+
+impl<B: LevelUtils> LevelUtils for WithTask<'_, B> {
+    #[inline]
+    fn num_levels(&self) -> u8 {
+        self.base.num_levels()
+    }
+
+    #[inline]
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        let mut v = self.base.util_jk(j, k);
+        if j == self.task.level() && k <= j {
+            v += self.task.util(k);
+        }
+        v
+    }
+}
+
+/// Zero-copy view of `base ∖ {task}` — the dual of [`WithTask`], used by
+/// repair/rebalancing heuristics.
+#[derive(Clone, Copy)]
+pub struct WithoutTask<'a, B: LevelUtils> {
+    base: &'a B,
+    task: &'a McTask,
+}
+
+impl<'a, B: LevelUtils> WithoutTask<'a, B> {
+    /// View of `base` with `task` hypothetically removed. The caller must
+    /// ensure `task` is actually contained in `base`.
+    #[must_use]
+    pub fn new(base: &'a B, task: &'a McTask) -> Self {
+        assert!(task.level().get() <= base.num_levels());
+        Self { base, task }
+    }
+}
+
+impl<B: LevelUtils> LevelUtils for WithoutTask<'_, B> {
+    #[inline]
+    fn num_levels(&self) -> u8 {
+        self.base.num_levels()
+    }
+
+    #[inline]
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        let mut v = self.base.util_jk(j, k);
+        if j == self.task.level() && k <= j {
+            v = (v - self.task.util(k)).max(0.0);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskBuilder, TaskId};
+
+    fn t(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    const L1: CritLevel = CritLevel::LO;
+
+    #[test]
+    fn empty_table_is_all_zero() {
+        let tab = UtilTable::new(3);
+        for j in CritLevel::up_to(3) {
+            for k in CritLevel::up_to(j.get()) {
+                assert_eq!(tab.util_jk(j, k), 0.0);
+            }
+        }
+        assert_eq!(tab.own_level_total(), 0.0);
+        assert_eq!(tab.task_count(), 0);
+    }
+
+    #[test]
+    fn add_accumulates_per_level() {
+        let mut tab = UtilTable::new(2);
+        tab.add(&t(0, 100, 2, &[10, 30])); // u(1)=0.1, u(2)=0.3
+        tab.add(&t(1, 100, 2, &[20, 20])); // u(1)=0.2, u(2)=0.2
+        tab.add(&t(2, 100, 1, &[40])); // u(1)=0.4
+        let l2 = CritLevel::new(2);
+        assert!((tab.util_jk(l2, L1) - 0.3).abs() < 1e-12);
+        assert!((tab.util_jk(l2, l2) - 0.5).abs() < 1e-12);
+        assert!((tab.util_jk(L1, L1) - 0.4).abs() < 1e-12);
+        // U(1) = all tasks at level 1 utilization.
+        assert!((tab.util_at_or_above(L1) - 0.7).abs() < 1e-12);
+        // U(2) = only level-2 tasks.
+        assert!((tab.util_at_or_above(l2) - 0.5).abs() < 1e-12);
+        // Eq. (4) LHS.
+        assert!((tab.own_level_total() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_is_inverse_of_add() {
+        let a = t(0, 50, 3, &[5, 10, 15]);
+        let b = t(1, 200, 2, &[20, 60]);
+        let mut tab = UtilTable::new(3);
+        tab.add(&a);
+        tab.add(&b);
+        tab.remove(&a);
+        let only_b = UtilTable::from_tasks(3, [&b]);
+        for j in CritLevel::up_to(3) {
+            for k in CritLevel::up_to(j.get()) {
+                assert!((tab.util_jk(j, k) - only_b.util_jk(j, k)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(tab.task_count(), 1);
+    }
+
+    #[test]
+    fn with_task_view_matches_mutated_table() {
+        let a = t(0, 100, 2, &[10, 30]);
+        let b = t(1, 100, 3, &[5, 6, 90]);
+        let base = UtilTable::from_tasks(3, [&a]);
+        let view = WithTask::new(&base, &b);
+        let mut mutated = base.clone();
+        mutated.add(&b);
+        for j in CritLevel::up_to(3) {
+            for k in CritLevel::up_to(j.get()) {
+                assert!(
+                    (view.util_jk(j, k) - mutated.util_jk(j, k)).abs() < 1e-12,
+                    "mismatch at U_{j}({k})"
+                );
+            }
+        }
+        assert!((view.util_at_or_above(L1) - mutated.util_at_or_above(L1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_task_view_matches_removed_table() {
+        let a = t(0, 100, 2, &[10, 30]);
+        let b = t(1, 100, 2, &[5, 6]);
+        let base = UtilTable::from_tasks(2, [&a, &b]);
+        let view = WithoutTask::new(&base, &b);
+        let only_a = UtilTable::from_tasks(2, [&a]);
+        for j in CritLevel::up_to(2) {
+            for k in CritLevel::up_to(j.get()) {
+                assert!((view.util_jk(j, k) - only_a.util_jk(j, k)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn util_jk_above_j_is_zero() {
+        let tab = UtilTable::from_tasks(3, [&t(0, 10, 1, &[5])]);
+        assert_eq!(tab.util_jk(L1, CritLevel::new(2)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds system K")]
+    fn add_rejects_task_above_system_k() {
+        let mut tab = UtilTable::new(2);
+        tab.add(&t(0, 10, 3, &[1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn remove_from_empty_panics() {
+        let mut tab = UtilTable::new(2);
+        tab.remove(&t(0, 10, 1, &[1]));
+    }
+}

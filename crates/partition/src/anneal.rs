@@ -1,0 +1,229 @@
+//! Simulated-annealing partitioner — a metaheuristic extension that can
+//! escape the local optima greedy constructions get stuck in, at a cost
+//! between the heuristics and the exact search.
+//!
+//! Starts from the best greedy attempt (CA-TPA if it completes; otherwise
+//! a least-loaded spread of *all* tasks, feasible or not) and performs
+//! random single-task relocations under a geometric cooling schedule. The
+//! energy of an assignment is
+//!
+//! ```text
+//! E(Γ) = Σ_m [ infeasible(Ψ_m) · (1 + overload(Ψ_m)) ]
+//! ```
+//!
+//! where `overload` is the Eq.-(4)-style excess `max(0, Σ U_i(i) − 1)` —
+//! zero energy ⇔ every core passes Theorem 1. The search stops early at
+//! zero energy; a failed run reports the best energy reached.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mcs_analysis::Theorem1;
+use mcs_model::{CoreId, LevelUtils, Partition, TaskSet, UtilTable};
+
+use crate::catpa::Catpa;
+use crate::{PartitionFailure, Partitioner};
+
+/// Simulated-annealing partitioner.
+#[derive(Clone, Copy, Debug)]
+pub struct SimAnneal {
+    /// Relocation attempts.
+    pub iterations: u32,
+    /// Initial temperature (energy units).
+    pub t0: f64,
+    /// Geometric cooling rate per iteration.
+    pub cooling: f64,
+    /// RNG seed (deterministic given the task set).
+    pub seed: u64,
+}
+
+impl Default for SimAnneal {
+    fn default() -> Self {
+        Self { iterations: 20_000, t0: 1.0, cooling: 0.9995, seed: 0xA22EA1 }
+    }
+}
+
+fn core_energy(table: &UtilTable) -> f64 {
+    if Theorem1::compute(table).feasible() {
+        0.0
+    } else {
+        1.0 + (table.own_level_total() - 1.0).max(0.0)
+    }
+}
+
+impl Partitioner for SimAnneal {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
+        assert!(cores >= 1, "need at least one core");
+        if let Ok(p) = Catpa::default().partition(&ts.clone(), cores) {
+            return Ok(p); // greedy already solves it — nothing to anneal
+        }
+        if ts.is_empty() {
+            return Ok(Partition::empty(cores, 0));
+        }
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // Initial assignment: least-loaded spread by own-level utilization.
+        let mut assignment: Vec<usize> = vec![0; ts.len()];
+        let mut loads = vec![0.0f64; cores];
+        let mut order: Vec<usize> = (0..ts.len()).collect();
+        order.sort_by(|&a, &b| {
+            ts.tasks()[b]
+                .util_own()
+                .partial_cmp(&ts.tasks()[a].util_own())
+                .expect("finite")
+        });
+        for i in order {
+            let m = (0..cores)
+                .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).expect("finite"))
+                .expect("at least one core");
+            assignment[i] = m;
+            loads[m] += ts.tasks()[i].util_own();
+        }
+
+        let mut tables: Vec<UtilTable> =
+            (0..cores).map(|_| UtilTable::new(ts.num_levels())).collect();
+        for (i, &m) in assignment.iter().enumerate() {
+            tables[m].add(&ts.tasks()[i]);
+        }
+        let mut energies: Vec<f64> = tables.iter().map(core_energy).collect();
+        let mut energy: f64 = energies.iter().sum();
+        let mut temperature = self.t0;
+
+        for _ in 0..self.iterations {
+            if energy <= 0.0 {
+                break;
+            }
+            let i = rng.gen_range(0..ts.len());
+            let from = assignment[i];
+            let to = rng.gen_range(0..cores);
+            if to == from {
+                temperature *= self.cooling;
+                continue;
+            }
+            let task = &ts.tasks()[i];
+            tables[from].remove(task);
+            tables[to].add(task);
+            let (e_from, e_to) = (core_energy(&tables[from]), core_energy(&tables[to]));
+            let new_energy = energy - energies[from] - energies[to] + e_from + e_to;
+            let accept = new_energy <= energy
+                || rng.gen_bool(((energy - new_energy) / temperature.max(1e-9)).exp().min(1.0));
+            if accept {
+                assignment[i] = to;
+                energies[from] = e_from;
+                energies[to] = e_to;
+                energy = new_energy;
+            } else {
+                tables[to].remove(task);
+                tables[from].add(task);
+            }
+            temperature *= self.cooling;
+        }
+
+        if energy > 0.0 {
+            // Report the first task on the most overloaded core.
+            let worst = energies
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map_or(0, |(m, _)| m);
+            let task = assignment
+                .iter()
+                .position(|&m| m == worst)
+                .map_or(mcs_model::TaskId(0), |i| ts.tasks()[i].id());
+            return Err(PartitionFailure { task, placed: 0 });
+        }
+        let mut partition = Partition::empty(cores, ts.len());
+        for (i, &m) in assignment.iter().enumerate() {
+            partition.assign(ts.tasks()[i].id(), CoreId(u16::try_from(m).expect("fits")));
+        }
+        Ok(partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binpack::BinPacker;
+    use mcs_model::{McTask, TaskBuilder, TaskId};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn set(tasks: Vec<McTask>, k: u8) -> TaskSet {
+        TaskSet::new(k, tasks).unwrap()
+    }
+
+    #[test]
+    fn solves_the_ffd_trap() {
+        // The unique-packing trap FFD fails on; SA should find it.
+        let utils = [50u64, 34, 33, 33, 25, 25];
+        let ts = set(
+            utils
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| task(u32::try_from(i).unwrap(), 100, 1, &[c]))
+                .collect(),
+            1,
+        );
+        assert!(BinPacker::ffd().partition(&ts, 2).is_err());
+        let p = SimAnneal::default().partition(&ts, 2).expect("SA must find the packing");
+        for t in p.core_tables(&ts) {
+            assert!(Theorem1::compute(&t).feasible());
+        }
+    }
+
+    #[test]
+    fn returns_greedy_result_when_it_works() {
+        let ts = set((0..4).map(|i| task(i, 10, 1, &[4])).collect(), 1);
+        let sa = SimAnneal::default().partition(&ts, 2).unwrap();
+        let greedy = Catpa::default().partition(&ts, 2).unwrap();
+        for t in ts.tasks() {
+            assert_eq!(sa.core_of(t.id()), greedy.core_of(t.id()));
+        }
+    }
+
+    #[test]
+    fn reports_failure_on_truly_infeasible_sets() {
+        let ts = set((0..3).map(|i| task(i, 10, 1, &[6])).collect(), 1);
+        let sa = SimAnneal { iterations: 2_000, ..Default::default() };
+        assert!(sa.partition(&ts, 2).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let utils = [50u64, 34, 33, 33, 25, 25];
+        let ts = set(
+            utils
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| task(u32::try_from(i).unwrap(), 100, 1, &[c]))
+                .collect(),
+            1,
+        );
+        let a = SimAnneal::default().partition(&ts, 2).unwrap();
+        let b = SimAnneal::default().partition(&ts, 2).unwrap();
+        for t in ts.tasks() {
+            assert_eq!(a.core_of(t.id()), b.core_of(t.id()));
+        }
+    }
+
+    #[test]
+    fn output_satisfies_the_contract_on_generated_sets() {
+        use mcs_gen::{generate_task_set, GenParams};
+        let params = GenParams::default().with_n_range(10, 16).with_cores(3).with_nsu(0.66);
+        for seed in 0..10 {
+            let ts = generate_task_set(&params, seed);
+            if let Ok(p) = SimAnneal::default().partition(&ts, 3) {
+                p.require_complete(&ts).unwrap();
+                for t in p.core_tables(&ts) {
+                    assert!(Theorem1::compute(&t).feasible(), "seed {seed}");
+                }
+            }
+        }
+    }
+}

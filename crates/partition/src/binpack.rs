@@ -1,0 +1,293 @@
+//! Classical decreasing bin-packing heuristics: FFD, BFD, WFD, NFD.
+//!
+//! As in the paper's baselines, tasks are sorted in decreasing order of
+//! their *maximum* utilization `u_i(l_i)` and placed one by one; feasibility
+//! of a core is assessed with Eq. (4) first and Theorem 1 second
+//! ([`FitTest::SimpleThenImproved`]). The per-core "load" that best/worst
+//! fit compare is the classical own-level utilization sum `Σ u_i(l_i)`.
+
+use mcs_model::{CoreId, McTask, Partition, TaskSet, UtilTable, WithTask};
+
+use crate::fit::FitTest;
+use crate::{PartitionFailure, Partitioner};
+
+/// Placement policy of a decreasing bin-packer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// First feasible core in index order.
+    FirstFit,
+    /// Feasible core with the highest load (tightest fit); ties → smaller
+    /// index.
+    BestFit,
+    /// Feasible core with the lowest load; ties → smaller index.
+    WorstFit,
+    /// The most recently used core, advancing (cyclically, one full lap)
+    /// when it no longer fits.
+    NextFit,
+}
+
+/// A classical bin-packing partitioner.
+#[derive(Clone, Debug)]
+pub struct BinPacker {
+    placement: Placement,
+    fit: FitTest,
+    name: &'static str,
+}
+
+impl BinPacker {
+    /// First-Fit Decreasing with the paper's two-stage fit test.
+    #[must_use]
+    pub fn ffd() -> Self {
+        Self { placement: Placement::FirstFit, fit: FitTest::default(), name: "FFD" }
+    }
+
+    /// Best-Fit Decreasing.
+    #[must_use]
+    pub fn bfd() -> Self {
+        Self { placement: Placement::BestFit, fit: FitTest::default(), name: "BFD" }
+    }
+
+    /// Worst-Fit Decreasing.
+    #[must_use]
+    pub fn wfd() -> Self {
+        Self { placement: Placement::WorstFit, fit: FitTest::default(), name: "WFD" }
+    }
+
+    /// Next-Fit Decreasing (extra baseline, not in the paper's plots).
+    #[must_use]
+    pub fn nfd() -> Self {
+        Self { placement: Placement::NextFit, fit: FitTest::default(), name: "NFD" }
+    }
+
+    /// Override the fit test (used by ablations).
+    #[must_use]
+    pub fn with_fit(mut self, fit: FitTest) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Sort task ids by decreasing maximum utilization `u_i(l_i)` (ties →
+    /// smaller index) — the classical "decreasing" order.
+    #[must_use]
+    pub fn decreasing_max_util_order(ts: &TaskSet) -> Vec<&McTask> {
+        let mut tasks: Vec<&McTask> = ts.tasks().iter().collect();
+        tasks.sort_by(|a, b| {
+            b.util_own()
+                .partial_cmp(&a.util_own())
+                .expect("utilizations are finite")
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        tasks
+    }
+}
+
+/// Mutable per-core state shared by the bin-packers (and the Hybrid
+/// scheme): the utilization table and the classical load.
+pub(crate) struct CoreState {
+    pub table: UtilTable,
+    /// Classical load: Σ u_i(l_i) of tasks on the core.
+    pub load: f64,
+}
+
+impl CoreState {
+    pub(crate) fn empty(k: u8, cores: usize) -> Vec<CoreState> {
+        (0..cores).map(|_| CoreState { table: UtilTable::new(k), load: 0.0 }).collect()
+    }
+
+    pub(crate) fn place(&mut self, task: &McTask) {
+        self.table.add(task);
+        self.load += task.util_own();
+    }
+}
+
+/// Place one task according to a placement policy. Returns the chosen core
+/// or `None` if no core fits. `cursor` is only used (and advanced) by
+/// next-fit.
+pub(crate) fn choose_core(
+    placement: Placement,
+    fit: FitTest,
+    cores: &[CoreState],
+    task: &McTask,
+    cursor: &mut usize,
+) -> Option<usize> {
+    let fits = |m: usize| -> bool { fit.feasible(&WithTask::new(&cores[m].table, task)) };
+    match placement {
+        Placement::FirstFit => (0..cores.len()).find(|&m| fits(m)),
+        Placement::BestFit => {
+            let mut best: Option<(usize, f64)> = None;
+            for (m, core) in cores.iter().enumerate() {
+                if fits(m) {
+                    let load = core.load;
+                    if best.is_none_or(|(_, bl)| load > bl) {
+                        best = Some((m, load));
+                    }
+                }
+            }
+            best.map(|(m, _)| m)
+        }
+        Placement::WorstFit => {
+            let mut best: Option<(usize, f64)> = None;
+            for (m, core) in cores.iter().enumerate() {
+                if fits(m) {
+                    let load = core.load;
+                    if best.is_none_or(|(_, bl)| load < bl) {
+                        best = Some((m, load));
+                    }
+                }
+            }
+            best.map(|(m, _)| m)
+        }
+        Placement::NextFit => {
+            for step in 0..cores.len() {
+                let m = (*cursor + step) % cores.len();
+                if fits(m) {
+                    *cursor = m;
+                    return Some(m);
+                }
+            }
+            None
+        }
+    }
+}
+
+impl Partitioner for BinPacker {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
+        assert!(cores >= 1, "need at least one core");
+        let order = Self::decreasing_max_util_order(ts);
+        let mut state = CoreState::empty(ts.num_levels(), cores);
+        let mut partition = Partition::empty(cores, ts.len());
+        let mut cursor = 0usize;
+        for (placed, task) in order.iter().enumerate() {
+            match choose_core(self.placement, self.fit, &state, task, &mut cursor) {
+                Some(m) => {
+                    state[m].place(task);
+                    partition.assign(task.id(), CoreId(u16::try_from(m).expect("core fits u16")));
+                }
+                None => return Err(PartitionFailure { task: task.id(), placed }),
+            }
+        }
+        Ok(partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{TaskBuilder, TaskId};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn set(tasks: Vec<McTask>, k: u8) -> TaskSet {
+        TaskSet::new(k, tasks).unwrap()
+    }
+
+    /// Four half-utilization tasks on two cores: every decreasing scheme
+    /// must pack two per core.
+    fn four_halves() -> TaskSet {
+        set(
+            (0..4).map(|i| task(i, 10, 1, &[5])).collect(),
+            1,
+        )
+    }
+
+    #[test]
+    fn ffd_packs_greedily() {
+        let ts = four_halves();
+        let p = BinPacker::ffd().partition(&ts, 2).unwrap();
+        assert_eq!(p.load_counts(), vec![2, 2]);
+        // First-fit keeps filling core 0 first.
+        assert_eq!(p.core_of(TaskId(0)), Some(CoreId(0)));
+        assert_eq!(p.core_of(TaskId(1)), Some(CoreId(0)));
+        assert_eq!(p.core_of(TaskId(2)), Some(CoreId(1)));
+    }
+
+    #[test]
+    fn wfd_spreads_load() {
+        let ts = set(
+            vec![task(0, 10, 1, &[4]), task(1, 10, 1, &[3]), task(2, 10, 1, &[2])],
+            1,
+        );
+        let p = BinPacker::wfd().partition(&ts, 2).unwrap();
+        // τ0 → P1 (empty), τ1 → P2 (load 0 < 0.4), τ2 → P2 (0.3 < 0.4).
+        assert_eq!(p.core_of(TaskId(0)), Some(CoreId(0)));
+        assert_eq!(p.core_of(TaskId(1)), Some(CoreId(1)));
+        assert_eq!(p.core_of(TaskId(2)), Some(CoreId(1)));
+    }
+
+    #[test]
+    fn bfd_prefers_fullest_feasible_core() {
+        // τ0=0.6 → P1; τ1=0.3 → best-fit picks P1 (0.6 load, still fits);
+        // τ2=0.3 no longer fits P1 (0.9+0.3 > 1) → P2.
+        let ts = set(
+            vec![task(0, 10, 1, &[6]), task(1, 10, 1, &[3]), task(2, 10, 1, &[3])],
+            1,
+        );
+        let p = BinPacker::bfd().partition(&ts, 2).unwrap();
+        assert_eq!(p.core_of(TaskId(0)), Some(CoreId(0)));
+        assert_eq!(p.core_of(TaskId(1)), Some(CoreId(0)));
+        assert_eq!(p.core_of(TaskId(2)), Some(CoreId(1)));
+    }
+
+    #[test]
+    fn nfd_advances_cyclically() {
+        let ts = four_halves();
+        let p = BinPacker::nfd().partition(&ts, 2).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.load_counts().iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn failure_reports_unplaceable_task() {
+        // Three 0.6 tasks on two cores: third cannot fit anywhere.
+        let ts = set((0..3).map(|i| task(i, 10, 1, &[6])).collect(), 1);
+        let err = BinPacker::ffd().partition(&ts, 2).unwrap_err();
+        assert_eq!(err.placed, 2);
+    }
+
+    #[test]
+    fn improved_fit_rescues_mc_sets() {
+        // Per-core: U_1(1)=0.5 + HI(0.1, 0.6) passes Thm 1 but not Eq. (4).
+        let ts = set(
+            vec![task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])],
+            2,
+        );
+        assert!(BinPacker::ffd().with_fit(FitTest::Simple).partition(&ts, 1).is_err());
+        assert!(BinPacker::ffd().partition(&ts, 1).is_ok());
+    }
+
+    #[test]
+    fn order_is_by_max_utilization() {
+        let ts = set(
+            vec![
+                task(0, 10, 1, &[2]),      // 0.2
+                task(1, 10, 2, &[1, 8]),   // 0.8
+                task(2, 10, 1, &[5]),      // 0.5
+            ],
+            2,
+        );
+        let order: Vec<u32> =
+            BinPacker::decreasing_max_util_order(&ts).iter().map(|t| t.id().0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_task_set_yields_empty_partition() {
+        let ts = set(vec![], 2);
+        let p = BinPacker::ffd().partition(&ts, 4).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.num_tasks(), 0);
+    }
+
+    #[test]
+    fn single_core_acts_as_pure_schedulability_test() {
+        let ts = set(vec![task(0, 10, 2, &[3, 9]), task(1, 100, 1, &[10])], 2);
+        // θ(1) = 0.1 + min{0.9, 0.3/0.1=3} = 1.0 ⇒ feasible on one core.
+        assert!(BinPacker::ffd().partition(&ts, 1).is_ok());
+    }
+}

@@ -1,0 +1,112 @@
+//! DBF-based partitioning for dual-criticality systems — the
+//! higher-precision, higher-cost alternative the paper attributes to Gu et
+//! al. \[20\] ("a partitioning scheme that exploits the DBF-based
+//! schedulability test (with a much higher complexity)").
+//!
+//! Tasks are ordered by decreasing maximum utilization and placed first-fit,
+//! but a core accepts a task iff the demand-bound-function analysis
+//! (`mcs_analysis::dbf`) admits the resulting subset. Only defined for
+//! `K = 2`, like the analyses of \[20\] and Ekberg & Yi.
+
+use mcs_model::{CoreId, McTask, Partition, TaskSet};
+
+use mcs_analysis::dbf::dbf_schedulable;
+
+use crate::binpack::BinPacker;
+use crate::{PartitionFailure, Partitioner};
+
+/// First-fit-decreasing with the DBF admission test (dual-criticality only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbfFirstFit;
+
+impl Partitioner for DbfFirstFit {
+    fn name(&self) -> &'static str {
+        "DBF-FFD"
+    }
+
+    fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
+        assert!(cores >= 1, "need at least one core");
+        assert!(
+            ts.num_levels() <= 2,
+            "DBF-FFD is a dual-criticality partitioner (K = {})",
+            ts.num_levels()
+        );
+        let order = BinPacker::decreasing_max_util_order(ts);
+        let mut subsets: Vec<Vec<&McTask>> = vec![Vec::new(); cores];
+        let mut partition = Partition::empty(cores, ts.len());
+        for (placed, task) in order.iter().enumerate() {
+            let mut chosen = None;
+            for (m, subset) in subsets.iter().enumerate() {
+                let mut candidate: Vec<&McTask> = subset.clone();
+                candidate.push(task);
+                if dbf_schedulable(&candidate).schedulable() {
+                    chosen = Some(m);
+                    break;
+                }
+            }
+            match chosen {
+                Some(m) => {
+                    subsets[m].push(task);
+                    partition.assign(task.id(), CoreId(u16::try_from(m).expect("fits")));
+                }
+                None => return Err(PartitionFailure { task: task.id(), placed }),
+            }
+        }
+        Ok(partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binpack::BinPacker;
+    use crate::fit::FitTest;
+    use mcs_model::{TaskBuilder, TaskId};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn set(tasks: Vec<McTask>) -> TaskSet {
+        TaskSet::new(2, tasks).unwrap()
+    }
+
+    #[test]
+    fn packs_easy_sets() {
+        let ts = set(vec![
+            task(0, 100, 1, &[30]),
+            task(1, 100, 2, &[10, 25]),
+            task(2, 200, 1, &[60]),
+            task(3, 200, 2, &[20, 50]),
+        ]);
+        let p = DbfFirstFit.partition(&ts, 2).unwrap();
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn rejects_overload() {
+        let ts = set((0..3).map(|i| task(i, 10, 1, &[8])).collect());
+        assert!(DbfFirstFit.partition(&ts, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dual-criticality")]
+    fn rejects_k3_systems() {
+        let ts = TaskSet::new(3, vec![task(0, 10, 3, &[1, 2, 3])]).unwrap();
+        let _ = DbfFirstFit.partition(&ts, 1);
+    }
+
+    /// The concrete case from the analysis tests where the utilization test
+    /// is pessimistic: DBF-FFD packs it on one core while Eq.-(4)-or-Thm.-1
+    /// FFD needs the improved condition or fails.
+    #[test]
+    fn dbf_precision_can_beat_eq4() {
+        let ts = set(vec![task(0, 10, 1, &[7]), task(1, 30, 2, &[6, 12])]);
+        // Eq. (4): 0.7 + 0.4 = 1.1 fails; Eq. (7): 0.7 + 1/3 = 1.033 fails.
+        assert!(BinPacker::ffd().with_fit(FitTest::SimpleThenImproved)
+            .partition(&ts, 1)
+            .is_err());
+        // DBF admits it.
+        assert!(DbfFirstFit.partition(&ts, 1).is_ok());
+    }
+}

@@ -1,0 +1,109 @@
+//! Partition quality metrics: `U_sys` (Eq. (10)), `U_avg` (Eq. (11)) and
+//! the workload imbalance factor `Λ` (Eq. (16)), computed from the per-core
+//! Theorem-1 core utilizations (Eq. (9)).
+
+use mcs_analysis::Theorem1;
+use mcs_model::{Partition, TaskSet};
+
+use crate::catpa::imbalance;
+
+/// Quality report for a *complete, feasible* partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionQuality {
+    /// Core utilization `U^{Ψ_m}` per core.
+    pub per_core: Vec<f64>,
+    /// `U_sys = max_m U^{Ψ_m}`.
+    pub u_sys: f64,
+    /// `U_avg = Σ_m U^{Ψ_m} / M`.
+    pub u_avg: f64,
+    /// `Λ = (U_sys − min_m U^{Ψ_m}) / U_sys`.
+    pub imbalance: f64,
+}
+
+impl PartitionQuality {
+    /// Evaluate a partition. Returns `None` when the partition is incomplete
+    /// or some core fails the Theorem-1 test (infinite core utilization) —
+    /// the paper computes these metrics over schedulable task sets only.
+    #[must_use]
+    pub fn evaluate(ts: &TaskSet, partition: &Partition) -> Option<Self> {
+        if partition.require_complete(ts).is_err() {
+            return None;
+        }
+        let tables = partition.core_tables(ts);
+        let mut per_core = Vec::with_capacity(tables.len());
+        for table in &tables {
+            per_core.push(Theorem1::compute(table).core_utilization()?);
+        }
+        let u_sys = per_core.iter().copied().fold(0.0f64, f64::max);
+        let u_avg = per_core.iter().sum::<f64>() / per_core.len() as f64;
+        let lambda = imbalance(&per_core);
+        Some(Self { per_core, u_sys, u_avg, imbalance: lambda })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{CoreId, McTask, TaskBuilder, TaskId};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn set(tasks: Vec<McTask>, k: u8) -> TaskSet {
+        TaskSet::new(k, tasks).unwrap()
+    }
+
+    #[test]
+    fn metrics_for_balanced_partition() {
+        let ts = set(vec![task(0, 10, 1, &[4]), task(1, 10, 1, &[4])], 1);
+        let mut p = Partition::empty(2, 2);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(1));
+        let q = PartitionQuality::evaluate(&ts, &p).unwrap();
+        assert!((q.u_sys - 0.4).abs() < 1e-12);
+        assert!((q.u_avg - 0.4).abs() < 1e-12);
+        assert!(q.imbalance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_for_skewed_partition() {
+        let ts = set(vec![task(0, 10, 1, &[8]), task(1, 10, 1, &[2])], 1);
+        let mut p = Partition::empty(2, 2);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(1));
+        let q = PartitionQuality::evaluate(&ts, &p).unwrap();
+        assert!((q.u_sys - 0.8).abs() < 1e-12);
+        assert!((q.u_avg - 0.5).abs() < 1e-12);
+        assert!((q.imbalance - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_partition_yields_none() {
+        let ts = set(vec![task(0, 10, 1, &[1]), task(1, 10, 1, &[1])], 1);
+        let mut p = Partition::empty(2, 2);
+        p.assign(TaskId(0), CoreId(0));
+        assert_eq!(PartitionQuality::evaluate(&ts, &p), None);
+    }
+
+    #[test]
+    fn infeasible_core_yields_none() {
+        let ts = set(vec![task(0, 10, 1, &[7]), task(1, 10, 1, &[7])], 1);
+        let mut p = Partition::empty(2, 2);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(0)); // 1.4 on one core
+        assert_eq!(PartitionQuality::evaluate(&ts, &p), None);
+    }
+
+    #[test]
+    fn empty_cores_count_as_zero_utilization() {
+        let ts = set(vec![task(0, 10, 1, &[5])], 1);
+        let mut p = Partition::empty(4, 1);
+        p.assign(TaskId(0), CoreId(2));
+        let q = PartitionQuality::evaluate(&ts, &p).unwrap();
+        assert_eq!(q.per_core.len(), 4);
+        assert!((q.u_sys - 0.5).abs() < 1e-12);
+        assert!((q.u_avg - 0.125).abs() < 1e-12);
+        assert!((q.imbalance - 1.0).abs() < 1e-12);
+    }
+}

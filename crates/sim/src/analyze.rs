@@ -1,0 +1,177 @@
+//! Post-hoc trace analysis: turn a recorded [`Trace`] into
+//! per-task response statistics, mode-residency accounting and event
+//! counts — the numbers a systems paper's "runtime behaviour" section
+//! reports.
+
+use std::collections::HashMap;
+
+use mcs_model::{CritLevel, TaskId, Tick};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Response-time statistics of one task, computed from matched
+/// release/complete pairs in a trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResponseStats {
+    /// Completed jobs observed.
+    pub completed: u64,
+    /// Minimum response (ticks).
+    pub min: Tick,
+    /// Maximum response (ticks).
+    pub max: Tick,
+    /// Mean response (ticks).
+    pub mean: f64,
+    /// Late completions.
+    pub late: u64,
+}
+
+/// Full trace analysis.
+#[derive(Clone, Debug, Default)]
+pub struct TraceAnalysis {
+    /// Per-task response statistics.
+    pub responses: HashMap<TaskId, ResponseStats>,
+    /// Ticks spent in each operation mode (`residency[l-1]`), measured
+    /// between the first and last event.
+    pub mode_residency: Vec<Tick>,
+    /// Mode switches observed.
+    pub mode_switches: u64,
+    /// Jobs dropped.
+    pub dropped: u64,
+    /// Deadline misses.
+    pub misses: u64,
+}
+
+impl TraceAnalysis {
+    /// Analyse a trace recorded by a core with `levels` criticality levels.
+    ///
+    /// The trace must not have hit its capacity cap mid-run for the
+    /// residency numbers to be exact; statistics are computed over whatever
+    /// events are present.
+    #[must_use]
+    pub fn from_trace(trace: &Trace, levels: u8) -> Self {
+        let mut out = TraceAnalysis {
+            mode_residency: vec![0; usize::from(levels)],
+            ..Default::default()
+        };
+        let events = trace.events();
+        let mut releases: HashMap<(TaskId, u64), Tick> = HashMap::new();
+        let mut mode: usize = 0; // level-1 == index 0
+        let mut mode_since: Option<Tick> = events.first().map(TraceEvent::time);
+
+        for e in events {
+            match e {
+                TraceEvent::Release { time, task, job, .. } => {
+                    releases.insert((*task, *job), *time);
+                }
+                TraceEvent::Complete { time, task, job, late } => {
+                    if let Some(rel) = releases.remove(&(*task, *job)) {
+                        let resp = time - rel;
+                        let s = out.responses.entry(*task).or_insert(ResponseStats {
+                            min: Tick::MAX,
+                            ..Default::default()
+                        });
+                        s.completed += 1;
+                        s.min = s.min.min(resp);
+                        s.max = s.max.max(resp);
+                        // Incremental mean.
+                        s.mean += (resp as f64 - s.mean) / s.completed as f64;
+                        if *late {
+                            s.late += 1;
+                        }
+                    }
+                }
+                TraceEvent::ModeSwitch { time, to, .. } => {
+                    if let Some(since) = mode_since {
+                        out.mode_residency[mode] += time - since;
+                    }
+                    mode = to.index();
+                    mode_since = Some(*time);
+                    out.mode_switches += 1;
+                }
+                TraceEvent::IdleReset { time } => {
+                    if let Some(since) = mode_since {
+                        out.mode_residency[mode] += time - since;
+                    }
+                    mode = 0;
+                    mode_since = Some(*time);
+                }
+                TraceEvent::Drop { .. } => out.dropped += 1,
+                TraceEvent::DeadlineMiss { .. } => out.misses += 1,
+            }
+        }
+        if let (Some(since), Some(last)) = (mode_since, events.last()) {
+            out.mode_residency[mode] += last.time().saturating_sub(since);
+        }
+        out
+    }
+
+    /// Fraction of traced time spent at or above `level` (0 when the trace
+    /// is empty).
+    #[must_use]
+    pub fn residency_at_or_above(&self, level: CritLevel) -> f64 {
+        let total: Tick = self.mode_residency.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let high: Tick = self.mode_residency[level.index()..].iter().sum();
+        high as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{CoreSim, SchedulerKind};
+    use crate::scenario::{LevelCap, SingleOverrun};
+    use crate::trace::Trace;
+    use mcs_analysis::{Theorem1, VdAssignment};
+    use mcs_model::{McTask, TaskBuilder, UtilTable};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    #[test]
+    fn nominal_trace_analysis() {
+        let t = task(0, 10, 1, &[3]);
+        let sim = CoreSim::new(vec![&t], SchedulerKind::PlainEdf);
+        let mut trace = Trace::enabled(10_000);
+        let report = sim.run(&mut LevelCap::lo(), 100, &mut trace);
+        let a = TraceAnalysis::from_trace(&trace, 1);
+        let s = &a.responses[&TaskId(0)];
+        assert_eq!(s.completed, report.completed);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.late, 0);
+        assert_eq!(a.mode_switches, 0);
+        assert_eq!(a.misses, 0);
+        assert!((a.residency_at_or_above(CritLevel::LO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_residency_reflects_switches() {
+        let lo = task(0, 10, 1, &[3]);
+        let hi = task(1, 10, 2, &[2, 6]);
+        let tasks = vec![&lo, &hi];
+        let table = UtilTable::from_tasks(2, tasks.iter().copied());
+        let analysis = Theorem1::compute(&table);
+        let vd = VdAssignment::compute(&table, &analysis).unwrap();
+        let sim = CoreSim::new(tasks, SchedulerKind::EdfVd(vd));
+        let mut trace = Trace::enabled(10_000);
+        let _ = sim.run(&mut SingleOverrun::new(TaskId(1), 1, 2), 100, &mut trace);
+        let a = TraceAnalysis::from_trace(&trace, 2);
+        assert_eq!(a.mode_switches, 1);
+        let high_share = a.residency_at_or_above(CritLevel::new(2));
+        assert!(high_share > 0.0 && high_share < 0.5, "share = {high_share}");
+        assert!(a.dropped >= 1 || a.misses == 0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let a = TraceAnalysis::from_trace(&Trace::disabled(), 3);
+        assert!(a.responses.is_empty());
+        assert_eq!(a.mode_switches, 0);
+        assert_eq!(a.residency_at_or_above(CritLevel::LO), 0.0);
+    }
+}

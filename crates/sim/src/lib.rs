@@ -1,0 +1,41 @@
+//! # mcs-sim
+//!
+//! Discrete-event simulator for *partitioned EDF-VD with AMC mode switching*
+//! — the runtime substrate the paper assumes ("the system provides run-time
+//! support to monitor the execution of individual jobs", §II-A).
+//!
+//! Each core runs independently (partitioned scheduling has no migration):
+//!
+//! * jobs are released synchronously at multiples of their period;
+//! * the ready job with the earliest *effective* deadline runs (EDF), where
+//!   effective deadlines apply the per-mode virtual-deadline factors of
+//!   [`mcs_analysis::VdAssignment`];
+//! * if a job executes for its level-`m` WCET `c_i(m)` at operation mode `m`
+//!   without signalling completion, the core switches to mode `m + 1`,
+//!   *drops* every job (and future release) of tasks with criticality ≤ `m`,
+//!   and re-evaluates the effective deadlines of the surviving jobs;
+//! * when the core idles, it resets to level-1 operation and resumes
+//!   releasing all tasks (the AMC idle-reset rule).
+//!
+//! What each job actually demands is decided by an [`scenario`] — worst-case
+//! at a chosen behaviour level, probabilistic overruns, etc. The central
+//! soundness property (exercised by the validation tests and the
+//! `mcs-exp soundness` experiment): *if a core's subset passes Theorem 1,
+//! then under any behaviour of level `b` every task with criticality ≥ `b`
+//! meets all deadlines*; and under level-1 behaviour, **all** tasks do.
+
+pub mod analyze;
+pub mod core;
+pub mod global;
+pub mod report;
+pub mod scenario;
+pub mod system;
+pub mod trace;
+
+pub use crate::analyze::{ResponseStats, TraceAnalysis};
+pub use crate::core::{ArrivalModel, CoreSim, DegradationPolicy, Overheads, SchedulerKind};
+pub use crate::global::GlobalSim;
+pub use report::{CoreReport, SimReport};
+pub use scenario::{BurstOverrun, LevelCap, Probabilistic, Scenario, Scripted, SingleOverrun};
+pub use system::{simulate_partition, simulate_partition_parallel, SimConfig};
+pub use trace::{Trace, TraceEvent};

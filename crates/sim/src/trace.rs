@@ -1,0 +1,142 @@
+//! Optional event tracing for the simulator — used by examples to show the
+//! runtime behaviour (mode switches, drops, completions) and by tests to
+//! assert event ordering.
+
+use std::fmt;
+
+use mcs_model::{CritLevel, TaskId, Tick};
+
+/// One simulator event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A job arrived.
+    Release { time: Tick, task: TaskId, job: u64, deadline: Tick },
+    /// A job signalled completion.
+    Complete { time: Tick, task: TaskId, job: u64, late: bool },
+    /// A job of `task` exhausted its level-`from` budget: the core switched
+    /// modes.
+    ModeSwitch { time: Tick, task: TaskId, from: CritLevel, to: CritLevel },
+    /// A live job was discarded by a mode switch.
+    Drop { time: Tick, task: TaskId, job: u64 },
+    /// The core idled and reset to level-1 operation.
+    IdleReset { time: Tick },
+    /// A (non-dropped) job's deadline passed before completion.
+    DeadlineMiss { time: Tick, task: TaskId, job: u64 },
+}
+
+impl TraceEvent {
+    /// Event timestamp.
+    #[must_use]
+    pub fn time(&self) -> Tick {
+        match self {
+            TraceEvent::Release { time, .. }
+            | TraceEvent::Complete { time, .. }
+            | TraceEvent::ModeSwitch { time, .. }
+            | TraceEvent::Drop { time, .. }
+            | TraceEvent::IdleReset { time }
+            | TraceEvent::DeadlineMiss { time, .. } => *time,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Release { time, task, job, deadline } => {
+                write!(f, "[{time:>8}] release  τ{task}#{job} (deadline {deadline})")
+            }
+            TraceEvent::Complete { time, task, job, late } => {
+                let mark = if *late { " LATE" } else { "" };
+                write!(f, "[{time:>8}] complete τ{task}#{job}{mark}")
+            }
+            TraceEvent::ModeSwitch { time, task, from, to } => {
+                write!(f, "[{time:>8}] MODE {from}→{to} (τ{task} exceeded its level-{from} budget)")
+            }
+            TraceEvent::Drop { time, task, job } => {
+                write!(f, "[{time:>8}] drop     τ{task}#{job}")
+            }
+            TraceEvent::IdleReset { time } => write!(f, "[{time:>8}] idle — reset to level 1"),
+            TraceEvent::DeadlineMiss { time, task, job } => {
+                write!(f, "[{time:>8}] MISS     τ{task}#{job}")
+            }
+        }
+    }
+}
+
+/// A bounded event log. Disabled traces cost one branch per event.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    cap: usize,
+}
+
+impl Trace {
+    /// An enabled trace holding at most `cap` events (older events are kept;
+    /// excess events are discarded).
+    #[must_use]
+    pub fn enabled(cap: usize) -> Self {
+        Self { events: Vec::new(), enabled: true, cap }
+    }
+
+    /// A disabled trace (records nothing).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Record an event (no-op when disabled or full).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled && self.events.len() < self.cap {
+            self.events.push(event);
+        }
+    }
+
+    /// Recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether this trace records events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceEvent::IdleReset { time: 5 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_caps_events() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.push(TraceEvent::IdleReset { time: i });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].time(), 0);
+        assert_eq!(t.events()[1].time(), 1);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = TraceEvent::ModeSwitch {
+            time: 42,
+            task: TaskId(3),
+            from: CritLevel::new(1),
+            to: CritLevel::new(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("MODE 1→2"), "{s}");
+        assert!(s.contains("τ3"), "{s}");
+    }
+}

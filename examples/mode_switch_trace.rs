@@ -1,0 +1,90 @@
+//! Show *why* virtual deadlines matter: a dual-criticality subset that
+//! passes Theorem 1 but fails Eq. (4) is executed twice — once under plain
+//! EDF + AMC (the high-criticality task misses a deadline when it overruns)
+//! and once under EDF-VD (it is protected) — with the interesting trace
+//! events printed.
+//!
+//! Plain EDF + AMC is surprisingly robust (the budget-exhaustion switch
+//! itself sheds load early), so failing instances are rare; this one was
+//! found by adversarial search over the paper's workload generator
+//! (K = 2, NSU = 0.92, IFC = 0.7, seed 23454): two heavy LO tasks keep the
+//! processor ~91% busy, so under EDF the HI job is legitimately postponed,
+//! and when it finally overruns there is no room left before its deadline.
+//!
+//! ```sh
+//! cargo run --release --example mode_switch_trace
+//! ```
+
+use mcs::analysis::{simple_condition, Theorem1, VdAssignment};
+use mcs::model::{CritLevel, LevelUtils, TaskBuilder, TaskId, UtilTable};
+use mcs::sim::{CoreSim, SchedulerKind, SingleOverrun, Trace, TraceEvent};
+
+fn main() {
+    let hi = TaskBuilder::new(TaskId(0))
+        .period(1_786_000)
+        .level(2)
+        .wcet(&[125_342, 213_081])
+        .build()
+        .unwrap();
+    let lo1 = TaskBuilder::new(TaskId(1)).period(88_000).level(1).wcet(&[44_804]).build().unwrap();
+    let lo2 = TaskBuilder::new(TaskId(2)).period(108_000).level(1).wcet(&[43_808]).build().unwrap();
+    let tasks = vec![&hi, &lo1, &lo2];
+
+    let table = UtilTable::from_tasks(2, tasks.iter().copied());
+    let analysis = Theorem1::compute(&table);
+    println!(
+        "Eq. (4) total = {:.3}  (> 1 ⇒ plain EDF gives no worst-case guarantee)",
+        table.own_level_total()
+    );
+    println!(
+        "Theorem 1 (= Eq. (7) for K = 2): θ(1) = {:.3} ≤ 1 ⇒ EDF-VD schedulable",
+        analysis.theta(1).unwrap()
+    );
+    assert!(!simple_condition(&table) && analysis.feasible());
+
+    let vd = VdAssignment::compute(&table, &analysis).expect("feasible");
+    println!(
+        "virtual-deadline factor for τ0 in LO mode: {:.4}  (deadline {} → {})\n",
+        vd.factor(CritLevel::LO, CritLevel::new(2)),
+        hi.period(),
+        (vd.factor(CritLevel::LO, CritLevel::new(2)) * hi.period() as f64).round()
+    );
+
+    let horizon = 3_600_000; // two HI periods
+    let interesting = |e: &&TraceEvent| {
+        matches!(
+            e,
+            TraceEvent::ModeSwitch { .. }
+                | TraceEvent::DeadlineMiss { .. }
+                | TraceEvent::IdleReset { .. }
+                | TraceEvent::Complete { task: TaskId(0), .. }
+                | TraceEvent::Release { task: TaskId(0), .. }
+        )
+    };
+
+    println!("--- plain EDF + AMC, τ0's first job overruns to its HI demand ---");
+    let mut trace = Trace::enabled(100_000);
+    let plain = CoreSim::new(tasks.clone(), SchedulerKind::PlainEdf);
+    let r1 = plain.run(&mut SingleOverrun::new(TaskId(0), 0, 2), horizon, &mut trace);
+    for e in trace.events().iter().filter(interesting) {
+        println!("{e}");
+    }
+    println!("plain EDF misses by τ0: {}\n", r1.mandatory_misses(CritLevel::new(2)));
+
+    println!("--- EDF-VD, same behaviour ---");
+    let mut trace = Trace::enabled(100_000);
+    let edfvd = CoreSim::new(tasks, SchedulerKind::EdfVd(vd));
+    let r2 = edfvd.run(&mut SingleOverrun::new(TaskId(0), 0, 2), horizon, &mut trace);
+    for e in trace.events().iter().filter(interesting) {
+        println!("{e}");
+    }
+    println!(
+        "EDF-VD misses by τ0: {} ({} mode switches, {} LO jobs dropped)",
+        r2.mandatory_misses(CritLevel::new(2)),
+        r2.mode_switches,
+        r2.dropped
+    );
+
+    assert!(r1.mandatory_misses(CritLevel::new(2)) > 0, "plain EDF must fail here");
+    assert_eq!(r2.mandatory_misses(CritLevel::new(2)), 0, "EDF-VD must protect τ0");
+}

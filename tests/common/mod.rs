@@ -1,0 +1,43 @@
+//! Shared proptest strategies and helpers for the integration tests.
+
+use proptest::prelude::*;
+
+use mcs::model::{CritLevel, McTask, TaskBuilder, TaskId, TaskSet};
+
+/// Strategy for one MC task: bounded period, valid non-decreasing WCET
+/// vector with at least 1 tick per level.
+pub fn arb_task(id: u32, max_levels: u8) -> impl Strategy<Value = McTask> {
+    (1..=max_levels, 20u64..=400, 0.05f64..=0.6, 1.05f64..=1.9).prop_map(
+        move |(level, period, u1, growth)| {
+            let mut wcet = Vec::with_capacity(usize::from(level));
+            let mut c = (u1 * period as f64).max(1.0);
+            for _ in 0..level {
+                let v = (c.round() as u64).clamp(1, period.saturating_mul(3));
+                wcet.push(v.max(*wcet.last().unwrap_or(&1)));
+                c *= growth;
+            }
+            TaskBuilder::new(TaskId(id))
+                .period(period)
+                .level(level)
+                .wcet(&wcet)
+                .build()
+                .expect("strategy produces valid tasks")
+        },
+    )
+}
+
+/// Strategy for a task set with 1..=n tasks over `k` levels.
+pub fn arb_task_set(max_tasks: usize, k: u8) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(any::<u32>(), 1..=max_tasks).prop_flat_map(move |seeds| {
+        let strategies: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_task(u32::try_from(i).expect("fits"), k))
+            .collect();
+        strategies.prop_map(move |tasks| TaskSet::new(k, tasks).expect("valid set"))
+    })
+}
+
+/// The lowest criticality level, for convenience.
+#[allow(dead_code)]
+pub const LO: CritLevel = CritLevel::LO;

@@ -1,0 +1,69 @@
+//! Cross-validation of the f64 analysis against exact rational arithmetic:
+//! the two may disagree only when the exact slack is inside the EPS band.
+
+mod common;
+
+use common::arb_task_set;
+use proptest::prelude::*;
+
+use mcs::analysis::exact_arith::{
+    min_abs_slack_exact, simple_condition_exact, theorem1_feasible_exact,
+};
+use mcs::analysis::{simple_condition, Theorem1, EPS};
+use mcs::model::McTask;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 1 under f64 and under exact rationals agree except inside
+    /// the EPS boundary band.
+    #[test]
+    fn theorem1_f64_matches_exact(ts in arb_task_set(8, 4)) {
+        let refs: Vec<&McTask> = ts.tasks().iter().collect();
+        let Some(exact) = theorem1_feasible_exact(&refs, ts.num_levels()) else {
+            return Ok(()); // i128 overflow — skip
+        };
+        let f64_verdict = Theorem1::compute(&ts.util_table()).feasible();
+        if f64_verdict != exact {
+            let slack = min_abs_slack_exact(&refs, ts.num_levels())
+                .expect("slack computable when feasibility was");
+            prop_assert!(
+                slack <= 64.0 * EPS,
+                "verdicts disagree (f64 {f64_verdict}, exact {exact}) with slack {slack}"
+            );
+        }
+    }
+
+    /// Eq. (4) under f64 and exact rationals agree likewise.
+    #[test]
+    fn simple_condition_f64_matches_exact(ts in arb_task_set(10, 4)) {
+        let refs: Vec<&McTask> = ts.tasks().iter().collect();
+        let Some(exact) = simple_condition_exact(&refs, ts.num_levels()) else {
+            return Ok(());
+        };
+        let table = ts.util_table();
+        let f64_verdict = simple_condition(&table);
+        if f64_verdict != exact {
+            use mcs::model::LevelUtils;
+            let slack = (1.0 - table.own_level_total()).abs();
+            prop_assert!(slack <= 64.0 * EPS, "Eq.(4) disagreement with slack {slack}");
+        }
+    }
+}
+
+/// The paper's worked example, decided exactly.
+#[test]
+fn worked_example_exact_verdicts() {
+    let ts = mcs::exp::paper_example_task_set();
+    let refs: Vec<&McTask> = ts.tasks().iter().collect();
+    // All five on one core: infeasible.
+    assert_eq!(theorem1_feasible_exact(&refs, 2), Some(false));
+    // CA-TPA's P1 = {τ4, τ5} (ids 3, 4): feasible.
+    let p1 = [&ts.tasks()[3], &ts.tasks()[4]];
+    assert_eq!(theorem1_feasible_exact(&p1, 2), Some(true));
+    // CA-TPA's P2 = {τ2, τ1, τ3} (ids 1, 0, 2): feasible, slack 0.0104…
+    let p2 = [&ts.tasks()[1], &ts.tasks()[0], &ts.tasks()[2]];
+    assert_eq!(theorem1_feasible_exact(&p2, 2), Some(true));
+    let slack = min_abs_slack_exact(&p2, 2).unwrap();
+    assert!(slack > 0.0 && slack < 0.02, "P2 slack {slack}");
+}

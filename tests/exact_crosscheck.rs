@@ -1,0 +1,102 @@
+//! Cross-checks of the exact branch-and-bound partitioner against a naive
+//! enumeration of every assignment, and sensitivity-analysis properties.
+
+mod common;
+
+use common::arb_task_set;
+use proptest::prelude::*;
+
+use mcs::analysis::{critical_scaling, ScaledView, Theorem1};
+use mcs::model::{CoreId, LevelUtils, Partition, TaskSet, UtilTable};
+use mcs::partition::{ExactBnb, ExactOutcome};
+
+/// Ground truth by enumerating all `M^N` assignments (tiny N only).
+fn brute_force_feasible(ts: &TaskSet, cores: usize) -> bool {
+    let n = ts.len();
+    if n == 0 {
+        return true;
+    }
+    let total = cores.pow(u32::try_from(n).expect("small n"));
+    'outer: for code in 0..total {
+        let mut c = code;
+        let mut partition = Partition::empty(cores, n);
+        for t in ts.tasks() {
+            partition.assign(t.id(), CoreId(u16::try_from(c % cores).expect("fits")));
+            c /= cores;
+        }
+        for table in partition.core_tables(ts) {
+            if !Theorem1::compute(&table).feasible() {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact search agrees with brute force on every tiny instance.
+    #[test]
+    fn exact_matches_brute_force(ts in arb_task_set(6, 3), cores in 1usize..=3) {
+        let truth = brute_force_feasible(&ts, cores);
+        match ExactBnb::default().decide(&ts, cores) {
+            ExactOutcome::Feasible(p) => {
+                prop_assert!(truth, "exact found a witness where none exists");
+                p.require_complete(&ts).expect("witness complete");
+                for table in p.core_tables(&ts) {
+                    prop_assert!(Theorem1::compute(&table).feasible());
+                }
+            }
+            ExactOutcome::Infeasible => prop_assert!(!truth, "exact missed a feasible instance"),
+            ExactOutcome::Unknown => prop_assert!(false, "tiny instance exhausted the budget"),
+        }
+    }
+
+    /// The critical scaling factor is consistent with feasibility at 1.0.
+    #[test]
+    fn critical_scaling_brackets_feasibility(ts in arb_task_set(8, 3)) {
+        let table = ts.util_table();
+        let feasible = Theorem1::compute(&table).feasible();
+        if let Some(s) = critical_scaling(&table) {
+            if feasible {
+                prop_assert!(s >= 1.0 - 1e-6, "feasible set scaled below 1: {s}");
+            } else {
+                prop_assert!(s <= 1.0 + 1e-6, "infeasible set scaled above 1: {s}");
+            }
+            // The reported scale is itself feasible (within tolerance).
+            if s > 1e-5 {
+                prop_assert!(
+                    Theorem1::compute(&ScaledView::new(&table, s - 1e-4)).feasible(),
+                    "scale {s} not feasible just below"
+                );
+            }
+        }
+    }
+
+    /// Scaling preserves the utilization-table structure (sanity of the
+    /// ScaledView adapter).
+    #[test]
+    fn scaled_view_is_linear(ts in arb_task_set(6, 4), scale in 0.1f64..3.0) {
+        let table = ts.util_table();
+        let view = ScaledView::new(&table, scale);
+        for j in mcs::model::CritLevel::up_to(ts.num_levels()) {
+            for k in mcs::model::CritLevel::up_to(j.get()) {
+                let direct = table.util_jk(j, k) * scale;
+                prop_assert!((view.util_jk(j, k) - direct).abs() < 1e-12);
+            }
+        }
+        prop_assert!((view.own_level_total() - table.own_level_total() * scale).abs() < 1e-9);
+    }
+}
+
+/// Deterministic regression: the empty table brute-force corner.
+#[test]
+fn empty_set_brute_force_agrees() {
+    let ts = TaskSet::new(2, vec![]).unwrap();
+    assert!(brute_force_feasible(&ts, 2));
+    assert!(matches!(ExactBnb::default().decide(&ts, 2), ExactOutcome::Feasible(_)));
+    let table = UtilTable::new(2);
+    assert_eq!(critical_scaling(&table), None);
+}

@@ -1,0 +1,167 @@
+//! End-to-end checks that the repository reproduces the paper's concrete
+//! claims: the §III worked example, the schemes' qualitative ordering, and
+//! the directional trends of Figures 1–5 (at reduced trial counts so the
+//! suite stays fast; EXPERIMENTS.md records full-size runs).
+
+use mcs::exp::figures::{figure_with, Baselines, FigureId};
+use mcs::exp::sweep::SweepConfig;
+use mcs::exp::tables;
+
+fn quick(trials: usize) -> SweepConfig {
+    SweepConfig { trials, threads: 0, seed: 0xC0FFEE }
+}
+
+#[test]
+fn worked_example_tables() {
+    // Table II: FFD fails on τ3; Table III: CA-TPA places everything.
+    assert!(tables::example_reproduces());
+}
+
+#[test]
+fn figure1_trends_hold() {
+    // Schedulability decreases with NSU for every scheme; at light load all
+    // schemes are at 1.0; at extreme load all are (near) 0.
+    let fig = figure_with(FigureId::Nsu, &quick(120), Baselines::Strong);
+    for (s, scheme) in fig.schemes().iter().enumerate() {
+        let ratios: Vec<f64> = fig.points.iter().map(|p| p[s].ratio()).collect();
+        assert!(ratios[0] > 0.95, "{scheme} not schedulable at NSU=0.4: {ratios:?}");
+        assert!(
+            ratios.last().unwrap() < &0.1,
+            "{scheme} unrealistically schedulable at NSU=0.8: {ratios:?}"
+        );
+        // Loose monotonicity: each point within noise of never increasing.
+        for w in ratios.windows(2) {
+            assert!(w[1] <= w[0] + 0.08, "{scheme} ratio increased: {ratios:?}");
+        }
+    }
+}
+
+#[test]
+fn figure4_more_cores_help_below_the_transition() {
+    // The paper's Fig. 4 claim ("more cores ⇒ better schedulability")
+    // holds when the per-core load margin is positive; at the exact
+    // transition point the direction inverts by concentration of measure
+    // (see EXPERIMENTS.md). Assert the claim at NSU = 0.55.
+    use mcs::exp::sweep::run_point;
+    use mcs::gen::GenParams;
+    use mcs::partition::paper_schemes;
+    let config = quick(120);
+    let ratios_at = |m: usize| -> Vec<f64> {
+        let params = GenParams::default().with_nsu(0.5).with_cores(m);
+        run_point(&params, &paper_schemes(), &config)
+            .iter()
+            .map(mcs::exp::sweep::PointResult::ratio)
+            .collect()
+    };
+    let small = ratios_at(2);
+    let large = ratios_at(32);
+    let schemes = ["WFD", "FFD", "BFD", "Hybrid", "CA-TPA"];
+    // Packing-family schemes keep near-full schedulability as capacity
+    // scales; spreading-family schemes (WFD, Hybrid's WFD phase) degrade,
+    // which widens the heuristic gap at high M exactly as Fig. 4(a)'s
+    // separation suggests.
+    for (i, scheme) in schemes.iter().enumerate() {
+        if matches!(*scheme, "FFD" | "BFD" | "CA-TPA") {
+            // At M = 32 with N ∈ [40, 200], sets with few tasks contain
+            // individually-infeasible tasks (u_base = NSU·M/N close to 1),
+            // capping every scheme's ratio below 1 — hence the 0.8 floor.
+            assert!(
+                large[i] >= 0.8 && large[i] >= small[i] - 0.2,
+                "{scheme} degraded with more cores below the transition: {} -> {}",
+                small[i],
+                large[i]
+            );
+        }
+    }
+    let wfd = schemes.iter().position(|s| *s == "WFD").unwrap();
+    let catpa = schemes.iter().position(|s| *s == "CA-TPA").unwrap();
+    let gap_small = small[catpa] - small[wfd];
+    let gap_large = large[catpa] - large[wfd];
+    assert!(
+        gap_large >= gap_small - 0.05,
+        "CA-TPA/WFD gap should not shrink with more cores: {gap_small} -> {gap_large}"
+    );
+}
+
+#[test]
+fn figure5_levels_hurt() {
+    let fig = figure_with(FigureId::Levels, &quick(80), Baselines::Strong);
+    for (s, scheme) in fig.schemes().iter().enumerate() {
+        let ratios: Vec<f64> = fig.points.iter().map(|p| p[s].ratio()).collect();
+        assert!(
+            ratios[0] >= ratios.last().unwrap() - 0.05,
+            "{scheme} improved with more criticality levels: {ratios:?}"
+        );
+        assert!(ratios[0] > 0.9, "{scheme} should handle K=2 at NSU=0.6: {ratios:?}");
+    }
+}
+
+#[test]
+fn wfd_is_never_the_best_scheme_under_load() {
+    // The paper's most robust qualitative claim: WFD yields the lowest
+    // schedulability ratio. Check at the transition point.
+    let fig = figure_with(FigureId::Nsu, &quick(200), Baselines::Strong);
+    let schemes = fig.schemes();
+    let wfd = schemes.iter().position(|s| *s == "WFD").unwrap();
+    // NSU = 0.55 (index 3) sits at the transition.
+    let row = &fig.points[3];
+    let wfd_ratio = row[wfd].ratio();
+    let best = row.iter().map(|r| r.ratio()).fold(0.0f64, f64::max);
+    assert!(
+        wfd_ratio <= best,
+        "WFD ({wfd_ratio}) beat the best scheme ({best})"
+    );
+}
+
+#[test]
+fn weak_baselines_show_catpa_advantage_under_geometric_growth() {
+    // The paper's reported CA-TPA advantage needs both ingredients it
+    // motivates: *large utilization variation across levels* (the geometric
+    // IFC reading) and baselines restricted to the classical Eq. (4) test.
+    // Under that combination CA-TPA's Theorem-1 probing strictly wins at
+    // the schedulability transition (see EXPERIMENTS.md for the full map).
+    use mcs::exp::sweep::run_point;
+    use mcs::gen::{GenParams, WcetGrowth};
+    use mcs::partition::paper_schemes_weak;
+    let config = quick(300);
+    let mut catpa_sum = 0.0;
+    let mut ffd_sum = 0.0;
+    for nsu in [0.55, 0.6] {
+        let params = GenParams::default()
+            .with_growth(WcetGrowth::Geometric)
+            .with_nsu(nsu);
+        let results = run_point(&params, &paper_schemes_weak(), &config);
+        catpa_sum += results.iter().find(|r| r.scheme == "CA-TPA").unwrap().ratio();
+        ffd_sum += results.iter().find(|r| r.scheme == "FFD").unwrap().ratio();
+    }
+    assert!(
+        catpa_sum >= ffd_sum,
+        "CA-TPA ({catpa_sum}) below weak FFD ({ffd_sum}) under geometric growth"
+    );
+}
+
+#[test]
+fn balance_metrics_favour_catpa_over_ffd() {
+    // Figures 1(d)/3(d): CA-TPA produces more balanced partitions than
+    // FFD/BFD (lower Λ), and no worse average utilization.
+    let fig = figure_with(FigureId::Nsu, &quick(200), Baselines::Strong);
+    let schemes = fig.schemes();
+    let catpa = schemes.iter().position(|s| *s == "CA-TPA").unwrap();
+    let ffd = schemes.iter().position(|s| *s == "FFD").unwrap();
+    // Average Λ over points where both have schedulable sets.
+    let mut catpa_imb = 0.0;
+    let mut ffd_imb = 0.0;
+    let mut n = 0;
+    for row in &fig.points {
+        if row[catpa].schedulable > 0 && row[ffd].schedulable > 0 {
+            catpa_imb += row[catpa].imbalance;
+            ffd_imb += row[ffd].imbalance;
+            n += 1;
+        }
+    }
+    assert!(n > 0);
+    assert!(
+        catpa_imb <= ffd_imb + 0.02 * n as f64,
+        "CA-TPA Λ ({catpa_imb}) not better than FFD Λ ({ffd_imb}) over {n} points"
+    );
+}

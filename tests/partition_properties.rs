@@ -1,0 +1,175 @@
+//! Property-based tests of the partitioning heuristics, across crates.
+
+mod common;
+
+use common::arb_task_set;
+use proptest::prelude::*;
+
+use mcs::analysis::Theorem1;
+use mcs::gen::{generate_task_set, GenParams};
+use mcs::model::{CoreId, TaskSet};
+use mcs::partition::{
+    paper_schemes, paper_schemes_weak, Catpa, CatpaVariant, PartitionQuality, Partitioner,
+};
+
+/// Every core of a returned partition must pass Theorem 1 — the contract of
+/// `Partitioner::partition`.
+fn assert_partition_feasible(ts: &TaskSet, p: &mcs::model::Partition) {
+    p.require_complete(ts).expect("partition must be complete");
+    for table in p.core_tables(ts) {
+        assert!(
+            Theorem1::compute(&table).feasible(),
+            "a returned core fails Theorem 1"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All five paper schemes return feasible, complete partitions whenever
+    /// they return at all.
+    #[test]
+    fn schemes_return_feasible_partitions(ts in arb_task_set(12, 4), cores in 1usize..=4) {
+        for scheme in paper_schemes() {
+            if let Ok(p) = scheme.partition(&ts, cores) {
+                assert_partition_feasible(&ts, &p);
+                prop_assert_eq!(p.num_cores(), cores);
+            }
+        }
+    }
+
+    /// The weak-baseline variants also keep the contract (their test is
+    /// stricter, so their output trivially passes Theorem 1 as well).
+    #[test]
+    fn weak_schemes_keep_contract(ts in arb_task_set(10, 3), cores in 1usize..=3) {
+        for scheme in paper_schemes_weak() {
+            if let Ok(p) = scheme.partition(&ts, cores) {
+                assert_partition_feasible(&ts, &p);
+            }
+        }
+    }
+
+    /// Partitioning is deterministic.
+    #[test]
+    fn schemes_are_deterministic(ts in arb_task_set(10, 4)) {
+        for scheme in paper_schemes() {
+            let a = scheme.partition(&ts, 3);
+            let b = scheme.partition(&ts, 3);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    for t in ts.tasks() {
+                        prop_assert_eq!(x.core_of(t.id()), y.core_of(t.id()));
+                    }
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                other => prop_assert!(false, "nondeterministic outcome: {other:?}"),
+            }
+        }
+    }
+
+    /// Anything schedulable on one core is schedulable on any core count —
+    /// the trivial monotonicity every scheme must at least satisfy (greedy
+    /// heuristics may exhibit anomalies for m → m+1, but a single-core-
+    /// feasible set fits on the first core under every policy here).
+    #[test]
+    fn single_core_feasible_scales_up(ts in arb_task_set(8, 3)) {
+        let catpa = Catpa::default();
+        if catpa.partition(&ts, 1).is_ok() {
+            for cores in 2..=4usize {
+                prop_assert!(
+                    catpa.partition(&ts, cores).is_ok(),
+                    "single-core-feasible set failed on {cores} cores"
+                );
+            }
+        }
+    }
+
+    /// Quality metrics are well-formed for every scheme's output.
+    #[test]
+    fn quality_metrics_well_formed(ts in arb_task_set(12, 4)) {
+        for scheme in paper_schemes() {
+            if let Ok(p) = scheme.partition(&ts, 3) {
+                let q = PartitionQuality::evaluate(&ts, &p).expect("feasible output");
+                prop_assert!(q.u_sys >= q.u_avg - 1e-12);
+                prop_assert!(q.u_sys <= 1.0 + 1e-9);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&q.imbalance));
+                prop_assert_eq!(q.per_core.len(), 3);
+            }
+        }
+    }
+
+    /// The CatpaVariant expressing the paper's defaults matches `Catpa`
+    /// placement-for-placement on arbitrary inputs.
+    #[test]
+    fn variant_machinery_matches_catpa(ts in arb_task_set(12, 4), cores in 1usize..=4) {
+        let a = Catpa::default().partition(&ts, cores);
+        let b = CatpaVariant::paper_default().partition(&ts, cores);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                for t in ts.tasks() {
+                    prop_assert_eq!(x.core_of(t.id()), y.core_of(t.id()));
+                }
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            other => prop_assert!(false, "divergence: {other:?}"),
+        }
+    }
+}
+
+/// Single-task sets go to core 0 under every scheme.
+#[test]
+fn single_task_lands_on_first_core() {
+    // NSU low enough that the lone task stays feasible (u_base = NSU·M/N).
+    let ts = generate_task_set(&GenParams::default().with_n_range(1, 1).with_nsu(0.04), 5);
+    for scheme in paper_schemes() {
+        let p = scheme.partition(&ts, 4).unwrap();
+        assert_eq!(
+            p.core_of(ts.tasks()[0].id()),
+            Some(CoreId(0)),
+            "{} put a lone task elsewhere",
+            scheme.name()
+        );
+    }
+}
+
+/// Generated workloads at low NSU are schedulable by everyone; the sweep
+/// machinery depends on this floor.
+#[test]
+fn low_load_is_universally_schedulable() {
+    let params = GenParams::default().with_nsu(0.3);
+    for seed in 0..10 {
+        let ts = generate_task_set(&params, seed);
+        for scheme in paper_schemes() {
+            assert!(
+                scheme.partition(&ts, params.cores).is_ok(),
+                "{} failed at NSU=0.3 (seed {seed})",
+                scheme.name()
+            );
+        }
+    }
+}
+
+/// Period transformation (Sha et al.) fixes the classic DM criticality
+/// inversion: a long-period HI task that AMC-rtb rejects under DM becomes
+/// schedulable once its period is halved — and the transform is
+/// utilization-neutral up to rounding.
+#[test]
+fn period_transformation_fixes_dm_inversion() {
+    use mcs::analysis::amc::amc_rtb_dm;
+    use mcs::model::{transform_task, CritLevel, McTask, TaskBuilder, TaskId};
+    let task = |id: u32, p: u64, l: u8, w: &[u64]| -> McTask {
+        TaskBuilder::new(TaskId(id)).period(p).level(l).wcet(w).build().unwrap()
+    };
+    let lo = task(0, 10, 1, &[4]);
+    let hi = task(1, 12, 2, &[2, 9]);
+    assert!(!amc_rtb_dm(&[&lo, &hi]), "the inversion instance must fail DM");
+    let hi2 = transform_task(&hi, 2).unwrap();
+    assert_eq!(hi2.period(), 6);
+    assert!(amc_rtb_dm(&[&lo, &hi2]), "halving the HI period must fix it");
+    // Bandwidth is preserved up to the ⌈·⌉ rounding.
+    for k in CritLevel::up_to(2) {
+        assert!(hi2.util(k) >= hi.util(k) - 1e-12);
+        assert!(hi2.util(k) <= hi.util(k) + 0.1);
+    }
+}

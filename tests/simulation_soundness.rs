@@ -1,0 +1,285 @@
+//! End-to-end soundness: analysis-accepted partitions executed on the
+//! simulator must uphold the mixed-criticality guarantee.
+
+mod common;
+
+use common::arb_task_set;
+use proptest::prelude::*;
+
+use mcs::analysis::{simple_condition, Theorem1};
+use mcs::gen::{generate_task_set, GenParams};
+use mcs::model::CritLevel;
+use mcs::partition::{paper_schemes, Catpa, Partitioner};
+use mcs::sim::system::SystemScheduler;
+use mcs::sim::{simulate_partition, LevelCap, Probabilistic, SimConfig};
+
+fn short_config() -> SimConfig {
+    SimConfig { horizon_periods: 6, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under behaviour level b, tasks of criticality ≥ b never miss — for
+    /// every scheme's output and every b.
+    #[test]
+    fn mc_guarantee_holds_for_all_schemes(ts in arb_task_set(8, 3), cores in 1usize..=3) {
+        for scheme in paper_schemes() {
+            let Ok(partition) = scheme.partition(&ts, cores) else { continue };
+            for b in 1..=ts.num_levels() {
+                let (report, _) = simulate_partition(
+                    &ts,
+                    &partition,
+                    SystemScheduler::EdfVd,
+                    &short_config(),
+                    |_| LevelCap::new(b),
+                )
+                .expect("scheme output is feasible");
+                prop_assert!(
+                    report.guarantee_held(CritLevel::new(b)),
+                    "{} violated the level-{b} guarantee: {report:?}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    /// Under fully nominal behaviour (b = 1) *nothing* misses, mode never
+    /// escalates, and nothing is dropped.
+    #[test]
+    fn nominal_behaviour_is_totally_clean(ts in arb_task_set(8, 4)) {
+        let Ok(partition) = Catpa::default().partition(&ts, 2) else { return Ok(()) };
+        let (report, _) = simulate_partition(
+            &ts,
+            &partition,
+            SystemScheduler::EdfVd,
+            &short_config(),
+            |_| LevelCap::lo(),
+        )
+        .expect("feasible");
+        let total = report.total();
+        prop_assert_eq!(total.total_misses(), 0);
+        prop_assert_eq!(total.mode_switches, 0);
+        prop_assert_eq!(total.dropped, 0);
+        prop_assert_eq!(total.max_mode, 1);
+    }
+
+    /// Probabilistic overruns (arbitrary interleavings of behaviours up to
+    /// the task's own level) never break the top-level guarantee.
+    #[test]
+    fn random_overruns_respect_top_guarantee(ts in arb_task_set(8, 3), seed in any::<u64>()) {
+        let Ok(partition) = Catpa::default().partition(&ts, 2) else { return Ok(()) };
+        let k = ts.num_levels();
+        let (report, _) = simulate_partition(
+            &ts,
+            &partition,
+            SystemScheduler::EdfVd,
+            &short_config(),
+            |core| Probabilistic::new(0.3, k, seed ^ core as u64),
+        )
+        .expect("feasible");
+        prop_assert!(
+            report.guarantee_held(CritLevel::new(k)),
+            "top-criticality task missed: {report:?}"
+        );
+    }
+
+    /// When Eq. (4) holds on every core, even *plain EDF* (no virtual
+    /// deadlines) survives worst-case behaviour — the "reduces to EDF" remark
+    /// under Eq. (4) in the paper.
+    #[test]
+    fn eq4_cores_survive_plain_edf(ts in arb_task_set(6, 3)) {
+        let Ok(partition) = Catpa::default().partition(&ts, 2) else { return Ok(()) };
+        let all_eq4 = partition.core_tables(&ts).iter().all(simple_condition);
+        if !all_eq4 {
+            return Ok(());
+        }
+        let (report, _) = simulate_partition(
+            &ts,
+            &partition,
+            SystemScheduler::PlainEdf,
+            &short_config(),
+            |_| LevelCap::new(ts.num_levels()),
+        )
+        .expect("plain EDF always sets up");
+        prop_assert_eq!(report.total().total_misses(), 0, "{:?}", report);
+    }
+}
+
+/// Deterministic end-to-end pipeline: generator → CA-TPA → simulator is
+/// reproducible bit-for-bit.
+#[test]
+fn pipeline_is_deterministic() {
+    let params = GenParams::default().with_n_range(10, 20).with_cores(4).with_nsu(0.45);
+    let run = || {
+        let ts = generate_task_set(&params, 99);
+        let p = Catpa::default().partition(&ts, 4).expect("schedulable");
+        let (report, _) = simulate_partition(
+            &ts,
+            &p,
+            SystemScheduler::EdfVd,
+            &short_config(),
+            |core| Probabilistic::new(0.2, 4, core as u64),
+        )
+        .unwrap();
+        report
+    };
+    assert_eq!(run(), run());
+}
+
+/// The generated-workload soundness sweep (a smaller version of
+/// `mcs-exp soundness`): every analysis-accepted partition is executed at
+/// every behaviour level with zero mandatory misses.
+#[test]
+fn generated_workload_soundness_sweep() {
+    let params = GenParams::default().with_n_range(12, 24).with_cores(4).with_levels(3);
+    let mut simulated = 0;
+    for seed in 0..15u64 {
+        let ts = generate_task_set(&params, seed);
+        let Ok(partition) = Catpa::default().partition(&ts, 4) else { continue };
+        // Defence in depth: re-verify the contract before simulating.
+        for table in partition.core_tables(&ts) {
+            assert!(Theorem1::compute(&table).feasible());
+        }
+        for b in 1..=3u8 {
+            let (report, _) = simulate_partition(
+                &ts,
+                &partition,
+                SystemScheduler::EdfVd,
+                &SimConfig { horizon_periods: 4, ..Default::default() },
+                |_| LevelCap::new(b),
+            )
+            .unwrap();
+            assert!(
+                report.guarantee_held(CritLevel::new(b)),
+                "violation at seed {seed} behaviour {b}: {report:?}"
+            );
+            simulated += 1;
+        }
+    }
+    assert!(simulated > 0, "soundness sweep was vacuous");
+}
+
+/// Partitioned FP + AMC: partitions admitted by the AMC-rtb analysis (with
+/// DM priorities) must uphold the MC guarantee when executed by the
+/// fixed-priority simulator.
+#[test]
+fn fp_amc_partitions_are_sound() {
+    use mcs::partition::FpAmc;
+    let params = GenParams::default().with_levels(2).with_cores(3).with_n_range(8, 16);
+    let mut simulated = 0;
+    for seed in 0..20u64 {
+        let ts = generate_task_set(&params, seed);
+        for scheme in [FpAmc::dm_du(), FpAmc::dm_dc()] {
+            let Ok(partition) = scheme.partition(&ts, 3) else { continue };
+            for b in 1..=2u8 {
+                let (report, _) = simulate_partition(
+                    &ts,
+                    &partition,
+                    SystemScheduler::FixedPriorityDm,
+                    &short_config(),
+                    |_| LevelCap::new(b),
+                )
+                .unwrap();
+                assert!(
+                    report.guarantee_held(CritLevel::new(b)),
+                    "FP-AMC violated at seed {seed} behaviour {b}: {report:?}"
+                );
+                simulated += 1;
+            }
+        }
+    }
+    assert!(simulated > 0, "FP soundness sweep was vacuous");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The global simulator with m = 1 is behaviourally identical to the
+    /// per-core simulator (differential check over arbitrary subsets and
+    /// behaviours).
+    #[test]
+    fn global_m1_equals_partitioned_core(ts in arb_task_set(6, 3), b in 1u8..=3) {
+        use mcs::analysis::{Theorem1, VdAssignment};
+        use mcs::model::{McTask, UtilTable};
+        use mcs::sim::{CoreSim, GlobalSim, LevelCap, SchedulerKind, Trace};
+        let b = b.min(ts.num_levels());
+        let refs: Vec<&McTask> = ts.tasks().iter().collect();
+        let table = UtilTable::from_tasks(ts.num_levels(), refs.iter().copied());
+        let analysis = Theorem1::compute(&table);
+        let kind = match VdAssignment::compute(&table, &analysis) {
+            Some(vd) => SchedulerKind::EdfVd(vd),
+            None => SchedulerKind::PlainEdf,
+        };
+        let horizon = ts.hyperperiod().min(ts.max_period().saturating_mul(4));
+        let core = CoreSim::new(refs.clone(), kind.clone())
+            .run(&mut LevelCap::new(b), horizon, &mut Trace::disabled());
+        let global = GlobalSim::new(refs, 1, kind)
+            .run(&mut LevelCap::new(b), horizon, &mut Trace::disabled());
+        prop_assert_eq!(core, global);
+    }
+}
+
+/// The AMC-rtb response-time *bounds* dominate the *simulated* worst-case
+/// responses: for accepted subsets, the observed response of every task
+/// under nominal behaviour is ≤ its R^LO bound, and of every HI task under
+/// worst-case behaviour ≤ its transition bound R*.
+#[test]
+fn amc_rtb_bounds_dominate_simulated_responses() {
+    use mcs::analysis::amc::{amc_rtb_responses, deadline_monotonic_order};
+    use mcs::model::McTask;
+    use mcs::sim::{CoreSim, SchedulerKind, Trace};
+
+    let params = GenParams::default().with_levels(2).with_cores(1).with_n_range(4, 10);
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let ts = generate_task_set(&params, seed);
+        let refs: Vec<&McTask> = ts.tasks().iter().collect();
+        let ordered = deadline_monotonic_order(&refs);
+        let responses = amc_rtb_responses(&ordered);
+        let accepted = responses.iter().zip(&ordered).all(|(r, t)| {
+            r.lo.is_some() && (t.level().get() < 2 || r.transition.is_some())
+        });
+        if !accepted {
+            continue;
+        }
+        let horizon = ts.hyperperiod().min(ts.max_period().saturating_mul(12));
+        let sched = SchedulerKind::deadline_monotonic(&ordered);
+        // Nominal behaviour: every observed response ≤ R^LO.
+        let nominal = CoreSim::new(ordered.clone(), sched.clone()).run(
+            &mut LevelCap::lo(),
+            horizon,
+            &mut Trace::disabled(),
+        );
+        for (bound, task) in responses.iter().zip(&ordered) {
+            if let Some(observed) = nominal.worst_response_of(task.id()) {
+                assert!(
+                    observed <= bound.lo.unwrap(),
+                    "seed {seed}: τ{} nominal response {observed} > R^LO {}",
+                    task.id(),
+                    bound.lo.unwrap()
+                );
+            }
+        }
+        // Worst-case behaviour: HI responses ≤ R*.
+        let worst = CoreSim::new(ordered.clone(), sched).run(
+            &mut LevelCap::new(2),
+            horizon,
+            &mut Trace::disabled(),
+        );
+        for (bound, task) in responses.iter().zip(&ordered) {
+            if task.level().get() == 2 {
+                if let Some(observed) = worst.worst_response_of(task.id()) {
+                    assert!(
+                        observed <= bound.transition.unwrap(),
+                        "seed {seed}: τ{} worst response {observed} > R* {}",
+                        task.id(),
+                        bound.transition.unwrap()
+                    );
+                }
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked > 0, "no AMC-rtb-accepted subsets were generated");
+}
