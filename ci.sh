@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests, and an invariant-audit
+# smoke run. Everything is offline (vendored deps; see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --offline
+
+echo "== cargo test"
+cargo test -q --offline
+
+echo "== mcs-exp audit (smoke)"
+cargo run -q --release --offline -p mcs-exp -- audit --trials "${AUDIT_TRIALS:-500}"
+
+echo "== ci: all green"

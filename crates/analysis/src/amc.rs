@@ -78,8 +78,7 @@ pub fn amc_rtb_responses(tasks: &[&McTask]) -> Vec<TaskResponse> {
 
         // LO-mode RTA over all higher-priority tasks at level-1 WCETs.
         let lo = fixed_point(task.wcet(l1), deadline, |r| {
-            task.wcet(l1)
-                + hp.iter().map(|j| jobs_in(r, j.period()) * j.wcet(l1)).sum::<Tick>()
+            task.wcet(l1) + hp.iter().map(|j| jobs_in(r, j.period()) * j.wcet(l1)).sum::<Tick>()
         });
 
         // Transition bound for HI tasks: HI interference grows with R*, LO
@@ -115,9 +114,10 @@ pub fn amc_rtb_responses(tasks: &[&McTask]) -> Vec<TaskResponse> {
 /// test, so the latter needs no separate check.)
 #[must_use]
 pub fn amc_rtb_schedulable(tasks: &[&McTask]) -> bool {
-    amc_rtb_responses(tasks).iter().zip(tasks).all(|(r, t)| {
-        r.lo.is_some() && (t.level().get() < 2 || r.transition.is_some())
-    })
+    amc_rtb_responses(tasks)
+        .iter()
+        .zip(tasks)
+        .all(|(r, t)| r.lo.is_some() && (t.level().get() < 2 || r.transition.is_some()))
 }
 
 /// Static mixed-criticality (SMC) response-time test — the pre-AMC
@@ -132,10 +132,7 @@ pub fn amc_rtb_schedulable(tasks: &[&McTask]) -> bool {
 /// larger), which the tests spot-check.
 #[must_use]
 pub fn smc_schedulable(tasks: &[&McTask]) -> bool {
-    assert!(
-        tasks.iter().all(|t| t.level().get() <= 2),
-        "SMC analysis is dual-criticality only"
-    );
+    assert!(tasks.iter().all(|t| t.level().get() <= 2), "SMC analysis is dual-criticality only");
     for (i, task) in tasks.iter().enumerate() {
         let deadline = task.period();
         let own = task.wcet(task.level());
@@ -200,8 +197,8 @@ pub fn amc_rtb_audsley<'a>(tasks: &[&'a McTask]) -> Option<Vec<&'a McTask>> {
             trial.push(candidate);
             let responses = amc_rtb_responses(&trial);
             let last = responses.last().expect("non-empty");
-            let ok = last.lo.is_some()
-                && (candidate.level().get() < 2 || last.transition.is_some());
+            let ok =
+                last.lo.is_some() && (candidate.level().get() < 2 || last.transition.is_some());
             if ok {
                 placed = Some(idx);
                 break;
@@ -356,10 +353,7 @@ mod smc_tests {
         for set in &sets {
             let refs: Vec<&McTask> = set.iter().collect();
             if smc_dm(&refs) {
-                assert!(
-                    amc_rtb_dm(&refs),
-                    "AMC-rtb must accept whatever SMC accepts: {set:?}"
-                );
+                assert!(amc_rtb_dm(&refs), "AMC-rtb must accept whatever SMC accepts: {set:?}");
             }
         }
     }

@@ -131,19 +131,12 @@ pub fn dbf_schedulable(tasks: &[&McTask]) -> DbfReport {
             (slack_weighted / (1.0 - util)).ceil() as Tick
         }
     };
-    let lo_slack: f64 = tasks
-        .iter()
-        .map(|t| (t.period() - t.wcet(l1c)) as f64 * t.util(l1c))
-        .sum();
-    let hi_slack: f64 = tasks
-        .iter()
-        .filter(|t| t.level() == l2)
-        .map(|t| t.period() as f64 * t.util(l2))
-        .sum();
+    let lo_slack: f64 = tasks.iter().map(|t| (t.period() - t.wcet(l1c)) as f64 * t.util(l1c)).sum();
+    let hi_slack: f64 =
+        tasks.iter().filter(|t| t.level() == l2).map(|t| t.period() as f64 * t.util(l2)).sum();
     let hyper = mcs_model::hyperperiod(tasks.iter().map(|t| t.period()));
     let horizon_cap = max_period.saturating_mul(64);
-    let lo_horizon =
-        hyper.max(busy_bound(u_lo_total, lo_slack)).min(horizon_cap).max(max_period);
+    let lo_horizon = hyper.max(busy_bound(u_lo_total, lo_slack)).min(horizon_cap).max(max_period);
     let hi_horizon = hyper.max(busy_bound(u_hi_hi, hi_slack)).min(horizon_cap).max(max_period);
 
     // Candidate shrink factors: the canonical Eq. (7) x (if any), 1.0, and a
@@ -204,10 +197,8 @@ fn passes_with_factor(tasks: &[&McTask], x: f64, lo_h: Tick, hi_h: Tick) -> bool
     lo_points.dedup();
     lo_points.truncate(MAX_TEST_POINTS);
     for &p in &lo_points {
-        let demand: Tick = tasks
-            .iter()
-            .map(|t| dbf_lo(t.period(), tightened_deadline(t, x), t.wcet(l1), p))
-            .sum();
+        let demand: Tick =
+            tasks.iter().map(|t| dbf_lo(t.period(), tightened_deadline(t, x), t.wcet(l1), p)).sum();
         if demand > p {
             return false;
         }

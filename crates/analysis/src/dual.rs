@@ -40,8 +40,7 @@ pub fn dual_condition<U: LevelUtils>(u: &U) -> DualReport {
     let u_lo_lo = u.util_jk(l1, l1);
     let u_hi_lo = u.util_jk(l2, l1);
     let u_hi_hi = u.util_jk(l2, l2);
-    let fraction =
-        if 1.0 - u_hi_hi > EPS { u_hi_lo / (1.0 - u_hi_hi) } else { f64::INFINITY };
+    let fraction = if 1.0 - u_hi_hi > EPS { u_hi_lo / (1.0 - u_hi_hi) } else { f64::INFINITY };
     let minterm = u_hi_hi.min(fraction);
     let schedulable = u_lo_lo + minterm <= 1.0 + EPS;
     let plain_edf = u_lo_lo + u_hi_hi <= 1.0 + EPS;

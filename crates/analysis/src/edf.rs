@@ -22,12 +22,8 @@ mod tests {
     fn table(utils: &[(u64, u64)]) -> UtilTable {
         let mut t = UtilTable::new(1);
         for (i, &(c, p)) in utils.iter().enumerate() {
-            let task = TaskBuilder::new(TaskId(i as u32))
-                .period(p)
-                .level(1)
-                .wcet(&[c])
-                .build()
-                .unwrap();
+            let task =
+                TaskBuilder::new(TaskId(i as u32)).period(p).level(1).wcet(&[c]).build().unwrap();
             t.add(&task);
         }
         t

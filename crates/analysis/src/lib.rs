@@ -28,6 +28,8 @@
 //! * [`sensitivity`] — critical scaling factors (uniform load headroom of a
 //!   subset under Theorem 1).
 
+#![forbid(unsafe_code)]
+
 pub mod amc;
 pub mod dbf;
 pub mod dual;

@@ -47,9 +47,7 @@ const TOLERANCE: f64 = 1e-6;
 pub fn critical_scaling<U: LevelUtils>(u: &U) -> Option<f64> {
     let feasible_at = |s: f64| Theorem1::compute(&ScaledView::new(u, s)).feasible();
     // An empty / zero-utilization view is feasible at any scale.
-    let total: f64 = CritLevel::up_to(u.num_levels())
-        .map(|j| u.util_jk(j, CritLevel::LO))
-        .sum();
+    let total: f64 = CritLevel::up_to(u.num_levels()).map(|j| u.util_jk(j, CritLevel::LO)).sum();
     if total <= 0.0 {
         return None;
     }

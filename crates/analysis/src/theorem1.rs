@@ -86,10 +86,7 @@ impl Theorem1 {
     #[must_use]
     pub fn compute<U: LevelUtils>(u: &U) -> Self {
         let k = u.num_levels();
-        assert!(
-            (1..=MAX_LEVELS).contains(&k),
-            "system level count {k} out of 1..={MAX_LEVELS}"
-        );
+        assert!((1..=MAX_LEVELS).contains(&k), "system level count {k} out of 1..={MAX_LEVELS}");
         let own_level_total = u.own_level_total();
         let mut out = Self {
             k,
@@ -386,11 +383,7 @@ mod tests {
     #[test]
     fn simple_condition_implies_theorem1() {
         // Eq. (4) ⇒ Inequality (5) at k = 1 (θ(1) ≤ Σ own-level ≤ 1 = µ(1)).
-        let tasks = [
-            task(0, 10, 1, &[2]),
-            task(1, 20, 2, &[2, 6]),
-            task(2, 40, 3, &[2, 4, 12]),
-        ];
+        let tasks = [task(0, 10, 1, &[2]), task(1, 20, 2, &[2, 6]), task(2, 40, 3, &[2, 4, 12])];
         let t = table(3, &tasks);
         assert!(simple_condition(&t));
         assert!(Theorem1::compute(&t).condition_holds(1));
@@ -442,9 +435,9 @@ mod tests {
         // Construct a 3-level set where condition k=1 fails but k=2 holds.
         // Level-1 tasks are heavy at level 1, but get dropped by level 2.
         let tasks = [
-            task(0, 10, 1, &[6]),           // u(1)=0.6
-            task(1, 100, 2, &[5, 30]),      // u(1)=0.05, u(2)=0.3
-            task(2, 100, 3, &[5, 10, 40]),  // u(1)=0.05, u(2)=0.1, u(3)=0.4
+            task(0, 10, 1, &[6]),          // u(1)=0.6
+            task(1, 100, 2, &[5, 30]),     // u(1)=0.05, u(2)=0.3
+            task(2, 100, 3, &[5, 10, 40]), // u(1)=0.05, u(2)=0.1, u(3)=0.4
         ];
         let t = table(3, &tasks);
         let a = Theorem1::compute(&t);

@@ -69,8 +69,7 @@ impl VdAssignment {
         let k = u.num_levels();
         assert_eq!(k, analysis.num_levels(), "analysis/view level mismatch");
         let kstar = analysis.smallest_passing()?;
-        let mut out =
-            Self { k, kstar, low: [1.0; MAX_LEVELS as usize], xk: 1.0 };
+        let mut out = Self { k, kstar, low: [1.0; MAX_LEVELS as usize], xk: 1.0 };
         if k == 1 || analysis.plain_edf_sufficient() {
             // Eq. (4) holds: EDF-VD reduces to plain EDF, no shrinking.
             return Some(out);
@@ -80,9 +79,8 @@ impl VdAssignment {
         // Π_{x=2}^{l+1} λ_x.
         let mut prod = 1.0;
         for l in 1..kstar {
-            let lambda = analysis
-                .lambda(l + 1)
-                .expect("λ_2..λ_{k*} are valid whenever condition k* holds");
+            let lambda =
+                analysis.lambda(l + 1).expect("λ_2..λ_{k*} are valid whenever condition k* holds");
             // λ = 0 only when no tasks above level l exist, in which case
             // the factor is never consulted; keep 1.0 to stay in (0, 1].
             if lambda > 0.0 {
@@ -131,10 +129,7 @@ impl VdAssignment {
     /// Panics if the task would already be dropped (`task_level < mode`).
     #[must_use]
     pub fn factor(&self, mode: CritLevel, task_level: CritLevel) -> f64 {
-        assert!(
-            task_level >= mode,
-            "task of level {task_level} is dropped at mode {mode}"
-        );
+        assert!(task_level >= mode, "task of level {task_level} is dropped at mode {mode}");
         let l = mode.get();
         let is_top = task_level.get() == self.k;
         if l < self.kstar {
@@ -210,11 +205,8 @@ mod tests {
     #[test]
     fn three_level_kstar2_uses_lambda_below_and_xk_above() {
         // Same set as the theorem1 test: k* = 2, λ_2 = 0.25.
-        let tasks = [
-            task(0, 10, 1, &[6]),
-            task(1, 100, 2, &[5, 30]),
-            task(2, 100, 3, &[5, 10, 40]),
-        ];
+        let tasks =
+            [task(0, 10, 1, &[6]), task(1, 100, 2, &[5, 30]), task(2, 100, 3, &[5, 10, 40])];
         let (a, vd) = assignment(3, &tasks).unwrap();
         assert_eq!(vd.kstar(), 2);
         assert!(a.minterm_is_fraction());

@@ -1,0 +1,262 @@
+//! Structured audit findings and their text / JSON rendering.
+
+use std::fmt;
+
+use mcs_model::{CoreId, TaskId};
+
+/// How serious a finding is.
+///
+/// `Error` means an invariant is violated (the audit exit code is
+/// non-zero); `Warning` flags suspicious-but-tolerated states; `Info`
+/// records conditions a rule could not fully decide (e.g. the exact oracle
+/// overflowed `i128`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: the rule could not decide, or the state is expected.
+    Info,
+    /// Suspicious but within the documented tolerance contract.
+    Warning,
+    /// An invariant is violated.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both text and JSON output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a finding is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Subject {
+    /// The task set / partition as a whole.
+    System,
+    /// One task.
+    Task(TaskId),
+    /// One core.
+    Core(CoreId),
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::System => f.write_str("system"),
+            Subject::Task(t) => write!(f, "task τ{t}"),
+            Subject::Core(c) => write!(f, "core {c}"),
+        }
+    }
+}
+
+impl Subject {
+    fn to_json(self) -> String {
+        match self {
+            Subject::System => r#"{"kind":"system"}"#.to_string(),
+            Subject::Task(t) => format!(r#"{{"kind":"task","id":{}}}"#, t.0),
+            Subject::Core(c) => format!(r#"{{"kind":"core","index":{}}}"#, c.0),
+        }
+    }
+}
+
+/// One audit finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable identifier of the rule that produced the finding.
+    pub rule_id: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// What the finding is about.
+    pub subject: Subject,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a finding.
+    pub fn new(
+        rule_id: &'static str,
+        severity: Severity,
+        subject: Subject,
+        message: impl Into<String>,
+    ) -> Self {
+        Self { rule_id, severity, subject, message: message.into() }
+    }
+
+    /// Shorthand for an `Error`-severity finding.
+    pub fn error(rule_id: &'static str, subject: Subject, message: impl Into<String>) -> Self {
+        Self::new(rule_id, Severity::Error, subject, message)
+    }
+
+    /// Shorthand for a `Warning`-severity finding.
+    pub fn warning(rule_id: &'static str, subject: Subject, message: impl Into<String>) -> Self {
+        Self::new(rule_id, Severity::Warning, subject, message)
+    }
+
+    /// Shorthand for an `Info`-severity finding.
+    pub fn info(rule_id: &'static str, subject: Subject, message: impl Into<String>) -> Self {
+        Self::new(rule_id, Severity::Info, subject, message)
+    }
+
+    /// JSON object for this finding (hand-rolled; no serde in the tree).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","severity":"{}","subject":{},"message":"{}"}}"#,
+            json_escape(self.rule_id),
+            self.severity.label(),
+            self.subject.to_json(),
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.rule_id, self.subject, self.message)
+    }
+}
+
+/// All findings of one audit run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditReport {
+    /// Name of the scheme whose output was audited.
+    pub scheme: String,
+    /// Findings, in rule-registration order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// Empty report for a scheme.
+    #[must_use]
+    pub fn new(scheme: &str) -> Self {
+        Self { scheme: scheme.to_string(), diagnostics: Vec::new() }
+    }
+
+    /// Whether the report contains no `Error`-severity finding.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Number of findings at exactly the given severity.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// The most severe finding level present, if any.
+    #[must_use]
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Plain-text rendering, one finding per line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return format!("{}: clean\n", self.scheme);
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}: {d}\n", self.scheme));
+        }
+        out
+    }
+
+    /// JSON object: `{"scheme": …, "diagnostics": […]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            r#"{{"scheme":"{}","diagnostics":[{}]}}"#,
+            json_escape(&self.scheme),
+            items.join(",")
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_counts_and_cleanliness() {
+        let mut r = AuditReport::new("X");
+        assert!(r.is_clean());
+        assert_eq!(r.max_severity(), None);
+        r.diagnostics.push(Diagnostic::info("a", Subject::System, "note"));
+        r.diagnostics.push(Diagnostic::warning("a", Subject::Task(TaskId(3)), "hmm"));
+        assert!(r.is_clean());
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+        r.diagnostics.push(Diagnostic::error("b", Subject::Core(CoreId(1)), "bad"));
+        assert!(!r.is_clean());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn text_rendering_mentions_rule_and_subject() {
+        let mut r = AuditReport::new("CA-TPA");
+        r.diagnostics.push(Diagnostic::error("rule-x", Subject::Core(CoreId(0)), "boom"));
+        let text = r.render_text();
+        assert!(text.contains("CA-TPA"), "{text}");
+        assert!(text.contains("error[rule-x]"), "{text}");
+        assert!(text.contains("P1"), "{text}");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let d = Diagnostic::error("r", Subject::Task(TaskId(7)), "say \"hi\"\nline");
+        let j = d.to_json();
+        assert_eq!(
+            j,
+            r#"{"rule":"r","severity":"error","subject":{"kind":"task","id":7},"message":"say \"hi\"\nline"}"#
+        );
+        let mut r = AuditReport::new("FFD");
+        r.diagnostics.push(d);
+        let j = r.to_json();
+        assert!(j.starts_with(r#"{"scheme":"FFD","diagnostics":["#), "{j}");
+        assert!(j.ends_with("]}"), "{j}");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("t\tn"), "t\\tn");
+    }
+}

@@ -1,0 +1,19 @@
+//! The standard audit rules.
+//!
+//! Each rule re-derives its reference values from scratch (independent of
+//! the incremental code paths used during partitioning) so that a bug in
+//! the production path cannot hide itself from the audit.
+
+pub mod ordering;
+pub mod theorem1;
+pub mod util_cache;
+pub mod well_formed;
+
+use crate::invariant::AuditContext;
+
+/// Shared guard: rules that walk the partition need the assignment vector
+/// to match the task set; the shape mismatch itself is reported by
+/// `partition-well-formed`, so other rules silently skip.
+pub(crate) fn shapes_match(ctx: &AuditContext<'_>) -> bool {
+    ctx.partition.num_tasks() == ctx.ts.len()
+}

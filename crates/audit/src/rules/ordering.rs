@@ -1,0 +1,237 @@
+//! Rules `contribution-order` and `alpha-domain`: CA-TPA inputs.
+
+use mcs_model::CritLevel;
+
+use crate::diagnostic::{Diagnostic, Subject};
+use crate::invariant::{AuditContext, Invariant};
+
+/// Tolerance when comparing a supplied contribution key against the
+/// independently recomputed value (both are short `f64` quotient/max
+/// chains, so they agree far tighter than this).
+pub const KEY_TOL: f64 = 1e-9;
+
+/// Slack allowed in the non-increasing check: keys that differ by less
+/// than this are treated as ties.
+pub const MONOTONE_TOL: f64 = 1e-12;
+
+/// Stable id of the contribution-order rule.
+pub const ORDER_ID: &str = "contribution-order";
+/// Stable id of the α-domain rule.
+pub const ALPHA_ID: &str = "alpha-domain";
+
+/// The supplied placement order must be a permutation of the task set,
+/// its keys non-increasing and in `[0, 1]`, and each key must equal the
+/// independently recomputed contribution `C_i = max_k u_i(k) / U(k)`
+/// (Eq. (12)–(13)).
+pub struct ContributionOrderRule;
+
+impl Invariant for ContributionOrderRule {
+    fn id(&self) -> &'static str {
+        ORDER_ID
+    }
+
+    fn description(&self) -> &'static str {
+        "contribution ordering is a permutation with non-increasing, correct keys"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(ord) = ctx.ordering else { return };
+        let n = ctx.ts.len();
+        if ord.order.len() != n {
+            out.push(Diagnostic::error(
+                ORDER_ID,
+                Subject::System,
+                format!("ordering lists {} tasks, task set has {n}", ord.order.len()),
+            ));
+            return;
+        }
+        if ord.keys.len() != n {
+            out.push(Diagnostic::error(
+                ORDER_ID,
+                Subject::System,
+                format!("{} keys for {n} ordered tasks", ord.keys.len()),
+            ));
+            return;
+        }
+
+        // Permutation check.
+        let mut seen = vec![false; n];
+        for &id in &ord.order {
+            if id.index() >= n {
+                out.push(Diagnostic::error(
+                    ORDER_ID,
+                    Subject::Task(id),
+                    format!("ordered task id out of range (task set has {n} tasks)"),
+                ));
+            } else if seen[id.index()] {
+                out.push(Diagnostic::error(
+                    ORDER_ID,
+                    Subject::Task(id),
+                    "task appears more than once in the ordering",
+                ));
+            } else {
+                seen[id.index()] = true;
+            }
+        }
+
+        // Key domain and monotonicity.
+        for (pos, &key) in ord.keys.iter().enumerate() {
+            if !key.is_finite() || !(-MONOTONE_TOL..=1.0 + KEY_TOL).contains(&key) {
+                out.push(Diagnostic::error(
+                    ORDER_ID,
+                    Subject::Task(ord.order[pos]),
+                    format!("contribution key {key} outside [0, 1]"),
+                ));
+            }
+        }
+        for w in ord.keys.windows(2) {
+            if w[1] > w[0] + MONOTONE_TOL {
+                out.push(Diagnostic::error(
+                    ORDER_ID,
+                    Subject::System,
+                    format!("keys increase along the order: {} then {}", w[0], w[1]),
+                ));
+                break;
+            }
+        }
+
+        // Independent recomputation of each key (Eq. (12)-(13)).
+        let totals: Vec<f64> =
+            CritLevel::up_to(ctx.ts.num_levels()).map(|k| ctx.ts.total_util_at(k)).collect();
+        for (pos, &id) in ord.order.iter().enumerate() {
+            if id.index() >= n {
+                continue; // already reported above
+            }
+            let task = ctx.ts.task(id);
+            let mut expected = 0.0f64;
+            for k in CritLevel::up_to(task.level().get()) {
+                let total = totals[k.index()];
+                if total > 0.0 {
+                    expected = expected.max(task.util(k) / total);
+                }
+            }
+            let got = ord.keys[pos];
+            if (got - expected).abs() > KEY_TOL {
+                out.push(Diagnostic::error(
+                    ORDER_ID,
+                    Subject::Task(id),
+                    format!(
+                        "supplied contribution {got:.12} differs from recomputed \
+                         {expected:.12}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The imbalance threshold α must be a finite value in `[0, 1]` (the
+/// paper's Λ comparison domain); α = 0 is flagged as degenerate because it
+/// forces the rebalancing fallback on every placement.
+pub struct AlphaDomain;
+
+impl Invariant for AlphaDomain {
+    fn id(&self) -> &'static str {
+        ALPHA_ID
+    }
+
+    fn description(&self) -> &'static str {
+        "imbalance threshold α lies in [0, 1]"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(alpha) = ctx.alpha else { return };
+        if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+            out.push(Diagnostic::error(
+                ALPHA_ID,
+                Subject::System,
+                format!("α = {alpha} is outside [0, 1]"),
+            ));
+        } else if alpha == 0.0 {
+            out.push(Diagnostic::warning(
+                ALPHA_ID,
+                Subject::System,
+                "α = 0 triggers the rebalancing fallback on every placement",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use crate::invariant::ContributionOrdering;
+    use mcs_model::{Partition, TaskBuilder, TaskId, TaskSet};
+
+    fn ts() -> TaskSet {
+        let t = |id: u32, p: u64, l: u8, w: &[u64]| {
+            TaskBuilder::new(TaskId(id)).period(p).level(l).wcet(w).build().unwrap()
+        };
+        // U(1) = 0.5, U(2) = 0.6: contributions 0.4 (τ0) and 1.0 (τ1).
+        TaskSet::new(2, vec![t(0, 10, 1, &[2]), t(1, 10, 2, &[3, 6])]).unwrap()
+    }
+
+    fn run_order(ts: &TaskSet, ord: &ContributionOrdering) -> Vec<Diagnostic> {
+        let p = Partition::empty(1, ts.len());
+        let ctx = AuditContext::new(ts, &p, "t").with_ordering(ord);
+        let mut out = Vec::new();
+        ContributionOrderRule.check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn correct_ordering_is_clean() {
+        let ts = ts();
+        let ord = ContributionOrdering { order: vec![TaskId(1), TaskId(0)], keys: vec![1.0, 0.4] };
+        assert!(run_order(&ts, &ord).is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_missing_tasks_are_errors() {
+        let ts = ts();
+        let ord = ContributionOrdering { order: vec![TaskId(1), TaskId(1)], keys: vec![1.0, 1.0] };
+        let out = run_order(&ts, &ord);
+        assert!(out.iter().any(|d| d.message.contains("more than once")), "{out:?}");
+    }
+
+    #[test]
+    fn increasing_keys_are_an_error() {
+        let ts = ts();
+        let ord = ContributionOrdering { order: vec![TaskId(0), TaskId(1)], keys: vec![0.4, 1.0] };
+        let out = run_order(&ts, &ord);
+        assert!(out.iter().any(|d| d.message.contains("increase")), "{out:?}");
+    }
+
+    #[test]
+    fn wrong_key_value_is_an_error() {
+        let ts = ts();
+        let ord = ContributionOrdering {
+            order: vec![TaskId(1), TaskId(0)],
+            keys: vec![1.0, 0.25], // τ0's real contribution is 0.4
+        };
+        let out = run_order(&ts, &ord);
+        assert!(out.iter().any(|d| d.message.contains("recomputed")), "{out:?}");
+        assert!(out.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn alpha_domain_accepts_paper_default_and_rejects_garbage() {
+        let ts = ts();
+        let p = Partition::empty(1, 2);
+        let mut out = Vec::new();
+        AlphaDomain.check(&AuditContext::new(&ts, &p, "t").with_alpha(0.7), &mut out);
+        assert!(out.is_empty());
+        AlphaDomain.check(&AuditContext::new(&ts, &p, "t").with_alpha(1.5), &mut out);
+        AlphaDomain.check(&AuditContext::new(&ts, &p, "t").with_alpha(f64::NAN), &mut out);
+        assert_eq!(out.iter().filter(|d| d.severity == Severity::Error).count(), 2);
+        out.clear();
+        AlphaDomain.check(&AuditContext::new(&ts, &p, "t").with_alpha(0.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warning);
+        // No α supplied: rule is silent.
+        out.clear();
+        AlphaDomain.check(&AuditContext::new(&ts, &p, "t"), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Rules `core-claim-feasible` and `theorem1-exact-agreement`: per-core
+//! re-verification of the EDF-VD schedulability claim, in `f64` and against
+//! the exact rational oracle.
+
+use mcs_analysis::exact_arith::{min_abs_slack_exact, theorem1_feasible_exact};
+use mcs_analysis::{simple_condition, Theorem1, EPS};
+use mcs_model::{CoreId, McTask, UtilTable};
+
+use crate::diagnostic::{Diagnostic, Subject};
+use crate::invariant::{AuditContext, Invariant};
+use crate::rules::shapes_match;
+
+/// Width of the boundary band in which the `f64` analysis is allowed to
+/// disagree with the exact rational oracle: when the smallest exact
+/// condition slack `|µ(k) − θ(k)|` is within this neighbourhood of zero, a
+/// verdict flip is an expected consequence of the `EPS` tolerance; outside
+/// it, a flip is an `Error`. A handful of `EPS`-sized rounding steps
+/// accumulate across the λ-recursion, hence the factor.
+pub const EXACT_BAND: f64 = 8.0 * EPS;
+
+/// Stable id of the claim re-verification rule.
+pub const CLAIM_ID: &str = "core-claim-feasible";
+/// Stable id of the exact-agreement rule.
+pub const EXACT_ID: &str = "theorem1-exact-agreement";
+
+fn core_members<'a>(ctx: &AuditContext<'a>, core: CoreId) -> Vec<&'a McTask> {
+    ctx.partition.tasks_on(core).map(|t| ctx.ts.task(t)).collect()
+}
+
+/// When the scheme claims per-core Theorem-1 feasibility, every core of a
+/// complete partition must actually pass the test (Eq. (4) or Theorem 1 —
+/// the paper's two-stage acceptance).
+pub struct ClaimFeasible;
+
+impl Invariant for ClaimFeasible {
+    fn id(&self) -> &'static str {
+        CLAIM_ID
+    }
+
+    fn description(&self) -> &'static str {
+        "every core of a claimed-feasible partition passes Theorem 1"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        if !ctx.claims_theorem1 || !shapes_match(ctx) || !ctx.partition.is_complete() {
+            return;
+        }
+        let k = ctx.ts.num_levels();
+        for core in CoreId::all(ctx.partition.num_cores()) {
+            let members = core_members(ctx, core);
+            let table = UtilTable::from_tasks(k, members);
+            if !simple_condition(&table) && !Theorem1::compute(&table).feasible() {
+                out.push(Diagnostic::error(
+                    CLAIM_ID,
+                    Subject::Core(core),
+                    format!(
+                        "scheme `{}` claims feasibility but the core fails both Eq. (4) \
+                         and Theorem 1",
+                        ctx.scheme
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The `f64` Theorem-1 verdict must agree with the exact rational oracle on
+/// every core, except within the [`EXACT_BAND`] boundary neighbourhood of a
+/// condition threshold (the documented tolerance contract of `EPS`).
+pub struct ExactAgreement;
+
+impl Invariant for ExactAgreement {
+    fn id(&self) -> &'static str {
+        EXACT_ID
+    }
+
+    fn description(&self) -> &'static str {
+        "f64 Theorem-1 verdict agrees with the exact oracle outside the EPS band"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        if !shapes_match(ctx) {
+            return;
+        }
+        let k = ctx.ts.num_levels();
+        for core in CoreId::all(ctx.partition.num_cores()) {
+            let members = core_members(ctx, core);
+            let table = UtilTable::from_tasks(k, members.iter().copied());
+            let approx = Theorem1::compute(&table).feasible();
+            match theorem1_feasible_exact(&members, k) {
+                None => out.push(Diagnostic::info(
+                    EXACT_ID,
+                    Subject::Core(core),
+                    "exact oracle overflowed i128; core skipped",
+                )),
+                Some(exact) if exact != approx => match min_abs_slack_exact(&members, k) {
+                    Some(slack) if slack > EXACT_BAND => out.push(Diagnostic::error(
+                        EXACT_ID,
+                        Subject::Core(core),
+                        format!(
+                            "verdict flip outside the tolerance band: f64 says \
+                                 {approx}, exact says {exact}, min |slack| = {slack:.3e} \
+                                 > band {EXACT_BAND:.1e}"
+                        ),
+                    )),
+                    Some(slack) => out.push(Diagnostic::info(
+                        EXACT_ID,
+                        Subject::Core(core),
+                        format!(
+                            "boundary-band disagreement (min |slack| = {slack:.3e} \
+                                 ≤ band {EXACT_BAND:.1e}); tolerated"
+                        ),
+                    )),
+                    None => out.push(Diagnostic::warning(
+                        EXACT_ID,
+                        Subject::Core(core),
+                        format!(
+                            "f64 says {approx}, exact says {exact}, and the exact \
+                                 slack overflowed — cannot attribute the flip to the band"
+                        ),
+                    )),
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use mcs_model::{Partition, TaskBuilder, TaskId, TaskSet};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> mcs_model::McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    /// The §III worked example split the way CA-TPA does (feasible).
+    fn worked_example() -> (TaskSet, Partition) {
+        let ts = TaskSet::new(
+            2,
+            vec![
+                task(0, 1000, 1, &[450]),
+                task(1, 1000, 2, &[175, 326]),
+                task(2, 1000, 1, &[280]),
+                task(3, 1000, 2, &[339, 633]),
+                task(4, 1000, 1, &[300]),
+            ],
+        )
+        .unwrap();
+        let mut p = Partition::empty(2, 5);
+        p.assign(TaskId(3), CoreId(0));
+        p.assign(TaskId(4), CoreId(0));
+        p.assign(TaskId(0), CoreId(1));
+        p.assign(TaskId(1), CoreId(1));
+        p.assign(TaskId(2), CoreId(1));
+        (ts, p)
+    }
+
+    #[test]
+    fn feasible_partition_passes_both_rules() {
+        let (ts, p) = worked_example();
+        let ctx = AuditContext::new(&ts, &p, "CA-TPA");
+        let mut out = Vec::new();
+        ClaimFeasible.check(&ctx, &mut out);
+        ExactAgreement.check(&ctx, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn overloaded_core_violates_the_claim() {
+        let (ts, mut p) = worked_example();
+        // Pile everything on core 0: infeasible.
+        for i in 0..5 {
+            p.assign(TaskId(i), CoreId(0));
+        }
+        let ctx = AuditContext::new(&ts, &p, "X");
+        let mut out = Vec::new();
+        ClaimFeasible.check(&ctx, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[0].subject, Subject::Core(CoreId(0)));
+    }
+
+    #[test]
+    fn claim_rule_skips_non_claiming_schemes() {
+        let (ts, mut p) = worked_example();
+        for i in 0..5 {
+            p.assign(TaskId(i), CoreId(0));
+        }
+        let ctx = AuditContext::new(&ts, &p, "DBF").with_theorem1_claim(false);
+        let mut out = Vec::new();
+        ClaimFeasible.check(&ctx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn exact_agreement_holds_on_an_infeasible_core_too() {
+        // The agreement rule audits the analysis, not the scheme: an
+        // infeasible core must be infeasible in both arithmetics.
+        let (ts, mut p) = worked_example();
+        for i in 0..5 {
+            p.assign(TaskId(i), CoreId(0));
+        }
+        let ctx = AuditContext::new(&ts, &p, "X").with_theorem1_claim(false);
+        let mut out = Vec::new();
+        ExactAgreement.check(&ctx, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn boundary_case_does_not_error() {
+        // θ(1) lands exactly on the threshold (slack 0): whatever the f64
+        // verdict, the rule must not report an Error.
+        let ts = TaskSet::new(2, vec![task(0, 10, 2, &[1, 10])]).unwrap();
+        let mut p = Partition::empty(1, 1);
+        p.assign(TaskId(0), CoreId(0));
+        let ctx = AuditContext::new(&ts, &p, "X");
+        let mut out = Vec::new();
+        ExactAgreement.check(&ctx, &mut out);
+        assert!(out.iter().all(|d| d.severity != Severity::Error), "{out:?}");
+    }
+}

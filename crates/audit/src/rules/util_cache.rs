@@ -1,0 +1,185 @@
+//! Rule `utiltable-cache-consistency`: the incrementally maintained
+//! [`UtilTable`] sums must match a from-scratch recomputation.
+
+use mcs_model::{CoreId, CritLevel, LevelUtils, McTask, UtilTable};
+
+use crate::diagnostic::{Diagnostic, Subject};
+use crate::invariant::{AuditContext, Invariant};
+use crate::rules::shapes_match;
+
+/// Absolute tolerance on cached-vs-recomputed sums. The cache accumulates
+/// one `f64` addition per task; with at most a few hundred tasks per core
+/// the drift stays far below this.
+pub const CACHE_TOL: f64 = 1e-9;
+
+/// Stable id of this rule.
+pub const ID: &str = "utiltable-cache-consistency";
+
+/// Cross-checks, per core: the incremental table against an independent
+/// per-entry summation, the `task_count` against the membership iterator,
+/// non-negativity of every entry, and — to exercise the `remove` path —
+/// that draining and refilling the table returns it to the same state.
+pub struct UtilCacheConsistency;
+
+fn scratch_sum(members: &[&McTask], j: CritLevel, k: CritLevel) -> f64 {
+    members.iter().filter(|t| t.level() == j).map(|t| t.util(k)).sum()
+}
+
+fn compare_tables(
+    core: CoreId,
+    label: &str,
+    table: &UtilTable,
+    members: &[&McTask],
+    levels: u8,
+    out: &mut Vec<Diagnostic>,
+) {
+    for j in CritLevel::up_to(levels) {
+        for k in CritLevel::up_to(j.get()) {
+            let cached = table.util_jk(j, k);
+            if cached < 0.0 {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!("{label}: U_{j}({k}) = {cached} is negative"),
+                ));
+                continue;
+            }
+            let scratch = scratch_sum(members, j, k);
+            if (cached - scratch).abs() > CACHE_TOL {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "{label}: cached U_{j}({k}) = {cached:.12} differs from \
+                         recomputed {scratch:.12} by more than {CACHE_TOL:e}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl Invariant for UtilCacheConsistency {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "incremental UtilTable sums match from-scratch recomputation"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        if !shapes_match(ctx) {
+            return;
+        }
+        let levels = ctx.ts.num_levels();
+        let tables = ctx.partition.core_tables(ctx.ts);
+        for (m, table) in tables.iter().enumerate() {
+            let core = CoreId(u16::try_from(m).expect("core index fits u16"));
+            let members: Vec<&McTask> =
+                ctx.partition.tasks_on(core).map(|t| ctx.ts.task(t)).collect();
+
+            if table.task_count() != members.len() {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "table counts {} tasks, membership iterator yields {}",
+                        table.task_count(),
+                        members.len()
+                    ),
+                ));
+            }
+
+            // Incremental (built by `add`) vs independent summation.
+            compare_tables(core, "incremental", table, &members, levels, out);
+
+            // Churn the remove/add paths: drain to empty, then refill.
+            let mut churned = table.clone();
+            for t in &members {
+                churned.remove(t);
+            }
+            if churned.task_count() != 0 {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!("{} tasks left after removing every member", churned.task_count()),
+                ));
+            }
+            compare_tables(core, "drained", &churned, &[], levels, out);
+            for t in &members {
+                churned.add(t);
+            }
+            compare_tables(core, "refilled", &churned, &members, levels, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use mcs_model::{Partition, TaskBuilder, TaskId, TaskSet};
+
+    fn ts() -> TaskSet {
+        let t = |id: u32, p: u64, l: u8, w: &[u64]| {
+            TaskBuilder::new(TaskId(id)).period(p).level(l).wcet(w).build().unwrap()
+        };
+        TaskSet::new(
+            3,
+            vec![
+                t(0, 100, 1, &[20]),
+                t(1, 100, 2, &[10, 30]),
+                t(2, 50, 3, &[5, 10, 20]),
+                t(3, 200, 2, &[40, 80]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn consistent_partition_is_clean() {
+        let ts = ts();
+        let mut p = Partition::empty(2, 4);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(1));
+        p.assign(TaskId(2), CoreId(0));
+        p.assign(TaskId(3), CoreId(1));
+        let mut out = Vec::new();
+        UtilCacheConsistency.check(&AuditContext::new(&ts, &p, "t"), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn partial_partition_is_still_consistent() {
+        // Unassigned tasks simply don't appear in any core table.
+        let ts = ts();
+        let mut p = Partition::empty(2, 4);
+        p.assign(TaskId(0), CoreId(0));
+        let mut out = Vec::new();
+        UtilCacheConsistency.check(&AuditContext::new(&ts, &p, "t"), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn scratch_sum_matches_hand_computation() {
+        let ts = ts();
+        let members: Vec<&McTask> = ts.tasks().iter().collect();
+        let l2 = CritLevel::new(2);
+        // Level-2 tasks: τ1 (u(1)=0.1, u(2)=0.3) and τ3 (u(1)=0.2, u(2)=0.4).
+        assert!((scratch_sum(&members, l2, CritLevel::LO) - 0.3).abs() < 1e-12);
+        assert!((scratch_sum(&members, l2, l2) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_tables_reports_drift() {
+        let ts = ts();
+        let members: Vec<&McTask> = ts.tasks().iter().collect();
+        // A table summarizing *different* tasks than claimed.
+        let wrong = UtilTable::from_tasks(3, [members[0]]);
+        let mut out = Vec::new();
+        compare_tables(CoreId(0), "test", &wrong, &members, 3, &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|d| d.severity == Severity::Error));
+    }
+}

@@ -1,0 +1,128 @@
+//! Rule `partition-well-formed`: structural sanity of the assignment.
+
+use mcs_model::CoreId;
+
+use crate::diagnostic::{Diagnostic, Subject};
+use crate::invariant::{AuditContext, Invariant};
+
+/// Every task is assigned exactly once and every core id is in range.
+///
+/// The `Partition` representation makes double assignment impossible, but
+/// this rule still cross-checks the per-core membership iterators against
+/// the assignment vector so a representation bug cannot silently desync
+/// the two views.
+pub struct PartitionWellFormed;
+
+/// Stable id of this rule.
+pub const ID: &str = "partition-well-formed";
+
+impl Invariant for PartitionWellFormed {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "every task assigned exactly once, all core ids in range"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        let p = ctx.partition;
+        let n = ctx.ts.len();
+        if p.num_tasks() != n {
+            out.push(Diagnostic::error(
+                ID,
+                Subject::System,
+                format!("assignment vector covers {} tasks, task set has {n}", p.num_tasks()),
+            ));
+            return;
+        }
+        if p.num_cores() == 0 {
+            out.push(Diagnostic::error(ID, Subject::System, "partition has zero cores"));
+            return;
+        }
+
+        let mut assigned = 0usize;
+        for task in ctx.ts.tasks() {
+            match p.core_of(task.id()) {
+                None => out.push(Diagnostic::error(
+                    ID,
+                    Subject::Task(task.id()),
+                    "task is unassigned in a claimed-complete partition",
+                )),
+                Some(c) if c.index() >= p.num_cores() => out.push(Diagnostic::error(
+                    ID,
+                    Subject::Task(task.id()),
+                    format!("assigned to {c} but the system has {} cores", p.num_cores()),
+                )),
+                Some(_) => assigned += 1,
+            }
+        }
+
+        // Cross-check: the per-core membership view must account for every
+        // assigned task exactly once.
+        let counted: usize = CoreId::all(p.num_cores()).map(|c| p.tasks_on(c).count()).sum();
+        if counted != assigned {
+            out.push(Diagnostic::error(
+                ID,
+                Subject::System,
+                format!(
+                    "per-core membership lists {counted} tasks, assignment vector has {assigned}"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use mcs_model::{Partition, TaskBuilder, TaskId, TaskSet};
+
+    fn ts(n: u32) -> TaskSet {
+        let tasks = (0..n)
+            .map(|id| {
+                TaskBuilder::new(TaskId(id)).period(100).level(1).wcet(&[10]).build().unwrap()
+            })
+            .collect();
+        TaskSet::new(1, tasks).unwrap()
+    }
+
+    fn run(ts: &TaskSet, p: &Partition) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        PartitionWellFormed.check(&AuditContext::new(ts, p, "t"), &mut out);
+        out
+    }
+
+    #[test]
+    fn complete_partition_is_clean() {
+        let ts = ts(3);
+        let mut p = Partition::empty(2, 3);
+        for i in 0..3 {
+            p.assign(TaskId(i), mcs_model::CoreId(u16::try_from(i % 2).unwrap()));
+        }
+        assert!(run(&ts, &p).is_empty());
+    }
+
+    #[test]
+    fn unassigned_tasks_are_each_reported() {
+        let ts = ts(3);
+        let mut p = Partition::empty(2, 3);
+        p.assign(TaskId(1), mcs_model::CoreId(0));
+        let out = run(&ts, &p);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.severity == Severity::Error));
+        assert!(out.iter().any(|d| d.subject == Subject::Task(TaskId(0))));
+        assert!(out.iter().any(|d| d.subject == Subject::Task(TaskId(2))));
+    }
+
+    #[test]
+    fn length_mismatch_is_a_single_system_error() {
+        let ts = ts(3);
+        let p = Partition::empty(2, 2);
+        let out = run(&ts, &p);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].subject, Subject::System);
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+}

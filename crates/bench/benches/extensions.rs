@@ -69,22 +69,16 @@ fn bench_sim_paths(c: &mut Criterion) {
     c.bench_function("core_sim_sporadic", |b| {
         let sim = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone()))
             .with_arrivals(ArrivalModel::Sporadic { slack: 0.3, seed: 5 });
-        b.iter(|| {
-            black_box(sim.run(&mut LevelCap::lo(), horizon, &mut Trace::disabled()))
-        });
+        b.iter(|| black_box(sim.run(&mut LevelCap::lo(), horizon, &mut Trace::disabled())));
     });
     c.bench_function("core_sim_with_overheads", |b| {
         let sim = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone()))
             .with_overheads(Overheads { context_switch: 50, mode_switch: 200 });
-        b.iter(|| {
-            black_box(sim.run(&mut LevelCap::new(3), horizon, &mut Trace::disabled()))
-        });
+        b.iter(|| black_box(sim.run(&mut LevelCap::new(3), horizon, &mut Trace::disabled())));
     });
     c.bench_function("core_sim_fixed_priority", |b| {
         let sim = CoreSim::new(tasks.clone(), SchedulerKind::deadline_monotonic(&tasks));
-        b.iter(|| {
-            black_box(sim.run(&mut LevelCap::lo(), horizon, &mut Trace::disabled()))
-        });
+        b.iter(|| black_box(sim.run(&mut LevelCap::lo(), horizon, &mut Trace::disabled())));
     });
 }
 

@@ -21,10 +21,7 @@ fn bench_tables(c: &mut Criterion) {
 /// One sweep trial at a parameter point: generate + run all five schemes.
 fn trial(params: &GenParams, seed: u64) -> usize {
     let ts = generate_task_set(params, seed);
-    paper_schemes()
-        .iter()
-        .filter(|s| s.partition(&ts, params.cores).is_ok())
-        .count()
+    paper_schemes().iter().filter(|s| s.partition(&ts, params.cores).is_ok()).count()
 }
 
 fn bench_figures(c: &mut Criterion) {

@@ -1,5 +1,7 @@
 //! Shared fixtures for the Criterion benchmarks (see `benches/`).
 
+#![forbid(unsafe_code)]
+
 use mcs_gen::{generate_task_set, GenParams};
 use mcs_model::TaskSet;
 
@@ -7,11 +9,8 @@ use mcs_model::TaskSet;
 /// requested size.
 #[must_use]
 pub fn fixture(n: usize, cores: usize, levels: u8, nsu: f64, seed: u64) -> TaskSet {
-    let params = GenParams::default()
-        .with_n_range(n, n)
-        .with_cores(cores)
-        .with_levels(levels)
-        .with_nsu(nsu);
+    let params =
+        GenParams::default().with_n_range(n, n).with_cores(cores).with_levels(levels).with_nsu(nsu);
     generate_task_set(&params, seed)
 }
 

@@ -1,0 +1,330 @@
+//! The `mcs-exp audit` subcommand: sweep generated task sets through every
+//! partitioning scheme and run the `mcs-audit` invariant rules over each
+//! successful partition.
+//!
+//! Two generator points are swept: the default multi-level parameters for
+//! the Theorem-1 family (CA-TPA, FFD/BFD/WFD/NFD, Hybrid, CA-TPA+LS, SA)
+//! and a dual-criticality point that additionally exercises the DBF and
+//! FP-AMC baselines (their analyses are K = 2 only). Every audit `Error`
+//! makes the command exit non-zero.
+
+use crossbeam::thread;
+use mcs_audit::{AuditContext, ContributionOrdering, Invariant, Registry, Severity};
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_partition::contribution::{contribution, system_totals};
+use mcs_partition::{
+    BinPacker, Catpa, CatpaLs, DbfFirstFit, FpAmc, Hybrid, Partitioner, SimAnneal, DEFAULT_ALPHA,
+};
+
+use crate::report::{render_table, Table};
+use crate::sweep::SweepConfig;
+
+/// Per-rule finding counts for one scheme.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleTally {
+    /// Stable rule id.
+    pub rule_id: &'static str,
+    /// `Info`-severity findings.
+    pub info: usize,
+    /// `Warning`-severity findings.
+    pub warning: usize,
+    /// `Error`-severity findings.
+    pub error: usize,
+}
+
+/// Audit aggregate for one scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemeAudit {
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Task sets attempted.
+    pub trials: usize,
+    /// Task sets the scheme partitioned (and that were therefore audited).
+    pub partitioned: usize,
+    /// One tally per standard rule, in registry order.
+    pub rules: Vec<RuleTally>,
+}
+
+/// Result of the whole audit sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Task sets generated per scheme.
+    pub trials: usize,
+    /// Per-scheme aggregates.
+    pub schemes: Vec<SchemeAudit>,
+}
+
+impl AuditOutcome {
+    /// Total `Error`-severity findings across all schemes and rules.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.schemes.iter().flat_map(|s| &s.rules).map(|r| r.error).sum()
+    }
+
+    /// Total `Warning`-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.schemes.iter().flat_map(|s| &s.rules).map(|r| r.warning).sum()
+    }
+
+    /// Per-scheme × per-rule table of violation counts.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["scheme", "partitioned", "rule", "info", "warning", "error"]);
+        for s in &self.schemes {
+            for r in &s.rules {
+                t.push_row([
+                    s.scheme.to_string(),
+                    format!("{}/{}", s.partitioned, s.trials),
+                    r.rule_id.to_string(),
+                    r.info.to_string(),
+                    r.warning.to_string(),
+                    r.error.to_string(),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// JSON rendering of the sweep aggregate.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let schemes: Vec<String> = self
+            .schemes
+            .iter()
+            .map(|s| {
+                let rules: Vec<String> = s
+                    .rules
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            r#"{{"rule":"{}","info":{},"warning":{},"error":{}}}"#,
+                            r.rule_id, r.info, r.warning, r.error
+                        )
+                    })
+                    .collect();
+                format!(
+                    r#"{{"scheme":"{}","trials":{},"partitioned":{},"rules":[{}]}}"#,
+                    mcs_audit::diagnostic::json_escape(s.scheme),
+                    s.trials,
+                    s.partitioned,
+                    rules.join(",")
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"trials":{},"errors":{},"warnings":{},"schemes":[{}]}}"#,
+            self.trials,
+            self.errors(),
+            self.warnings(),
+            schemes.join(",")
+        )
+    }
+}
+
+/// One roster entry: a scheme plus the context facts the audit should
+/// verify about it.
+struct Entry {
+    scheme: Box<dyn Partitioner + Send + Sync>,
+    /// Attach the recomputed contribution ordering (CA-TPA family).
+    uses_contribution_order: bool,
+    /// The α threshold the scheme runs with, if any.
+    alpha: Option<f64>,
+    /// Generator point the scheme is swept at.
+    dual_only: bool,
+}
+
+fn roster() -> Vec<Entry> {
+    let e = |scheme: Box<dyn Partitioner + Send + Sync>| Entry {
+        scheme,
+        uses_contribution_order: false,
+        alpha: None,
+        dual_only: false,
+    };
+    vec![
+        Entry {
+            scheme: Box::new(Catpa::default()),
+            uses_contribution_order: true,
+            alpha: Some(DEFAULT_ALPHA),
+            dual_only: false,
+        },
+        e(Box::new(BinPacker::ffd())),
+        e(Box::new(BinPacker::bfd())),
+        e(Box::new(BinPacker::wfd())),
+        e(Box::new(BinPacker::nfd())),
+        e(Box::<Hybrid>::default()),
+        Entry {
+            scheme: Box::new(CatpaLs::default()),
+            uses_contribution_order: true,
+            alpha: Some(DEFAULT_ALPHA),
+            dual_only: false,
+        },
+        e(Box::<SimAnneal>::default()),
+        Entry { dual_only: true, ..e(Box::new(DbfFirstFit)) },
+        Entry { dual_only: true, ..e(Box::new(FpAmc::dm_du())) },
+    ]
+}
+
+/// The contribution ordering CA-TPA uses, recomputed for the audit context
+/// (the `contribution-order` rule re-derives it again, independently).
+fn contribution_ordering(ts: &mcs_model::TaskSet) -> ContributionOrdering {
+    let totals = system_totals(ts);
+    let order = mcs_partition::order_by_contribution(ts);
+    let keys = order.iter().map(|&id| contribution(ts.task(id), &totals).max).collect();
+    ContributionOrdering { order, keys }
+}
+
+/// Run the audit sweep: `config.trials` task sets per generator point, all
+/// schemes, all standard rules. Trials are split across
+/// `config.effective_threads()` scoped worker threads (as in
+/// [`crate::sweep`]); per-trial seeds make the tallies independent of the
+/// thread count.
+#[must_use]
+pub fn run(config: &SweepConfig) -> AuditOutcome {
+    let rule_ids: Vec<&'static str> = Registry::standard().rules().map(Invariant::id).collect();
+    let multi = GenParams::default();
+    let dual = GenParams::default().with_levels(2);
+    let entries = roster();
+
+    let threads = config.effective_threads().max(1).min(config.trials.max(1));
+    let chunk = config.trials.div_ceil(threads);
+    let blank: Vec<RuleTally> =
+        rule_ids.iter().map(|&rule_id| RuleTally { rule_id, ..RuleTally::default() }).collect();
+
+    // Per-worker partial: (partitioned count, per-rule tallies) per scheme.
+    let merged: Vec<(usize, Vec<RuleTally>)> = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(config.trials);
+            if lo >= hi {
+                break;
+            }
+            let (entries, multi, dual, blank) = (&entries, &multi, &dual, &blank);
+            handles.push(s.spawn(move |_| {
+                // `Registry` rules are not `Sync`; each worker builds its own.
+                let registry = Registry::standard();
+                let mut accs: Vec<(usize, Vec<RuleTally>)> =
+                    entries.iter().map(|_| (0, blank.clone())).collect();
+                for trial in lo..hi {
+                    let seed = config.seed + trial as u64;
+                    let ts_multi = generate_task_set(multi, seed);
+                    let ts_dual = generate_task_set(dual, seed);
+                    for (entry, acc) in entries.iter().zip(&mut accs) {
+                        let (ts, params) =
+                            if entry.dual_only { (&ts_dual, dual) } else { (&ts_multi, multi) };
+                        let Ok(partition) = entry.scheme.partition(ts, params.cores) else {
+                            continue;
+                        };
+                        acc.0 += 1;
+                        let ordering;
+                        let mut ctx = AuditContext::new(ts, &partition, entry.scheme.name())
+                            .with_theorem1_claim(entry.scheme.certifies_theorem1());
+                        if entry.uses_contribution_order {
+                            ordering = contribution_ordering(ts);
+                            ctx = ctx.with_ordering(&ordering);
+                        }
+                        if let Some(a) = entry.alpha {
+                            ctx = ctx.with_alpha(a);
+                        }
+                        let report = registry.run(&ctx);
+                        for d in &report.diagnostics {
+                            let slot = acc
+                                .1
+                                .iter_mut()
+                                .find(|r| r.rule_id == d.rule_id)
+                                .expect("diagnostic from an unregistered rule");
+                            match d.severity {
+                                Severity::Info => slot.info += 1,
+                                Severity::Warning => slot.warning += 1,
+                                Severity::Error => slot.error += 1,
+                            }
+                        }
+                    }
+                }
+                accs
+            }));
+        }
+        let mut merged: Vec<(usize, Vec<RuleTally>)> =
+            entries.iter().map(|_| (0, blank.clone())).collect();
+        for h in handles {
+            let partial = h.join().expect("audit worker panicked");
+            for (m, p) in merged.iter_mut().zip(&partial) {
+                m.0 += p.0;
+                for (mr, pr) in m.1.iter_mut().zip(&p.1) {
+                    mr.info += pr.info;
+                    mr.warning += pr.warning;
+                    mr.error += pr.error;
+                }
+            }
+        }
+        merged
+    })
+    .expect("audit scope panicked");
+
+    let schemes = entries
+        .iter()
+        .zip(merged)
+        .map(|(e, (partitioned, rules))| SchemeAudit {
+            scheme: e.scheme.name(),
+            trials: config.trials,
+            partitioned,
+            rules,
+        })
+        .collect();
+    AuditOutcome { trials: config.trials, schemes }
+}
+
+/// Render the outcome (text or JSON) and report whether any rule errored.
+#[must_use]
+pub fn render(outcome: &AuditOutcome, json: bool) -> String {
+    if json {
+        return outcome.to_json();
+    }
+    let mut out = render_table(&outcome.table());
+    out.push_str(&format!(
+        "audited {} schemes x {} task sets: {} error(s), {} warning(s)\n",
+        outcome.schemes.len(),
+        outcome.trials,
+        outcome.errors(),
+        outcome.warnings()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_clean_and_covers_all_schemes() {
+        let outcome = run(&SweepConfig { trials: 12, threads: 1, seed: 0xA0D17 });
+        assert_eq!(outcome.schemes.len(), 10);
+        assert_eq!(outcome.errors(), 0, "{}", render(&outcome, false));
+        // Every scheme partitioned at least one set at these defaults.
+        for s in &outcome.schemes {
+            assert!(s.partitioned > 0, "{} never partitioned", s.scheme);
+            assert_eq!(s.rules.len(), 6);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let outcome = run(&SweepConfig { trials: 2, threads: 1, seed: 1 });
+        let j = outcome.to_json();
+        assert!(j.starts_with(r#"{"trials":2,"errors":"#), "{j}");
+        assert!(j.contains(r#""scheme":"CA-TPA""#), "{j}");
+        assert!(j.contains(r#""rule":"partition-well-formed""#), "{j}");
+        assert!(j.ends_with("]}"), "{j}");
+    }
+
+    #[test]
+    fn table_lists_every_scheme_rule_pair() {
+        let outcome = run(&SweepConfig { trials: 1, threads: 1, seed: 2 });
+        let table = outcome.table();
+        let text = render_table(&table);
+        for name in ["CA-TPA", "FFD", "NFD", "Hybrid", "SA", "DBF-FFD"] {
+            assert!(text.contains(name), "missing {name} in\n{text}");
+        }
+    }
+}

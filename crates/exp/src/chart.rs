@@ -24,10 +24,7 @@ const GLYPHS: [char; 8] = ['o', '*', '+', 'x', '#', '@', '%', '&'];
 #[must_use]
 pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
-    let pts = series
-        .iter()
-        .flat_map(|s| s.points.iter())
-        .filter(|(_, y)| y.is_finite());
+    let pts = series.iter().flat_map(|s| s.points.iter()).filter(|(_, y)| y.is_finite());
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let mut any = false;

@@ -4,10 +4,10 @@
 //! critical scaling headroom, and (for dual-criticality inputs) the DBF and
 //! FP-AMC verdicts.
 
+use mcs_analysis::amc::{amc_rtb_audsley, amc_rtb_dm};
 use mcs_analysis::{
     critical_scaling, dbf::dbf_schedulable, simple_condition, Theorem1, VdAssignment,
 };
-use mcs_analysis::amc::{amc_rtb_audsley, amc_rtb_dm};
 use mcs_model::{parse_task_set, CritLevel, LevelUtils, McTask, TaskSet};
 
 use crate::report::{fmt3, render_table, Table};

@@ -50,11 +50,7 @@ impl ElasticResult {
             self.elastic_completed as f64 / self.drop_completed as f64
         };
         t.push_row(["AMC drop".to_string(), self.drop_completed.to_string(), fmt3(1.0)]);
-        t.push_row([
-            "elastic".to_string(),
-            self.elastic_completed.to_string(),
-            fmt3(rel),
-        ]);
+        t.push_row(["elastic".to_string(), self.elastic_completed.to_string(), fmt3(rel)]);
         t
     }
 }
@@ -81,8 +77,11 @@ pub fn elastic_experiment(config: &SweepConfig, horizon_periods: u32) -> Elastic
             let horizon = sim_config.horizon_for(&tasks);
             let top = ts.num_levels();
 
-            let drop_run = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone()))
-                .run(&mut LevelCap::new(top), horizon, &mut Trace::disabled());
+            let drop_run = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone())).run(
+                &mut LevelCap::new(top),
+                horizon,
+                &mut Trace::disabled(),
+            );
             let elastic_run = CoreSim::new(tasks, SchedulerKind::EdfVd(vd))
                 .with_degradation(DegradationPolicy::Elastic { factors })
                 .run(&mut LevelCap::new(top), horizon, &mut Trace::disabled());

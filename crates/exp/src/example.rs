@@ -25,11 +25,11 @@ pub const EXAMPLE_PERIOD: u64 = 1_000;
 #[must_use]
 pub fn paper_example_task_set() -> TaskSet {
     let spec: [(u8, &[u64]); 5] = [
-        (1, &[450]),        // τ1: u(1) = 0.450
-        (2, &[175, 326]),   // τ2: u(1) = 0.175, u(2) = 0.326
-        (1, &[280]),        // τ3: u(1) = 0.280
-        (2, &[339, 633]),   // τ4: u(1) = 0.339, u(2) = 0.633
-        (1, &[300]),        // τ5: u(1) = 0.300
+        (1, &[450]),      // τ1: u(1) = 0.450
+        (2, &[175, 326]), // τ2: u(1) = 0.175, u(2) = 0.326
+        (1, &[280]),      // τ3: u(1) = 0.280
+        (2, &[339, 633]), // τ4: u(1) = 0.339, u(2) = 0.633
+        (1, &[300]),      // τ5: u(1) = 0.300
     ];
     let tasks: Vec<McTask> = spec
         .iter()

@@ -58,11 +58,8 @@ impl DualComparison {
     /// Schedulability-ratio table.
     #[must_use]
     pub fn table(&self) -> Table {
-        let names: Vec<&'static str> = self
-            .points
-            .first()
-            .map(|p| p.iter().map(|r| r.scheme).collect())
-            .unwrap_or_default();
+        let names: Vec<&'static str> =
+            self.points.first().map(|p| p.iter().map(|r| r.scheme).collect()).unwrap_or_default();
         let mut header = vec!["NSU".to_string()];
         header.extend(names.iter().map(ToString::to_string));
         let mut t = Table::new(header);
@@ -96,8 +93,7 @@ mod tests {
         // Shrink the sweep by calling run_point directly at two xs.
         let mut cmp = DualComparison { xs: vec![0.6, 0.7], points: Vec::new() };
         for &nsu in &cmp.xs {
-            let params =
-                GenParams::default().with_levels(2).with_nsu(nsu).with_n_range(8, 12);
+            let params = GenParams::default().with_levels(2).with_nsu(nsu).with_n_range(8, 12);
             cmp.points.push(run_point(&params, &dual_schemes(), &config));
         }
         let t = cmp.table();

@@ -138,11 +138,13 @@ impl FigureId {
                 schemes[idx] = Box::new(Catpa::with_alpha(x));
                 (params, schemes)
             }
-            Self::Cores => {
+            Self::Cores =>
+            {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 (params.with_cores(x as usize), schemes)
             }
-            Self::Levels => {
+            Self::Levels =>
+            {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 (params.with_levels(x as u8), schemes)
             }
@@ -192,10 +194,7 @@ impl FigureResult {
     /// Scheme names in plot order.
     #[must_use]
     pub fn schemes(&self) -> Vec<&'static str> {
-        self.points
-            .first()
-            .map(|p| p.iter().map(|r| r.scheme).collect())
-            .unwrap_or_default()
+        self.points.first().map(|p| p.iter().map(|r| r.scheme).collect()).unwrap_or_default()
     }
 
     /// The four metric panels as terminal line charts.
@@ -237,21 +236,17 @@ impl FigureResult {
     #[must_use]
     pub fn panels(&self) -> Vec<(String, Table)> {
         let schemes = self.schemes();
-        let metric =
-            |name: &str, f: &dyn Fn(&PointResult) -> f64| -> (String, Table) {
-                let mut header = vec![self.id.x_label().to_string()];
-                header.extend(schemes.iter().map(ToString::to_string));
-                let mut table = Table::new(header);
-                for (x, row) in self.xs.iter().zip(&self.points) {
-                    let mut cells = vec![fmt3(*x)];
-                    cells.extend(row.iter().map(|r| fmt3(f(r))));
-                    table.push_row(cells);
-                }
-                (
-                    format!("Figure {}({name}) — vs {}", self.id.number(), self.id.x_label()),
-                    table,
-                )
-            };
+        let metric = |name: &str, f: &dyn Fn(&PointResult) -> f64| -> (String, Table) {
+            let mut header = vec![self.id.x_label().to_string()];
+            header.extend(schemes.iter().map(ToString::to_string));
+            let mut table = Table::new(header);
+            for (x, row) in self.xs.iter().zip(&self.points) {
+                let mut cells = vec![fmt3(*x)];
+                cells.extend(row.iter().map(|r| fmt3(f(r))));
+                table.push_row(cells);
+            }
+            (format!("Figure {}({name}) — vs {}", self.id.number(), self.id.x_label()), table)
+        };
         vec![
             metric("a: schedulability ratio", &PointResult::ratio),
             metric("b: U_sys", &|r| r.u_sys),

@@ -46,18 +46,11 @@ impl GlobalCmpResult {
     /// Render as a table.
     #[must_use]
     pub fn table(&self) -> Table {
-        let mut t = Table::new([
-            "NSU",
-            "partitioned CA-TPA (analytical)",
-            "global EDF+AMC (empirical)",
-        ]);
+        let mut t =
+            Table::new(["NSU", "partitioned CA-TPA (analytical)", "global EDF+AMC (empirical)"]);
         for p in &self.points {
             let n = p.trials.max(1) as f64;
-            t.push_row([
-                fmt3(p.nsu),
-                fmt3(p.partitioned as f64 / n),
-                fmt3(p.global_ok as f64 / n),
-            ]);
+            t.push_row([fmt3(p.nsu), fmt3(p.partitioned as f64 / n), fmt3(p.global_ok as f64 / n)]);
         }
         t
     }
@@ -70,11 +63,8 @@ pub fn global_comparison(config: &SweepConfig, horizon_periods: u32) -> GlobalCm
     let catpa = Catpa::default();
     let mut result = GlobalCmpResult::default();
     for nsu in [0.55, 0.65, 0.75, 0.85] {
-        let params = GenParams::default()
-            .with_levels(2)
-            .with_cores(4)
-            .with_n_range(12, 32)
-            .with_nsu(nsu);
+        let params =
+            GenParams::default().with_levels(2).with_cores(4).with_n_range(12, 32).with_nsu(nsu);
         let mut point = GlobalCmpPoint { nsu, trials: config.trials, ..Default::default() };
         for trial in 0..config.trials {
             let ts = generate_task_set(&params, config.seed + trial as u64);
@@ -85,8 +75,11 @@ pub fn global_comparison(config: &SweepConfig, horizon_periods: u32) -> GlobalCm
             let horizon = sim_config.horizon_for(&refs);
             let mut ok = true;
             for b in 1..=2u8 {
-                let r = GlobalSim::new(refs.clone(), params.cores, SchedulerKind::PlainEdf)
-                    .run(&mut LevelCap::new(b), horizon, &mut Trace::disabled());
+                let r = GlobalSim::new(refs.clone(), params.cores, SchedulerKind::PlainEdf).run(
+                    &mut LevelCap::new(b),
+                    horizon,
+                    &mut Trace::disabled(),
+                );
                 if r.mandatory_misses(CritLevel::new(b)) > 0 {
                     ok = false;
                     break;

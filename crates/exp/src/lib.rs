@@ -13,9 +13,13 @@
 //! * [`soundness`] — simulation-backed validation: partitions accepted by
 //!   the analysis must exhibit zero mandatory deadline misses;
 //! * [`ablation`] — CA-TPA variant comparison;
+//! * [`audit_cmd`] — invariant-audit sweep over every scheme (`mcs-audit`);
 //! * [`report`] — plain-text/CSV rendering.
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
+pub mod audit_cmd;
 pub mod chart;
 pub mod describe;
 pub mod elastic_exp;

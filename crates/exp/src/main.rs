@@ -14,27 +14,31 @@
 //!   dualcmp                            EDF-VD vs FP-AMC vs DBF (K = 2)
 //!   partition --file F [--cores N] [--scheme S] [--validate]
 //!                                      partition a task-set file
+//!   audit [--json]                     invariant audit over all schemes
 //!   all                                everything above
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::env;
 use std::process::ExitCode;
 
 use mcs_exp::ablation::ablation_with;
+use mcs_exp::audit_cmd;
 use mcs_exp::describe;
 use mcs_exp::elastic_exp::elastic_experiment;
 use mcs_exp::extension::dual_comparison;
-use mcs_exp::globalcmp::global_comparison;
 use mcs_exp::figures::{figure_full, Baselines, FigureId, FigureOptions};
-use mcs_gen::WcetGrowth;
-use mcs_exp::report::{render_csv, render_table, Table};
+use mcs_exp::globalcmp::global_comparison;
 use mcs_exp::optgap::optimality_gap;
 use mcs_exp::overhead::overhead_sweep;
 use mcs_exp::partition_cmd;
+use mcs_exp::report::{render_csv, render_table, Table};
 use mcs_exp::soundness::soundness;
 use mcs_exp::sweep::SweepConfig;
 use mcs_exp::tables;
 use mcs_gen::GenParams;
+use mcs_gen::WcetGrowth;
 
 struct Options {
     commands: Vec<String>,
@@ -45,6 +49,7 @@ struct Options {
     partition_validate: bool,
     config: SweepConfig,
     csv: bool,
+    json: bool,
     chart: bool,
     horizon_periods: u32,
     baselines: Baselines,
@@ -53,7 +58,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|soundness|ablation|dualcmp|gap|overhead|elastic|globalcmp|partition|describe|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart]"
+    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|soundness|ablation|dualcmp|gap|overhead|elastic|globalcmp|partition|describe|audit|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -65,6 +70,7 @@ fn parse_args() -> Result<Options, String> {
         partition_validate: false,
         config: SweepConfig::default(),
         csv: false,
+        json: false,
         chart: false,
         horizon_periods: 8,
         baselines: Baselines::Strong,
@@ -92,6 +98,7 @@ fn parse_args() -> Result<Options, String> {
                     v.parse().map_err(|_| format!("bad --horizon-periods: {v}"))?;
             }
             "--csv" => opts.csv = true,
+            "--json" => opts.json = true,
             "--chart" => opts.chart = true,
             "--weak-baselines" => opts.baselines = Baselines::Weak,
             "--geometric" => opts.growth = WcetGrowth::Geometric,
@@ -172,7 +179,10 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
         "table3" => {
             let (t, ok) = tables::table3();
             print_table("Table III — task allocations under CA-TPA", &t, opts.csv);
-            println!("CA-TPA result: {}\n", if ok { "feasible (as in the paper)" } else { "FAILURE" });
+            println!(
+                "CA-TPA result: {}\n",
+                if ok { "feasible (as in the paper)" } else { "FAILURE" }
+            );
         }
         "table4" => print_table("Table IV — system parameters", &tables::table4(), opts.csv),
         "tables" => {
@@ -190,7 +200,11 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 &opts.config,
                 opts.horizon_periods,
             );
-            print_table("Soundness — mandatory misses under worst-case behaviours", &r.table(), opts.csv);
+            print_table(
+                "Soundness — mandatory misses under worst-case behaviours",
+                &r.table(),
+                opts.csv,
+            );
             println!(
                 "partitioned {}/{} sets; {} mode switches observed; sound: {}",
                 r.partitioned,
@@ -264,21 +278,17 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             );
         }
         "describe" => {
-            let path = opts
-                .partition_file
-                .as_ref()
-                .ok_or("describe requires --file <task-set.csv>")?;
-            let input = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let path =
+                opts.partition_file.as_ref().ok_or("describe requires --file <task-set.csv>")?;
+            let input =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             println!("{}", describe::run(&input)?);
         }
         "partition" => {
-            let path = opts
-                .partition_file
-                .as_ref()
-                .ok_or("partition requires --file <task-set.csv>")?;
-            let input = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let path =
+                opts.partition_file.as_ref().ok_or("partition requires --file <task-set.csv>")?;
+            let input =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let report = partition_cmd::run(
                 &input,
                 opts.partition_cores,
@@ -287,8 +297,23 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             )?;
             println!("{report}");
         }
+        "audit" => {
+            eprintln!(
+                "[mcs-exp] audit: {} task sets x all schemes, all invariant rules, {} threads",
+                opts.config.trials,
+                opts.config.effective_threads()
+            );
+            let outcome = audit_cmd::run(&opts.config);
+            println!("{}", audit_cmd::render(&outcome, opts.json).trim_end());
+            if outcome.errors() > 0 {
+                return Err(format!("audit found {} invariant violation(s)", outcome.errors()));
+            }
+        }
         "dualcmp" => {
-            eprintln!("[mcs-exp] dual-criticality family comparison: {} trials/point", opts.config.trials);
+            eprintln!(
+                "[mcs-exp] dual-criticality family comparison: {} trials/point",
+                opts.config.trials
+            );
             let r = dual_comparison(&opts.config);
             print_table(
                 "Extension — EDF-VD vs FP-AMC vs DBF partitioning (K = 2)",
@@ -298,8 +323,16 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
         }
         "all" => {
             for c in [
-                "tables", "figs", "soundness", "ablation", "dualcmp", "gap", "overhead",
-                "elastic", "globalcmp",
+                "tables",
+                "figs",
+                "soundness",
+                "ablation",
+                "dualcmp",
+                "gap",
+                "overhead",
+                "elastic",
+                "globalcmp",
+                "audit",
             ] {
                 run_command(c, opts)?;
             }

@@ -57,10 +57,7 @@ impl GapResult {
 /// near the transition so both outcomes are common.
 #[must_use]
 pub fn optimality_gap(config: &SweepConfig) -> GapResult {
-    let params = GenParams::default()
-        .with_n_range(8, 14)
-        .with_cores(3)
-        .with_nsu(0.68);
+    let params = GenParams::default().with_n_range(8, 14).with_cores(3).with_nsu(0.68);
     let exact = ExactBnb::default();
     let mut schemes = paper_schemes();
     // The extension partitioners ride along to show how much of the gap

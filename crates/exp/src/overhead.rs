@@ -81,8 +81,7 @@ pub fn overhead_sweep(config: &SweepConfig, horizon_periods: u32) -> OverheadRes
         for point in &mut result.points {
             let mut violated = false;
             for core in CoreId::all(params.cores) {
-                let tasks: Vec<&McTask> =
-                    partition.tasks_on(core).map(|id| ts.task(id)).collect();
+                let tasks: Vec<&McTask> = partition.tasks_on(core).map(|id| ts.task(id)).collect();
                 let table = UtilTable::from_tasks(ts.num_levels(), tasks.iter().copied());
                 let analysis = Theorem1::compute(&table);
                 let vd = VdAssignment::compute(&table, &analysis).expect("CA-TPA output");

@@ -3,9 +3,7 @@
 //! metrics, and optionally validate the result by simulation.
 
 use mcs_model::{parse_task_set, CoreId, CritLevel, TaskSet};
-use mcs_partition::{
-    BinPacker, Catpa, CatpaLs, Hybrid, PartitionQuality, Partitioner, SimAnneal,
-};
+use mcs_partition::{BinPacker, Catpa, CatpaLs, Hybrid, PartitionQuality, Partitioner, SimAnneal};
 use mcs_sim::system::SystemScheduler;
 use mcs_sim::{simulate_partition, LevelCap, SimConfig};
 
@@ -29,8 +27,9 @@ pub fn scheme_by_name(name: &str) -> Option<Box<dyn Partitioner + Send + Sync>> 
 /// Run the subcommand; returns the rendered report or an error string.
 pub fn run(input: &str, cores: usize, scheme_name: &str, validate: bool) -> Result<String, String> {
     let ts: TaskSet = parse_task_set(input).map_err(|e| format!("parse error: {e}"))?;
-    let scheme = scheme_by_name(scheme_name)
-        .ok_or_else(|| format!("unknown scheme {scheme_name:?} (catpa|ffd|bfd|wfd|nfd|hybrid|catpa-ls|sa)"))?;
+    let scheme = scheme_by_name(scheme_name).ok_or_else(|| {
+        format!("unknown scheme {scheme_name:?} (catpa|ffd|bfd|wfd|nfd|hybrid|catpa-ls|sa)")
+    })?;
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -49,18 +48,13 @@ pub fn run(input: &str, cores: usize, scheme_name: &str, validate: bool) -> Resu
             ))
         }
     };
-    let quality = PartitionQuality::evaluate(&ts, &partition)
-        .expect("partitioner output passes Theorem 1");
+    let quality =
+        PartitionQuality::evaluate(&ts, &partition).expect("partitioner output passes Theorem 1");
 
     let mut table = Table::new(["core", "tasks", "U"]);
     for core in CoreId::all(cores) {
-        let ids: Vec<String> =
-            partition.tasks_on(core).map(|id| format!("τ{}", id.0)).collect();
-        table.push_row([
-            core.to_string(),
-            ids.join(" "),
-            fmt3(quality.per_core[core.index()]),
-        ]);
+        let ids: Vec<String> = partition.tasks_on(core).map(|id| format!("τ{}", id.0)).collect();
+        table.push_row([core.to_string(), ids.join(" "), fmt3(quality.per_core[core.index()])]);
     }
     out.push_str(&render_table(&table));
     out.push_str(&format!(

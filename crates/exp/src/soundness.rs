@@ -9,10 +9,10 @@
 //! counts as a violation. The expected output is a table of zeros.
 
 use mcs_gen::{generate_task_set, GenParams};
+use mcs_model::CritLevel;
 use mcs_partition::{Catpa, Partitioner};
 use mcs_sim::system::SystemScheduler;
 use mcs_sim::{simulate_partition, LevelCap, SimConfig};
-use mcs_model::CritLevel;
 
 use crate::report::Table;
 use crate::sweep::SweepConfig;
@@ -53,7 +53,11 @@ impl SoundnessResult {
 /// `horizon_periods` bounds per-core simulation length (the horizon is
 /// `min(hyperperiod, horizon_periods × max period)`).
 #[must_use]
-pub fn soundness(params: &GenParams, config: &SweepConfig, horizon_periods: u32) -> SoundnessResult {
+pub fn soundness(
+    params: &GenParams,
+    config: &SweepConfig,
+    horizon_periods: u32,
+) -> SoundnessResult {
     let mut result = SoundnessResult {
         trials: config.trials,
         per_level: vec![(0, 0); usize::from(params.levels)],
@@ -67,14 +71,11 @@ pub fn soundness(params: &GenParams, config: &SweepConfig, horizon_periods: u32)
         let Ok(partition) = catpa.partition(&ts, params.cores) else { continue };
         result.partitioned += 1;
         for b in 1..=params.levels {
-            let (report, _) = simulate_partition(
-                &ts,
-                &partition,
-                SystemScheduler::EdfVd,
-                &sim_config,
-                |_| LevelCap::new(b),
-            )
-            .expect("CA-TPA partitions are feasible on every core");
+            let (report, _) =
+                simulate_partition(&ts, &partition, SystemScheduler::EdfVd, &sim_config, |_| {
+                    LevelCap::new(b)
+                })
+                .expect("CA-TPA partitions are feasible on every core");
             let entry = &mut result.per_level[usize::from(b - 1)];
             entry.0 += 1;
             if !report.guarantee_held(CritLevel::new(b)) {
@@ -97,10 +98,7 @@ mod tests {
         let config = SweepConfig { trials: 10, threads: 1, seed: 42 };
         let r = soundness(&params, &config, 4);
         assert!(r.partitioned > 0, "no partitions formed — test is vacuous");
-        assert!(
-            r.sound(),
-            "analysis accepted a partition that missed mandatory deadlines: {r:?}"
-        );
+        assert!(r.sound(), "analysis accepted a partition that missed mandatory deadlines: {r:?}");
         // Worst-case behaviours above level 1 must actually exercise mode
         // switches, otherwise the experiment is not probing AMC at all.
         assert!(r.mode_switches > 0);

@@ -138,9 +138,8 @@ pub fn table3() -> (Table, bool) {
         match best {
             Some((m, _)) => {
                 tables[m].add(task);
-                utils[m] = Theorem1::compute(&tables[m])
-                    .core_utilization()
-                    .expect("probed feasible");
+                utils[m] =
+                    Theorem1::compute(&tables[m]).core_utilization().expect("probed feasible");
                 steps.push(AllocStep {
                     task: display_name(id),
                     core: format!("P{}", m + 1),

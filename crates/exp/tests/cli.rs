@@ -55,10 +55,7 @@ fn tables_command_reproduces_the_worked_example() {
 
 #[test]
 fn figure_command_emits_four_panels() {
-    let out = bin()
-        .args(["fig2", "--trials", "8", "--seed", "3"])
-        .output()
-        .expect("binary runs");
+    let out = bin().args(["fig2", "--trials", "8", "--seed", "3"]).output().expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     for panel in ["(a: schedulability ratio)", "(b: U_sys)", "(c: U_avg)", "(d: imbalance"] {
@@ -68,10 +65,7 @@ fn figure_command_emits_four_panels() {
 
 #[test]
 fn csv_flag_switches_format() {
-    let out = bin()
-        .args(["table4", "--csv"])
-        .output()
-        .expect("binary runs");
+    let out = bin().args(["table4", "--csv"]).output().expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("parameter,values/ranges,default"), "{stdout}");
@@ -103,20 +97,15 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn missing_file_reports_cleanly() {
-    let out = bin()
-        .args(["partition", "--file", "/nonexistent/x.csv"])
-        .output()
-        .expect("binary runs");
+    let out =
+        bin().args(["partition", "--file", "/nonexistent/x.csv"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
 
 #[test]
 fn chart_flag_renders_ascii_panels() {
-    let out = bin()
-        .args(["fig3", "--trials", "6", "--chart"])
-        .output()
-        .expect("binary runs");
+    let out = bin().args(["fig3", "--trials", "6", "--chart"]).output().expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("# CA-TPA"), "legend missing: {stdout}");

@@ -13,6 +13,8 @@
 //! All generators are deterministic given a seed (`rand::SmallRng`), which
 //! the experiment harness exploits for reproducible parallel sweeps.
 
+#![forbid(unsafe_code)]
+
 pub mod paper;
 pub mod params;
 pub mod uunifast;

@@ -181,28 +181,20 @@ mod tests {
             total += ts.raw_util() / p.cores as f64;
         }
         let mean = total / f64::from(runs);
-        assert!(
-            (mean - 0.6).abs() < 0.05,
-            "mean NSU {mean} too far from target 0.6"
-        );
+        assert!((mean - 0.6).abs() < 0.05, "mean NSU {mean} too far from target 0.6");
     }
 
     #[test]
     fn geometric_ifc_controls_consecutive_ratio() {
-        let p = GenParams::default()
-            .with_ifc(0.5)
-            .with_levels(4)
-            .with_growth(WcetGrowth::Geometric);
+        let p =
+            GenParams::default().with_ifc(0.5).with_levels(4).with_growth(WcetGrowth::Geometric);
         let ts = generate_task_set(&p, 7);
         for t in ts.tasks() {
             let v = t.wcet_vector();
             for w in v.windows(2) {
                 // Growth ratio ≈ 1.5, distorted only by integer rounding.
                 let ratio = w[1] as f64 / w[0] as f64;
-                assert!(
-                    (ratio - 1.5).abs() < 0.51,
-                    "wcet ratio {ratio} far from 1+IFC for {t:?}"
-                );
+                assert!((ratio - 1.5).abs() < 0.51, "wcet ratio {ratio} far from 1+IFC for {t:?}");
             }
         }
     }
@@ -308,9 +300,7 @@ mod period_model_tests {
 
     #[test]
     fn harmonic_periods_divide_each_other() {
-        let p = GenParams::default()
-            .with_period_model(PeriodModel::Harmonic)
-            .with_n_range(60, 60);
+        let p = GenParams::default().with_period_model(PeriodModel::Harmonic).with_n_range(60, 60);
         let ts = generate_task_set(&p, 3);
         let base = 50 * p.ticks_per_unit;
         for t in ts.tasks() {
@@ -325,9 +315,8 @@ mod period_model_tests {
 
     #[test]
     fn log_uniform_spans_the_range() {
-        let p = GenParams::default()
-            .with_period_model(PeriodModel::LogUniform)
-            .with_n_range(200, 200);
+        let p =
+            GenParams::default().with_period_model(PeriodModel::LogUniform).with_n_range(200, 200);
         let ts = generate_task_set(&p, 9);
         let (mut lo_seen, mut hi_seen) = (false, false);
         for t in ts.tasks() {
@@ -387,9 +376,7 @@ mod random_k_tests {
         assert!(with_range((3, 2)).validate().is_err());
         // Default levels = 4, so hi = 6 exceeds the bound.
         assert!(with_range((2, 6)).validate().is_err(), "hi above levels must fail");
-        let p = GenParams::default()
-            .with_level_range(2, 4)
-            .with_level_weights(vec![1.0; 4]);
+        let p = GenParams::default().with_level_range(2, 4).with_level_weights(vec![1.0; 4]);
         assert!(p.validate().is_err(), "range + weights must fail");
     }
 }

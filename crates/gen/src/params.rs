@@ -258,10 +258,7 @@ mod tests {
         assert!(base.clone().with_level_weights(vec![1.0, 1.0]).validate().is_err());
         assert!(base.clone().with_level_weights(vec![1.0, -1.0, 1.0, 1.0]).validate().is_err());
         assert!(base.clone().with_level_weights(vec![0.0; 4]).validate().is_err());
-        assert!(base
-            .with_level_weights(vec![f64::NAN, 1.0, 1.0, 1.0])
-            .validate()
-            .is_err());
+        assert!(base.with_level_weights(vec![f64::NAN, 1.0, 1.0, 1.0]).validate().is_err());
     }
 
     #[test]

@@ -84,15 +84,11 @@ pub fn parse_task_set(input: &str) -> Result<TaskSet, ParseError> {
             })
             .collect::<Result<_, _>>()?;
         let id = TaskId(u32::try_from(tasks.len()).expect("task count fits u32"));
-        let task = McTask::new(id, period, level, wcet).map_err(|e| ParseError {
-            line: line_no,
-            reason: e.to_string(),
-        })?;
+        let task = McTask::new(id, period, level, wcet)
+            .map_err(|e| ParseError { line: line_no, reason: e.to_string() })?;
         tasks.push(task);
     }
-    let k = pinned_k
-        .or_else(|| tasks.iter().map(|t| t.level().get()).max())
-        .unwrap_or(1);
+    let k = pinned_k.or_else(|| tasks.iter().map(|t| t.level().get()).max()).unwrap_or(1);
     TaskSet::new(k, tasks).map_err(|e| ParseError { line: 0, reason: e.to_string() })
 }
 

@@ -26,6 +26,8 @@
 //!   crate consumes;
 //! * [`Partition`] — a task-to-core mapping `Γ = {Ψ_1, …, Ψ_M}`.
 
+#![forbid(unsafe_code)]
+
 pub mod io;
 pub mod level;
 pub mod partition;

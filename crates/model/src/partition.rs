@@ -41,11 +41,26 @@ impl fmt::Display for CoreId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionError {
     /// A task was assigned to a core index `>= M`.
-    CoreOutOfRange { task: TaskId, core: CoreId, cores: usize },
+    CoreOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// The out-of-range core it was assigned to.
+        core: CoreId,
+        /// Number of cores in the system.
+        cores: usize,
+    },
     /// Assignment vector length does not match the task set.
-    WrongLength { expected: usize, got: usize },
+    WrongLength {
+        /// Task-set size.
+        expected: usize,
+        /// Assignment-vector length actually supplied.
+        got: usize,
+    },
     /// A task was left unassigned where a complete partition was required.
-    Unassigned { task: TaskId },
+    Unassigned {
+        /// The unplaced task.
+        task: TaskId,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -278,10 +293,7 @@ mod tests {
         let mut p = Partition::empty(2, 3);
         p.assign(TaskId(0), CoreId(0));
         p.assign(TaskId(2), CoreId(0));
-        assert_eq!(
-            p.require_complete(&ts),
-            Err(PartitionError::Unassigned { task: TaskId(1) })
-        );
+        assert_eq!(p.require_complete(&ts), Err(PartitionError::Unassigned { task: TaskId(1) }));
         p.assign(TaskId(1), CoreId(1));
         assert!(p.require_complete(&ts).is_ok());
     }

@@ -21,15 +21,18 @@ pub struct Ratio {
     den: i128,
 }
 
-fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
+/// Greatest common divisor of the absolute values. Returns `None` when an
+/// operand is `i128::MIN`, whose absolute value is not representable —
+/// `i128::MIN.abs()` would panic in debug builds and wrap in release.
+fn gcd_i128(a: i128, b: i128) -> Option<i128> {
+    let mut a = a.checked_abs()?;
+    let mut b = b.checked_abs()?;
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a
+    Some(a)
 }
 
 // Checked arithmetic deliberately shadows the `std::ops` names: `Ratio`
@@ -43,14 +46,17 @@ impl Ratio {
     /// One.
     pub const ONE: Ratio = Ratio { num: 1, den: 1 };
 
-    /// Construct and reduce. Returns `None` when `den == 0`.
+    /// Construct and reduce. Returns `None` when `den == 0`, or when an
+    /// operand is `i128::MIN` (not reducible without overflow). As a
+    /// consequence every stored numerator satisfies `|num| ≤ i128::MAX`
+    /// and every denominator is positive.
     #[must_use]
     pub fn new(num: i128, den: i128) -> Option<Ratio> {
         if den == 0 {
             return None;
         }
         let sign = if den < 0 { -1 } else { 1 };
-        let g = gcd_i128(num, den).max(1);
+        let g = gcd_i128(num, den)?.max(1);
         Some(Ratio { num: sign * (num / g), den: (den / g).abs() })
     }
 
@@ -75,7 +81,7 @@ impl Ratio {
     /// Checked addition.
     #[must_use]
     pub fn add(self, other: Ratio) -> Option<Ratio> {
-        let g = gcd_i128(self.den, other.den).max(1);
+        let g = gcd_i128(self.den, other.den)?.max(1);
         let l = self.den.checked_mul(other.den / g)?;
         let a = self.num.checked_mul(other.den / g)?;
         let b = other.num.checked_mul(self.den / g)?;
@@ -91,8 +97,8 @@ impl Ratio {
     /// Checked multiplication (cross-reducing first to delay overflow).
     #[must_use]
     pub fn mul(self, other: Ratio) -> Option<Ratio> {
-        let g1 = gcd_i128(self.num, other.den).max(1);
-        let g2 = gcd_i128(other.num, self.den).max(1);
+        let g1 = gcd_i128(self.num, other.den)?.max(1);
+        let g2 = gcd_i128(other.num, self.den)?.max(1);
         let num = (self.num / g1).checked_mul(other.num / g2)?;
         let den = (self.den / g2).checked_mul(other.den / g1)?;
         Ratio::new(num, den)
@@ -132,10 +138,7 @@ impl Ratio {
     pub fn cmp_exact(&self, other: &Ratio) -> Ordering {
         match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
             (Some(a), Some(b)) => a.cmp(&b),
-            _ => self
-                .to_f64()
-                .partial_cmp(&other.to_f64())
-                .expect("finite rationals compare"),
+            _ => self.to_f64().partial_cmp(&other.to_f64()).expect("finite rationals compare"),
         }
     }
 }
@@ -203,6 +206,30 @@ mod tests {
         // Multiplication of two very large reduced ratios overflows.
         let a = Ratio::new(i128::MAX / 2, 1).unwrap();
         assert!(a.mul(a).is_none());
+    }
+
+    /// Regression: `i128::MIN` operands must be reported as unrepresentable
+    /// (`None`), not panic in debug builds via `i128::MIN.abs()`.
+    #[test]
+    fn i128_min_operands_return_none_instead_of_panicking() {
+        assert!(Ratio::new(i128::MIN, 1).is_none());
+        assert!(Ratio::new(i128::MIN, 2).is_none());
+        assert!(Ratio::new(1, i128::MIN).is_none());
+        assert!(Ratio::new(i128::MIN, i128::MIN).is_none());
+        // One step away from the edge still works.
+        let near = Ratio::new(i128::MIN + 1, 1).unwrap();
+        assert_eq!(near.num(), i128::MIN + 1);
+        assert_eq!(near.den(), 1);
+        // Halvable magnitudes reduce normally.
+        let half = Ratio::new(i128::MIN / 2, 2).unwrap();
+        assert_eq!(half.num(), i128::MIN / 4);
+        assert_eq!(half.den(), 1);
+        // Arithmetic on extreme-but-valid values reports overflow as None
+        // rather than panicking.
+        let big = Ratio::new(i128::MAX, 1).unwrap();
+        assert!(big.add(big).is_none());
+        assert!(near.sub(big).is_none());
+        assert!(near.mul(big).is_none());
     }
 
     #[test]

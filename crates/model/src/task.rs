@@ -37,11 +37,22 @@ pub enum TaskBuildError {
     /// The period must be at least one tick.
     ZeroPeriod,
     /// The WCET vector must contain exactly `level` entries.
-    WcetArity { expected: u8, got: usize },
+    WcetArity {
+        /// The task's criticality level (= required number of entries).
+        expected: u8,
+        /// Number of WCET entries actually supplied.
+        got: usize,
+    },
     /// Each WCET must be at least one tick.
-    ZeroWcet { level: u8 },
+    ZeroWcet {
+        /// The level whose WCET entry was zero.
+        level: u8,
+    },
     /// WCETs must be non-decreasing in the criticality level.
-    DecreasingWcet { level: u8 },
+    DecreasingWcet {
+        /// The level whose WCET dropped below the previous level's.
+        level: u8,
+    },
 }
 
 impl fmt::Display for TaskBuildError {
@@ -187,11 +198,7 @@ impl McTask {
 
 impl fmt::Debug for McTask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "McTask({:?}, p={}, l={}, C={:?})",
-            self.id, self.period, self.level, self.wcet
-        )
+        write!(f, "McTask({:?}, p={}, l={}, C={:?})", self.id, self.period, self.level, self.wcet)
     }
 }
 
@@ -245,10 +252,8 @@ impl TaskBuilder {
 
     /// Validate and build.
     pub fn build(self) -> Result<McTask, TaskBuildError> {
-        let level = CritLevel::try_new(self.level).ok_or(TaskBuildError::WcetArity {
-            expected: MAX_LEVELS,
-            got: self.wcet.len(),
-        })?;
+        let level = CritLevel::try_new(self.level)
+            .ok_or(TaskBuildError::WcetArity { expected: MAX_LEVELS, got: self.wcet.len() })?;
         McTask::new(self.id, self.period, level, self.wcet)
     }
 }

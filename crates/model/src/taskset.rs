@@ -11,9 +11,21 @@ use crate::util::{LevelUtils, UtilTable};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TaskSetError {
     /// Task ids must be dense `0..N` in order (so they index vectors).
-    NonDenseIds { position: usize, id: TaskId },
+    NonDenseIds {
+        /// Position in the input vector where the gap was found.
+        position: usize,
+        /// The id actually found there.
+        id: TaskId,
+    },
     /// A task's criticality exceeds the system level `K`.
-    LevelAboveSystem { id: TaskId, level: u8, system: u8 },
+    LevelAboveSystem {
+        /// The offending task.
+        id: TaskId,
+        /// That task's criticality level.
+        level: u8,
+        /// The system level `K` it exceeds.
+        system: u8,
+    },
     /// `K` must be at least 1.
     ZeroLevels,
 }
@@ -119,11 +131,7 @@ impl TaskSet {
     /// level-`k` utilization of tasks with criticality `k` or higher.
     #[must_use]
     pub fn total_util_at(&self, k: CritLevel) -> f64 {
-        self.tasks
-            .iter()
-            .filter(|t| t.level() >= k)
-            .map(|t| t.util(k))
-            .sum()
+        self.tasks.iter().filter(|t| t.level() >= k).map(|t| t.util(k)).sum()
     }
 
     /// Total level-1 "raw" utilization `Σ_i u_i(1)` — the numerator of the
@@ -185,9 +193,9 @@ mod tests {
         TaskSet::new(
             2,
             vec![
-                t(0, 100, 1, &[20]),          // u(1)=0.2
-                t(1, 100, 2, &[10, 40]),      // u(1)=0.1, u(2)=0.4
-                t(2, 200, 2, &[30, 50]),      // u(1)=0.15, u(2)=0.25
+                t(0, 100, 1, &[20]),     // u(1)=0.2
+                t(1, 100, 2, &[10, 40]), // u(1)=0.1, u(2)=0.4
+                t(2, 200, 2, &[30, 50]), // u(1)=0.15, u(2)=0.25
             ],
         )
         .unwrap()

@@ -97,11 +97,7 @@ mod tests {
 
     #[test]
     fn promote_critical_transforms_only_high_levels() {
-        let ts = TaskSet::new(
-            2,
-            vec![task(0, 100, 1, &[20]), task(1, 100, 2, &[10, 30])],
-        )
-        .unwrap();
+        let ts = TaskSet::new(2, vec![task(0, 100, 1, &[20]), task(1, 100, 2, &[10, 30])]).unwrap();
         let promoted = promote_critical(&ts, CritLevel::new(2), 2).unwrap();
         assert_eq!(promoted.tasks()[0].period(), 100); // LO untouched
         assert_eq!(promoted.tasks()[1].period(), 50);
@@ -110,5 +106,4 @@ mod tests {
             vec![TaskId(1)]
         );
     }
-
 }

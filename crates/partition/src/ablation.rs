@@ -126,9 +126,7 @@ impl CatpaVariant {
                     let (ta, tb) = (ts.task(*a), ts.task(*b));
                     tb.level()
                         .cmp(&ta.level())
-                        .then_with(|| {
-                            tb.util_own().partial_cmp(&ta.util_own()).expect("finite")
-                        })
+                        .then_with(|| tb.util_own().partial_cmp(&ta.util_own()).expect("finite"))
                         .then_with(|| a.cmp(b))
                 });
                 ids
@@ -218,6 +216,7 @@ impl Partitioner for CatpaVariant {
             };
             partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
         }
+        mcs_audit::debug_audit(ts, &partition, self.name(), true, self.alpha);
         Ok(partition)
     }
 }
@@ -326,10 +325,7 @@ mod tests {
     fn eq4_probe_is_more_conservative() {
         // A set only schedulable via Theorem 1 on one core: the eq4-probe
         // variant must fail where the full variant succeeds.
-        let ts = set(
-            vec![task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])],
-            2,
-        );
+        let ts = set(vec![task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])], 2);
         let full = CatpaVariant::paper_default();
         let eq4 = CatpaVariant::new(
             "eq4",

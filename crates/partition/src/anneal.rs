@@ -71,10 +71,7 @@ impl Partitioner for SimAnneal {
         let mut loads = vec![0.0f64; cores];
         let mut order: Vec<usize> = (0..ts.len()).collect();
         order.sort_by(|&a, &b| {
-            ts.tasks()[b]
-                .util_own()
-                .partial_cmp(&ts.tasks()[a].util_own())
-                .expect("finite")
+            ts.tasks()[b].util_own().partial_cmp(&ts.tasks()[a].util_own()).expect("finite")
         });
         for i in order {
             let m = (0..cores)
@@ -140,6 +137,7 @@ impl Partitioner for SimAnneal {
         for (i, &m) in assignment.iter().enumerate() {
             partition.assign(ts.tasks()[i].id(), CoreId(u16::try_from(m).expect("fits")));
         }
+        mcs_audit::debug_audit(ts, &partition, self.name(), true, None);
         Ok(partition)
     }
 }

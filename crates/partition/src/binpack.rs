@@ -170,6 +170,7 @@ impl Partitioner for BinPacker {
                 None => return Err(PartitionFailure { task: task.id(), placed }),
             }
         }
+        mcs_audit::debug_audit(ts, &partition, self.name, true, None);
         Ok(partition)
     }
 }
@@ -190,10 +191,7 @@ mod tests {
     /// Four half-utilization tasks on two cores: every decreasing scheme
     /// must pack two per core.
     fn four_halves() -> TaskSet {
-        set(
-            (0..4).map(|i| task(i, 10, 1, &[5])).collect(),
-            1,
-        )
+        set((0..4).map(|i| task(i, 10, 1, &[5])).collect(), 1)
     }
 
     #[test]
@@ -209,10 +207,7 @@ mod tests {
 
     #[test]
     fn wfd_spreads_load() {
-        let ts = set(
-            vec![task(0, 10, 1, &[4]), task(1, 10, 1, &[3]), task(2, 10, 1, &[2])],
-            1,
-        );
+        let ts = set(vec![task(0, 10, 1, &[4]), task(1, 10, 1, &[3]), task(2, 10, 1, &[2])], 1);
         let p = BinPacker::wfd().partition(&ts, 2).unwrap();
         // τ0 → P1 (empty), τ1 → P2 (load 0 < 0.4), τ2 → P2 (0.3 < 0.4).
         assert_eq!(p.core_of(TaskId(0)), Some(CoreId(0)));
@@ -224,10 +219,7 @@ mod tests {
     fn bfd_prefers_fullest_feasible_core() {
         // τ0=0.6 → P1; τ1=0.3 → best-fit picks P1 (0.6 load, still fits);
         // τ2=0.3 no longer fits P1 (0.9+0.3 > 1) → P2.
-        let ts = set(
-            vec![task(0, 10, 1, &[6]), task(1, 10, 1, &[3]), task(2, 10, 1, &[3])],
-            1,
-        );
+        let ts = set(vec![task(0, 10, 1, &[6]), task(1, 10, 1, &[3]), task(2, 10, 1, &[3])], 1);
         let p = BinPacker::bfd().partition(&ts, 2).unwrap();
         assert_eq!(p.core_of(TaskId(0)), Some(CoreId(0)));
         assert_eq!(p.core_of(TaskId(1)), Some(CoreId(0)));
@@ -253,10 +245,7 @@ mod tests {
     #[test]
     fn improved_fit_rescues_mc_sets() {
         // Per-core: U_1(1)=0.5 + HI(0.1, 0.6) passes Thm 1 but not Eq. (4).
-        let ts = set(
-            vec![task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])],
-            2,
-        );
+        let ts = set(vec![task(0, 10, 1, &[5]), task(1, 100, 2, &[10, 60])], 2);
         assert!(BinPacker::ffd().with_fit(FitTest::Simple).partition(&ts, 1).is_err());
         assert!(BinPacker::ffd().partition(&ts, 1).is_ok());
     }
@@ -265,9 +254,9 @@ mod tests {
     fn order_is_by_max_utilization() {
         let ts = set(
             vec![
-                task(0, 10, 1, &[2]),      // 0.2
-                task(1, 10, 2, &[1, 8]),   // 0.8
-                task(2, 10, 1, &[5]),      // 0.5
+                task(0, 10, 1, &[2]),    // 0.2
+                task(1, 10, 2, &[1, 8]), // 0.8
+                task(2, 10, 1, &[5]),    // 0.5
             ],
             2,
         );

@@ -107,9 +107,7 @@ struct CatpaState {
 impl Catpa {
     /// One placement step: pick the target core for `task`, or `None`.
     fn select_core(&self, state: &CatpaState, task: &McTask) -> Option<usize> {
-        let rebalance = self
-            .alpha
-            .is_some_and(|alpha| imbalance(&state.utils) > alpha);
+        let rebalance = self.alpha.is_some_and(|alpha| imbalance(&state.utils) > alpha);
         let mut best: Option<(usize, f64)> = None;
         for (m, table) in state.tables.iter().enumerate() {
             let Some(new_u) = probe(table, task) else { continue };
@@ -149,6 +147,7 @@ impl Partitioner for Catpa {
                 .expect("committed assignment was probed feasible");
             partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
         }
+        mcs_audit::debug_audit(ts, &partition, self.name(), true, self.alpha);
         Ok(partition)
     }
 }

@@ -54,10 +54,7 @@ pub fn system_totals(ts: &TaskSet) -> Vec<f64> {
 /// 2. tie → higher criticality level first;
 /// 3. tie → smaller task index first.
 #[must_use]
-pub fn ordering_priority(
-    (a, ca): (&McTask, f64),
-    (b, cb): (&McTask, f64),
-) -> Ordering {
+pub fn ordering_priority((a, ca): (&McTask, f64), (b, cb): (&McTask, f64)) -> Ordering {
     cb.partial_cmp(&ca)
         .expect("contributions are finite")
         .then_with(|| b.level().cmp(&a.level()))
@@ -68,11 +65,8 @@ pub fn ordering_priority(
 #[must_use]
 pub fn order_by_contribution(ts: &TaskSet) -> Vec<TaskId> {
     let totals = system_totals(ts);
-    let mut keyed: Vec<(TaskId, f64, CritLevel)> = ts
-        .tasks()
-        .iter()
-        .map(|t| (t.id(), contribution(t, &totals).max, t.level()))
-        .collect();
+    let mut keyed: Vec<(TaskId, f64, CritLevel)> =
+        ts.tasks().iter().map(|t| (t.id(), contribution(t, &totals).max, t.level())).collect();
     keyed.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("contributions are finite")
@@ -151,10 +145,7 @@ mod tests {
         // U(1) = 0.4, U(2) = 0.6. C_0 = 0.2/0.4 = 0.5;
         // C_1 = max(0.25, 0.5) = 0.5 = C_2. Priorities: equal contribution
         // 0.5 for all three → τ1, τ2 (higher level, index order) before τ0.
-        assert_eq!(
-            order_by_contribution(&ts),
-            vec![TaskId(1), TaskId(2), TaskId(0)]
-        );
+        assert_eq!(order_by_contribution(&ts), vec![TaskId(1), TaskId(2), TaskId(0)]);
     }
 
     #[test]

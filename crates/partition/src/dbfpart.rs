@@ -52,7 +52,13 @@ impl Partitioner for DbfFirstFit {
                 None => return Err(PartitionFailure { task: task.id(), placed }),
             }
         }
+        // DBF admission is not Theorem 1: audit structure only.
+        mcs_audit::debug_audit(ts, &partition, self.name(), false, None);
         Ok(partition)
+    }
+
+    fn certifies_theorem1(&self) -> bool {
+        false
     }
 }
 
@@ -103,9 +109,7 @@ mod tests {
     fn dbf_precision_can_beat_eq4() {
         let ts = set(vec![task(0, 10, 1, &[7]), task(1, 30, 2, &[6, 12])]);
         // Eq. (4): 0.7 + 0.4 = 1.1 fails; Eq. (7): 0.7 + 1/3 = 1.033 fails.
-        assert!(BinPacker::ffd().with_fit(FitTest::SimpleThenImproved)
-            .partition(&ts, 1)
-            .is_err());
+        assert!(BinPacker::ffd().with_fit(FitTest::SimpleThenImproved).partition(&ts, 1).is_err());
         // DBF admits it.
         assert!(DbfFirstFit.partition(&ts, 1).is_ok());
     }

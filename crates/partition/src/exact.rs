@@ -80,8 +80,7 @@ impl SearchState<'_> {
                 }
                 opened_empty = true;
             }
-            let feasible =
-                Theorem1::compute(&WithTask::new(&self.tables[m], task)).feasible();
+            let feasible = Theorem1::compute(&WithTask::new(&self.tables[m], task)).feasible();
             if !feasible {
                 continue;
             }
@@ -105,8 +104,7 @@ impl ExactBnb {
     #[must_use]
     pub fn decide(&self, ts: &TaskSet, cores: usize) -> ExactOutcome {
         assert!(cores >= 1, "need at least one core");
-        let order: Vec<&McTask> =
-            order_by_contribution(ts).iter().map(|id| ts.task(*id)).collect();
+        let order: Vec<&McTask> = order_by_contribution(ts).iter().map(|id| ts.task(*id)).collect();
         let mut state = SearchState {
             ts,
             order,
@@ -147,7 +145,9 @@ impl Partitioner for ExactBnb {
     }
 
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
-        self.solve(ts, cores)
+        let partition = self.solve(ts, cores)?;
+        mcs_audit::debug_audit(ts, &partition, self.name(), true, None);
+        Ok(partition)
     }
 }
 

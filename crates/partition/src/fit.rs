@@ -54,10 +54,7 @@ mod tests {
     #[test]
     fn improved_accepts_more_than_simple() {
         // U_1(1)=0.5, U_2(1)=0.1, U_2(2)=0.6: Eq. (4) = 1.1 fails, Thm 1 ok.
-        let t = UtilTable::from_tasks(
-            2,
-            [&task(0, 10, 1, &[5]), &task(1, 100, 2, &[10, 60])],
-        );
+        let t = UtilTable::from_tasks(2, [&task(0, 10, 1, &[5]), &task(1, 100, 2, &[10, 60])]);
         assert!(!FitTest::Simple.feasible(&t));
         assert!(FitTest::Improved.feasible(&t));
         assert!(FitTest::SimpleThenImproved.feasible(&t));
@@ -72,10 +69,7 @@ mod tests {
         ];
         for s in &sets {
             let t = UtilTable::from_tasks(2, s.iter());
-            assert_eq!(
-                FitTest::Improved.feasible(&t),
-                FitTest::SimpleThenImproved.feasible(&t)
-            );
+            assert_eq!(FitTest::Improved.feasible(&t), FitTest::SimpleThenImproved.feasible(&t));
         }
     }
 

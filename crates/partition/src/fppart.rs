@@ -127,7 +127,13 @@ impl Partitioner for FpAmc {
                 None => return Err(PartitionFailure { task: task.id(), placed }),
             }
         }
+        // AMC-rtb admission is not Theorem 1: audit structure only.
+        mcs_audit::debug_audit(ts, &partition, self.name(), false, None);
         Ok(partition)
+    }
+
+    fn certifies_theorem1(&self) -> bool {
+        false
     }
 }
 
@@ -185,7 +191,7 @@ mod tests {
     #[test]
     fn criticality_ordering_places_hi_first() {
         let ts = set(vec![
-            task(0, 10, 1, &[9]),      // biggest utilization, LO
+            task(0, 10, 1, &[9]), // biggest utilization, LO
             task(1, 100, 2, &[10, 20]),
         ]);
         // DC ordering puts τ1 (HI) first despite smaller utilization; both

@@ -59,8 +59,7 @@ impl Partitioner for Hybrid {
         let mut placed = 0usize;
         let mut cursor = 0usize;
 
-        for (phase_placement, tasks) in
-            [(Placement::WorstFit, &high), (Placement::FirstFit, &low)]
+        for (phase_placement, tasks) in [(Placement::WorstFit, &high), (Placement::FirstFit, &low)]
         {
             for task in tasks.iter() {
                 match choose_core(phase_placement, self.fit, &state, task, &mut cursor) {
@@ -74,6 +73,7 @@ impl Partitioner for Hybrid {
                 }
             }
         }
+        mcs_audit::debug_audit(ts, &partition, self.name(), true, None);
         Ok(partition)
     }
 }
@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn split_level_controls_phases() {
         // With split = 3, level-2 tasks are "low" and go FFD.
-        let ts = set(
-            vec![task(0, 10, 2, &[2, 4]), task(1, 10, 2, &[2, 4])],
-            3,
-        );
+        let ts = set(vec![task(0, 10, 2, &[2, 4]), task(1, 10, 2, &[2, 4])], 3);
         let p = Hybrid::with_split(3).partition(&ts, 2).unwrap();
         // FFD packs both on core 0 (0.8 ≤ 1).
         assert_eq!(p.core_of(TaskId(0)), Some(CoreId(0)));

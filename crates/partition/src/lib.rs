@@ -21,6 +21,8 @@
 //!   rule, probe objective, fit test, imbalance fallback) for the ablation
 //!   experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod anneal;
 pub mod binpack;
@@ -40,11 +42,11 @@ pub use ablation::{CatpaVariant, Objective, Ordering as CatpaOrdering};
 pub use anneal::SimAnneal;
 pub use binpack::{BinPacker, Placement};
 pub use catpa::{Catpa, DEFAULT_ALPHA};
+pub use contribution::{contribution, order_by_contribution, ordering_priority};
 pub use dbfpart::DbfFirstFit;
 pub use exact::{ExactBnb, ExactOutcome};
-pub use fppart::{FpAmc, FpOrdering, FpPriorities};
-pub use contribution::{contribution, order_by_contribution, ordering_priority};
 pub use fit::FitTest;
+pub use fppart::{FpAmc, FpOrdering, FpPriorities};
 pub use hybrid::Hybrid;
 pub use metrics::PartitionQuality;
 pub use repair::CatpaLs;
@@ -63,8 +65,11 @@ pub struct PartitionFailure {
 
 impl fmt::Display for PartitionFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no core can feasibly accommodate task {} (after placing {})",
-            self.task, self.placed)
+        write!(
+            f,
+            "no core can feasibly accommodate task {} (after placing {})",
+            self.task, self.placed
+        )
     }
 }
 
@@ -79,6 +84,15 @@ pub trait Partitioner {
     /// cores (feasible = every core passes the EDF-VD test used by the
     /// scheme).
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure>;
+
+    /// Whether a successful partition certifies per-core EDF-VD Theorem-1
+    /// feasibility. True for CA-TPA and the bin-packing family (their
+    /// admission test is Eq. (4)/Theorem 1); false for schemes with a
+    /// different admission test (DBF, FP-AMC), whose partitions the audit
+    /// layer checks structurally only.
+    fn certifies_theorem1(&self) -> bool {
+        true
+    }
 }
 
 impl<P: Partitioner + ?Sized> Partitioner for &P {
@@ -88,6 +102,9 @@ impl<P: Partitioner + ?Sized> Partitioner for &P {
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
         (**self).partition(ts, cores)
     }
+    fn certifies_theorem1(&self) -> bool {
+        (**self).certifies_theorem1()
+    }
 }
 
 impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
@@ -96,6 +113,9 @@ impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
     }
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
         (**self).partition(ts, cores)
+    }
+    fn certifies_theorem1(&self) -> bool {
+        (**self).certifies_theorem1()
     }
 }
 

@@ -100,8 +100,7 @@ impl LsState<'_> {
                 // (b) Does `cand` fit elsewhere?
                 let target = (0..self.tables.len()).find(|&m2| {
                     m2 != m
-                        && Theorem1::compute(&WithTask::new(&self.tables[m2], cand_task))
-                            .feasible()
+                        && Theorem1::compute(&WithTask::new(&self.tables[m2], cand_task)).feasible()
                 });
                 let Some(m2) = target else { continue };
                 self.evict(cand, m);
@@ -141,6 +140,7 @@ impl Partitioner for CatpaLs {
             }
             return Err(PartitionFailure { task: id, placed });
         }
+        mcs_audit::debug_audit(ts, &state.partition, self.name(), true, self.alpha);
         Ok(state.partition)
     }
 }

@@ -49,10 +49,8 @@ impl TraceAnalysis {
     /// events are present.
     #[must_use]
     pub fn from_trace(trace: &Trace, levels: u8) -> Self {
-        let mut out = TraceAnalysis {
-            mode_residency: vec![0; usize::from(levels)],
-            ..Default::default()
-        };
+        let mut out =
+            TraceAnalysis { mode_residency: vec![0; usize::from(levels)], ..Default::default() };
         let events = trace.events();
         let mut releases: HashMap<(TaskId, u64), Tick> = HashMap::new();
         let mut mode: usize = 0; // level-1 == index 0
@@ -66,10 +64,10 @@ impl TraceAnalysis {
                 TraceEvent::Complete { time, task, job, late } => {
                     if let Some(rel) = releases.remove(&(*task, *job)) {
                         let resp = time - rel;
-                        let s = out.responses.entry(*task).or_insert(ResponseStats {
-                            min: Tick::MAX,
-                            ..Default::default()
-                        });
+                        let s = out
+                            .responses
+                            .entry(*task)
+                            .or_insert(ResponseStats { min: Tick::MAX, ..Default::default() });
                         s.completed += 1;
                         s.min = s.min.min(resp);
                         s.max = s.max.max(resp);

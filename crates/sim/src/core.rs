@@ -60,9 +60,7 @@ impl SchedulerKind {
             SchedulerKind::PlainEdf | SchedulerKind::EdfVd(_) => {
                 (job.eff_deadline, job.slot, job.index)
             }
-            SchedulerKind::FixedPriority(prio) => {
-                (u64::from(prio[job.slot]), job.slot, job.index)
-            }
+            SchedulerKind::FixedPriority(prio) => (u64::from(prio[job.slot]), job.slot, job.index),
         }
     }
 }
@@ -245,10 +243,7 @@ impl<'a> CoreSim<'a> {
                     ArrivalModel::Sporadic { slack, seed } => {
                         assert!((0.0..=4.0).contains(slack), "slack out of range");
                         let max_delay = (task.period() as f64 * slack).floor() as Tick;
-                        Some((
-                            max_delay,
-                            SmallRng::seed_from_u64(seed.wrapping_add(slot as u64)),
-                        ))
+                        Some((max_delay, SmallRng::seed_from_u64(seed.wrapping_add(slot as u64))))
                     }
                 },
             })
@@ -278,8 +273,7 @@ impl<'a> CoreSim<'a> {
                                 match factors.get(mode.index()).copied().flatten() {
                                     Some(factor) => {
                                         degraded = true;
-                                        let stretched = ((task.period() as f64 * factor)
-                                            .round()
+                                        let stretched = ((task.period() as f64 * factor).round()
                                             as Tick)
                                             .max(task.period());
                                         st.advance(stretched);
@@ -434,12 +428,7 @@ impl<'a> CoreSim<'a> {
                         job: job.index,
                     });
                 }
-                trace.push(TraceEvent::Complete {
-                    time,
-                    task: task.id(),
-                    job: job.index,
-                    late,
-                });
+                trace.push(TraceEvent::Complete { time, task: task.id(), job: job.index, late });
                 report.completed += 1;
                 report.record_response(task.id(), time - job.release);
                 ready.swap_remove(run_idx);
@@ -470,11 +459,7 @@ impl<'a> CoreSim<'a> {
                 while i < ready.len() {
                     let t = self.tasks[ready[i].slot];
                     if t.level() < mode {
-                        trace.push(TraceEvent::Drop {
-                            time,
-                            task: t.id(),
-                            job: ready[i].index,
-                        });
+                        trace.push(TraceEvent::Drop { time, task: t.id(), job: ready[i].index });
                         report.dropped += 1;
                         ready.swap_remove(i);
                     } else {
@@ -711,16 +696,14 @@ mod fp_tests {
         let b = task(1, 10, 2, &[1, 2]);
         let c = task(2, 10, 1, &[1]);
         let tasks = vec![&a, &b, &c];
-        let SchedulerKind::FixedPriority(prio) = SchedulerKind::deadline_monotonic(&tasks)
-        else {
+        let SchedulerKind::FixedPriority(prio) = SchedulerKind::deadline_monotonic(&tasks) else {
             unreachable!()
         };
         // Analysis order: τ1, τ2, τ0 → slots 1, 2, 0 get ranks 0, 1, 2.
         assert_eq!(prio, vec![2, 0, 1]);
         let order = deadline_monotonic_order(&tasks);
         let by_rank: Vec<u32> = {
-            let mut pairs: Vec<(u32, usize)> =
-                prio.iter().copied().zip(0..tasks.len()).collect();
+            let mut pairs: Vec<(u32, usize)> = prio.iter().copied().zip(0..tasks.len()).collect();
             pairs.sort_unstable();
             pairs.into_iter().map(|(_, slot)| tasks[slot].id().0).collect()
         };
@@ -787,8 +770,11 @@ mod sporadic_tests {
     #[test]
     fn sporadic_releases_fewer_jobs_than_periodic() {
         let t = task(0, 10, 1, &[2]);
-        let periodic = CoreSim::new(vec![&t], SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 1000, &mut Trace::disabled());
+        let periodic = CoreSim::new(vec![&t], SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            1000,
+            &mut Trace::disabled(),
+        );
         let sporadic = CoreSim::new(vec![&t], SchedulerKind::PlainEdf)
             .with_arrivals(ArrivalModel::Sporadic { slack: 0.5, seed: 3 })
             .run(&mut LevelCap::lo(), 1000, &mut Trace::disabled());
@@ -858,8 +844,11 @@ mod overhead_tests {
     #[test]
     fn zero_overheads_are_the_default() {
         let t = task(0, 10, 1, &[3]);
-        let base = CoreSim::new(vec![&t], SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 100, &mut Trace::disabled());
+        let base = CoreSim::new(vec![&t], SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            100,
+            &mut Trace::disabled(),
+        );
         let explicit = CoreSim::new(vec![&t], SchedulerKind::PlainEdf)
             .with_overheads(Overheads::default())
             .run(&mut LevelCap::lo(), 100, &mut Trace::disabled());
@@ -883,8 +872,11 @@ mod overhead_tests {
         // Two tasks at exactly full utilization: any overhead causes misses.
         let a = task(0, 4, 1, &[2]);
         let b = task(1, 8, 1, &[4]);
-        let clean = CoreSim::new(vec![&a, &b], SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 200, &mut Trace::disabled());
+        let clean = CoreSim::new(vec![&a, &b], SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            200,
+            &mut Trace::disabled(),
+        );
         assert_eq!(clean.total_misses(), 0);
         let loaded = CoreSim::new(vec![&a, &b], SchedulerKind::PlainEdf)
             .with_overheads(Overheads { context_switch: 1, mode_switch: 0 })
@@ -897,8 +889,11 @@ mod overhead_tests {
         let lo = task(0, 100, 1, &[10]);
         let hi = task(1, 100, 2, &[10, 30]);
         let tasks = vec![&lo, &hi];
-        let plain = CoreSim::new(tasks.clone(), SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::new(2), 1000, &mut Trace::disabled());
+        let plain = CoreSim::new(tasks.clone(), SchedulerKind::PlainEdf).run(
+            &mut LevelCap::new(2),
+            1000,
+            &mut Trace::disabled(),
+        );
         let charged = CoreSim::new(tasks, SchedulerKind::PlainEdf)
             .with_overheads(Overheads { context_switch: 0, mode_switch: 5 })
             .run(&mut LevelCap::new(2), 1000, &mut Trace::disabled());
@@ -936,10 +931,7 @@ mod elastic_tests {
 
     /// Shared fixture: a feasible dual-criticality core with real slack.
     fn fixture() -> (Vec<McTask>, VdAssignment, Vec<Option<f64>>) {
-        let tasks = vec![
-            task(0, 10_000, 1, &[3_000]),
-            task(1, 100_000, 2, &[10_000, 45_000]),
-        ];
+        let tasks = vec![task(0, 10_000, 1, &[3_000]), task(1, 100_000, 2, &[10_000, 45_000])];
         let table = UtilTable::from_tasks(2, tasks.iter());
         let analysis = Theorem1::compute(&table);
         let vd = VdAssignment::compute(&table, &analysis).expect("feasible");
@@ -952,8 +944,11 @@ mod elastic_tests {
         let (tasks, vd, factors) = fixture();
         let refs: Vec<&McTask> = tasks.iter().collect();
         let horizon = 1_000_000;
-        let drop_run = CoreSim::new(refs.clone(), SchedulerKind::EdfVd(vd.clone()))
-            .run(&mut LevelCap::new(2), horizon, &mut Trace::disabled());
+        let drop_run = CoreSim::new(refs.clone(), SchedulerKind::EdfVd(vd.clone())).run(
+            &mut LevelCap::new(2),
+            horizon,
+            &mut Trace::disabled(),
+        );
         let elastic_run = CoreSim::new(refs, SchedulerKind::EdfVd(vd))
             .with_degradation(DegradationPolicy::Elastic { factors })
             .run(&mut LevelCap::new(2), horizon, &mut Trace::disabled());
@@ -997,8 +992,11 @@ mod elastic_tests {
     fn drop_policy_is_unchanged_by_default() {
         let (tasks, vd, _) = fixture();
         let refs: Vec<&McTask> = tasks.iter().collect();
-        let a = CoreSim::new(refs.clone(), SchedulerKind::EdfVd(vd.clone()))
-            .run(&mut LevelCap::new(2), 300_000, &mut Trace::disabled());
+        let a = CoreSim::new(refs.clone(), SchedulerKind::EdfVd(vd.clone())).run(
+            &mut LevelCap::new(2),
+            300_000,
+            &mut Trace::disabled(),
+        );
         let b = CoreSim::new(refs, SchedulerKind::EdfVd(vd))
             .with_degradation(DegradationPolicy::Drop)
             .run(&mut LevelCap::new(2), 300_000, &mut Trace::disabled());

@@ -311,11 +311,17 @@ mod tests {
         let vd = VdAssignment::compute(&table, &analysis).unwrap();
         for horizon in [100u64, 400] {
             let mut s1 = SingleOverrun::new(TaskId(1), 1, 2);
-            let partitioned = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone()))
-                .run(&mut s1, horizon, &mut Trace::disabled());
+            let partitioned = CoreSim::new(tasks.clone(), SchedulerKind::EdfVd(vd.clone())).run(
+                &mut s1,
+                horizon,
+                &mut Trace::disabled(),
+            );
             let mut s2 = SingleOverrun::new(TaskId(1), 1, 2);
-            let global = GlobalSim::new(tasks.clone(), 1, SchedulerKind::EdfVd(vd.clone()))
-                .run(&mut s2, horizon, &mut Trace::disabled());
+            let global = GlobalSim::new(tasks.clone(), 1, SchedulerKind::EdfVd(vd.clone())).run(
+                &mut s2,
+                horizon,
+                &mut Trace::disabled(),
+            );
             assert_eq!(partitioned, global, "horizon {horizon}");
         }
     }
@@ -326,11 +332,17 @@ mod tests {
         let a = task(0, 10, 1, &[8]);
         let b = task(1, 10, 1, &[8]);
         let tasks = vec![&a, &b];
-        let one = GlobalSim::new(tasks.clone(), 1, SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 100, &mut Trace::disabled());
+        let one = GlobalSim::new(tasks.clone(), 1, SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            100,
+            &mut Trace::disabled(),
+        );
         assert!(one.total_misses() > 0);
-        let two = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 100, &mut Trace::disabled());
+        let two = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            100,
+            &mut Trace::disabled(),
+        );
         assert_eq!(two.total_misses(), 0);
         assert_eq!(two.completed, 20);
     }
@@ -344,8 +356,11 @@ mod tests {
         let light2 = task(1, 10, 1, &[1]);
         let heavy = task(2, 100, 1, &[95]);
         let tasks = vec![&light1, &light2, &heavy];
-        let global = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 1000, &mut Trace::disabled());
+        let global = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            1000,
+            &mut Trace::disabled(),
+        );
         assert!(
             global.worst_response_of(TaskId(2)).unwrap_or(0) > 95,
             "the heavy task should be delayed by the light ones: {global:?}"
@@ -356,8 +371,11 @@ mod tests {
         let light1 = task(0, 10, 1, &[1]);
         let light2 = task(1, 10, 1, &[1]);
         let tasks = vec![&light1, &light2, &heavy99];
-        let global = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 1000, &mut Trace::disabled());
+        let global = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            1000,
+            &mut Trace::disabled(),
+        );
         assert!(global.total_misses() > 0, "Dhall effect must bite: {global:?}");
     }
 
@@ -367,8 +385,11 @@ mod tests {
         let hi1 = task(1, 50, 2, &[5, 25]);
         let hi2 = task(2, 50, 2, &[5, 25]);
         let tasks = vec![&lo, &hi1, &hi2];
-        let r = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::new(2), 2_000, &mut Trace::disabled());
+        let r = GlobalSim::new(tasks, 2, SchedulerKind::PlainEdf).run(
+            &mut LevelCap::new(2),
+            2_000,
+            &mut Trace::disabled(),
+        );
         assert!(r.mode_switches >= 1);
         assert_eq!(
             r.mandatory_misses(CritLevel::new(2)),
@@ -379,12 +400,18 @@ mod tests {
 
     #[test]
     fn empty_and_zero_horizon() {
-        let r = GlobalSim::new(vec![], 2, SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 100, &mut Trace::disabled());
+        let r = GlobalSim::new(vec![], 2, SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            100,
+            &mut Trace::disabled(),
+        );
         assert_eq!(r.released, 0);
         let t = task(0, 10, 1, &[1]);
-        let r = GlobalSim::new(vec![&t], 2, SchedulerKind::PlainEdf)
-            .run(&mut LevelCap::lo(), 0, &mut Trace::disabled());
+        let r = GlobalSim::new(vec![&t], 2, SchedulerKind::PlainEdf).run(
+            &mut LevelCap::lo(),
+            0,
+            &mut Trace::disabled(),
+        );
         assert_eq!(r.released, 0);
     }
 }

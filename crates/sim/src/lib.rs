@@ -24,6 +24,8 @@
 //! then under any behaviour of level `b` every task with criticality ≥ `b`
 //! meets all deadlines*; and under level-1 behaviour, **all** tasks do.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod core;
 pub mod global;

@@ -262,11 +262,7 @@ impl Scenario for Scripted {
     }
 
     fn behaviour_level(&self) -> CritLevel {
-        self.overrides
-            .iter()
-            .map(|(_, _, l)| *l)
-            .max()
-            .unwrap_or(CritLevel::LO)
+        self.overrides.iter().map(|(_, _, l)| *l).max().unwrap_or(CritLevel::LO)
     }
 }
 

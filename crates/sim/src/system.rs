@@ -109,8 +109,7 @@ where
     let mut traces = Vec::with_capacity(partition.num_cores());
 
     for core in CoreId::all(partition.num_cores()) {
-        let tasks: Vec<&McTask> =
-            partition.tasks_on(core).map(|id| ts.task(id)).collect();
+        let tasks: Vec<&McTask> = partition.tasks_on(core).map(|id| ts.task(id)).collect();
         let kind = match scheduler {
             SystemScheduler::PlainEdf => SchedulerKind::PlainEdf,
             SystemScheduler::FixedPriorityDm => SchedulerKind::deadline_monotonic(&tasks),
@@ -123,11 +122,8 @@ where
             }
         };
         let horizon = config.horizon_for(&tasks);
-        let mut trace = if config.trace_cap > 0 {
-            Trace::enabled(config.trace_cap)
-        } else {
-            Trace::disabled()
-        };
+        let mut trace =
+            if config.trace_cap > 0 { Trace::enabled(config.trace_cap) } else { Trace::disabled() };
         let mut scenario = make_scenario(core.index());
         let sim = CoreSim::new(tasks, kind);
         reports.push(sim.run(&mut scenario, horizon, &mut trace));
@@ -168,14 +164,11 @@ mod tests {
     #[test]
     fn nominal_behaviour_has_no_misses() {
         let (ts, p) = demo();
-        let (report, _) = simulate_partition(
-            &ts,
-            &p,
-            SystemScheduler::EdfVd,
-            &SimConfig::default(),
-            |_| LevelCap::lo(),
-        )
-        .unwrap();
+        let (report, _) =
+            simulate_partition(&ts, &p, SystemScheduler::EdfVd, &SimConfig::default(), |_| {
+                LevelCap::lo()
+            })
+            .unwrap();
         assert_eq!(report.total().total_misses(), 0);
         assert!(report.guarantee_held(CritLevel::new(1)));
     }
@@ -183,14 +176,11 @@ mod tests {
     #[test]
     fn worst_case_behaviour_protects_hi_tasks() {
         let (ts, p) = demo();
-        let (report, _) = simulate_partition(
-            &ts,
-            &p,
-            SystemScheduler::EdfVd,
-            &SimConfig::default(),
-            |_| LevelCap::new(2),
-        )
-        .unwrap();
+        let (report, _) =
+            simulate_partition(&ts, &p, SystemScheduler::EdfVd, &SimConfig::default(), |_| {
+                LevelCap::new(2)
+            })
+            .unwrap();
         assert!(report.guarantee_held(CritLevel::new(2)), "{report:?}");
     }
 
@@ -198,44 +188,31 @@ mod tests {
     fn incomplete_partition_is_rejected() {
         let (ts, _) = demo();
         let p = Partition::empty(2, 4);
-        let err = simulate_partition(
-            &ts,
-            &p,
-            SystemScheduler::EdfVd,
-            &SimConfig::default(),
-            |_| LevelCap::lo(),
-        )
-        .unwrap_err();
+        let err =
+            simulate_partition(&ts, &p, SystemScheduler::EdfVd, &SimConfig::default(), |_| {
+                LevelCap::lo()
+            })
+            .unwrap_err();
         assert_eq!(err, SimSetupError::IncompletePartition);
     }
 
     #[test]
     fn infeasible_core_is_rejected_for_edfvd() {
-        let ts = TaskSet::new(
-            2,
-            vec![task(0, 10, 2, &[6, 9]), task(1, 10, 2, &[6, 9])],
-        )
-        .unwrap();
+        let ts = TaskSet::new(2, vec![task(0, 10, 2, &[6, 9]), task(1, 10, 2, &[6, 9])]).unwrap();
         let mut p = Partition::empty(1, 2);
         p.assign(TaskId(0), CoreId(0));
         p.assign(TaskId(1), CoreId(0));
-        let err = simulate_partition(
-            &ts,
-            &p,
-            SystemScheduler::EdfVd,
-            &SimConfig::default(),
-            |_| LevelCap::lo(),
-        )
-        .unwrap_err();
+        let err =
+            simulate_partition(&ts, &p, SystemScheduler::EdfVd, &SimConfig::default(), |_| {
+                LevelCap::lo()
+            })
+            .unwrap_err();
         assert_eq!(err, SimSetupError::InfeasibleCore { core: CoreId(0) });
         // Plain EDF runs anyway (and will miss under load).
-        let r = simulate_partition(
-            &ts,
-            &p,
-            SystemScheduler::PlainEdf,
-            &SimConfig::default(),
-            |_| LevelCap::new(2),
-        );
+        let r =
+            simulate_partition(&ts, &p, SystemScheduler::PlainEdf, &SimConfig::default(), |_| {
+                LevelCap::new(2)
+            });
         assert!(r.is_ok());
     }
 
@@ -244,8 +221,7 @@ mod tests {
         let (ts, p) = demo();
         let cfg = SimConfig { trace_cap: 64, ..Default::default() };
         let (_, traces) =
-            simulate_partition(&ts, &p, SystemScheduler::EdfVd, &cfg, |_| LevelCap::lo())
-                .unwrap();
+            simulate_partition(&ts, &p, SystemScheduler::EdfVd, &cfg, |_| LevelCap::lo()).unwrap();
         assert_eq!(traces.len(), 2);
         assert!(traces.iter().all(|t| !t.events().is_empty()));
     }
@@ -374,10 +350,7 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("core simulation panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("core simulation panicked")).collect()
     })
     .expect("simulation scope panicked");
 
@@ -416,8 +389,7 @@ mod parallel_tests {
         let (seq, seq_traces) =
             simulate_partition(&ts, &p, SystemScheduler::EdfVd, &cfg, scenario).unwrap();
         let (par, par_traces) =
-            simulate_partition_parallel(&ts, &p, SystemScheduler::EdfVd, &cfg, scenario)
-                .unwrap();
+            simulate_partition_parallel(&ts, &p, SystemScheduler::EdfVd, &cfg, scenario).unwrap();
         assert_eq!(seq, par);
         for (a, b) in seq_traces.iter().zip(&par_traces) {
             assert_eq!(a.events(), b.events());

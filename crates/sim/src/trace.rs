@@ -10,18 +10,62 @@ use mcs_model::{CritLevel, TaskId, Tick};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A job arrived.
-    Release { time: Tick, task: TaskId, job: u64, deadline: Tick },
+    Release {
+        /// Release instant.
+        time: Tick,
+        /// Releasing task.
+        task: TaskId,
+        /// Job index within the task (0-based).
+        job: u64,
+        /// The job's absolute deadline.
+        deadline: Tick,
+    },
     /// A job signalled completion.
-    Complete { time: Tick, task: TaskId, job: u64, late: bool },
+    Complete {
+        /// Completion instant.
+        time: Tick,
+        /// Completing task.
+        task: TaskId,
+        /// Job index within the task (0-based).
+        job: u64,
+        /// Whether completion happened after the deadline.
+        late: bool,
+    },
     /// A job of `task` exhausted its level-`from` budget: the core switched
     /// modes.
-    ModeSwitch { time: Tick, task: TaskId, from: CritLevel, to: CritLevel },
+    ModeSwitch {
+        /// Switch instant.
+        time: Tick,
+        /// The task whose budget overran.
+        task: TaskId,
+        /// Mode before the switch.
+        from: CritLevel,
+        /// Mode after the switch.
+        to: CritLevel,
+    },
     /// A live job was discarded by a mode switch.
-    Drop { time: Tick, task: TaskId, job: u64 },
+    Drop {
+        /// Drop instant.
+        time: Tick,
+        /// Task whose job was discarded.
+        task: TaskId,
+        /// Job index within the task (0-based).
+        job: u64,
+    },
     /// The core idled and reset to level-1 operation.
-    IdleReset { time: Tick },
+    IdleReset {
+        /// Reset instant.
+        time: Tick,
+    },
     /// A (non-dropped) job's deadline passed before completion.
-    DeadlineMiss { time: Tick, task: TaskId, job: u64 },
+    DeadlineMiss {
+        /// The missed deadline instant.
+        time: Tick,
+        /// Task that missed.
+        task: TaskId,
+        /// Job index within the task (0-based).
+        job: u64,
+    },
 }
 
 impl TraceEvent {

@@ -45,33 +45,33 @@ fn main() {
     let (tasks, names): (Vec<McTask>, Vec<String>) = specs.into_iter().unzip();
     let ts = TaskSet::new(5, tasks).expect("valid task set");
 
-    println!("avionics workload: {} tasks, K = 5, raw util {:.3} on {CORES} cores\n",
-        ts.len(), ts.raw_util());
+    println!(
+        "avionics workload: {} tasks, K = 5, raw util {:.3} on {CORES} cores\n",
+        ts.len(),
+        ts.raw_util()
+    );
 
-    let partition = Catpa::default()
-        .partition(&ts, CORES)
-        .expect("the avionics set is schedulable on 4 cores");
+    let partition =
+        Catpa::default().partition(&ts, CORES).expect("the avionics set is schedulable on 4 cores");
     let q = PartitionQuality::evaluate(&ts, &partition).expect("feasible");
 
     for core in mcs::model::CoreId::all(CORES) {
-        let assigned: Vec<&str> = partition
-            .tasks_on(core)
-            .map(|id| names[id.index()].as_str())
-            .collect();
+        let assigned: Vec<&str> =
+            partition.tasks_on(core).map(|id| names[id.index()].as_str()).collect();
         println!("{core} (U = {:.3}): {}", q.per_core[core.index()], assigned.join(", "));
     }
-    println!("\nU_sys = {:.3}, U_avg = {:.3}, imbalance Λ = {:.3}\n", q.u_sys, q.u_avg, q.imbalance);
+    println!(
+        "\nU_sys = {:.3}, U_avg = {:.3}, imbalance Λ = {:.3}\n",
+        q.u_sys, q.u_avg, q.imbalance
+    );
 
     // Execute 2 simulated seconds with 5% per-level overrun probability.
     let config = SimConfig { horizon: Some(2_000_000), ..Default::default() };
-    let (report, _) = simulate_partition(
-        &ts,
-        &partition,
-        SystemScheduler::EdfVd,
-        &config,
-        |core| Probabilistic::new(0.05, 5, 0xAE30 + core as u64),
-    )
-    .expect("CA-TPA output is feasible on every core");
+    let (report, _) =
+        simulate_partition(&ts, &partition, SystemScheduler::EdfVd, &config, |core| {
+            Probabilistic::new(0.05, 5, 0xAE30 + core as u64)
+        })
+        .expect("CA-TPA output is feasible on every core");
 
     let total = report.total();
     println!("simulated 2.0 s under sporadic overruns (p = 0.05/level):");
@@ -82,14 +82,8 @@ fn main() {
     println!("  idle resets:     {}", total.idle_resets);
     println!("  highest mode:    {}", total.max_mode);
     for level in CritLevel::up_to(5) {
-        println!(
-            "  misses at criticality {level}: {}",
-            total.misses_by_level[level.index()]
-        );
+        println!("  misses at criticality {level}: {}", total.misses_by_level[level.index()]);
     }
-    assert!(
-        report.guarantee_held(CritLevel::new(5)),
-        "DAL-A tasks must never miss"
-    );
+    assert!(report.guarantee_held(CritLevel::new(5)), "DAL-A tasks must never miss");
     println!("\nguarantee check: no task of criticality 5 ever missed ✓");
 }

@@ -14,11 +14,8 @@ use mcs::gen::{generate_task_set, GenParams};
 use mcs::model::{McTask, UtilTable};
 
 fn main() {
-    let params = GenParams::default()
-        .with_levels(2)
-        .with_cores(1)
-        .with_nsu(0.82)
-        .with_n_range(4, 10);
+    let params =
+        GenParams::default().with_levels(2).with_cores(1).with_nsu(0.82).with_n_range(4, 10);
 
     let trials = 500;
     let mut both = 0usize;

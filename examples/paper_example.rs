@@ -26,11 +26,7 @@ fn main() {
     println!("{}", render_table(&t3));
     println!(
         "CA-TPA outcome: {}",
-        if catpa_ok {
-            "feasible — all five tasks placed (as in the paper)"
-        } else {
-            "FAILURE"
-        }
+        if catpa_ok { "feasible — all five tasks placed (as in the paper)" } else { "FAILURE" }
     );
 
     assert!(!ffd_ok && catpa_ok, "the reproduction must match the paper");

@@ -16,7 +16,12 @@ fn main() {
     let tasks = [
         TaskBuilder::new(TaskId(0)).period(10_000).level(1).wcet(&[2_500]).build().unwrap(),
         TaskBuilder::new(TaskId(1)).period(20_000).level(2).wcet(&[3_000, 6_000]).build().unwrap(),
-        TaskBuilder::new(TaskId(2)).period(50_000).level(3).wcet(&[5_000, 8_000, 14_000]).build().unwrap(),
+        TaskBuilder::new(TaskId(2))
+            .period(50_000)
+            .level(3)
+            .wcet(&[5_000, 8_000, 14_000])
+            .build()
+            .unwrap(),
     ];
     let refs: Vec<&mcs::model::McTask> = tasks.iter().collect();
 
@@ -59,15 +64,8 @@ fn main() {
     for (i, ticks) in a.mode_residency.iter().enumerate() {
         println!("  level {}: {:>7} ticks", i + 1, ticks);
     }
-    println!(
-        "  time at level ≥ 2: {:.1} %",
-        100.0 * a.residency_at_or_above(CritLevel::new(2))
-    );
+    println!("  time at level ≥ 2: {:.1} %", 100.0 * a.residency_at_or_above(CritLevel::new(2)));
 
-    assert_eq!(
-        report.mandatory_misses(CritLevel::new(3)),
-        0,
-        "the level-3 task must never miss"
-    );
+    assert_eq!(report.mandatory_misses(CritLevel::new(3)), 0, "the level-3 task must never miss");
     println!("\nguarantee check: level-3 task never missed ✓");
 }

@@ -35,6 +35,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mcs_analysis as analysis;
 pub use mcs_exp as exp;
 pub use mcs_gen as gen;

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use mcs::analysis::exact_arith::{
     min_abs_slack_exact, simple_condition_exact, theorem1_feasible_exact,
 };
-use mcs::analysis::{simple_condition, Theorem1, EPS};
+use mcs::analysis::{dual_condition, simple_condition, Theorem1, EPS};
 use mcs::model::McTask;
 
 proptest! {
@@ -49,6 +49,53 @@ proptest! {
             prop_assert!(slack <= 64.0 * EPS, "Eq.(4) disagreement with slack {slack}");
         }
     }
+
+    /// At K = 2 all three decision procedures — the dual-criticality closed
+    /// form Eq. (7), the f64 λ-recursion of Theorem 1, and the exact
+    /// rational oracle — give the same verdict (except inside the EPS band,
+    /// where the f64 pair may flip but must still agree with each other).
+    #[test]
+    fn dual_reduction_matches_exact(ts in arb_task_set(8, 2)) {
+        let table = ts.util_table();
+        let d = dual_condition(&table);
+        let t = Theorem1::compute(&table);
+        // The K = 2 path of the λ-recursion IS Eq. (7): these two f64
+        // computations must agree bit-for-bit in verdict, band or no band.
+        prop_assert_eq!(d.schedulable, t.feasible());
+        let refs: Vec<&McTask> = ts.tasks().iter().collect();
+        let Some(exact) = theorem1_feasible_exact(&refs, 2) else {
+            return Ok(()); // i128 overflow — skip
+        };
+        if d.schedulable != exact {
+            let slack = min_abs_slack_exact(&refs, 2)
+                .expect("slack computable when feasibility was");
+            prop_assert!(
+                slack <= 64.0 * EPS,
+                "Eq.(7) verdict {} vs exact {exact} with slack {slack}",
+                d.schedulable
+            );
+        }
+    }
+}
+
+/// The paper's §III worked example anchors the K = 2 reduction: placing τ4
+/// (`u(1) = 0.339, u(2) = 0.633`) on an empty core, Eq. (7)'s min-term is
+/// `min{0.633, 0.339/(1 − 0.633)} = 0.633`, which is exactly the core
+/// utilization Theorem 1 reports — the paper's `U^{Ψ1} = 0.633`.
+#[test]
+fn worked_example_dual_reduction_0633() {
+    let ts = mcs::exp::paper_example_task_set();
+    let tau4 = &ts.tasks()[3];
+    let table = mcs::model::UtilTable::from_tasks(2, [tau4]);
+    let d = dual_condition(&table);
+    assert!(d.schedulable);
+    assert!((d.u_lo_lo + d.minterm - 0.633).abs() < 1e-9, "Eq.(7): {}", d.minterm);
+    let t = Theorem1::compute(&table);
+    assert!((t.core_utilization().unwrap() - 0.633).abs() < 1e-9);
+    // And the exact oracle agrees the core is feasible with clear slack.
+    assert_eq!(theorem1_feasible_exact(&[tau4], 2), Some(true));
+    let slack = min_abs_slack_exact(&[tau4], 2).unwrap();
+    assert!(slack > 64.0 * EPS, "worked example sits outside the band: {slack}");
 }
 
 /// The paper's worked example, decided exactly.

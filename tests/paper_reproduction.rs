@@ -4,7 +4,7 @@
 //! suite stays fast; EXPERIMENTS.md records full-size runs).
 
 use mcs::exp::figures::{figure_with, Baselines, FigureId};
-use mcs::exp::sweep::SweepConfig;
+use mcs::exp::sweep::{PointResult, SweepConfig};
 use mcs::exp::tables;
 
 fn quick(trials: usize) -> SweepConfig {
@@ -106,11 +106,8 @@ fn wfd_is_never_the_best_scheme_under_load() {
     // NSU = 0.55 (index 3) sits at the transition.
     let row = &fig.points[3];
     let wfd_ratio = row[wfd].ratio();
-    let best = row.iter().map(|r| r.ratio()).fold(0.0f64, f64::max);
-    assert!(
-        wfd_ratio <= best,
-        "WFD ({wfd_ratio}) beat the best scheme ({best})"
-    );
+    let best = row.iter().map(PointResult::ratio).fold(0.0f64, f64::max);
+    assert!(wfd_ratio <= best, "WFD ({wfd_ratio}) beat the best scheme ({best})");
 }
 
 #[test]
@@ -127,9 +124,7 @@ fn weak_baselines_show_catpa_advantage_under_geometric_growth() {
     let mut catpa_sum = 0.0;
     let mut ffd_sum = 0.0;
     for nsu in [0.55, 0.6] {
-        let params = GenParams::default()
-            .with_growth(WcetGrowth::Geometric)
-            .with_nsu(nsu);
+        let params = GenParams::default().with_growth(WcetGrowth::Geometric).with_nsu(nsu);
         let results = run_point(&params, &paper_schemes_weak(), &config);
         catpa_sum += results.iter().find(|r| r.scheme == "CA-TPA").unwrap().ratio();
         ffd_sum += results.iter().find(|r| r.scheme == "FFD").unwrap().ratio();

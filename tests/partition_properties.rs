@@ -17,10 +17,7 @@ use mcs::partition::{
 fn assert_partition_feasible(ts: &TaskSet, p: &mcs::model::Partition) {
     p.require_complete(ts).expect("partition must be complete");
     for table in p.core_tables(ts) {
-        assert!(
-            Theorem1::compute(&table).feasible(),
-            "a returned core fails Theorem 1"
-        );
+        assert!(Theorem1::compute(&table).feasible(), "a returned core fails Theorem 1");
     }
 }
 

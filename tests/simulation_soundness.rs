@@ -114,14 +114,11 @@ fn pipeline_is_deterministic() {
     let run = || {
         let ts = generate_task_set(&params, 99);
         let p = Catpa::default().partition(&ts, 4).expect("schedulable");
-        let (report, _) = simulate_partition(
-            &ts,
-            &p,
-            SystemScheduler::EdfVd,
-            &short_config(),
-            |core| Probabilistic::new(0.2, 4, core as u64),
-        )
-        .unwrap();
+        let (report, _) =
+            simulate_partition(&ts, &p, SystemScheduler::EdfVd, &short_config(), |core| {
+                Probabilistic::new(0.2, 4, core as u64)
+            })
+            .unwrap();
         report
     };
     assert_eq!(run(), run());
@@ -237,9 +234,10 @@ fn amc_rtb_bounds_dominate_simulated_responses() {
         let refs: Vec<&McTask> = ts.tasks().iter().collect();
         let ordered = deadline_monotonic_order(&refs);
         let responses = amc_rtb_responses(&ordered);
-        let accepted = responses.iter().zip(&ordered).all(|(r, t)| {
-            r.lo.is_some() && (t.level().get() < 2 || r.transition.is_some())
-        });
+        let accepted = responses
+            .iter()
+            .zip(&ordered)
+            .all(|(r, t)| r.lo.is_some() && (t.level().get() < 2 || r.transition.is_some()));
         if !accepted {
             continue;
         }

@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: [`Criterion::bench_function`], benchmark
+//! groups with [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurements are a simple calibrated wall-clock loop (geometrically
+//! grown iteration counts until the timed batch exceeds ~60 ms) printed as
+//! `ns/iter` — adequate for relative comparisons, without the real crate's
+//! statistics, plotting, or baseline storage. The build environment has no
+//! access to a crates.io registry, so the workspace vendors this shim.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration of one timed batch.
+const TARGET_BATCH: Duration = Duration::from_millis(60);
+/// Iteration-count ceiling per batch (guards degenerate zero-cost bodies).
+const MAX_ITERS: u64 = 1 << 28;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration (accepted for API parity; the shim
+    /// only reports time, not throughput).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { text: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Parameter-only id.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_string() }
+    }
+}
+
+/// Declared work per iteration (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `f` by running it in geometrically grown batches until a
+    /// batch exceeds the target duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= TARGET_BATCH || n >= MAX_ITERS {
+                #[allow(clippy::cast_precision_loss)]
+                let ns = dt.as_nanos() as f64 / n as f64;
+                self.ns_per_iter = Some(ns);
+                return;
+            }
+            // Aim straight for the target with one growth step margin.
+            let scale =
+                (TARGET_BATCH.as_nanos() as f64 / dt.as_nanos().max(1) as f64).clamp(2.0, 64.0);
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            {
+                n = ((n as f64) * scale).ceil() as u64;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher { ns_per_iter: None };
+    f(&mut b);
+    match b.ns_per_iter {
+        Some(ns) => println!("bench: {name:<50} {ns:>14.1} ns/iter"),
+        None => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

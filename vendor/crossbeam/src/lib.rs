@@ -1,0 +1,104 @@
+//! Offline stand-in for the subset of the `crossbeam` 0.8 API this
+//! workspace uses: [`thread::scope`] with crossbeam's closure signature
+//! (`|s| { s.spawn(|_| …) }`), implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63), so no unsafe code is needed.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors this shim instead of the real crate.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::thread as stdthread;
+
+    /// Result type of [`scope`]: `Err` carries a propagated panic payload.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle; spawned closures receive a fresh `&Scope` so nested
+    /// spawning works, exactly like crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        ///
+        /// # Errors
+        /// Returns the boxed panic payload when the spawned thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// so it can spawn further threads (call sites typically ignore it:
+        /// `s.spawn(|_| …)`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Create a scope in which threads can borrow from the enclosing stack
+    /// frame. All spawned threads are joined before `scope` returns.
+    ///
+    /// Unlike `std::thread::scope`, the result is wrapped in [`Result`] to
+    /// match crossbeam's signature; the `Err` case cannot actually occur
+    /// here because unjoined-thread panics resurface when the inner std
+    /// scope unwinds instead.
+    ///
+    /// # Errors
+    /// Never returns `Err` (see above); the type exists for API parity.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_collects() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+                handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+            })
+            .expect("scope");
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn join_surfaces_panics() {
+            let r = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join()
+            })
+            .expect("scope");
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_the_passed_scope() {
+            let v = super::scope(|s| {
+                let h = s.spawn(|inner| inner.spawn(|_| 7).join().expect("inner"));
+                h.join().expect("outer")
+            })
+            .expect("scope");
+            assert_eq!(v, 7);
+        }
+    }
+}

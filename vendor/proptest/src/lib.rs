@@ -1,0 +1,166 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses: the [`proptest!`] macro, `prop_assert*` / `prop_assume`,
+//! range and tuple strategies, [`collection::vec`], `any::<T>()`,
+//! `prop_map` / `prop_flat_map`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, deliberate for an offline build:
+//!
+//! * **no shrinking** — a failing case reports the case number and the
+//!   deterministic per-test seed instead of a minimized input;
+//! * **deterministic runs** — the RNG seed is derived from the test
+//!   function's name (override with `PROPTEST_SEED=<u64>`), so failures
+//!   reproduce exactly and CI runs are stable;
+//! * only the strategy combinators the workspace exercises are provided.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors this shim instead of the real crate.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(any::<u32>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let seed = $crate::test_runner::resolve_seed(stringify!($name));
+            let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+            let mut case: u32 = 0;
+            let mut rejects: u32 = 0;
+            while case < config.cases {
+                let outcome = {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                match outcome {
+                    ::core::result::Result::Ok(()) => case += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= config.max_global_rejects,
+                            "proptest {}: too many prop_assume! rejections ({rejects})",
+                            stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (seed {seed}; rerun with \
+                             PROPTEST_SEED={seed}):\n{msg}",
+                            stringify!($name),
+                            case,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`",
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`: {}",
+            ::std::format!($($fmt)+),
+        );
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{left:?}`",
+        );
+    }};
+}
+
+/// Discard the current case (does not count toward the case total) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,74 @@
+//! Config, RNG, and error plumbing for the [`proptest!`](crate::proptest)
+//! macro.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration. Only the fields this workspace uses exist.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Construct from an explicit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { inner: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Seed for a named test: `PROPTEST_SEED` when set, otherwise an FNV-1a
+/// hash of the test name (stable across runs and platforms).
+#[must_use]
+pub fn resolve_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}

@@ -1,0 +1,155 @@
+//! Uniform sampling over ranges.
+
+use crate::RngCore;
+
+/// A uniform draw from `[0, 1)` with 53 bits of precision.
+pub fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+    // 53 high-quality bits scaled into [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, n)` via Lemire's widening multiply with
+/// rejection (unbiased). `n` must be non-zero.
+pub(crate) fn below_u64<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(n);
+        let low = m as u64;
+        if low < n {
+            // Threshold of the biased low region: 2^64 mod n.
+            let threshold = n.wrapping_neg() % n;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Uniform integer in `[0, n)` over the full `u128` domain (used by the
+/// vendored proptest shim for `i128` strategies). Rejection sampling over
+/// the top multiple of `n`.
+pub(crate) fn below_u128<R: RngCore>(rng: &mut R, n: u128) -> u128 {
+    debug_assert!(n > 0);
+    if n <= u128::from(u64::MAX) {
+        // A single 64-bit draw suffices (cast is lossless by the guard).
+        #[allow(clippy::cast_possible_truncation)]
+        return u128::from(below_u64(rng, n as u64));
+    }
+    let zone = u128::MAX - (u128::MAX - n + 1) % n;
+    loop {
+        let x = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        if x <= zone {
+            return x % n;
+        }
+    }
+}
+
+pub mod uniform {
+    //! The [`SampleUniform`] / [`SampleRange`] traits backing
+    //! [`Rng::gen_range`](crate::Rng::gen_range).
+
+    use std::ops::{Range, RangeInclusive};
+
+    use super::{below_u128, below_u64, unit_f64};
+    use crate::RngCore;
+
+    fn raw_u64<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+
+    fn raw_u128<R: RngCore>(rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[low, high)`.
+        fn sample_half_open<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range types acceptable to `gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one value.
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($ty:ty => $via:ty, $below:ident, $raw:ident);* $(;)?) => {$(
+            impl SampleUniform for $ty {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn sample_half_open<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                    // Width never overflows the unsigned carrier type.
+                    let span = (high as $via).wrapping_sub(low as $via);
+                    let off = $below(rng, span);
+                    (low as $via).wrapping_add(off) as $ty
+                }
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as $via).wrapping_sub(low as $via);
+                    if span == <$via>::MAX {
+                        // Full domain: every bit pattern is valid.
+                        return $raw(rng) as $ty;
+                    }
+                    let off = $below(rng, span + 1);
+                    (low as $via).wrapping_add(off) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int! {
+        u8 => u64, below_u64, raw_u64;
+        u16 => u64, below_u64, raw_u64;
+        u32 => u64, below_u64, raw_u64;
+        u64 => u64, below_u64, raw_u64;
+        usize => u64, below_u64, raw_u64;
+        i8 => u64, below_u64, raw_u64;
+        i16 => u64, below_u64, raw_u64;
+        i32 => u64, below_u64, raw_u64;
+        i64 => u64, below_u64, raw_u64;
+        u128 => u128, below_u128, raw_u128;
+        i128 => u128, below_u128, raw_u128;
+    }
+
+    macro_rules! impl_uniform_float {
+        ($($ty:ty),*) => {$(
+            impl SampleUniform for $ty {
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample_half_open<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let u = unit_f64(rng) as $ty;
+                    let v = low + u * (high - low);
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= high { low } else { v }
+                }
+
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let u = unit_f64(rng) as $ty;
+                    (low + u * (high - low)).clamp(low, high)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_float!(f32, f64);
+}
