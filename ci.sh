@@ -19,4 +19,10 @@ cargo test -q --offline
 echo "== mcs-exp audit (smoke)"
 cargo run -q --release --offline -p mcs-exp -- audit --trials "${AUDIT_TRIALS:-500}"
 
+# Record-only: refreshes BENCH_partition.json (and re-checks that the
+# optimized probe path emits partitions identical to the reference loops);
+# the speedup number itself is not a gate.
+echo "== mcs-exp perf (record-only)"
+cargo run -q --release --offline -p mcs-exp -- perf --trials "${PERF_TRIALS:-128}" >/dev/null
+
 echo "== ci: all green"

@@ -26,7 +26,10 @@
 //!   Burns & Davis RTSS'11) with deadline-monotonic and Audsley priority
 //!   assignment, for partitioned-FP comparisons (\[22\]);
 //! * [`sensitivity`] — critical scaling factors (uniform load headroom of a
-//!   subset under Theorem 1).
+//!   subset under Theorem 1);
+//! * [`probe`] — the zero-allocation Theorem-1 probe kernel used by the
+//!   partitioners' hot path ([`TaskRow`] / [`CoreSums`] / [`Probe`]),
+//!   bit-identical to [`theorem1`] by construction.
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +39,7 @@ pub mod dual;
 pub mod edf;
 pub mod elastic;
 pub mod exact_arith;
+pub mod probe;
 pub mod sensitivity;
 pub mod simple;
 pub mod theorem1;
@@ -45,6 +49,7 @@ pub use amc::{amc_rtb_dm, amc_rtb_schedulable, smc_dm};
 pub use dual::{dual_condition, dual_vd_factor, DualReport};
 pub use edf::edf_utilization_test;
 pub use elastic::elastic_stretch_factors;
+pub use probe::{CoreSums, Probe, TaskRow, Verdict};
 pub use sensitivity::{critical_scaling, ScaledView};
 pub use simple::simple_condition;
 pub use theorem1::{core_utilization, is_feasible, Theorem1};

@@ -1,0 +1,822 @@
+//! Zero-allocation probe kernel for Theorem 1 — the hot path of every
+//! probe-based partitioner.
+//!
+//! The generic [`Theorem1::compute`](crate::Theorem1::compute) path builds a
+//! full `Theorem1` value (λ's, θ's, µ's, flags — ~40 field writes) through
+//! the [`LevelUtils`] abstraction, re-deriving each `u_i(k) = c_i(k)/p_i`
+//! division on every `util_jk` call of every probe. Inside a partitioning
+//! sweep that cost is paid once per (task, core) pair per placement, which
+//! dominates the experiment pipeline (see `mcs-exp perf`).
+//!
+//! This module is the allocation-free specialization:
+//!
+//! * [`TaskRow`] — a task's per-level utilization row, divided out **once**
+//!   per task set;
+//! * [`CoreSums`] — the per-core triangular `U_j(k)` sums in a fixed-size
+//!   array, maintained incrementally with the exact `+=`/clamped `-=`
+//!   sequence of [`mcs_model::UtilTable::add`] / `remove`;
+//! * [`Probe`] — the compact result (own-level total + available
+//!   utilizations `A(k)`), answering the queries the partitioners need:
+//!   feasibility, Eq. (9) core utilization, the monotone slack variant;
+//! * [`Verdict`] — the fused fast path: one kernel sweep, monomorphized
+//!   over the access pattern (resident / `+task` / `−task+task`), that
+//!   yields every reading the placement loops consume without
+//!   materializing the `A(k)` array or re-scanning it through the
+//!   [`Probe`] accessors.
+//!
+//! # Equivalence contract (bit-identical, not merely close)
+//!
+//! The kernel performs **the same floating-point operations in the same
+//! order** as `Theorem1::compute` over a [`mcs_model::WithTask`] /
+//! [`mcs_model::WithoutTask`] view of a [`mcs_model::UtilTable`] that was
+//! fed the same task sequence. Utilizations are deterministic functions of
+//! integer ticks, the sums are accumulated by an identical `+=` sequence,
+//! and the λ/θ/µ recursions below are transcriptions (not refactorings) of
+//! the reference loops — so every probe result, every partitioner decision
+//! and every downstream figure number is bit-for-bit identical to the
+//! generic path. The `probe-engine-consistency` audit rule re-verifies this
+//! on every audited partition, and `tests/probe_engine_differential.rs`
+//! fuzzes it with proptest.
+
+use mcs_model::{CritLevel, LevelUtils, McTask, MAX_LEVELS};
+
+use crate::EPS;
+
+/// `MAX_LEVELS` as a `usize`, for fixed-size array bounds.
+pub const ML: usize = MAX_LEVELS as usize;
+
+/// Length of the lower-triangular `U_j(k)` storage (`k ≤ j ≤ MAX_LEVELS`).
+pub const TRI_LEN: usize = ML * (ML + 1) / 2;
+
+/// Index of `(j, k)` (1-based levels, `k ≤ j`) in the triangle.
+#[inline]
+fn tri(j: u8, k: u8) -> usize {
+    debug_assert!(1 <= k && k <= j && j <= MAX_LEVELS);
+    let j = usize::from(j - 1);
+    j * (j + 1) / 2 + usize::from(k - 1)
+}
+
+/// A task's criticality level and per-level utilization row, precomputed
+/// once so probes never re-divide `c_i(k)/p_i`.
+///
+/// `util(k)` returns exactly the same `f64` as [`McTask::util`] — a cached
+/// copy of a deterministic division — so substituting rows for tasks cannot
+/// change any probe result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskRow {
+    level: u8,
+    /// `utils[k-1] = u(k)` for `k ≤ level`, 0.0 above.
+    utils: [f64; ML],
+}
+
+impl TaskRow {
+    /// Precompute the row of one task.
+    #[must_use]
+    pub fn new(task: &McTask) -> Self {
+        let level = task.level().get();
+        let mut utils = [0.0; ML];
+        for k in CritLevel::up_to(level) {
+            utils[k.index()] = task.util(k);
+        }
+        Self { level, utils }
+    }
+
+    /// The task's own criticality level.
+    #[inline]
+    #[must_use]
+    pub fn level(&self) -> CritLevel {
+        CritLevel::new(self.level)
+    }
+
+    /// Cached `u(k)`; 0.0 for `k > l_i` (callers on the hot path only ask
+    /// for `k ≤ l_i`).
+    #[inline]
+    #[must_use]
+    pub fn util(&self, k: CritLevel) -> f64 {
+        self.utils[k.index()]
+    }
+
+    /// Cached maximum utilization `u_i(l_i)`.
+    #[inline]
+    #[must_use]
+    pub fn util_own(&self) -> f64 {
+        self.utils[usize::from(self.level - 1)]
+    }
+}
+
+/// Per-core triangular `U_j(k)` sums in fixed-size storage — the
+/// allocation-free twin of [`mcs_model::UtilTable`].
+///
+/// `add`/`remove` apply the same per-entry `+=` / clamped `-=` in the same
+/// ascending-`k` order as the `UtilTable` methods, so a `CoreSums` fed the
+/// same row sequence holds bit-identical sums.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreSums {
+    k: u8,
+    sums: [f64; TRI_LEN],
+    tasks: u32,
+}
+
+impl CoreSums {
+    /// Empty sums for a `k`-level system.
+    #[must_use]
+    pub fn new(k: u8) -> Self {
+        assert!((1..=MAX_LEVELS).contains(&k), "system level count {k} out of 1..={MAX_LEVELS}");
+        Self { k, sums: [0.0; TRI_LEN], tasks: 0 }
+    }
+
+    /// Reset to an empty table for a (possibly different) level count.
+    pub fn reset(&mut self, k: u8) {
+        assert!((1..=MAX_LEVELS).contains(&k), "system level count {k} out of 1..={MAX_LEVELS}");
+        self.k = k;
+        self.sums = [0.0; TRI_LEN];
+        self.tasks = 0;
+    }
+
+    /// System criticality level count `K`.
+    #[inline]
+    #[must_use]
+    pub fn num_levels(&self) -> u8 {
+        self.k
+    }
+
+    /// Number of accumulated rows.
+    #[inline]
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks as usize
+    }
+
+    /// Accumulate a task row (mirrors `UtilTable::add`).
+    pub fn add(&mut self, row: &TaskRow) {
+        assert!(row.level <= self.k, "task level {} exceeds system K={}", row.level, self.k);
+        for kk in 1..=row.level {
+            self.sums[tri(row.level, kk)] += row.utils[usize::from(kk - 1)];
+        }
+        self.tasks += 1;
+    }
+
+    /// Remove a previously added row (mirrors `UtilTable::remove`,
+    /// including the clamp of negative floating-point residue to zero).
+    pub fn remove(&mut self, row: &TaskRow) {
+        assert!(row.level <= self.k, "task level {} exceeds system K={}", row.level, self.k);
+        assert!(self.tasks > 0, "removing a task from an empty table");
+        for kk in 1..=row.level {
+            let e = &mut self.sums[tri(row.level, kk)];
+            *e = (*e - row.utils[usize::from(kk - 1)]).max(0.0);
+        }
+        self.tasks -= 1;
+    }
+
+    /// Raw `U_j(k)` lookup with the same out-of-triangle semantics as
+    /// `UtilTable::util_jk`.
+    #[inline]
+    #[must_use]
+    fn entry(&self, j: u8, kk: u8) -> f64 {
+        if kk > j || j > self.k {
+            0.0
+        } else {
+            self.sums[tri(j, kk)]
+        }
+    }
+
+    /// Evaluate Theorem 1 on the current sums (no hypothetical task) —
+    /// bit-identical to `Theorem1::compute(&table)`.
+    #[must_use]
+    pub fn evaluate(&self) -> Probe {
+        kernel(self, &Resident)
+    }
+
+    /// Evaluate Theorem 1 with `plus` hypothetically added — bit-identical
+    /// to `Theorem1::compute(&WithTask::new(&table, task))`.
+    #[must_use]
+    pub fn probe(&self, plus: &TaskRow) -> Probe {
+        assert!(plus.level <= self.k);
+        kernel(self, &Added(plus))
+    }
+
+    /// Evaluate Theorem 1 with `minus` hypothetically removed and `plus`
+    /// added — bit-identical to
+    /// `Theorem1::compute(&WithTask::new(&WithoutTask::new(&table, minus), plus))`,
+    /// the repair-move probe.
+    #[must_use]
+    pub fn probe_swap(&self, minus: &TaskRow, plus: &TaskRow) -> Probe {
+        assert!(minus.level <= self.k && plus.level <= self.k);
+        kernel(self, &Swapped(minus, plus))
+    }
+
+    /// Fused single-sweep verdict of [`Self::evaluate`] — bit-identical
+    /// readings, no intermediate [`Probe`].
+    #[must_use]
+    pub fn evaluate_verdict(&self) -> Verdict {
+        kernel_verdict(self, &Resident)
+    }
+
+    /// Fused single-sweep verdict of [`Self::probe`] — the placement
+    /// loops' hot path. Every [`Verdict`] field is bit-identical to the
+    /// corresponding accessor of the [`Probe`] this replaces.
+    #[must_use]
+    pub fn probe_verdict(&self, plus: &TaskRow) -> Verdict {
+        assert!(plus.level <= self.k);
+        kernel_verdict(self, &Added(plus))
+    }
+
+    /// Fused single-sweep verdict of [`Self::probe_swap`].
+    #[must_use]
+    pub fn probe_swap_verdict(&self, minus: &TaskRow, plus: &TaskRow) -> Verdict {
+        assert!(minus.level <= self.k && plus.level <= self.k);
+        kernel_verdict(self, &Swapped(minus, plus))
+    }
+
+    /// Eq. (4) left side `Σ_k U_k(k)` with `plus` hypothetically added —
+    /// bit-identical to `WithTask::new(&table, task).own_level_total()`,
+    /// the cheap first stage of the two-stage fit test.
+    #[must_use]
+    pub fn own_level_total_probe(&self, plus: &TaskRow) -> f64 {
+        let view = Added(plus);
+        let mut s = 0.0;
+        for kk in 1..=self.k {
+            s += view.at(self, kk, kk);
+        }
+        s
+    }
+}
+
+impl LevelUtils for CoreSums {
+    #[inline]
+    fn num_levels(&self) -> u8 {
+        self.k
+    }
+
+    #[inline]
+    fn util_jk(&self, j: CritLevel, k: CritLevel) -> f64 {
+        self.entry(j.get(), k.get())
+    }
+}
+
+/// Monomorphized `U_j(k)` access of the probed view — one implementation
+/// per access pattern, so the kernel's inner loops compile without per-read
+/// `Option` branches. Kernel call sites stay inside the triangle
+/// (`k ≤ j ≤ K`), where `UtilTable::util_jk`'s out-of-range guard is a
+/// no-op, so the direct array reads below are bit-identical to the guarded
+/// [`CoreSums::entry`].
+trait ProbeView {
+    /// `U_j(k)` of the viewed subset for in-triangle `(j, kk)`.
+    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64;
+}
+
+/// The resident subset, unchanged (`evaluate`).
+struct Resident;
+
+impl ProbeView for Resident {
+    #[inline]
+    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64 {
+        sums.sums[tri(j, kk)]
+    }
+}
+
+/// The resident subset plus one hypothetical row — the `WithTask` reading.
+struct Added<'a>(&'a TaskRow);
+
+impl ProbeView for Added<'_> {
+    #[inline]
+    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64 {
+        let v = sums.sums[tri(j, kk)];
+        if j == self.0.level {
+            v + self.0.utils[usize::from(kk - 1)]
+        } else {
+            v
+        }
+    }
+}
+
+/// One row removed (clamped like `WithoutTask`), one added on top of the
+/// removal — the composition order the repair-move probe uses.
+struct Swapped<'a>(&'a TaskRow, &'a TaskRow);
+
+impl ProbeView for Swapped<'_> {
+    #[inline]
+    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64 {
+        let mut v = sums.sums[tri(j, kk)];
+        if j == self.0.level {
+            v = (v - self.0.utils[usize::from(kk - 1)]).max(0.0);
+        }
+        if j == self.1.level {
+            v += self.1.utils[usize::from(kk - 1)];
+        }
+        v
+    }
+}
+
+/// Compact Theorem-1 verdict of one probe: the own-level total (Eq. (4))
+/// and the available utilizations `A(k)` (Eq. (8)), `NaN` marking an
+/// undefined condition. All queries replicate the corresponding
+/// [`crate::Theorem1`] accessors bit-for-bit.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    k: u8,
+    own_level_total: f64,
+    /// `A(k)` for `k ∈ 1..K-1` at index `k-1`; `NaN` when undefined (some
+    /// `λ_j` invalid or the min-term fraction blew up).
+    avail: [f64; ML],
+}
+
+impl Probe {
+    /// Eq. (4) LHS — every task counted at its own level.
+    #[inline]
+    #[must_use]
+    pub fn own_level_total(&self) -> f64 {
+        self.own_level_total
+    }
+
+    /// Whether the simple condition Eq. (4) holds (mirrors
+    /// [`crate::simple_condition`]).
+    #[inline]
+    #[must_use]
+    pub fn plain_edf_sufficient(&self) -> bool {
+        self.own_level_total <= 1.0 + EPS
+    }
+
+    /// Available utilization `A(k)`, `None` when undefined — mirrors
+    /// [`crate::Theorem1::available`].
+    #[must_use]
+    pub fn available(&self, k: u8) -> Option<f64> {
+        if self.k >= 2 && (1..=self.k - 1).contains(&k) {
+            let a = self.avail[usize::from(k - 1)];
+            (!a.is_nan()).then_some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the subset passes Theorem 1 — mirrors
+    /// [`crate::Theorem1::feasible`].
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        if self.k == 1 {
+            return self.own_level_total <= 1.0 + EPS;
+        }
+        (1..=self.k - 1).any(|k| matches!(self.available(k), Some(a) if a >= -EPS))
+    }
+
+    /// Core utilization Eq. (9), max-over-satisfied-conditions reading —
+    /// mirrors [`crate::Theorem1::core_utilization`].
+    #[must_use]
+    pub fn core_utilization(&self) -> Option<f64> {
+        if self.k == 1 {
+            return (self.own_level_total <= 1.0 + EPS).then_some(self.own_level_total);
+        }
+        let mut best: Option<f64> = None;
+        for k in 1..=self.k - 1 {
+            if let Some(a) = self.available(k) {
+                if a >= -EPS {
+                    let v = 1.0 - a;
+                    best = Some(best.map_or(v, |b: f64| b.max(v)));
+                }
+            }
+        }
+        best
+    }
+
+    /// The monotone best-slack reading of Eq. (9) — mirrors
+    /// [`crate::Theorem1::core_utilization_slack`].
+    #[must_use]
+    pub fn core_utilization_slack(&self) -> Option<f64> {
+        if self.k == 1 {
+            return (self.own_level_total <= 1.0 + EPS).then_some(self.own_level_total);
+        }
+        let mut best_slack: Option<f64> = None;
+        for k in 1..=self.k - 1 {
+            if let Some(a) = self.available(k) {
+                if a >= -EPS {
+                    best_slack = Some(best_slack.map_or(a, |b: f64| b.max(a)));
+                }
+            }
+        }
+        best_slack.map(|a| 1.0 - a)
+    }
+}
+
+/// Fused Theorem-1 verdict of one probe: everything the placement loops
+/// read, computed in a single kernel sweep without materializing (or
+/// re-scanning) the `A(k)` array of a [`Probe`]. Each field is
+/// bit-identical to the corresponding [`Probe`] / [`crate::Theorem1`]
+/// accessor on the same view.
+#[derive(Clone, Copy, Debug)]
+pub struct Verdict {
+    /// Eq. (4) LHS `Σ_k U_k(k)` — mirrors [`Probe::own_level_total`].
+    pub own_level_total: f64,
+    /// Eq. (9) core utilization (max-over-satisfied-conditions reading);
+    /// `None` when Theorem 1 rejects the subset — mirrors
+    /// [`Probe::core_utilization`].
+    pub core_utilization: Option<f64>,
+    /// The monotone best-slack reading of Eq. (9) — mirrors
+    /// [`Probe::core_utilization_slack`].
+    pub core_utilization_slack: Option<f64>,
+}
+
+impl Verdict {
+    /// Whether the subset passes Theorem 1 — mirrors [`Probe::feasible`].
+    /// (A subset is feasible exactly when Eq. (9) is defined: for `K = 1`
+    /// both reduce to Eq. (4), for `K ≥ 2` both require some satisfied
+    /// `A(k) ≥ −EPS`.)
+    #[inline]
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.core_utilization.is_some()
+    }
+
+    /// Whether the simple condition Eq. (4) holds — mirrors
+    /// [`Probe::plain_edf_sufficient`].
+    #[inline]
+    #[must_use]
+    pub fn plain_edf_sufficient(&self) -> bool {
+        self.own_level_total <= 1.0 + EPS
+    }
+}
+
+/// The Theorem-1 kernel: a line-by-line transcription of
+/// `Theorem1::compute` with `util_jk` inlined to the monomorphized
+/// [`ProbeView`]. Any edit here must preserve the exact operation order —
+/// see the module docs.
+fn kernel<V: ProbeView>(sums: &CoreSums, v: &V) -> Probe {
+    let k = sums.k;
+
+    // own_level_total(): ascending-k fold, as the LevelUtils default.
+    let mut own_level_total = 0.0;
+    for kk in 1..=k {
+        own_level_total += v.at(sums, kk, kk);
+    }
+
+    let mut out = Probe { k, own_level_total, avail: [f64::NAN; ML] };
+    if k == 1 {
+        return out;
+    }
+
+    // --- λ recursion (Eq. (6)), λ_1 = 0. ---
+    let mut lambdas = [f64::NAN; ML];
+    lambdas[0] = 0.0;
+    let mut prod = 1.0; // Π_{x=1}^{j-1} (1 - λ_x)
+    for j in 2..=k {
+        let prev = j - 1;
+        // Numerator: Σ_{x=j}^{K} U_x(j-1), scaled by 1/prod.
+        let mut num = 0.0;
+        for x in j..=k {
+            num += v.at(sums, x, prev);
+        }
+        num /= prod;
+        // Denominator: 1 - U_{j-1}(j-1)/prod.
+        let den = 1.0 - v.at(sums, prev, prev) / prod;
+        let lambda = if den > EPS { num / den } else { f64::NAN };
+        if lambda.is_finite() && (0.0..1.0).contains(&lambda) {
+            lambdas[usize::from(j - 1)] = lambda;
+            prod *= 1.0 - lambda;
+        } else {
+            // λ_j invalid ⇒ λ_{j'} for j' > j invalid too; stop here.
+            break;
+        }
+    }
+
+    // --- min-term: min{ U_K(K), U_K(K-1)/(1-U_K(K)) }. ---
+    let ukk = v.at(sums, k, k);
+    let ukk1 = v.at(sums, k, k - 1);
+    let fraction = if 1.0 - ukk > EPS { ukk1 / (1.0 - ukk) } else { f64::INFINITY };
+    let minterm = ukk.min(fraction);
+
+    // --- θ(k) suffix sums, then A(k) = µ(k) − θ(k). ---
+    let mut suffix = 0.0;
+    let mut thetas = [0.0f64; ML];
+    for i in (1..=k - 1).rev() {
+        suffix += v.at(sums, i, i);
+        thetas[usize::from(i - 1)] = suffix + minterm;
+    }
+    let mut muprod = 1.0;
+    for kk in 1..=k - 1 {
+        let idx = usize::from(kk - 1);
+        let lambda = lambdas[idx];
+        if lambda.is_nan() {
+            // Invalid λ — µ(k) undefined from here on; A(k) stays NaN.
+            break;
+        }
+        muprod *= 1.0 - lambda;
+        // available(): defined only when θ is finite (µ always is).
+        if thetas[idx].is_finite() {
+            out.avail[idx] = muprod - thetas[idx];
+        }
+    }
+    out
+}
+
+/// The fused verdict kernel: the same floating-point operations as
+/// [`kernel`] followed by the [`Probe`] Eq. (9) folds, in one sweep.
+///
+/// Three structural shortcuts, none of which changes any emitted bit:
+///
+/// * the λ recursion and the µ product run fused — the λ loop's running
+///   `Π (1−λ_x)` and the µ loop's product perform the same multiplication
+///   sequence (the µ loop's extra `1·(1−λ_1)` factor is exact because
+///   `λ_1 = 0`), so one running product serves both roles;
+/// * `λ_K` is never derived — the reference computes it, but no Eq. (9)
+///   condition reads it (`A(k)` stops at `K−1`);
+/// * the `A(k) ≥ −EPS` folds run inside the µ loop, in the same ascending
+///   order [`Probe::core_utilization`] / [`Probe::core_utilization_slack`]
+///   scan the materialized `A(k)` array, over the same values.
+fn kernel_verdict<V: ProbeView>(sums: &CoreSums, v: &V) -> Verdict {
+    let k = sums.k;
+
+    // own_level_total(): ascending-k fold, as the LevelUtils default.
+    let mut own_level_total = 0.0;
+    for kk in 1..=k {
+        own_level_total += v.at(sums, kk, kk);
+    }
+    if k == 1 {
+        let u = (own_level_total <= 1.0 + EPS).then_some(own_level_total);
+        return Verdict { own_level_total, core_utilization: u, core_utilization_slack: u };
+    }
+
+    // --- min-term and θ(k) suffix sums (independent of the λ's). ---
+    let ukk = v.at(sums, k, k);
+    let ukk1 = v.at(sums, k, k - 1);
+    let fraction = if 1.0 - ukk > EPS { ukk1 / (1.0 - ukk) } else { f64::INFINITY };
+    let minterm = ukk.min(fraction);
+    let mut suffix = 0.0;
+    let mut thetas = [0.0f64; ML];
+    for i in (1..=k - 1).rev() {
+        suffix += v.at(sums, i, i);
+        thetas[usize::from(i - 1)] = suffix + minterm;
+    }
+
+    // --- fused λ recursion (Eq. (6), λ_1 = 0), µ product, Eq. (9) folds. ---
+    let mut best: Option<f64> = None;
+    let mut best_slack: Option<f64> = None;
+    let mut muprod = 1.0; // Π (1 − λ_x): the λ scale and µ(k) at once.
+    for kk in 1..=k - 1 {
+        if kk >= 2 {
+            let prev = kk - 1;
+            let mut num = 0.0;
+            for x in kk..=k {
+                num += v.at(sums, x, prev);
+            }
+            num /= muprod;
+            let den = 1.0 - v.at(sums, prev, prev) / muprod;
+            let lambda = if den > EPS { num / den } else { f64::NAN };
+            if !(lambda.is_finite() && (0.0..1.0).contains(&lambda)) {
+                // λ_kk invalid ⇒ µ(k) undefined from here on.
+                break;
+            }
+            muprod *= 1.0 - lambda;
+        }
+        let idx = usize::from(kk - 1);
+        // available(): defined only when θ is finite (µ always is).
+        if thetas[idx].is_finite() {
+            let a = muprod - thetas[idx];
+            if a >= -EPS {
+                let util = 1.0 - a;
+                best = Some(best.map_or(util, |b: f64| b.max(util)));
+                best_slack = Some(best_slack.map_or(a, |b: f64| b.max(a)));
+            }
+        }
+    }
+    Verdict {
+        own_level_total,
+        core_utilization: best,
+        core_utilization_slack: best_slack.map(|a| 1.0 - a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Theorem1;
+    use mcs_model::{McTask, TaskBuilder, TaskId, UtilTable, WithTask, WithoutTask};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    /// Bitwise comparison of an `Option<f64>` pair (the accessors never
+    /// surface NaN, so bit equality is the right notion).
+    fn opt_bits(a: Option<f64>, b: Option<f64>) -> bool {
+        match (a, b) {
+            (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    fn assert_probe_matches<U: LevelUtils>(p: &Probe, reference: &U) {
+        let t = Theorem1::compute(reference);
+        assert_eq!(p.feasible(), t.feasible());
+        assert!(opt_bits(p.core_utilization(), t.core_utilization()));
+        assert!(opt_bits(p.core_utilization_slack(), t.core_utilization_slack()));
+        assert_eq!(p.own_level_total().to_bits(), reference.own_level_total().to_bits());
+        for k in 1..=MAX_LEVELS {
+            assert!(opt_bits(p.available(k), t.available(k)), "A({k}) mismatch");
+        }
+    }
+
+    fn assert_verdict_matches(v: &Verdict, p: &Probe) {
+        assert_eq!(v.own_level_total.to_bits(), p.own_level_total().to_bits());
+        assert!(opt_bits(v.core_utilization, p.core_utilization()));
+        assert!(opt_bits(v.core_utilization_slack, p.core_utilization_slack()));
+        assert_eq!(v.feasible(), p.feasible());
+        assert_eq!(v.plain_edf_sufficient(), p.plain_edf_sufficient());
+    }
+
+    fn mixed_tasks() -> Vec<McTask> {
+        vec![
+            task(0, 1000, 2, &[339, 633]),
+            task(1, 1000, 2, &[175, 326]),
+            task(2, 500, 1, &[200]),
+            task(3, 200, 3, &[30, 55, 70]),
+            task(4, 100, 1, &[25]),
+        ]
+    }
+
+    #[test]
+    fn row_caches_the_exact_divisions() {
+        for t in mixed_tasks() {
+            let row = TaskRow::new(&t);
+            assert_eq!(row.level(), t.level());
+            for k in CritLevel::up_to(t.level().get()) {
+                assert_eq!(row.util(k).to_bits(), t.util(k).to_bits());
+            }
+            assert_eq!(row.util_own().to_bits(), t.util_own().to_bits());
+        }
+    }
+
+    #[test]
+    fn sums_mirror_util_table_bitwise() {
+        let tasks = mixed_tasks();
+        let mut table = UtilTable::new(3);
+        let mut sums = CoreSums::new(3);
+        for t in &tasks {
+            table.add(t);
+            sums.add(&TaskRow::new(t));
+            for j in CritLevel::up_to(3) {
+                for k in CritLevel::up_to(j.get()) {
+                    assert_eq!(sums.util_jk(j, k).to_bits(), table.util_jk(j, k).to_bits());
+                }
+            }
+        }
+        assert_eq!(sums.task_count(), table.task_count());
+        // Remove in a different order than insertion, exercising the clamp.
+        for t in tasks.iter().rev() {
+            table.remove(t);
+            sums.remove(&TaskRow::new(t));
+            for j in CritLevel::up_to(3) {
+                for k in CritLevel::up_to(j.get()) {
+                    assert_eq!(sums.util_jk(j, k).to_bits(), table.util_jk(j, k).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_reference_compute() {
+        let tasks = mixed_tasks();
+        let mut table = UtilTable::new(3);
+        let mut sums = CoreSums::new(3);
+        for t in &tasks {
+            table.add(t);
+            sums.add(&TaskRow::new(t));
+            assert_probe_matches(&sums.evaluate(), &table);
+        }
+    }
+
+    #[test]
+    fn probe_matches_with_task_view() {
+        let tasks = mixed_tasks();
+        let extra = task(9, 70, 3, &[5, 9, 21]);
+        let mut table = UtilTable::new(3);
+        let mut sums = CoreSums::new(3);
+        // Probe against every prefix, including the empty core.
+        for t in &tasks {
+            assert_probe_matches(
+                &sums.probe(&TaskRow::new(&extra)),
+                &WithTask::new(&table, &extra),
+            );
+            table.add(t);
+            sums.add(&TaskRow::new(t));
+        }
+        assert_probe_matches(&sums.probe(&TaskRow::new(&extra)), &WithTask::new(&table, &extra));
+    }
+
+    #[test]
+    fn probe_swap_matches_composed_views() {
+        let tasks = mixed_tasks();
+        let stuck = task(9, 70, 2, &[5, 21]);
+        let table = UtilTable::from_tasks(3, tasks.iter());
+        let mut sums = CoreSums::new(3);
+        for t in &tasks {
+            sums.add(&TaskRow::new(t));
+        }
+        for cand in &tasks {
+            let without = WithoutTask::new(&table, cand);
+            let reference = WithTask::new(&without, &stuck);
+            let p = sums.probe_swap(&TaskRow::new(cand), &TaskRow::new(&stuck));
+            assert_probe_matches(&p, &reference);
+        }
+    }
+
+    #[test]
+    fn own_level_total_probe_matches_simple_condition_input() {
+        let tasks = mixed_tasks();
+        let extra = task(9, 70, 1, &[30]);
+        let table = UtilTable::from_tasks(3, tasks.iter());
+        let mut sums = CoreSums::new(3);
+        for t in &tasks {
+            sums.add(&TaskRow::new(t));
+        }
+        let view = WithTask::new(&table, &extra);
+        assert_eq!(
+            sums.own_level_total_probe(&TaskRow::new(&extra)).to_bits(),
+            view.own_level_total().to_bits()
+        );
+    }
+
+    #[test]
+    fn k1_degenerate_case() {
+        let mut sums = CoreSums::new(1);
+        sums.add(&TaskRow::new(&task(0, 10, 1, &[5])));
+        let p = sums.evaluate();
+        assert!(p.feasible());
+        assert_eq!(p.core_utilization(), Some(0.5));
+        sums.add(&TaskRow::new(&task(1, 10, 1, &[6])));
+        let p = sums.evaluate();
+        assert!(!p.feasible());
+        assert_eq!(p.core_utilization(), None);
+    }
+
+    #[test]
+    fn infeasible_probe_reports_none() {
+        let mut sums = CoreSums::new(2);
+        sums.add(&TaskRow::new(&task(0, 10, 2, &[6, 9])));
+        let p = sums.probe(&TaskRow::new(&task(1, 10, 2, &[6, 9])));
+        assert!(!p.feasible());
+        assert_eq!(p.core_utilization(), None);
+        assert_eq!(p.core_utilization_slack(), None);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // τ4 on an empty core: U = min{0.633, 0.339/0.367} = 0.633.
+        let sums = CoreSums::new(2);
+        let p = sums.probe(&TaskRow::new(&task(0, 1000, 2, &[339, 633])));
+        assert!((p.core_utilization().unwrap() - 0.633).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut sums = CoreSums::new(2);
+        sums.add(&TaskRow::new(&task(0, 10, 2, &[2, 5])));
+        sums.reset(4);
+        assert_eq!(sums.num_levels(), 4);
+        assert_eq!(sums.task_count(), 0);
+        assert_eq!(sums.evaluate().core_utilization(), Some(0.0));
+    }
+
+    #[test]
+    fn verdicts_match_probe_accessors_bitwise() {
+        let tasks = mixed_tasks();
+        let extra = TaskRow::new(&task(9, 70, 3, &[5, 9, 21]));
+        let mut sums = CoreSums::new(3);
+        for t in &tasks {
+            assert_verdict_matches(&sums.probe_verdict(&extra), &sums.probe(&extra));
+            sums.add(&TaskRow::new(t));
+            assert_verdict_matches(&sums.evaluate_verdict(), &sums.evaluate());
+        }
+        for cand in &tasks {
+            let minus = TaskRow::new(cand);
+            assert_verdict_matches(
+                &sums.probe_swap_verdict(&minus, &extra),
+                &sums.probe_swap(&minus, &extra),
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_degenerate_and_infeasible_cases() {
+        // K = 1: both readings collapse to Eq. (4).
+        let mut k1 = CoreSums::new(1);
+        k1.add(&TaskRow::new(&task(0, 10, 1, &[5])));
+        assert_verdict_matches(&k1.evaluate_verdict(), &k1.evaluate());
+        k1.add(&TaskRow::new(&task(1, 10, 1, &[6])));
+        assert_verdict_matches(&k1.evaluate_verdict(), &k1.evaluate());
+        assert!(!k1.evaluate_verdict().feasible());
+
+        // An overloaded K = 2 probe: infeasible through the λ break path.
+        let mut sums = CoreSums::new(2);
+        sums.add(&TaskRow::new(&task(0, 10, 2, &[6, 9])));
+        let row = TaskRow::new(&task(1, 10, 2, &[6, 9]));
+        assert_verdict_matches(&sums.probe_verdict(&row), &sums.probe(&row));
+        assert!(!sums.probe_verdict(&row).feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds system K")]
+    fn add_rejects_row_above_system_k() {
+        let mut sums = CoreSums::new(2);
+        sums.add(&TaskRow::new(&task(0, 10, 3, &[1, 2, 3])));
+    }
+}

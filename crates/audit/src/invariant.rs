@@ -101,6 +101,7 @@ impl Registry {
         r.push(Box::new(rules::theorem1::ClaimFeasible));
         r.push(Box::new(rules::theorem1::ExactAgreement));
         r.push(Box::new(rules::util_cache::UtilCacheConsistency));
+        r.push(Box::new(rules::probe_cache::ProbeEngineConsistency));
         r.push(Box::new(rules::ordering::ContributionOrderRule));
         r.push(Box::new(rules::ordering::AlphaDomain));
         r

@@ -15,8 +15,8 @@
 //!   a rule set;
 //! * [`rules`] — the standard rules: partition well-formedness, per-core
 //!   Theorem-1 re-verification, `f64`-vs-exact verdict agreement,
-//!   [`mcs_model::UtilTable`] cache consistency, contribution-order and
-//!   α-domain checks;
+//!   [`mcs_model::UtilTable`] cache consistency, probe-engine-vs-scratch
+//!   bit equality, contribution-order and α-domain checks;
 //! * [`diagnostic`] — severities, subjects, and text/JSON rendering.
 //!
 //! The crate deliberately depends only on `mcs-model` and `mcs-analysis`:

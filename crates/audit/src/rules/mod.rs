@@ -5,6 +5,7 @@
 //! the production path cannot hide itself from the audit.
 
 pub mod ordering;
+pub mod probe_cache;
 pub mod theorem1;
 pub mod util_cache;
 pub mod well_formed;

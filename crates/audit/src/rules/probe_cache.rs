@@ -1,0 +1,369 @@
+//! Rule `probe-engine-consistency`: the incremental probe kernel
+//! ([`CoreSums`] / `Probe` in `mcs-analysis`) must agree *bit for bit* with
+//! the generic [`UtilTable`] + [`Theorem1`] path the partitioners used to
+//! run on. The optimized placement loops reuse probed values at commit time,
+//! so any divergence here silently changes experiment figures.
+
+use mcs_analysis::{CoreSums, TaskRow, Theorem1, Verdict};
+use mcs_model::{CoreId, CritLevel, LevelUtils, UtilTable, WithTask};
+
+use crate::diagnostic::{Diagnostic, Subject};
+use crate::invariant::{AuditContext, Invariant};
+use crate::rules::shapes_match;
+
+/// Stable id of this rule.
+pub const ID: &str = "probe-engine-consistency";
+
+/// Cross-checks, per core: the [`CoreSums`] rebuilt from the membership
+/// against the [`UtilTable`] from `core_tables` (exact, bitwise — both add
+/// the same values in the same task-id order); the probe-kernel evaluation
+/// (both the full `Probe` and the fused `Verdict` paths) against
+/// `Theorem1::compute`; every hypothetical single-task probe against the
+/// `WithTask` reference composite; and a full remove/re-add churn mirrored
+/// on both structures.
+pub struct ProbeEngineConsistency;
+
+fn bits(v: f64) -> u64 {
+    v.to_bits()
+}
+
+fn opt_bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+/// Compare the two incremental structures entry by entry, bitwise.
+fn compare_entries(
+    core: CoreId,
+    label: &str,
+    sums: &CoreSums,
+    table: &UtilTable,
+    levels: u8,
+    out: &mut Vec<Diagnostic>,
+) {
+    for j in CritLevel::up_to(levels) {
+        for k in CritLevel::up_to(j.get()) {
+            let probe = sums.util_jk(j, k);
+            let reference = table.util_jk(j, k);
+            if bits(probe) != bits(reference) {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "{label}: CoreSums U_{j}({k}) = {probe:.17e} is not bit-equal \
+                         to UtilTable's {reference:.17e}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Compare the probe-kernel view of a subset against the Theorem-1 report
+/// for the same subset on all four observables the partitioners consume.
+fn compare_evaluation(
+    core: CoreId,
+    label: &str,
+    probe: &mcs_analysis::Probe,
+    reference: &Theorem1,
+    own_reference: f64,
+    out: &mut Vec<Diagnostic>,
+) {
+    if probe.feasible() != reference.feasible() {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: probe kernel says feasible = {}, Theorem 1 says {}",
+                probe.feasible(),
+                reference.feasible()
+            ),
+        ));
+    }
+    if opt_bits(probe.core_utilization()) != opt_bits(reference.core_utilization()) {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: probe core utilization {:?} is not bit-equal to \
+                 Theorem 1's {:?}",
+                probe.core_utilization(),
+                reference.core_utilization()
+            ),
+        ));
+    }
+    if opt_bits(probe.core_utilization_slack()) != opt_bits(reference.core_utilization_slack()) {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: probe slack utilization {:?} is not bit-equal to \
+                 Theorem 1's {:?}",
+                probe.core_utilization_slack(),
+                reference.core_utilization_slack()
+            ),
+        ));
+    }
+    if bits(probe.own_level_total()) != bits(own_reference) {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: probe own-level total {:.17e} is not bit-equal to \
+                 the reference {own_reference:.17e}",
+                probe.own_level_total()
+            ),
+        ));
+    }
+}
+
+/// Compare the fused [`Verdict`] path — what the placement loops actually
+/// consume — against the same Theorem-1 report, bitwise.
+fn compare_verdict(
+    core: CoreId,
+    label: &str,
+    verdict: &Verdict,
+    reference: &Theorem1,
+    own_reference: f64,
+    out: &mut Vec<Diagnostic>,
+) {
+    if verdict.feasible() != reference.feasible() {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: fused verdict says feasible = {}, Theorem 1 says {}",
+                verdict.feasible(),
+                reference.feasible()
+            ),
+        ));
+    }
+    if opt_bits(verdict.core_utilization) != opt_bits(reference.core_utilization()) {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: fused verdict core utilization {:?} is not bit-equal \
+                 to Theorem 1's {:?}",
+                verdict.core_utilization,
+                reference.core_utilization()
+            ),
+        ));
+    }
+    if opt_bits(verdict.core_utilization_slack) != opt_bits(reference.core_utilization_slack()) {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: fused verdict slack utilization {:?} is not bit-equal \
+                 to Theorem 1's {:?}",
+                verdict.core_utilization_slack,
+                reference.core_utilization_slack()
+            ),
+        ));
+    }
+    if bits(verdict.own_level_total) != bits(own_reference) {
+        out.push(Diagnostic::error(
+            ID,
+            Subject::Core(core),
+            format!(
+                "{label}: fused verdict own-level total {:.17e} is not bit-equal \
+                 to the reference {own_reference:.17e}",
+                verdict.own_level_total
+            ),
+        ));
+    }
+}
+
+impl Invariant for ProbeEngineConsistency {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "incremental probe kernel is bit-identical to the UtilTable + Theorem-1 path"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        if !shapes_match(ctx) {
+            return;
+        }
+        let levels = ctx.ts.num_levels();
+        let tables = ctx.partition.core_tables(ctx.ts);
+        for (m, table) in tables.iter().enumerate() {
+            let core = CoreId(u16::try_from(m).expect("core index fits u16"));
+
+            // Rebuild the probe-engine sums in task-id order — the same
+            // order `core_tables` added the tasks, so bit equality is the
+            // correct expectation, not a tolerance.
+            let mut sums = CoreSums::new(levels);
+            let members: Vec<&mcs_model::McTask> = ctx
+                .ts
+                .tasks()
+                .iter()
+                .filter(|t| ctx.partition.core_of(t.id()) == Some(core))
+                .collect();
+            for t in &members {
+                sums.add(&TaskRow::new(t));
+            }
+            if sums.task_count() != table.task_count() {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "CoreSums counts {} tasks, UtilTable counts {}",
+                        sums.task_count(),
+                        table.task_count()
+                    ),
+                ));
+            }
+            compare_entries(core, "incremental", &sums, table, levels, out);
+            let resident_reference = Theorem1::compute(table);
+            compare_evaluation(
+                core,
+                "resident set",
+                &sums.evaluate(),
+                &resident_reference,
+                table.own_level_total(),
+                out,
+            );
+            compare_verdict(
+                core,
+                "resident set",
+                &sums.evaluate_verdict(),
+                &resident_reference,
+                table.own_level_total(),
+                out,
+            );
+
+            // Hypothetical placements the engine could be asked about:
+            // probe(τ) must match the WithTask reference composite. The
+            // cross-check is stride-sampled (deterministically, spread over
+            // the id space) — probing every non-member of every core costs
+            // O(N·M) Theorem-1 recomputations per audited partition and
+            // dominates sweep time at N = 200; the proptest differential
+            // suite (`tests/probe_engine_differential.rs`) carries the
+            // exhaustive version of this claim.
+            const MAX_PROBED_PER_CORE: usize = 24;
+            let non_members: Vec<&mcs_model::McTask> = ctx
+                .ts
+                .tasks()
+                .iter()
+                .filter(|t| ctx.partition.core_of(t.id()) != Some(core))
+                .collect();
+            let stride = (non_members.len() / MAX_PROBED_PER_CORE).max(1);
+            for &t in non_members.iter().step_by(stride).take(MAX_PROBED_PER_CORE) {
+                let composite = WithTask::new(table, t);
+                let probe_reference = Theorem1::compute(&composite);
+                let row = TaskRow::new(t);
+                compare_evaluation(
+                    core,
+                    &format!("probe of task {}", t.id()),
+                    &sums.probe(&row),
+                    &probe_reference,
+                    composite.own_level_total(),
+                    out,
+                );
+                compare_verdict(
+                    core,
+                    &format!("fused probe of task {}", t.id()),
+                    &sums.probe_verdict(&row),
+                    &probe_reference,
+                    composite.own_level_total(),
+                    out,
+                );
+            }
+
+            // Churn the remove path on both structures in lockstep: the
+            // clamped subtraction must leave them bit-identical at every
+            // stage, including after re-adding everything.
+            let mut churned_sums = sums.clone();
+            let mut churned_table = table.clone();
+            for t in &members {
+                churned_sums.remove(&TaskRow::new(t));
+                churned_table.remove(t);
+            }
+            if churned_sums.task_count() != 0 {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "{} tasks left in CoreSums after removing every member",
+                        churned_sums.task_count()
+                    ),
+                ));
+            }
+            compare_entries(core, "drained", &churned_sums, &churned_table, levels, out);
+            for t in &members {
+                churned_sums.add(&TaskRow::new(t));
+                churned_table.add(t);
+            }
+            compare_entries(core, "refilled", &churned_sums, &churned_table, levels, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{Partition, TaskBuilder, TaskId, TaskSet};
+
+    fn ts() -> TaskSet {
+        let t = |id: u32, p: u64, l: u8, w: &[u64]| {
+            TaskBuilder::new(TaskId(id)).period(p).level(l).wcet(w).build().unwrap()
+        };
+        TaskSet::new(
+            3,
+            vec![
+                t(0, 100, 1, &[20]),
+                t(1, 100, 2, &[10, 30]),
+                t(2, 50, 3, &[5, 10, 20]),
+                t(3, 200, 2, &[40, 80]),
+                t(4, 400, 3, &[30, 60, 90]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn consistent_partition_is_clean() {
+        let ts = ts();
+        let mut p = Partition::empty(2, 5);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(1));
+        p.assign(TaskId(2), CoreId(0));
+        p.assign(TaskId(3), CoreId(1));
+        p.assign(TaskId(4), CoreId(0));
+        let mut out = Vec::new();
+        ProbeEngineConsistency.check(&AuditContext::new(&ts, &p, "t"), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn partial_partition_probes_unassigned_tasks_too() {
+        let ts = ts();
+        let mut p = Partition::empty(2, 5);
+        p.assign(TaskId(1), CoreId(0));
+        let mut out = Vec::new();
+        ProbeEngineConsistency.check(&AuditContext::new(&ts, &p, "t"), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn mismatched_evaluation_is_reported() {
+        // Feed compare_evaluation a deliberately wrong reference: an empty
+        // core's probe against a loaded table's Theorem 1.
+        let ts = ts();
+        let empty = CoreSums::new(3);
+        let table = UtilTable::from_tasks(3, ts.tasks());
+        let mut out = Vec::new();
+        compare_evaluation(
+            CoreId(0),
+            "test",
+            &empty.evaluate(),
+            &Theorem1::compute(&table),
+            table.own_level_total(),
+            &mut out,
+        );
+        assert!(!out.is_empty());
+    }
+}

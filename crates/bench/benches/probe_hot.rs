@@ -1,0 +1,72 @@
+//! The probe hot path: the incremental `CoreSums` kernel against the
+//! `UtilTable` + `WithTask` + `Theorem1::compute` reference it replaces,
+//! and the engine-based CA-TPA against the pre-optimization reference loop
+//! (`ReferenceCatpa`). These are the microbenchmarks behind the speedups
+//! `mcs-exp perf` reports end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs_analysis::{CoreSums, TaskRow, Theorem1};
+use mcs_bench::{default_fixture, fixture};
+use mcs_model::{UtilTable, WithTask};
+use mcs_partition::{Catpa, Partitioner, ReferenceCatpa};
+
+fn bench_single_probe(c: &mut Criterion) {
+    // Half the fixture resident on a "core", the other half probed against
+    // it — the inner operation every placement loop performs N·M times.
+    let ts = default_fixture(3);
+    let tasks = ts.tasks();
+    let (resident, probed) = tasks.split_at(tasks.len() / 2);
+
+    let table = UtilTable::from_tasks(ts.num_levels(), resident);
+    let mut sums = CoreSums::new(ts.num_levels());
+    for t in resident {
+        sums.add(&TaskRow::new(t));
+    }
+    let rows: Vec<TaskRow> = probed.iter().map(TaskRow::new).collect();
+
+    let mut group = c.benchmark_group("single_probe");
+    group.bench_function("reference_withtask_theorem1", |b| {
+        b.iter(|| {
+            for t in probed {
+                let probe = Theorem1::compute(&WithTask::new(&table, t));
+                black_box(probe.core_utilization());
+            }
+        });
+    });
+    group.bench_function("engine_coresums_kernel", |b| {
+        b.iter(|| {
+            for row in &rows {
+                black_box(sums.probe(row).core_utilization());
+            }
+        });
+    });
+    group.bench_function("engine_fused_verdict", |b| {
+        b.iter(|| {
+            for row in &rows {
+                black_box(sums.probe_verdict(row).core_utilization);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_catpa_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catpa_probe_path");
+    for (label, n, m) in [("n120_m8", 120usize, 8usize), ("n400_m8", 400, 8)] {
+        let ts = fixture(n, m, 4, 0.5, 11);
+        group.bench_function(format!("reference_{label}").as_str(), |b| {
+            let reference = ReferenceCatpa::default();
+            b.iter(|| black_box(reference.partition(&ts, m)));
+        });
+        group.bench_function(format!("engine_{label}").as_str(), |b| {
+            let catpa = Catpa::default();
+            b.iter(|| black_box(catpa.partition(&ts, m)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_probe, bench_catpa_end_to_end);
+criterion_main!(benches);

@@ -304,7 +304,7 @@ mod tests {
         // Every scheme partitioned at least one set at these defaults.
         for s in &outcome.schemes {
             assert!(s.partitioned > 0, "{} never partitioned", s.scheme);
-            assert_eq!(s.rules.len(), 6);
+            assert_eq!(s.rules.len(), 7);
         }
     }
 

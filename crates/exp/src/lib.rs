@@ -14,6 +14,8 @@
 //!   the analysis must exhibit zero mandatory deadline misses;
 //! * [`ablation`] — CA-TPA variant comparison;
 //! * [`audit_cmd`] — invariant-audit sweep over every scheme (`mcs-audit`);
+//! * [`perf`] — probe-path throughput benchmark (reference loops vs the
+//!   incremental `ProbeEngine`), recorded to `BENCH_partition.json`;
 //! * [`report`] — plain-text/CSV rendering.
 
 #![forbid(unsafe_code)]
@@ -30,6 +32,7 @@ pub mod globalcmp;
 pub mod optgap;
 pub mod overhead;
 pub mod partition_cmd;
+pub mod perf;
 pub mod report;
 pub mod soundness;
 pub mod stats;

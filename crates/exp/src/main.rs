@@ -15,6 +15,8 @@
 //!   partition --file F [--cores N] [--scheme S] [--validate]
 //!                                      partition a task-set file
 //!   audit [--json]                     invariant audit over all schemes
+//!   perf [--json]                      probe-path throughput benchmark
+//!                                      (also records BENCH_partition.json)
 //!   all                                everything above
 //! ```
 
@@ -58,7 +60,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|soundness|ablation|dualcmp|gap|overhead|elastic|globalcmp|partition|describe|audit|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart]"
+    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|soundness|ablation|dualcmp|gap|overhead|elastic|globalcmp|partition|describe|audit|perf|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -307,6 +309,38 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             println!("{}", audit_cmd::render(&outcome, opts.json).trim_end());
             if outcome.errors() > 0 {
                 return Err(format!("audit found {} invariant violation(s)", outcome.errors()));
+            }
+        }
+        "perf" => {
+            eprintln!(
+                "[mcs-exp] perf: {} task sets (timed batch capped at 256), {} threads",
+                opts.config.trials,
+                opts.config.effective_threads()
+            );
+            let r = mcs_exp::perf::run(&opts.config);
+            let json = r.to_json();
+            if opts.json {
+                print!("{json}");
+            } else {
+                print_table(
+                    "Perf — probe-path throughput (reference vs engine)",
+                    &r.table(),
+                    opts.csv,
+                );
+                println!(
+                    "partitions identical: {}; sweep: {:.0} trials/s ({} trials, {} threads)",
+                    r.identical, r.sweep_trials_per_sec, r.sweep_trials, r.sweep_threads
+                );
+            }
+            std::fs::write("BENCH_partition.json", &json)
+                .map_err(|e| format!("cannot write BENCH_partition.json: {e}"))?;
+            eprintln!(
+                "[mcs-exp] wrote BENCH_partition.json (probe path {:.2}x, schemes {:.2}x)",
+                r.probe.speedup(),
+                r.speedup()
+            );
+            if !r.identical {
+                return Err("reference and engine paths disagreed on some partition".into());
             }
         }
         "dualcmp" => {

@@ -1,0 +1,383 @@
+//! `mcs-exp perf` — probe-path throughput benchmark.
+//!
+//! Times the *reference* placement loops (fresh `WithTask` composite per
+//! probe, full `Theorem1::compute` recomputation at commit — see
+//! `mcs_partition::reference`) against the optimized `ProbeEngine` path on
+//! the same batch of generated task sets, in the same process, in the same
+//! run. Before timing, every pair is checked to produce the *identical*
+//! outcome (same core per task, or the same failing task), so the speedup
+//! number is for bit-equal work.
+//!
+//! The headline `probe path` row times the raw admission probe — the
+//! operation placement loops perform `N·M` times per run — on identical
+//! mid-placement core states: reference composite vs the fused verdict
+//! kernel. The per-scheme rows time whole `partition()` calls, where the
+//! cheap Eq. (4) pre-test caps how often the bin-packing family reaches the
+//! probe at all (so their end-to-end speedups are structurally smaller
+//! than CA-TPA's).
+//!
+//! A second section times the end-to-end sweep hot path (`run_point` over
+//! the paper schemes) in trials/second — the quantity that bounds figure
+//! turnaround.
+//!
+//! Results render as a table, as JSON (`--json`), and are recorded to
+//! `BENCH_partition.json` in the working directory so the repository keeps
+//! a checked-in snapshot of the measured speedup.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use mcs_analysis::{CoreSums, TaskRow, Theorem1};
+use mcs_gen::{generate_task_set, GenParams};
+use mcs_model::{TaskSet, UtilTable, WithTask};
+use mcs_partition::{paper_schemes, reference_paper_schemes, PartitionFailure, Partitioner};
+
+use crate::report::Table;
+use crate::sweep::{run_point, SweepConfig};
+
+/// Minimum wall-clock spent per timed scheme (reference and engine each):
+/// whole passes over the batch are repeated until this elapses, so the
+/// rates are averaged over at least this long.
+const MIN_TIMED: Duration = Duration::from_millis(300);
+
+/// One reference-vs-engine pairing.
+#[derive(Clone, Debug)]
+pub struct SchemePerf {
+    /// Display name of the optimized scheme.
+    pub scheme: &'static str,
+    /// Reference-path partition calls per second.
+    pub reference_per_sec: f64,
+    /// Engine-path partition calls per second.
+    pub engine_per_sec: f64,
+}
+
+impl SchemePerf {
+    /// Engine throughput over reference throughput.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.engine_per_sec / self.reference_per_sec
+    }
+}
+
+/// Raw probe-path throughput: single Theorem-1 admission probes per second
+/// against mid-placement core states — the inner operation every placement
+/// loop performs `N·M` times per run.
+#[derive(Clone, Debug)]
+pub struct ProbePerf {
+    /// Reference path: fresh `WithTask` composite + full `Theorem1::compute`
+    /// + the Eq. (9) accessor, per probe.
+    pub reference_per_sec: f64,
+    /// Engine path: precomputed `TaskRow` + the fused verdict kernel.
+    pub engine_per_sec: f64,
+}
+
+impl ProbePerf {
+    /// Engine probe throughput over reference probe throughput.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.engine_per_sec / self.reference_per_sec
+    }
+}
+
+/// Full benchmark report.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Task sets in the timed batch.
+    pub sets: usize,
+    /// Cores per partitioning call.
+    pub cores: usize,
+    /// Total tasks across the batch (context for the rates).
+    pub tasks: usize,
+    /// Whether every reference/engine pair agreed on every task set.
+    pub identical: bool,
+    /// Raw probe-path rates (single admission probes per second).
+    pub probe: ProbePerf,
+    /// Per-scheme timing pairs, in the paper's plot order.
+    pub schemes: Vec<SchemePerf>,
+    /// Aggregate reference partition calls per second (all schemes).
+    pub reference_per_sec: f64,
+    /// Aggregate engine partition calls per second (all schemes).
+    pub engine_per_sec: f64,
+    /// End-to-end sweep throughput, trials per second (`run_point` over the
+    /// paper schemes, all worker threads).
+    pub sweep_trials_per_sec: f64,
+    /// Trials used for the sweep timing.
+    pub sweep_trials: usize,
+    /// Threads used for the sweep timing.
+    pub sweep_threads: usize,
+}
+
+impl PerfReport {
+    /// Aggregate engine-over-reference speedup.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.engine_per_sec / self.reference_per_sec
+    }
+
+    /// Render as a report table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["scheme", "ref part/s", "engine part/s", "speedup"]);
+        t.push_row([
+            "probe path (probes/s)".into(),
+            format!("{:.0}", self.probe.reference_per_sec),
+            format!("{:.0}", self.probe.engine_per_sec),
+            format!("{:.2}x", self.probe.speedup()),
+        ]);
+        for s in &self.schemes {
+            t.push_row([
+                s.scheme.to_string(),
+                format!("{:.0}", s.reference_per_sec),
+                format!("{:.0}", s.engine_per_sec),
+                format!("{:.2}x", s.speedup()),
+            ]);
+        }
+        t.push_row([
+            "TOTAL".into(),
+            format!("{:.0}", self.reference_per_sec),
+            format!("{:.0}", self.engine_per_sec),
+            format!("{:.2}x", self.speedup()),
+        ]);
+        t
+    }
+
+    /// Hand-rolled JSON encoding (the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"mcs-exp perf\",");
+        let _ = writeln!(out, "  \"task_sets\": {},", self.sets);
+        let _ = writeln!(out, "  \"cores\": {},", self.cores);
+        let _ = writeln!(out, "  \"tasks_total\": {},", self.tasks);
+        let _ = writeln!(out, "  \"partitions_identical\": {},", self.identical);
+        let _ = writeln!(
+            out,
+            "  \"probe_path_reference_per_sec\": {:.1},",
+            self.probe.reference_per_sec
+        );
+        let _ = writeln!(out, "  \"probe_path_engine_per_sec\": {:.1},", self.probe.engine_per_sec);
+        let _ = writeln!(out, "  \"probe_path_speedup\": {:.3},", self.probe.speedup());
+        out.push_str("  \"schemes\": [\n");
+        for (i, s) in self.schemes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"scheme\": \"{}\", \"reference_per_sec\": {:.1}, \
+                 \"engine_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+                s.scheme,
+                s.reference_per_sec,
+                s.engine_per_sec,
+                s.speedup()
+            );
+            out.push_str(if i + 1 < self.schemes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"reference_partitions_per_sec\": {:.1},", self.reference_per_sec);
+        let _ = writeln!(out, "  \"engine_partitions_per_sec\": {:.1},", self.engine_per_sec);
+        let _ = writeln!(out, "  \"speedup\": {:.3},", self.speedup());
+        let _ = writeln!(out, "  \"sweep_trials\": {},", self.sweep_trials);
+        let _ = writeln!(out, "  \"sweep_threads\": {},", self.sweep_threads);
+        let _ = writeln!(out, "  \"sweep_trials_per_sec\": {:.1}", self.sweep_trials_per_sec);
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Same placement decision? Both scheme families certify Theorem 1, so
+/// equality of the assignment map (or of the first stuck task) is the whole
+/// observable outcome.
+fn same_outcome(
+    ts: &TaskSet,
+    a: &Result<mcs_model::Partition, PartitionFailure>,
+    b: &Result<mcs_model::Partition, PartitionFailure>,
+) -> bool {
+    match (a, b) {
+        (Ok(pa), Ok(pb)) => ts.tasks().iter().all(|t| pa.core_of(t.id()) == pb.core_of(t.id())),
+        (Err(ea), Err(eb)) => ea == eb,
+        _ => false,
+    }
+}
+
+/// Time one partitioner over the whole batch, repeating full passes until
+/// [`MIN_TIMED`] elapses. Returns partition calls per second.
+fn rate(scheme: &dyn Partitioner, sets: &[TaskSet], cores: usize) -> f64 {
+    // One untimed warm-up pass (fills the thread-local scratch, faults in
+    // the batch).
+    for ts in sets {
+        black_box(scheme.partition(ts, cores).is_ok());
+    }
+    let mut calls = 0u64;
+    let start = Instant::now();
+    loop {
+        for ts in sets {
+            black_box(scheme.partition(ts, cores).is_ok());
+        }
+        calls += sets.len() as u64;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    calls as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Time the raw probe path, reference vs engine, over mid-placement core
+/// states: each set's tasks are dealt round-robin across `cores` cores,
+/// then every task is probed against every core — the admission question
+/// the placement loops ask `N·M` times per run. Both sides are timed over
+/// at least [`MIN_TIMED`] on the identical states.
+fn probe_rates(sets: &[TaskSet], cores: usize) -> ProbePerf {
+    let mut tables: Vec<Vec<UtilTable>> = Vec::with_capacity(sets.len());
+    let mut sums: Vec<Vec<CoreSums>> = Vec::with_capacity(sets.len());
+    let mut rows: Vec<Vec<TaskRow>> = Vec::with_capacity(sets.len());
+    for ts in sets {
+        let k = ts.num_levels();
+        let mut t = vec![UtilTable::new(k); cores];
+        let mut s = vec![CoreSums::new(k); cores];
+        for (i, task) in ts.tasks().iter().enumerate() {
+            t[i % cores].add(task);
+            s[i % cores].add(&TaskRow::new(task));
+        }
+        rows.push(ts.tasks().iter().map(TaskRow::new).collect());
+        tables.push(t);
+        sums.push(s);
+    }
+    let per_pass: u64 = sets.iter().map(|ts| (ts.len() * cores) as u64).sum();
+
+    // Reference: fresh `WithTask` composite + full `Theorem1::compute` per
+    // probe (one untimed warm-up pass first, as in `rate`).
+    for (ts, t) in sets.iter().zip(&tables) {
+        for task in ts.tasks() {
+            for table in t {
+                black_box(Theorem1::compute(&WithTask::new(table, task)).core_utilization());
+            }
+        }
+    }
+    let mut probes = 0u64;
+    let start = Instant::now();
+    loop {
+        for (ts, t) in sets.iter().zip(&tables) {
+            for task in ts.tasks() {
+                for table in t {
+                    black_box(Theorem1::compute(&WithTask::new(table, task)).core_utilization());
+                }
+            }
+        }
+        probes += per_pass;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let reference_per_sec = probes as f64 / start.elapsed().as_secs_f64();
+
+    // Engine: precomputed rows + the fused verdict kernel.
+    for (r, s) in rows.iter().zip(&sums) {
+        for row in r {
+            for core in s {
+                black_box(core.probe_verdict(row).core_utilization);
+            }
+        }
+    }
+    let mut probes = 0u64;
+    let start = Instant::now();
+    loop {
+        for (r, s) in rows.iter().zip(&sums) {
+            for row in r {
+                for core in s {
+                    black_box(core.probe_verdict(row).core_utilization);
+                }
+            }
+        }
+        probes += per_pass;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let engine_per_sec = probes as f64 / start.elapsed().as_secs_f64();
+
+    ProbePerf { reference_per_sec, engine_per_sec }
+}
+
+/// Run the benchmark: equivalence check, per-scheme reference/engine rates,
+/// then the end-to-end sweep rate.
+///
+/// `config.trials` sizes both the timed batch (capped at 256 sets — the
+/// per-call rates converge long before that) and the sweep timing.
+#[must_use]
+pub fn run(config: &SweepConfig) -> PerfReport {
+    let params = GenParams::default();
+    let batch = config.trials.clamp(1, 256);
+    let sets: Vec<TaskSet> =
+        (0..batch).map(|i| generate_task_set(&params, config.seed + i as u64)).collect();
+    let tasks = sets.iter().map(TaskSet::len).sum();
+
+    let reference = reference_paper_schemes();
+    let engine = paper_schemes();
+    assert_eq!(reference.len(), engine.len(), "scheme families must pair up");
+
+    let mut identical = true;
+    for ts in &sets {
+        for (r, e) in reference.iter().zip(&engine) {
+            let a = r.partition(ts, params.cores);
+            let b = e.partition(ts, params.cores);
+            if !same_outcome(ts, &a, &b) {
+                identical = false;
+            }
+        }
+    }
+
+    let probe = probe_rates(&sets, params.cores);
+
+    let mut schemes = Vec::with_capacity(engine.len());
+    let (mut ref_total, mut eng_total) = (0.0f64, 0.0f64);
+    for (r, e) in reference.iter().zip(&engine) {
+        let reference_per_sec = rate(r.as_ref(), &sets, params.cores);
+        let engine_per_sec = rate(e.as_ref(), &sets, params.cores);
+        // Harmonic accumulation: total rate of running all schemes once is
+        // 1 / Σ (1/rate_i), scaled by the number of schemes.
+        ref_total += reference_per_sec.recip();
+        eng_total += engine_per_sec.recip();
+        schemes.push(SchemePerf { scheme: e.name(), reference_per_sec, engine_per_sec });
+    }
+    let n = schemes.len() as f64;
+    let reference_per_sec = n / ref_total;
+    let engine_per_sec = n / eng_total;
+
+    let sweep_start = Instant::now();
+    let point = run_point(&params, &engine, config);
+    black_box(&point);
+    let sweep_trials_per_sec = config.trials as f64 / sweep_start.elapsed().as_secs_f64();
+
+    PerfReport {
+        sets: batch,
+        cores: params.cores,
+        tasks,
+        identical,
+        probe,
+        schemes,
+        reference_per_sec,
+        engine_per_sec,
+        sweep_trials_per_sec,
+        sweep_trials: config.trials,
+        sweep_threads: config.effective_threads(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_runs_and_agrees_on_a_small_batch() {
+        let config = SweepConfig { trials: 6, threads: 1, seed: 11 };
+        let r = run(&config);
+        assert_eq!(r.sets, 6);
+        assert!(r.identical, "reference and engine paths diverged");
+        assert!(r.reference_per_sec > 0.0 && r.engine_per_sec > 0.0);
+        assert!(r.probe.reference_per_sec > 0.0 && r.probe.engine_per_sec > 0.0);
+        assert!(r.sweep_trials_per_sec > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"partitions_identical\": true"));
+        assert!(json.contains("\"probe_path_speedup\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

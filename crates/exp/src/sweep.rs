@@ -13,7 +13,7 @@
 use crossbeam::thread;
 
 use mcs_gen::{generate_task_set, GenParams};
-use mcs_partition::{PartitionQuality, Partitioner};
+use mcs_partition::{PartitionQuality, Partitioner, QualityScratch};
 
 /// Sweep execution knobs.
 #[derive(Clone, Debug)]
@@ -133,6 +133,9 @@ pub fn run_point(
             }
             handles.push(s.spawn(move |_| {
                 let mut accs = vec![Acc::default(); schemes.len()];
+                // Warm per-worker scratch: quality evaluation across the
+                // whole chunk runs without a single heap allocation.
+                let mut quality = QualityScratch::new();
                 for trial in lo..hi {
                     let ts = generate_task_set(params, config.seed + trial as u64);
                     for (i, scheme) in schemes.iter().enumerate() {
@@ -143,7 +146,9 @@ pub fn run_point(
                             // utilization; schemes with other admission
                             // tests (FP-AMC, DBF) may yield partitions it
                             // cannot rate — count them as schedulable only.
-                            if let Some(q) = PartitionQuality::evaluate(&ts, &partition) {
+                            if let Some(q) =
+                                PartitionQuality::summarize(&ts, &partition, &mut quality)
+                            {
                                 a.with_quality += 1;
                                 a.u_sys += q.u_sys;
                                 a.u_avg += q.u_avg;

@@ -3,10 +3,12 @@
 //! fallback) so the experiment harness can attribute CA-TPA's advantage.
 
 use mcs_analysis::Theorem1;
-use mcs_model::{CoreId, LevelUtils, McTask, Partition, TaskId, TaskSet, UtilTable, WithTask};
+use mcs_model::{
+    CoreId, CritLevel, LevelUtils, McTask, Partition, TaskId, TaskSet, UtilTable, WithTask,
+};
 
-use crate::catpa::imbalance;
-use crate::contribution::order_by_contribution;
+use crate::contribution::order_by_contribution_into;
+use crate::engine::{with_scratch, ProbeEngine};
 use crate::{PartitionFailure, Partitioner};
 
 /// Task ordering rule.
@@ -106,43 +108,76 @@ impl CatpaVariant {
         ]
     }
 
-    fn order(&self, ts: &TaskSet) -> Vec<TaskId> {
+    /// The placement order this variant uses for `ts`.
+    #[must_use]
+    pub fn order(&self, ts: &TaskSet) -> Vec<TaskId> {
+        let mut totals = Vec::new();
+        let mut keyed = Vec::new();
+        let mut out = Vec::new();
+        self.order_into(ts, &mut totals, &mut keyed, &mut out);
+        out
+    }
+
+    /// Fill `out` with the placement order, reusing the sort buffers.
+    fn order_into(
+        &self,
+        ts: &TaskSet,
+        totals: &mut Vec<f64>,
+        keyed: &mut Vec<(TaskId, f64, CritLevel)>,
+        out: &mut Vec<TaskId>,
+    ) {
+        out.clear();
         match self.ordering {
-            Ordering::Contribution => order_by_contribution(ts),
+            Ordering::Contribution => order_by_contribution_into(ts, totals, keyed, out),
             Ordering::MaxUtil => {
-                let mut ids: Vec<TaskId> = ts.tasks().iter().map(McTask::id).collect();
-                ids.sort_by(|a, b| {
+                out.extend(ts.tasks().iter().map(McTask::id));
+                out.sort_by(|a, b| {
                     ts.task(*b)
                         .util_own()
                         .partial_cmp(&ts.task(*a).util_own())
                         .expect("finite")
                         .then_with(|| a.cmp(b))
                 });
-                ids
             }
             Ordering::CriticalityThenUtil => {
-                let mut ids: Vec<TaskId> = ts.tasks().iter().map(McTask::id).collect();
-                ids.sort_by(|a, b| {
+                out.extend(ts.tasks().iter().map(McTask::id));
+                out.sort_by(|a, b| {
                     let (ta, tb) = (ts.task(*a), ts.task(*b));
                     tb.level()
                         .cmp(&ta.level())
                         .then_with(|| tb.util_own().partial_cmp(&ta.util_own()).expect("finite"))
                         .then_with(|| a.cmp(b))
                 });
-                ids
             }
-            Ordering::Index => ts.tasks().iter().map(McTask::id).collect(),
+            Ordering::Index => out.extend(ts.tasks().iter().map(McTask::id)),
         }
     }
 
     /// Probe the metric value of `table ∪ {task}`; `None` when infeasible.
-    fn probe(&self, table: &UtilTable, task: &McTask) -> Option<f64> {
+    /// Reference path through the generic `Theorem1` machinery, kept as the
+    /// specification the engine probe below is tested against.
+    #[must_use]
+    pub fn probe(&self, table: &UtilTable, task: &McTask) -> Option<f64> {
         let view = WithTask::new(table, task);
         match self.metric {
             ProbeMetric::Theorem1Util => Theorem1::compute(&view).core_utilization(),
             ProbeMetric::Theorem1Slack => Theorem1::compute(&view).core_utilization_slack(),
             ProbeMetric::OwnLevelSum => {
                 let s = view.own_level_total();
+                (s <= 1.0 + mcs_analysis::EPS).then_some(s)
+            }
+        }
+    }
+
+    /// The same metric probe through the zero-allocation engine kernel.
+    /// `OwnLevelSum` keeps its cheap O(K) path (the old code never ran the
+    /// full Theorem-1 recursion for it either).
+    fn probe_engine(&self, engine: &ProbeEngine, m: usize, id: TaskId) -> Option<f64> {
+        match self.metric {
+            ProbeMetric::Theorem1Util => engine.probe_verdict(m, id).core_utilization,
+            ProbeMetric::Theorem1Slack => engine.probe_verdict(m, id).core_utilization_slack,
+            ProbeMetric::OwnLevelSum => {
+                let s = engine.own_level_total_probe(m, id);
                 (s <= 1.0 + mcs_analysis::EPS).then_some(s)
             }
         }
@@ -156,68 +191,65 @@ impl Partitioner for CatpaVariant {
 
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
         assert!(cores >= 1, "need at least one core");
-        let order = self.order(ts);
-        let mut tables: Vec<UtilTable> =
-            (0..cores).map(|_| UtilTable::new(ts.num_levels())).collect();
-        let mut utils = vec![0.0f64; cores];
-        let mut partition = Partition::empty(cores, ts.len());
+        with_scratch(|scratch| {
+            self.order_into(ts, &mut scratch.totals, &mut scratch.keyed, &mut scratch.order);
+            let engine = &mut scratch.engine;
+            engine.reset(ts, cores);
+            let mut partition = Partition::empty(cores, ts.len());
 
-        for (placed, &id) in order.iter().enumerate() {
-            let task = ts.task(id);
-            let rebalance = self.alpha.is_some_and(|a| imbalance(&utils) > a);
-            let mut best: Option<(usize, f64)> = None;
-            for m in 0..cores {
-                let Some(new_u) = self.probe(&tables[m], task) else { continue };
-                if rebalance {
-                    let key = utils[m];
-                    if best.is_none_or(|(_, bk)| key < bk) {
-                        best = Some((m, key));
+            for (placed, &id) in scratch.order.iter().enumerate() {
+                let rebalance = self.alpha.is_some_and(|a| engine.imbalance() > a);
+                // (core, selection key, probed commit value). A manual core
+                // loop rather than the batch API: FirstFeasible must stop at
+                // the first hit, exactly like the original loop.
+                let mut best: Option<(usize, f64, f64)> = None;
+                for m in 0..cores {
+                    let Some(new_u) = self.probe_engine(engine, m, id) else { continue };
+                    if rebalance {
+                        let key = engine.utils()[m];
+                        if best.is_none_or(|(_, bk, _)| key < bk) {
+                            best = Some((m, key, new_u));
+                        }
+                        continue;
                     }
-                    continue;
-                }
-                match self.objective {
-                    Objective::MinIncrement => {
-                        let key = new_u - utils[m];
-                        if best.is_none_or(|(_, bk)| key < bk) {
-                            best = Some((m, key));
+                    match self.objective {
+                        Objective::MinIncrement => {
+                            let key = new_u - engine.utils()[m];
+                            if best.is_none_or(|(_, bk, _)| key < bk) {
+                                best = Some((m, key, new_u));
+                            }
+                        }
+                        Objective::MinNewUtil => {
+                            if best.is_none_or(|(_, bk, _)| new_u < bk) {
+                                best = Some((m, new_u, new_u));
+                            }
+                        }
+                        Objective::MinCurrentUtil => {
+                            let key = engine.utils()[m];
+                            if best.is_none_or(|(_, bk, _)| key < bk) {
+                                best = Some((m, key, new_u));
+                            }
+                        }
+                        Objective::FirstFeasible => {
+                            best = Some((m, 0.0, new_u));
                         }
                     }
-                    Objective::MinNewUtil => {
-                        if best.is_none_or(|(_, bk)| new_u < bk) {
-                            best = Some((m, new_u));
-                        }
-                    }
-                    Objective::MinCurrentUtil => {
-                        let key = utils[m];
-                        if best.is_none_or(|(_, bk)| key < bk) {
-                            best = Some((m, key));
-                        }
-                    }
-                    Objective::FirstFeasible => {
-                        best = Some((m, 0.0));
+                    if matches!(self.objective, Objective::FirstFeasible) && best.is_some() {
+                        break;
                     }
                 }
-                if matches!(self.objective, Objective::FirstFeasible) && best.is_some() {
-                    break;
-                }
+                let Some((m, _, new_u)) = best else {
+                    return Err(PartitionFailure { task: id, placed });
+                };
+                // Commit reuses the probed metric value; for every metric
+                // the probed view is bit-identical to a post-add
+                // recomputation (the kernel's equivalence contract).
+                engine.commit(id, m, new_u);
+                partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
             }
-            let Some((m, _)) = best else {
-                return Err(PartitionFailure { task: id, placed });
-            };
-            tables[m].add(task);
-            utils[m] = match self.metric {
-                ProbeMetric::Theorem1Util => Theorem1::compute(&tables[m])
-                    .core_utilization()
-                    .expect("committed assignment was probed feasible"),
-                ProbeMetric::Theorem1Slack => Theorem1::compute(&tables[m])
-                    .core_utilization_slack()
-                    .expect("committed assignment was probed feasible"),
-                ProbeMetric::OwnLevelSum => tables[m].own_level_total(),
-            };
-            partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
-        }
-        mcs_audit::debug_audit(ts, &partition, self.name(), true, self.alpha);
-        Ok(partition)
+            mcs_audit::debug_audit(ts, &partition, self.name(), true, self.alpha);
+            Ok(partition)
+        })
     }
 }
 

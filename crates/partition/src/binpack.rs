@@ -6,8 +6,9 @@
 //! ([`FitTest::SimpleThenImproved`]). The per-core "load" that best/worst
 //! fit compare is the classical own-level utilization sum `Σ u_i(l_i)`.
 
-use mcs_model::{CoreId, McTask, Partition, TaskSet, UtilTable, WithTask};
+use mcs_model::{CoreId, McTask, Partition, TaskId, TaskSet};
 
+use crate::engine::{with_scratch, ProbeEngine};
 use crate::fit::FitTest;
 use crate::{PartitionFailure, Partitioner};
 
@@ -79,67 +80,58 @@ impl BinPacker {
         });
         tasks
     }
-}
 
-/// Mutable per-core state shared by the bin-packers (and the Hybrid
-/// scheme): the utilization table and the classical load.
-pub(crate) struct CoreState {
-    pub table: UtilTable,
-    /// Classical load: Σ u_i(l_i) of tasks on the core.
-    pub load: f64,
-}
-
-impl CoreState {
-    pub(crate) fn empty(k: u8, cores: usize) -> Vec<CoreState> {
-        (0..cores).map(|_| CoreState { table: UtilTable::new(k), load: 0.0 }).collect()
-    }
-
-    pub(crate) fn place(&mut self, task: &McTask) {
-        self.table.add(task);
-        self.load += task.util_own();
+    /// [`Self::decreasing_max_util_order`] as ids into a reused buffer —
+    /// same keys, same stable sort, so the same order.
+    pub(crate) fn decreasing_max_util_order_into(ts: &TaskSet, out: &mut Vec<TaskId>) {
+        out.clear();
+        out.extend(ts.tasks().iter().map(McTask::id));
+        out.sort_by(|a, b| {
+            ts.task(*b)
+                .util_own()
+                .partial_cmp(&ts.task(*a).util_own())
+                .expect("utilizations are finite")
+                .then_with(|| a.cmp(b))
+        });
     }
 }
 
-/// Place one task according to a placement policy. Returns the chosen core
-/// or `None` if no core fits. `cursor` is only used (and advanced) by
-/// next-fit.
+/// Place one task according to a placement policy, probing feasibility
+/// through the engine's zero-allocation kernel. `loads` are the classical
+/// per-core `Σ u_i(l_i)` sums best/worst fit compare; `cursor` is only used
+/// (and advanced) by next-fit. Returns the chosen core or `None`.
 pub(crate) fn choose_core(
     placement: Placement,
     fit: FitTest,
-    cores: &[CoreState],
-    task: &McTask,
+    engine: &ProbeEngine,
+    loads: &[f64],
+    id: TaskId,
     cursor: &mut usize,
 ) -> Option<usize> {
-    let fits = |m: usize| -> bool { fit.feasible(&WithTask::new(&cores[m].table, task)) };
+    let fits = |m: usize| -> bool { engine.fits(m, id, fit) };
     match placement {
-        Placement::FirstFit => (0..cores.len()).find(|&m| fits(m)),
+        Placement::FirstFit => (0..loads.len()).find(|&m| fits(m)),
         Placement::BestFit => {
             let mut best: Option<(usize, f64)> = None;
-            for (m, core) in cores.iter().enumerate() {
-                if fits(m) {
-                    let load = core.load;
-                    if best.is_none_or(|(_, bl)| load > bl) {
-                        best = Some((m, load));
-                    }
+            for (m, &load) in loads.iter().enumerate() {
+                if fits(m) && best.is_none_or(|(_, bl)| load > bl) {
+                    best = Some((m, load));
                 }
             }
             best.map(|(m, _)| m)
         }
         Placement::WorstFit => {
             let mut best: Option<(usize, f64)> = None;
-            for (m, core) in cores.iter().enumerate() {
-                if fits(m) {
-                    let load = core.load;
-                    if best.is_none_or(|(_, bl)| load < bl) {
-                        best = Some((m, load));
-                    }
+            for (m, &load) in loads.iter().enumerate() {
+                if fits(m) && best.is_none_or(|(_, bl)| load < bl) {
+                    best = Some((m, load));
                 }
             }
             best.map(|(m, _)| m)
         }
         Placement::NextFit => {
-            for step in 0..cores.len() {
-                let m = (*cursor + step) % cores.len();
+            for step in 0..loads.len() {
+                let m = (*cursor + step) % loads.len();
                 if fits(m) {
                     *cursor = m;
                     return Some(m);
@@ -157,21 +149,28 @@ impl Partitioner for BinPacker {
 
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
         assert!(cores >= 1, "need at least one core");
-        let order = Self::decreasing_max_util_order(ts);
-        let mut state = CoreState::empty(ts.num_levels(), cores);
-        let mut partition = Partition::empty(cores, ts.len());
-        let mut cursor = 0usize;
-        for (placed, task) in order.iter().enumerate() {
-            match choose_core(self.placement, self.fit, &state, task, &mut cursor) {
-                Some(m) => {
-                    state[m].place(task);
-                    partition.assign(task.id(), CoreId(u16::try_from(m).expect("core fits u16")));
+        with_scratch(|scratch| {
+            Self::decreasing_max_util_order_into(ts, &mut scratch.order);
+            let engine = &mut scratch.engine;
+            engine.reset(ts, cores);
+            let loads = &mut scratch.loads;
+            loads.clear();
+            loads.resize(cores, 0.0);
+            let mut partition = Partition::empty(cores, ts.len());
+            let mut cursor = 0usize;
+            for (placed, &id) in scratch.order.iter().enumerate() {
+                match choose_core(self.placement, self.fit, engine, loads, id, &mut cursor) {
+                    Some(m) => {
+                        loads[m] += engine.row(id).util_own();
+                        engine.place_untracked(id, m);
+                        partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
+                    }
+                    None => return Err(PartitionFailure { task: id, placed }),
                 }
-                None => return Err(PartitionFailure { task: task.id(), placed }),
             }
-        }
-        mcs_audit::debug_audit(ts, &partition, self.name, true, None);
-        Ok(partition)
+            mcs_audit::debug_audit(ts, &partition, self.name, true, None);
+            Ok(partition)
+        })
     }
 }
 

@@ -16,7 +16,8 @@
 use mcs_analysis::Theorem1;
 use mcs_model::{CoreId, McTask, Partition, TaskSet, UtilTable, WithTask};
 
-use crate::contribution::order_by_contribution;
+use crate::contribution::order_by_contribution_into;
+use crate::engine::{with_scratch, ProbeEngine};
 use crate::{PartitionFailure, Partitioner};
 
 /// The paper's default imbalance threshold (§IV-A: "the default values for
@@ -78,8 +79,14 @@ impl Catpa {
     }
 }
 
-/// Probe: core utilization `U^{Ψ ∪ {τ}}` (Eq. (15)) of `table` with `task`
-/// hypothetically added. `None` means the assignment would be infeasible.
+/// Reference probe: core utilization `U^{Ψ ∪ {τ}}` (Eq. (15)) of `table`
+/// with `task` hypothetically added, through the generic `Theorem1` path.
+/// `None` means the assignment would be infeasible.
+///
+/// The placement hot path no longer calls this — it runs the bit-identical
+/// zero-allocation kernel via [`ProbeEngine`] — but the function remains the
+/// specification the engine is tested against (and the probe the
+/// [`crate::reference`] baselines use).
 #[must_use]
 pub fn probe(table: &UtilTable, task: &McTask) -> Option<f64> {
     Theorem1::compute(&WithTask::new(table, task)).core_utilization()
@@ -97,29 +104,29 @@ pub fn imbalance(core_utils: &[f64]) -> f64 {
     (u_sys - u_min) / u_sys
 }
 
-struct CatpaState {
-    tables: Vec<UtilTable>,
-    /// Cached `U^{Ψ_m}` per core; always finite because only feasible
-    /// assignments are ever committed (empty core ⇒ 0).
-    utils: Vec<f64>,
-}
-
-impl Catpa {
-    /// One placement step: pick the target core for `task`, or `None`.
-    fn select_core(&self, state: &CatpaState, task: &McTask) -> Option<usize> {
-        let rebalance = self.alpha.is_some_and(|alpha| imbalance(&state.utils) > alpha);
-        let mut best: Option<(usize, f64)> = None;
-        for (m, table) in state.tables.iter().enumerate() {
-            let Some(new_u) = probe(table, task) else { continue };
-            // Rebalancing key: current core utilization.
-            // Normal key: utilization increment Δ_{Ψ_m ∪ {τ}}.
-            let key = if rebalance { state.utils[m] } else { new_u - state.utils[m] };
-            if best.is_none_or(|(_, bk)| key < bk) {
-                best = Some((m, key));
-            }
+/// One placement step over the engine: batch-probe every core, pick the
+/// target for `task`, returning `(core, probed utilization)` or `None`.
+/// Shared with the repair scheme ([`crate::repair::CatpaLs`]), whose greedy
+/// phase is exactly this selection.
+pub(crate) fn select_core(
+    engine: &mut ProbeEngine,
+    id: mcs_model::TaskId,
+    alpha: Option<f64>,
+) -> Option<(usize, f64)> {
+    // Imbalance is O(1): the engine tracks the running min/max utilization.
+    let rebalance = alpha.is_some_and(|alpha| engine.imbalance() > alpha);
+    let (probes, utils) = engine.probe_all_cores(id);
+    let mut best: Option<(usize, f64, f64)> = None;
+    for (m, p) in probes.iter().enumerate() {
+        let Some(new_u) = p.core_utilization else { continue };
+        // Rebalancing key: current core utilization.
+        // Normal key: utilization increment Δ_{Ψ_m ∪ {τ}}.
+        let key = if rebalance { utils[m] } else { new_u - utils[m] };
+        if best.is_none_or(|(_, bk, _)| key < bk) {
+            best = Some((m, key, new_u));
         }
-        best.map(|(m, _)| m)
     }
+    best.map(|(m, _, new_u)| (m, new_u))
 }
 
 impl Partitioner for Catpa {
@@ -129,26 +136,28 @@ impl Partitioner for Catpa {
 
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
         assert!(cores >= 1, "need at least one core");
-        let order = order_by_contribution(ts);
-        let mut state = CatpaState {
-            tables: (0..cores).map(|_| UtilTable::new(ts.num_levels())).collect(),
-            utils: vec![0.0; cores],
-        };
-        let mut partition = Partition::empty(cores, ts.len());
+        with_scratch(|scratch| {
+            order_by_contribution_into(
+                ts,
+                &mut scratch.totals,
+                &mut scratch.keyed,
+                &mut scratch.order,
+            );
+            let engine = &mut scratch.engine;
+            engine.reset(ts, cores);
+            let mut partition = Partition::empty(cores, ts.len());
 
-        for (placed, &id) in order.iter().enumerate() {
-            let task = ts.task(id);
-            let Some(m) = self.select_core(&state, task) else {
-                return Err(PartitionFailure { task: id, placed });
-            };
-            state.tables[m].add(task);
-            state.utils[m] = Theorem1::compute(&state.tables[m])
-                .core_utilization()
-                .expect("committed assignment was probed feasible");
-            partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
-        }
-        mcs_audit::debug_audit(ts, &partition, self.name(), true, self.alpha);
-        Ok(partition)
+            for (placed, &id) in scratch.order.iter().enumerate() {
+                let Some((m, new_u)) = select_core(engine, id, self.alpha) else {
+                    return Err(PartitionFailure { task: id, placed });
+                };
+                // Commit reuses the probed value — no second Theorem-1 pass.
+                engine.commit(id, m, new_u);
+                partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
+            }
+            mcs_audit::debug_audit(ts, &partition, self.name(), true, self.alpha);
+            Ok(partition)
+        })
     }
 }
 

@@ -41,10 +41,31 @@ pub fn contribution(task: &McTask, totals: &[f64]) -> Contribution {
     Contribution { per_level, max }
 }
 
+/// `C_i = max_k C_i(k)` without materializing the per-level vector — the
+/// allocation-free fold the placement hot path uses. Performs the same
+/// operations in the same order as [`contribution`], so the value is
+/// bit-identical to `contribution(task, totals).max`.
+#[must_use]
+pub fn contribution_max(task: &McTask, totals: &[f64]) -> f64 {
+    let mut max = 0.0f64;
+    for k in CritLevel::up_to(task.level().get()) {
+        let total = totals[k.index()];
+        let c = if total > 0.0 { task.util(k) / total } else { 0.0 };
+        max = max.max(c);
+    }
+    max
+}
+
 /// System-wide level totals `U(1)..U(K)` (Eq. (2)) for a task set.
 #[must_use]
 pub fn system_totals(ts: &TaskSet) -> Vec<f64> {
     CritLevel::up_to(ts.num_levels()).map(|k| ts.total_util_at(k)).collect()
+}
+
+/// [`system_totals`] into a reused buffer.
+pub fn system_totals_into(ts: &TaskSet, totals: &mut Vec<f64>) {
+    totals.clear();
+    totals.extend(CritLevel::up_to(ts.num_levels()).map(|k| ts.total_util_at(k)));
 }
 
 /// The paper's ordering-priority relation: returns `Ordering::Less` when
@@ -64,16 +85,33 @@ pub fn ordering_priority((a, ca): (&McTask, f64), (b, cb): (&McTask, f64)) -> Or
 /// Sort the tasks of `ts` by the paper's ordering priority, returning ids.
 #[must_use]
 pub fn order_by_contribution(ts: &TaskSet) -> Vec<TaskId> {
-    let totals = system_totals(ts);
-    let mut keyed: Vec<(TaskId, f64, CritLevel)> =
-        ts.tasks().iter().map(|t| (t.id(), contribution(t, &totals).max, t.level())).collect();
+    let mut totals = Vec::new();
+    let mut keyed = Vec::new();
+    let mut out = Vec::new();
+    order_by_contribution_into(ts, &mut totals, &mut keyed, &mut out);
+    out
+}
+
+/// [`order_by_contribution`] over caller-provided buffers (the placement
+/// scratch), so repeated runs allocate nothing once warm. Same keys, same
+/// stable sort, same comparator — the resulting order is identical.
+pub fn order_by_contribution_into(
+    ts: &TaskSet,
+    totals: &mut Vec<f64>,
+    keyed: &mut Vec<(TaskId, f64, CritLevel)>,
+    out: &mut Vec<TaskId>,
+) {
+    system_totals_into(ts, totals);
+    keyed.clear();
+    keyed.extend(ts.tasks().iter().map(|t| (t.id(), contribution_max(t, totals), t.level())));
     keyed.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("contributions are finite")
             .then_with(|| b.2.cmp(&a.2))
             .then_with(|| a.0.cmp(&b.0))
     });
-    keyed.into_iter().map(|(id, _, _)| id).collect()
+    out.clear();
+    out.extend(keyed.iter().map(|(id, _, _)| *id));
 }
 
 #[cfg(test)]
@@ -146,6 +184,26 @@ mod tests {
         // C_1 = max(0.25, 0.5) = 0.5 = C_2. Priorities: equal contribution
         // 0.5 for all three → τ1, τ2 (higher level, index order) before τ0.
         assert_eq!(order_by_contribution(&ts), vec![TaskId(1), TaskId(2), TaskId(0)]);
+    }
+
+    #[test]
+    fn buffer_reusing_paths_match_the_allocating_ones() {
+        let ts =
+            set(vec![task(0, 10, 1, &[2]), task(1, 10, 2, &[3, 6]), task(2, 7, 2, &[1, 2])], 2);
+        let totals = system_totals(&ts);
+        for t in ts.tasks() {
+            assert_eq!(
+                contribution_max(t, &totals).to_bits(),
+                contribution(t, &totals).max.to_bits()
+            );
+        }
+        // Dirty buffers must not leak into the result.
+        let mut totals2 = vec![9.0; 5];
+        let mut keyed = vec![(TaskId(9), 0.25, CritLevel::new(1))];
+        let mut out = vec![TaskId(9)];
+        order_by_contribution_into(&ts, &mut totals2, &mut keyed, &mut out);
+        assert_eq!(out, order_by_contribution(&ts));
+        assert_eq!(totals2, totals);
     }
 
     #[test]

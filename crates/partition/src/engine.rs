@@ -1,0 +1,377 @@
+//! The incremental [`ProbeEngine`] — shared placement state for every
+//! probe-style partitioner, built on the zero-allocation Theorem-1 kernel
+//! of [`mcs_analysis::probe`].
+//!
+//! Responsibilities:
+//!
+//! * precompute every task's [`TaskRow`] once per task set (the `c/p`
+//!   divisions are never repeated inside the placement loop);
+//! * maintain one [`CoreSums`] per core, updated incrementally on
+//!   commit/evict with the exact `UtilTable` operation sequence;
+//! * cache the committed per-core utilization `U^{Ψ_m}` and its running
+//!   min/max so the imbalance factor `Λ` (Eq. (16)) is O(1) per placement
+//!   instead of an O(M) scan;
+//! * expose the batch-probe API [`ProbeEngine::probe_all_cores`] over a
+//!   reusable scratch buffer — the min-increment heuristics inspect every
+//!   core anyway, so one pass fills all `M` probes with zero allocation
+//!   (after warm-up).
+//!
+//! Everything the engine reports is **bit-identical** to the generic
+//! `Theorem1::compute`-over-`WithTask` path the partitioners used before
+//! (see the equivalence contract in [`mcs_analysis::probe`]); the
+//! `probe-engine-consistency` audit rule re-checks this claim on every
+//! audited partition.
+//!
+//! [`PlacementScratch`] bundles the engine with the ordering buffers the
+//! partitioners need and lives in a thread-local, so a sweep worker running
+//! hundreds of thousands of placements reuses one warm allocation set.
+
+use std::cell::RefCell;
+
+use mcs_analysis::{CoreSums, Probe, TaskRow, Verdict, EPS};
+use mcs_model::{CritLevel, TaskId, TaskSet};
+
+use crate::fit::FitTest;
+
+/// Incremental probe state: per-task utilization rows, per-core running
+/// sums, cached core utilizations and their min/max.
+#[derive(Debug, Default)]
+pub struct ProbeEngine {
+    /// `rows[i]` is the precomputed row of `TaskId(i)`.
+    rows: Vec<TaskRow>,
+    cores: Vec<CoreSums>,
+    /// Committed metric value per core (the Theorem-1 core utilization for
+    /// CA-TPA; variants may commit the slack or Eq. (4) readings). Always
+    /// finite: only probed-feasible placements are committed.
+    utils: Vec<f64>,
+    /// Running `max_m utils[m]` / `min_m utils[m]`, maintained on every
+    /// commit/evict so [`Self::imbalance`] is O(1).
+    max_util: f64,
+    min_util: f64,
+    /// Reusable output buffer of [`Self::probe_all_cores`].
+    probes: Vec<Verdict>,
+}
+
+impl ProbeEngine {
+    /// Fresh, empty engine (no task set loaded).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a task set and reset all per-core state for `cores` empty
+    /// cores, reusing every buffer from previous runs.
+    pub fn reset(&mut self, ts: &TaskSet, cores: usize) {
+        assert!(cores >= 1, "need at least one core");
+        let k = ts.num_levels();
+        self.rows.clear();
+        self.rows.extend(ts.tasks().iter().map(TaskRow::new));
+        self.cores.truncate(cores);
+        for c in &mut self.cores {
+            c.reset(k);
+        }
+        while self.cores.len() < cores {
+            self.cores.push(CoreSums::new(k));
+        }
+        self.utils.clear();
+        self.utils.resize(cores, 0.0);
+        self.max_util = 0.0;
+        self.min_util = 0.0;
+    }
+
+    /// Number of cores of the current run.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The precomputed row of a task.
+    #[must_use]
+    pub fn row(&self, id: TaskId) -> &TaskRow {
+        &self.rows[id.index()]
+    }
+
+    /// Committed per-core utilizations.
+    #[must_use]
+    pub fn utils(&self) -> &[f64] {
+        &self.utils
+    }
+
+    /// The running sums of one core (used by the audit layer and tests).
+    #[must_use]
+    pub fn core(&self, m: usize) -> &CoreSums {
+        &self.cores[m]
+    }
+
+    /// Probe one core: Theorem 1 on `Ψ_m ∪ {task}`, full `A(k)` vector
+    /// (the audit layer and tests read it; placement loops use
+    /// [`Self::probe_verdict`]).
+    #[must_use]
+    pub fn probe(&self, m: usize, id: TaskId) -> Probe {
+        self.cores[m].probe(&self.rows[id.index()])
+    }
+
+    /// Fused probe of one core — the placement hot path: one kernel sweep
+    /// yields feasibility, Eq. (9) utilization and the slack reading,
+    /// bit-identical to the [`Self::probe`] accessors.
+    #[must_use]
+    pub fn probe_verdict(&self, m: usize, id: TaskId) -> Verdict {
+        self.cores[m].probe_verdict(&self.rows[id.index()])
+    }
+
+    /// Batch probe: evaluate `Ψ_m ∪ {task}` for every core `m` in one pass
+    /// over the reusable scratch buffer. Returns the verdicts alongside the
+    /// committed utilizations (the selection keys need both).
+    pub fn probe_all_cores(&mut self, id: TaskId) -> (&[Verdict], &[f64]) {
+        let row = &self.rows[id.index()];
+        self.probes.clear();
+        self.probes.extend(self.cores.iter().map(|c| c.probe_verdict(row)));
+        (&self.probes, &self.utils)
+    }
+
+    /// Repair-move probe: Theorem 1 on `Ψ_m ∖ {minus} ∪ {plus}`.
+    #[must_use]
+    pub fn probe_swap(&self, m: usize, minus: TaskId, plus: TaskId) -> Probe {
+        self.cores[m].probe_swap(&self.rows[minus.index()], &self.rows[plus.index()])
+    }
+
+    /// Fused repair-move probe — the repair loop's hot path.
+    #[must_use]
+    pub fn probe_swap_verdict(&self, m: usize, minus: TaskId, plus: TaskId) -> Verdict {
+        self.cores[m].probe_swap_verdict(&self.rows[minus.index()], &self.rows[plus.index()])
+    }
+
+    /// The Eq. (4) own-level total of `Ψ_m ∪ {task}` — the cheap first
+    /// stage of the two-stage fit test, O(K) instead of O(K²).
+    #[must_use]
+    pub fn own_level_total_probe(&self, m: usize, id: TaskId) -> f64 {
+        self.cores[m].own_level_total_probe(&self.rows[id.index()])
+    }
+
+    /// Whether `task` fits on core `m` under `fit` — the bin-packing
+    /// admission test, short-circuiting exactly like
+    /// [`FitTest::feasible`] over a `WithTask` view.
+    #[must_use]
+    pub fn fits(&self, m: usize, id: TaskId, fit: FitTest) -> bool {
+        match fit {
+            FitTest::Simple => self.own_level_total_probe(m, id) <= 1.0 + EPS,
+            FitTest::Improved => self.probe_verdict(m, id).feasible(),
+            FitTest::SimpleThenImproved => {
+                self.own_level_total_probe(m, id) <= 1.0 + EPS
+                    || self.probe_verdict(m, id).feasible()
+            }
+        }
+    }
+
+    /// Commit `task` to core `m`, reusing the already probed metric value
+    /// `util` (bit-identical to a post-add recomputation — that is the
+    /// probe kernel's equivalence contract, so the old "probe, add,
+    /// recompute" double evaluation is gone).
+    pub fn commit(&mut self, id: TaskId, m: usize, util: f64) {
+        self.cores[m].add(&self.rows[id.index()]);
+        let old = self.utils[m];
+        self.utils[m] = util;
+        self.note_util_change(old, util);
+    }
+
+    /// Add `task` to core `m` without utilization tracking — for the
+    /// bin-packing family, which keys on the classical load, not on the
+    /// Theorem-1 utilization.
+    pub fn place_untracked(&mut self, id: TaskId, m: usize) {
+        self.cores[m].add(&self.rows[id.index()]);
+    }
+
+    /// Remove `task` from core `m` (repair moves), re-deriving the core's
+    /// committed utilization from the shrunk sums.
+    pub fn evict(&mut self, id: TaskId, m: usize) {
+        self.cores[m].remove(&self.rows[id.index()]);
+        let old = self.utils[m];
+        let new = self.cores[m]
+            .evaluate_verdict()
+            .core_utilization
+            .expect("a subset of a feasible core stays feasible");
+        self.utils[m] = new;
+        self.note_util_change(old, new);
+    }
+
+    /// Maintain the running min/max after `utils[m]` changed `old → new`.
+    /// When the changed core *was* the extremum and moved inward, the
+    /// extremum is rescanned (rare: utilization usually grows on commit).
+    fn note_util_change(&mut self, old: f64, new: f64) {
+        if new >= self.max_util {
+            self.max_util = new;
+        } else if old >= self.max_util {
+            self.max_util = self.utils.iter().copied().fold(0.0f64, f64::max);
+        }
+        if new <= self.min_util {
+            self.min_util = new;
+        } else if old <= self.min_util {
+            self.min_util = self.utils.iter().copied().fold(f64::INFINITY, f64::min);
+        }
+    }
+
+    /// Current workload imbalance factor `Λ` (Eq. (16)) over the committed
+    /// utilizations — O(1), bit-identical to [`crate::catpa::imbalance`]
+    /// on the utils slice (min/max are order-independent folds).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let u_sys = self.max_util;
+        if u_sys <= 0.0 {
+            return 0.0;
+        }
+        (u_sys - self.min_util) / u_sys
+    }
+}
+
+/// Reusable per-thread placement state: the probe engine plus the ordering
+/// and load buffers the partitioners fill each run. One warm
+/// `PlacementScratch` serves every partitioner invocation on its thread.
+#[derive(Debug, Default)]
+pub struct PlacementScratch {
+    /// The incremental probe engine.
+    pub engine: ProbeEngine,
+    /// Placement order of the current run.
+    pub order: Vec<TaskId>,
+    /// Sort-key buffer for the ordering rules.
+    pub keyed: Vec<(TaskId, f64, CritLevel)>,
+    /// System-wide level totals `U(1)..U(K)` (contribution ordering).
+    pub totals: Vec<f64>,
+    /// Classical per-core loads `Σ u_i(l_i)` (bin-packing family).
+    pub loads: Vec<f64>,
+}
+
+impl PlacementScratch {
+    /// Fresh scratch with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<PlacementScratch> = RefCell::new(PlacementScratch::new());
+}
+
+/// Run `f` with this thread's warm [`PlacementScratch`]. Re-entrant calls
+/// (a partitioner invoking another partitioner, e.g. annealing seeding from
+/// CA-TPA) fall back to a fresh scratch rather than aliasing the borrow.
+pub fn with_scratch<R>(f: impl FnOnce(&mut PlacementScratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut PlacementScratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_analysis::Theorem1;
+    use mcs_model::{McTask, TaskBuilder, UtilTable, WithTask};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    fn mixed_set() -> TaskSet {
+        TaskSet::new(
+            2,
+            vec![
+                task(0, 1000, 2, &[339, 633]),
+                task(1, 1000, 2, &[175, 326]),
+                task(2, 500, 1, &[200]),
+                task(3, 200, 2, &[30, 70]),
+                task(4, 100, 1, &[25]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_probe_matches_reference_per_core() {
+        let ts = mixed_set();
+        let mut engine = ProbeEngine::new();
+        engine.reset(&ts, 3);
+        engine.commit(TaskId(0), 0, engine.probe(0, TaskId(0)).core_utilization().unwrap());
+        engine.commit(TaskId(2), 1, engine.probe(1, TaskId(2)).core_utilization().unwrap());
+
+        let mut tables = vec![UtilTable::new(2), UtilTable::new(2), UtilTable::new(2)];
+        tables[0].add(ts.task(TaskId(0)));
+        tables[1].add(ts.task(TaskId(2)));
+
+        let (probes, _) = engine.probe_all_cores(TaskId(1));
+        for (m, p) in probes.iter().enumerate() {
+            let reference = Theorem1::compute(&WithTask::new(&tables[m], ts.task(TaskId(1))));
+            assert_eq!(
+                p.core_utilization.map(f64::to_bits),
+                reference.core_utilization().map(f64::to_bits),
+                "core {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn imbalance_is_bit_identical_to_the_slice_fold() {
+        let ts = mixed_set();
+        let mut engine = ProbeEngine::new();
+        engine.reset(&ts, 3);
+        for (id, m) in [(0u32, 0usize), (1, 1), (2, 1), (3, 2), (4, 0)] {
+            let u = engine.probe(m, TaskId(id)).core_utilization().unwrap();
+            engine.commit(TaskId(id), m, u);
+            assert_eq!(
+                engine.imbalance().to_bits(),
+                crate::catpa::imbalance(engine.utils()).to_bits()
+            );
+        }
+        // Evictions walk the extrema back down.
+        for (id, m) in [(0u32, 0usize), (3, 2)] {
+            engine.evict(TaskId(id), m);
+            assert_eq!(
+                engine.imbalance().to_bits(),
+                crate::catpa::imbalance(engine.utils()).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fits_matches_fit_test_on_views() {
+        let ts = mixed_set();
+        let mut engine = ProbeEngine::new();
+        engine.reset(&ts, 2);
+        engine.place_untracked(TaskId(0), 0);
+        let mut table = UtilTable::new(2);
+        table.add(ts.task(TaskId(0)));
+        for fit in [FitTest::Simple, FitTest::Improved, FitTest::SimpleThenImproved] {
+            for id in [1u32, 2, 3, 4] {
+                let view = WithTask::new(&table, ts.task(TaskId(id)));
+                assert_eq!(
+                    engine.fits(0, TaskId(id), fit),
+                    fit.feasible(&view),
+                    "fit {fit:?} task {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_buffers_across_shapes() {
+        let ts = mixed_set();
+        let mut engine = ProbeEngine::new();
+        engine.reset(&ts, 4);
+        engine.commit(TaskId(0), 3, engine.probe(3, TaskId(0)).core_utilization().unwrap());
+        engine.reset(&ts, 2);
+        assert_eq!(engine.num_cores(), 2);
+        assert_eq!(engine.utils(), &[0.0, 0.0]);
+        assert_eq!(engine.imbalance(), 0.0);
+        assert_eq!(engine.core(0).task_count(), 0);
+    }
+
+    #[test]
+    fn scratch_is_reentrancy_safe() {
+        let answer = with_scratch(|outer| {
+            outer.order.push(TaskId(7));
+            with_scratch(|inner| inner.order.len())
+        });
+        assert_eq!(answer, 0, "nested call must see a fresh scratch");
+        with_scratch(|s| s.order.clear());
+    }
+}

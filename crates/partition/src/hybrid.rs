@@ -7,9 +7,10 @@
 //! natural reading of "high-criticality tasks using WFD and low-criticality
 //! tasks using FFD". The split is configurable for sensitivity studies.
 
-use mcs_model::{CoreId, McTask, Partition, TaskSet};
+use mcs_model::{CoreId, Partition, TaskSet};
 
-use crate::binpack::{choose_core, BinPacker, CoreState, Placement};
+use crate::binpack::{choose_core, BinPacker, Placement};
+use crate::engine::with_scratch;
 use crate::fit::FitTest;
 use crate::{PartitionFailure, Partitioner};
 
@@ -50,38 +51,50 @@ impl Partitioner for Hybrid {
 
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
         assert!(cores >= 1, "need at least one core");
-        let order = BinPacker::decreasing_max_util_order(ts);
-        let (high, low): (Vec<&McTask>, Vec<&McTask>) =
-            order.into_iter().partition(|t| t.level().get() >= self.split);
+        with_scratch(|scratch| {
+            BinPacker::decreasing_max_util_order_into(ts, &mut scratch.order);
+            let engine = &mut scratch.engine;
+            engine.reset(ts, cores);
+            let loads = &mut scratch.loads;
+            loads.clear();
+            loads.resize(cores, 0.0);
+            let mut partition = Partition::empty(cores, ts.len());
+            let mut placed = 0usize;
+            let mut cursor = 0usize;
 
-        let mut state = CoreState::empty(ts.num_levels(), cores);
-        let mut partition = Partition::empty(cores, ts.len());
-        let mut placed = 0usize;
-        let mut cursor = 0usize;
-
-        for (phase_placement, tasks) in [(Placement::WorstFit, &high), (Placement::FirstFit, &low)]
-        {
-            for task in tasks.iter() {
-                match choose_core(phase_placement, self.fit, &state, task, &mut cursor) {
-                    Some(m) => {
-                        state[m].place(task);
-                        partition
-                            .assign(task.id(), CoreId(u16::try_from(m).expect("core fits u16")));
-                        placed += 1;
+            // Two filtered passes over the same decreasing order: WFD for
+            // the high-criticality tasks, then FFD for the rest — the same
+            // sequences the old high/low `Vec::partition` produced, without
+            // materializing them.
+            for (phase_placement, want_high) in
+                [(Placement::WorstFit, true), (Placement::FirstFit, false)]
+            {
+                for &id in scratch
+                    .order
+                    .iter()
+                    .filter(|&&id| (ts.task(id).level().get() >= self.split) == want_high)
+                {
+                    match choose_core(phase_placement, self.fit, engine, loads, id, &mut cursor) {
+                        Some(m) => {
+                            loads[m] += engine.row(id).util_own();
+                            engine.place_untracked(id, m);
+                            partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
+                            placed += 1;
+                        }
+                        None => return Err(PartitionFailure { task: id, placed }),
                     }
-                    None => return Err(PartitionFailure { task: task.id(), placed }),
                 }
             }
-        }
-        mcs_audit::debug_audit(ts, &partition, self.name(), true, None);
-        Ok(partition)
+            mcs_audit::debug_audit(ts, &partition, self.name(), true, None);
+            Ok(partition)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcs_model::{TaskBuilder, TaskId};
+    use mcs_model::{McTask, TaskBuilder, TaskId};
 
     fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {
         TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()

@@ -19,7 +19,12 @@
 //!   (Eq. (11)), the workload imbalance factor `Λ` (Eq. (16));
 //! * [`ablation`] — CA-TPA variants isolating each design choice (ordering
 //!   rule, probe objective, fit test, imbalance fallback) for the ablation
-//!   experiments.
+//!   experiments;
+//! * [`engine`] — the incremental [`ProbeEngine`] all probe-style heuristics
+//!   run on: precomputed task rows, per-core running sums, batch probes over
+//!   a thread-local scratch — bit-identical to the generic Theorem-1 path;
+//! * [`reference`] — the pre-optimization placement loops, kept as the
+//!   differential-test oracle and the `mcs-exp perf` baseline.
 
 #![forbid(unsafe_code)]
 
@@ -29,11 +34,13 @@ pub mod binpack;
 pub mod catpa;
 pub mod contribution;
 pub mod dbfpart;
+pub mod engine;
 pub mod exact;
 pub mod fit;
 pub mod fppart;
 pub mod hybrid;
 pub mod metrics;
+pub mod reference;
 pub mod repair;
 
 use std::fmt;
@@ -44,11 +51,13 @@ pub use binpack::{BinPacker, Placement};
 pub use catpa::{Catpa, DEFAULT_ALPHA};
 pub use contribution::{contribution, order_by_contribution, ordering_priority};
 pub use dbfpart::DbfFirstFit;
+pub use engine::{with_scratch, PlacementScratch, ProbeEngine};
 pub use exact::{ExactBnb, ExactOutcome};
 pub use fit::FitTest;
 pub use fppart::{FpAmc, FpOrdering, FpPriorities};
 pub use hybrid::Hybrid;
-pub use metrics::PartitionQuality;
+pub use metrics::{PartitionQuality, QualityScratch, QualitySummary};
+pub use reference::{reference_paper_schemes, ReferenceBinPacker, ReferenceCatpa, ReferenceHybrid};
 pub use repair::CatpaLs;
 
 use mcs_model::{Partition, TaskId, TaskSet};

@@ -2,7 +2,7 @@
 //! the workload imbalance factor `Λ` (Eq. (16)), computed from the per-core
 //! Theorem-1 core utilizations (Eq. (9)).
 
-use mcs_analysis::Theorem1;
+use mcs_analysis::{CoreSums, TaskRow, Theorem1};
 use mcs_model::{Partition, TaskSet};
 
 use crate::catpa::imbalance;
@@ -38,6 +38,73 @@ impl PartitionQuality {
         let u_avg = per_core.iter().sum::<f64>() / per_core.len() as f64;
         let lambda = imbalance(&per_core);
         Some(Self { per_core, u_sys, u_avg, imbalance: lambda })
+    }
+
+    /// Allocation-free variant of [`Self::evaluate`] over a reusable
+    /// [`QualityScratch`]: same core tables (built in task-id order, like
+    /// `Partition::core_tables`), same Theorem-1 evaluation through the
+    /// bit-identical probe kernel, same aggregation folds — so the summary
+    /// matches `evaluate` bit for bit. This is the sweep hot path.
+    #[must_use]
+    pub fn summarize(
+        ts: &TaskSet,
+        partition: &Partition,
+        scratch: &mut QualityScratch,
+    ) -> Option<QualitySummary> {
+        if partition.require_complete(ts).is_err() {
+            return None;
+        }
+        let k = ts.num_levels();
+        let cores = partition.num_cores();
+        scratch.sums.truncate(cores);
+        for s in &mut scratch.sums {
+            s.reset(k);
+        }
+        while scratch.sums.len() < cores {
+            scratch.sums.push(CoreSums::new(k));
+        }
+        // Tasks enter their core's sums in id order — the same order
+        // `Partition::core_tables` adds them, so the sums are bit-identical.
+        for task in ts.tasks() {
+            let core = partition.core_of(task.id()).expect("checked complete");
+            scratch.sums[core.index()].add(&TaskRow::new(task));
+        }
+        scratch.per_core.clear();
+        for sums in &scratch.sums {
+            scratch.per_core.push(sums.evaluate_verdict().core_utilization?);
+        }
+        let u_sys = scratch.per_core.iter().copied().fold(0.0f64, f64::max);
+        let u_avg = scratch.per_core.iter().sum::<f64>() / scratch.per_core.len() as f64;
+        let lambda = imbalance(&scratch.per_core);
+        Some(QualitySummary { u_sys, u_avg, imbalance: lambda })
+    }
+}
+
+/// The three scalar quality metrics, without the per-core vector — what the
+/// sweep accumulators actually consume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualitySummary {
+    /// `U_sys = max_m U^{Ψ_m}`.
+    pub u_sys: f64,
+    /// `U_avg = Σ_m U^{Ψ_m} / M`.
+    pub u_avg: f64,
+    /// `Λ = (U_sys − min_m U^{Ψ_m}) / U_sys`.
+    pub imbalance: f64,
+}
+
+/// Reusable buffers for [`PartitionQuality::summarize`] — one per sweep
+/// worker, warm across that worker's whole trial chunk.
+#[derive(Debug, Default)]
+pub struct QualityScratch {
+    sums: Vec<CoreSums>,
+    per_core: Vec<f64>,
+}
+
+impl QualityScratch {
+    /// Fresh scratch with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -76,6 +143,47 @@ mod tests {
         assert!((q.u_sys - 0.8).abs() < 1e-12);
         assert!((q.u_avg - 0.5).abs() < 1e-12);
         assert!((q.imbalance - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_matches_evaluate_bitwise() {
+        let ts = set(
+            vec![
+                task(0, 1000, 2, &[339, 633]),
+                task(1, 1000, 2, &[175, 326]),
+                task(2, 500, 1, &[200]),
+                task(3, 100, 1, &[25]),
+            ],
+            2,
+        );
+        let mut p = Partition::empty(3, 4);
+        p.assign(TaskId(0), CoreId(0));
+        p.assign(TaskId(1), CoreId(1));
+        p.assign(TaskId(2), CoreId(1));
+        p.assign(TaskId(3), CoreId(2));
+        let q = PartitionQuality::evaluate(&ts, &p).unwrap();
+        let mut scratch = QualityScratch::new();
+        // Twice through the same scratch: the second run must not be
+        // polluted by the first.
+        for _ in 0..2 {
+            let s = PartitionQuality::summarize(&ts, &p, &mut scratch).unwrap();
+            assert_eq!(s.u_sys.to_bits(), q.u_sys.to_bits());
+            assert_eq!(s.u_avg.to_bits(), q.u_avg.to_bits());
+            assert_eq!(s.imbalance.to_bits(), q.imbalance.to_bits());
+        }
+    }
+
+    #[test]
+    fn summarize_rejects_what_evaluate_rejects() {
+        let ts = set(vec![task(0, 10, 1, &[7]), task(1, 10, 1, &[7])], 1);
+        let mut scratch = QualityScratch::new();
+        let mut incomplete = Partition::empty(2, 2);
+        incomplete.assign(TaskId(0), CoreId(0));
+        assert_eq!(PartitionQuality::summarize(&ts, &incomplete, &mut scratch), None);
+        let mut overloaded = Partition::empty(2, 2);
+        overloaded.assign(TaskId(0), CoreId(0));
+        overloaded.assign(TaskId(1), CoreId(0));
+        assert_eq!(PartitionQuality::summarize(&ts, &overloaded, &mut scratch), None);
     }
 
     #[test]

@@ -10,11 +10,11 @@
 //! applied. Each repair consumes one unit of the move budget; placement
 //! then continues greedily.
 
-use mcs_analysis::Theorem1;
-use mcs_model::{CoreId, Partition, TaskId, TaskSet, UtilTable, WithTask, WithoutTask};
+use mcs_model::{CoreId, Partition, TaskId, TaskSet};
 
-use crate::catpa::{imbalance, probe, DEFAULT_ALPHA};
-use crate::contribution::order_by_contribution;
+use crate::catpa::{select_core, DEFAULT_ALPHA};
+use crate::contribution::order_by_contribution_into;
+use crate::engine::{with_scratch, ProbeEngine};
 use crate::{PartitionFailure, Partitioner};
 
 /// CA-TPA + local-search repair.
@@ -32,55 +32,42 @@ impl Default for CatpaLs {
     }
 }
 
-struct LsState<'a> {
+struct LsState<'a, 'e> {
     ts: &'a TaskSet,
-    tables: Vec<UtilTable>,
-    utils: Vec<f64>,
+    engine: &'e mut ProbeEngine,
     members: Vec<Vec<TaskId>>,
     partition: Partition,
 }
 
-impl LsState<'_> {
-    fn commit(&mut self, id: TaskId, m: usize) {
-        let task = self.ts.task(id);
-        self.tables[m].add(task);
-        self.utils[m] = Theorem1::compute(&self.tables[m])
-            .core_utilization()
-            .expect("committed placements are probed feasible");
+impl LsState<'_, '_> {
+    /// Commit with an already probed utilization (the greedy path).
+    fn commit_with(&mut self, id: TaskId, m: usize, util: f64) {
+        self.engine.commit(id, m, util);
         self.members[m].push(id);
         self.partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
     }
 
-    fn evict(&mut self, id: TaskId, m: usize) {
-        let task = self.ts.task(id);
-        self.tables[m].remove(task);
-        self.utils[m] = Theorem1::compute(&self.tables[m])
-            .core_utilization()
-            .expect("a subset of a feasible core stays feasible");
-        self.members[m].retain(|t| *t != id);
-        self.partition.unassign(id);
+    /// Commit a placement known feasible but not yet valued (repair moves):
+    /// probe once for the utilization, then commit.
+    fn commit(&mut self, id: TaskId, m: usize) {
+        let util = self
+            .engine
+            .probe_verdict(m, id)
+            .core_utilization
+            .expect("committed placements are probed feasible");
+        self.commit_with(id, m, util);
     }
 
-    /// Greedy CA-TPA placement choice for `id`, or `None`.
-    fn select(&self, id: TaskId, alpha: Option<f64>) -> Option<usize> {
-        let task = self.ts.task(id);
-        let rebalance = alpha.is_some_and(|a| imbalance(&self.utils) > a);
-        let mut best: Option<(usize, f64)> = None;
-        for (m, table) in self.tables.iter().enumerate() {
-            let Some(new_u) = probe(table, task) else { continue };
-            let key = if rebalance { self.utils[m] } else { new_u - self.utils[m] };
-            if best.is_none_or(|(_, bk)| key < bk) {
-                best = Some((m, key));
-            }
-        }
-        best.map(|(m, _)| m)
+    fn evict(&mut self, id: TaskId, m: usize) {
+        self.engine.evict(id, m);
+        self.members[m].retain(|t| *t != id);
+        self.partition.unassign(id);
     }
 
     /// Try one relocation that makes room for `stuck`. Returns true if a
     /// move was applied (the stuck task is then placed too).
     fn repair(&mut self, stuck: TaskId) -> bool {
-        let stuck_task = self.ts.task(stuck);
-        for m in 0..self.tables.len() {
+        for m in 0..self.engine.num_cores() {
             // Candidates currently on m, smallest first: cheap moves first.
             let mut candidates = self.members[m].clone();
             candidates.sort_by(|a, b| {
@@ -91,17 +78,13 @@ impl LsState<'_> {
                     .expect("finite")
             });
             for cand in candidates {
-                let cand_task = self.ts.task(cand);
                 // (a) Would `stuck` fit on m without `cand`?
-                let without = WithoutTask::new(&self.tables[m], cand_task);
-                if !Theorem1::compute(&WithTask::new(&without, stuck_task)).feasible() {
+                if !self.engine.probe_swap_verdict(m, cand, stuck).feasible() {
                     continue;
                 }
                 // (b) Does `cand` fit elsewhere?
-                let target = (0..self.tables.len()).find(|&m2| {
-                    m2 != m
-                        && Theorem1::compute(&WithTask::new(&self.tables[m2], cand_task)).feasible()
-                });
+                let target = (0..self.engine.num_cores())
+                    .find(|&m2| m2 != m && self.engine.probe_verdict(m2, cand).feasible());
                 let Some(m2) = target else { continue };
                 self.evict(cand, m);
                 self.commit(cand, m2);
@@ -120,28 +103,35 @@ impl Partitioner for CatpaLs {
 
     fn partition(&self, ts: &TaskSet, cores: usize) -> Result<Partition, PartitionFailure> {
         assert!(cores >= 1, "need at least one core");
-        let order = order_by_contribution(ts);
-        let mut state = LsState {
-            ts,
-            tables: (0..cores).map(|_| UtilTable::new(ts.num_levels())).collect(),
-            utils: vec![0.0; cores],
-            members: vec![Vec::new(); cores],
-            partition: Partition::empty(cores, ts.len()),
-        };
-        let mut moves_left = self.move_budget;
-        for (placed, &id) in order.iter().enumerate() {
-            if let Some(m) = state.select(id, self.alpha) {
-                state.commit(id, m);
-                continue;
+        with_scratch(|scratch| {
+            order_by_contribution_into(
+                ts,
+                &mut scratch.totals,
+                &mut scratch.keyed,
+                &mut scratch.order,
+            );
+            scratch.engine.reset(ts, cores);
+            let mut state = LsState {
+                ts,
+                engine: &mut scratch.engine,
+                members: vec![Vec::new(); cores],
+                partition: Partition::empty(cores, ts.len()),
+            };
+            let mut moves_left = self.move_budget;
+            for (placed, &id) in scratch.order.iter().enumerate() {
+                if let Some((m, new_u)) = select_core(state.engine, id, self.alpha) {
+                    state.commit_with(id, m, new_u);
+                    continue;
+                }
+                if moves_left > 0 && state.repair(id) {
+                    moves_left -= 1;
+                    continue;
+                }
+                return Err(PartitionFailure { task: id, placed });
             }
-            if moves_left > 0 && state.repair(id) {
-                moves_left -= 1;
-                continue;
-            }
-            return Err(PartitionFailure { task: id, placed });
-        }
-        mcs_audit::debug_audit(ts, &state.partition, self.name(), true, self.alpha);
-        Ok(state.partition)
+            mcs_audit::debug_audit(ts, &state.partition, self.name(), true, self.alpha);
+            Ok(state.partition)
+        })
     }
 }
 
@@ -150,6 +140,7 @@ mod tests {
     use super::*;
     use crate::binpack::BinPacker;
     use crate::catpa::Catpa;
+    use mcs_analysis::Theorem1;
     use mcs_model::{McTask, TaskBuilder};
 
     fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> McTask {

@@ -1,0 +1,211 @@
+//! Differential tests for the incremental probe engine: the optimized
+//! placement paths must be *bit-identical* to the pre-optimization
+//! reference loops — same probe values, same partitions, same failures —
+//! on randomized task sets and under every interpretation flag the
+//! experiment harness exposes (strong/weak baselines, linear/geometric
+//! WCET growth, fixed/random system criticality level).
+
+mod common;
+
+use common::arb_task_set;
+use proptest::prelude::*;
+
+use mcs::analysis::{CoreSums, TaskRow, Theorem1};
+use mcs::gen::{generate_task_set, GenParams, WcetGrowth};
+use mcs::model::{LevelUtils, Partition, TaskSet, UtilTable, WithTask};
+use mcs::partition::{
+    paper_schemes, paper_schemes_weak, reference_paper_schemes, FitTest, Hybrid, PartitionFailure,
+    Partitioner, ReferenceBinPacker, ReferenceCatpa, ReferenceHybrid,
+};
+
+fn bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+/// Identical observable outcome: equal assignment maps, or the same first
+/// stuck task.
+fn same_outcome(
+    ts: &TaskSet,
+    a: &Result<Partition, PartitionFailure>,
+    b: &Result<Partition, PartitionFailure>,
+) -> Result<(), TestCaseError> {
+    match (a, b) {
+        (Ok(pa), Ok(pb)) => {
+            for t in ts.tasks() {
+                prop_assert_eq!(
+                    pa.core_of(t.id()),
+                    pb.core_of(t.id()),
+                    "task {} placed differently",
+                    t.id()
+                );
+            }
+        }
+        (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+        (a, b) => prop_assert!(false, "outcomes diverge: {a:?} vs {b:?}"),
+    }
+    Ok(())
+}
+
+/// The optimized/reference scheme pairs, in plot order, for one fit test.
+type DynScheme = Box<dyn Partitioner + Send + Sync>;
+
+fn scheme_pairs(fit: FitTest) -> Vec<(DynScheme, DynScheme)> {
+    use mcs::partition::{BinPacker, Catpa};
+    vec![
+        (
+            Box::new(ReferenceBinPacker::wfd().with_fit(fit)) as DynScheme,
+            Box::new(BinPacker::wfd().with_fit(fit)) as DynScheme,
+        ),
+        (
+            Box::new(ReferenceBinPacker::ffd().with_fit(fit)),
+            Box::new(BinPacker::ffd().with_fit(fit)),
+        ),
+        (
+            Box::new(ReferenceBinPacker::bfd().with_fit(fit)),
+            Box::new(BinPacker::bfd().with_fit(fit)),
+        ),
+        (
+            Box::new(ReferenceBinPacker::nfd().with_fit(fit)),
+            Box::new(BinPacker::nfd().with_fit(fit)),
+        ),
+        (
+            Box::new(ReferenceHybrid::default().with_fit(fit)),
+            Box::new(Hybrid::default().with_fit(fit)),
+        ),
+        (Box::new(ReferenceCatpa::default()), Box::new(Catpa::default())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The probe kernel's evaluation of a core is bit-equal to
+    /// `Theorem1::compute` over the `UtilTable` for the same members, and
+    /// every hypothetical probe is bit-equal to the `WithTask` composite.
+    #[test]
+    fn kernel_is_bit_equal_to_theorem1(ts in arb_task_set(14, 4), split in 0usize..=14) {
+        let tasks = ts.tasks();
+        let cut = split.min(tasks.len());
+        let (resident, probed) = tasks.split_at(cut);
+
+        let table = UtilTable::from_tasks(ts.num_levels(), resident);
+        let mut sums = CoreSums::new(ts.num_levels());
+        for t in resident {
+            sums.add(&TaskRow::new(t));
+        }
+
+        let reference = Theorem1::compute(&table);
+        let probe = sums.evaluate();
+        prop_assert_eq!(probe.feasible(), reference.feasible());
+        prop_assert_eq!(bits(probe.core_utilization()), bits(reference.core_utilization()));
+        prop_assert_eq!(
+            bits(probe.core_utilization_slack()),
+            bits(reference.core_utilization_slack())
+        );
+        prop_assert_eq!(
+            probe.own_level_total().to_bits(),
+            table.own_level_total().to_bits()
+        );
+
+        for t in probed {
+            let composite = WithTask::new(&table, t);
+            let hypothesis = Theorem1::compute(&composite);
+            let row = TaskRow::new(t);
+            let probed = sums.probe(&row);
+            prop_assert_eq!(probed.feasible(), hypothesis.feasible());
+            prop_assert_eq!(
+                bits(probed.core_utilization()),
+                bits(hypothesis.core_utilization())
+            );
+            prop_assert_eq!(
+                bits(probed.core_utilization_slack()),
+                bits(hypothesis.core_utilization_slack())
+            );
+            prop_assert_eq!(
+                probed.own_level_total().to_bits(),
+                composite.own_level_total().to_bits()
+            );
+            // The fused single-sweep verdict — the placement loops' actual
+            // hot path — must match the same reference bitwise.
+            let verdict = sums.probe_verdict(&row);
+            prop_assert_eq!(verdict.feasible(), hypothesis.feasible());
+            prop_assert_eq!(
+                bits(verdict.core_utilization),
+                bits(hypothesis.core_utilization())
+            );
+            prop_assert_eq!(
+                bits(verdict.core_utilization_slack),
+                bits(hypothesis.core_utilization_slack())
+            );
+            prop_assert_eq!(
+                verdict.own_level_total.to_bits(),
+                composite.own_level_total().to_bits()
+            );
+        }
+    }
+
+    /// On arbitrary (not generator-shaped) task sets, every optimized
+    /// scheme emits exactly the partition its reference loop emits, under
+    /// both the strong (Theorem-1) and weak (Eq. (4)) fit readings.
+    #[test]
+    fn optimized_schemes_match_references(ts in arb_task_set(12, 4), cores in 1usize..=4) {
+        for fit in [FitTest::default(), FitTest::Simple] {
+            for (reference, optimized) in scheme_pairs(fit) {
+                same_outcome(
+                    &ts,
+                    &reference.partition(&ts, cores),
+                    &optimized.partition(&ts, cores),
+                )?;
+            }
+        }
+    }
+
+    /// On generator-shaped workloads across the four interpretation flags
+    /// (strong/weak baselines × linear/geometric growth × fixed/random K),
+    /// the paper-scheme families agree pairwise with their references.
+    #[test]
+    fn paper_scheme_families_match_references_under_all_flags(seed in any::<u64>()) {
+        for growth in [WcetGrowth::Linear, WcetGrowth::Geometric] {
+            for random_k in [false, true] {
+                let mut params = GenParams::default()
+                    .with_n_range(20, 40)
+                    .with_cores(4)
+                    .with_nsu(0.62)
+                    .with_growth(growth);
+                if random_k {
+                    params = params.with_level_range(2, 6);
+                }
+                let ts = generate_task_set(&params, seed);
+                for (schemes, references) in [
+                    (paper_schemes(), reference_paper_schemes()),
+                ] {
+                    prop_assert_eq!(schemes.len(), references.len());
+                    for (optimized, reference) in schemes.iter().zip(&references) {
+                        same_outcome(
+                            &ts,
+                            &reference.partition(&ts, params.cores),
+                            &optimized.partition(&ts, params.cores),
+                        )?;
+                    }
+                }
+                // The weak-baseline reading: references get the same
+                // Eq. (4)-only fit test the optimized weak family uses.
+                let weak = paper_schemes_weak();
+                let weak_refs: Vec<Box<dyn Partitioner + Send + Sync>> = vec![
+                    Box::new(ReferenceBinPacker::wfd().with_fit(FitTest::Simple)),
+                    Box::new(ReferenceBinPacker::ffd().with_fit(FitTest::Simple)),
+                    Box::new(ReferenceBinPacker::bfd().with_fit(FitTest::Simple)),
+                    Box::new(ReferenceHybrid::default().with_fit(FitTest::Simple)),
+                    Box::new(ReferenceCatpa::default()),
+                ];
+                for (optimized, reference) in weak.iter().zip(&weak_refs) {
+                    same_outcome(
+                        &ts,
+                        &reference.partition(&ts, params.cores),
+                        &optimized.partition(&ts, params.cores),
+                    )?;
+                }
+            }
+        }
+    }
+}

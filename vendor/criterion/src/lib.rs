@@ -179,6 +179,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group runner (generated by `criterion_group!`).
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
