@@ -19,6 +19,29 @@ cargo test -q --offline
 echo "== mcs-exp audit (smoke)"
 cargo run -q --release --offline -p mcs-exp -- audit --trials "${AUDIT_TRIALS:-500}"
 
+echo "== mcs-exp harness determinism (1 thread vs 8)"
+MCS_EXP="$(pwd)/target/release/mcs-exp"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$MCS_EXP" sweep --trials "${SWEEP_TRIALS:-200}" --threads 1 > "$TMP/sweep-t1.txt"
+"$MCS_EXP" sweep --trials "${SWEEP_TRIALS:-200}" --threads 8 > "$TMP/sweep-t8.txt"
+diff "$TMP/sweep-t1.txt" "$TMP/sweep-t8.txt" \
+  || { echo "ci: sweep output differs between 1 and 8 threads"; exit 1; }
+
+echo "== mcs-exp checkpoint resume (smoke)"
+# A short run, then an identical longer run resumed from its checkpoint,
+# must produce the same stdout and the same JSONL records as one
+# uninterrupted long run.
+"$MCS_EXP" sweep --trials 20 --jsonl "$TMP/ck.jsonl" > /dev/null
+"$MCS_EXP" sweep --trials 50 --resume --jsonl "$TMP/ck.jsonl" > "$TMP/resumed.txt"
+"$MCS_EXP" sweep --trials 50 --jsonl "$TMP/fresh.jsonl" > "$TMP/fresh.txt"
+diff "$TMP/resumed.txt" "$TMP/fresh.txt" \
+  || { echo "ci: resumed sweep output differs from an uninterrupted run"; exit 1; }
+# Headers carry the (differing) git-describe of each invocation only when
+# the tree moves between runs; the data lines must match exactly.
+diff <(tail -n +2 "$TMP/ck.jsonl") <(tail -n +2 "$TMP/fresh.jsonl") \
+  || { echo "ci: resumed JSONL records differ from an uninterrupted run"; exit 1; }
+
 # Record-only: refreshes BENCH_partition.json (and re-checks that the
 # optimized probe path emits partitions identical to the reference loops);
 # the speedup number itself is not a gate.

@@ -16,6 +16,12 @@ pub struct ContributionOrdering {
     pub keys: Vec<f64>,
 }
 
+/// Deterministic re-run of the scheme under audit: given the task set and
+/// core count, produce the scheme's partition (`None` = the scheme reports
+/// the instance infeasible). Supplied by the caller as a closure so this
+/// crate stays independent of `mcs-partition` (which depends on us).
+pub type Repartition<'a> = dyn Fn(&TaskSet, usize) -> Option<Partition> + 'a;
+
 /// Everything a rule may inspect: the task set, the partition under audit,
 /// and scheme-supplied facts. Rules must treat the scheme-supplied parts as
 /// claims to verify, never as ground truth.
@@ -35,6 +41,9 @@ pub struct AuditContext<'a> {
     pub ordering: Option<&'a ContributionOrdering>,
     /// The imbalance threshold α the scheme used, if it used one.
     pub alpha: Option<f64>,
+    /// Closure re-running the scheme on the same inputs, if the caller can
+    /// provide one; enables the `harness-determinism` rule.
+    pub repartition: Option<&'a Repartition<'a>>,
 }
 
 impl<'a> AuditContext<'a> {
@@ -42,7 +51,15 @@ impl<'a> AuditContext<'a> {
     /// ordering, no α.
     #[must_use]
     pub fn new(ts: &'a TaskSet, partition: &'a Partition, scheme: &'a str) -> Self {
-        Self { ts, partition, scheme, claims_theorem1: true, ordering: None, alpha: None }
+        Self {
+            ts,
+            partition,
+            scheme,
+            claims_theorem1: true,
+            ordering: None,
+            alpha: None,
+            repartition: None,
+        }
     }
 
     /// Set whether the scheme claims per-core Theorem-1 feasibility.
@@ -63,6 +80,14 @@ impl<'a> AuditContext<'a> {
     #[must_use]
     pub fn with_alpha(mut self, alpha: f64) -> Self {
         self.alpha = Some(alpha);
+        self
+    }
+
+    /// Attach a closure re-running the scheme on the same inputs, enabling
+    /// the `harness-determinism` rule.
+    #[must_use]
+    pub fn with_repartition(mut self, repartition: &'a Repartition<'a>) -> Self {
+        self.repartition = Some(repartition);
         self
     }
 }
@@ -104,6 +129,7 @@ impl Registry {
         r.push(Box::new(rules::probe_cache::ProbeEngineConsistency));
         r.push(Box::new(rules::ordering::ContributionOrderRule));
         r.push(Box::new(rules::ordering::AlphaDomain));
+        r.push(Box::new(rules::harness::HarnessDeterminism));
         r
     }
 
@@ -138,7 +164,8 @@ mod tests {
     fn standard_registry_has_unique_ids() {
         let r = Registry::standard();
         let ids: Vec<&str> = r.rules().map(Invariant::id).collect();
-        assert!(ids.len() >= 6, "expected at least six standard rules, got {ids:?}");
+        assert!(ids.len() >= 8, "expected at least eight standard rules, got {ids:?}");
+        assert!(ids.contains(&"harness-determinism"), "missing harness rule in {ids:?}");
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();

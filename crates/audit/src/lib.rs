@@ -16,7 +16,8 @@
 //! * [`rules`] — the standard rules: partition well-formedness, per-core
 //!   Theorem-1 re-verification, `f64`-vs-exact verdict agreement,
 //!   [`mcs_model::UtilTable`] cache consistency, probe-engine-vs-scratch
-//!   bit equality, contribution-order and α-domain checks;
+//!   bit equality, contribution-order and α-domain checks, and
+//!   re-run placement determinism (`harness-determinism`);
 //! * [`diagnostic`] — severities, subjects, and text/JSON rendering.
 //!
 //! The crate deliberately depends only on `mcs-model` and `mcs-analysis`:
@@ -32,7 +33,7 @@ pub mod invariant;
 pub mod rules;
 
 pub use diagnostic::{AuditReport, Diagnostic, Severity, Subject};
-pub use invariant::{AuditContext, ContributionOrdering, Invariant, Registry};
+pub use invariant::{AuditContext, ContributionOrdering, Invariant, Registry, Repartition};
 pub use rules::theorem1::EXACT_BAND;
 
 use mcs_model::{Partition, TaskSet};

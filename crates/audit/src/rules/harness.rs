@@ -1,0 +1,148 @@
+//! Rule `harness-determinism`: placement is a pure function of its inputs.
+//!
+//! The experiment harness reorders, parallelizes, checkpoints and resumes
+//! trials on the assumption that every scheme is deterministic: re-running
+//! a scheme on the same task set and core count must reproduce the audited
+//! partition exactly. Hidden state, iteration-order dependence on a shared
+//! cache, or an unseeded RNG would all break resume (a resumed sweep would
+//! diverge from an uninterrupted one) — this rule catches them at the
+//! source by re-running the scheme and diffing the assignment.
+
+use crate::diagnostic::{Diagnostic, Subject};
+use crate::invariant::{AuditContext, Invariant};
+
+/// Re-running the scheme reproduces the audited assignment exactly.
+///
+/// Only active when the caller supplies a
+/// [`repartition`](AuditContext::with_repartition) closure; contexts
+/// without one (structural audits of a bare partition) skip silently.
+pub struct HarnessDeterminism;
+
+/// Stable id of this rule.
+pub const ID: &str = "harness-determinism";
+
+impl Invariant for HarnessDeterminism {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "re-running the scheme reproduces the audited partition bit-for-bit"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(repartition) = ctx.repartition else { return };
+        if !super::shapes_match(ctx) {
+            return; // reported by partition-well-formed
+        }
+        let Some(rerun) = repartition(ctx.ts, ctx.partition.num_cores()) else {
+            out.push(Diagnostic::error(
+                ID,
+                Subject::System,
+                format!(
+                    "re-running {} declared the instance infeasible, \
+                     but a partition of it is under audit",
+                    ctx.scheme
+                ),
+            ));
+            return;
+        };
+        if rerun.num_cores() != ctx.partition.num_cores()
+            || rerun.num_tasks() != ctx.partition.num_tasks()
+        {
+            out.push(Diagnostic::error(
+                ID,
+                Subject::System,
+                format!(
+                    "re-run shape {}x{} differs from the audited {}x{}",
+                    rerun.num_cores(),
+                    rerun.num_tasks(),
+                    ctx.partition.num_cores(),
+                    ctx.partition.num_tasks()
+                ),
+            ));
+            return;
+        }
+        for task in ctx.ts.tasks() {
+            let original = ctx.partition.core_of(task.id());
+            let again = rerun.core_of(task.id());
+            if original != again {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Task(task.id()),
+                    format!(
+                        "nondeterministic placement: audited run put it on {original:?}, \
+                         re-run on {again:?}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use mcs_model::{CoreId, Partition, TaskBuilder, TaskId, TaskSet};
+
+    fn fixture() -> (TaskSet, Partition) {
+        let tasks = (0..4)
+            .map(|id| {
+                TaskBuilder::new(TaskId(id)).period(100).level(1).wcet(&[10]).build().unwrap()
+            })
+            .collect();
+        let ts = TaskSet::new(1, tasks).unwrap();
+        let mut p = Partition::empty(2, 4);
+        for i in 0..4u32 {
+            p.assign(TaskId(i), CoreId(u16::try_from(i % 2).unwrap()));
+        }
+        (ts, p)
+    }
+
+    fn run(ctx: &AuditContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        HarnessDeterminism.check(ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn deterministic_scheme_is_clean() {
+        let (ts, p) = fixture();
+        let same = p.clone();
+        let rerun = move |_: &TaskSet, _: usize| Some(same.clone());
+        let ctx = AuditContext::new(&ts, &p, "t").with_repartition(&rerun);
+        assert!(run(&ctx).is_empty());
+    }
+
+    #[test]
+    fn divergent_rerun_reports_each_moved_task() {
+        let (ts, p) = fixture();
+        let mut moved = p.clone();
+        moved.assign(TaskId(0), CoreId(1));
+        moved.assign(TaskId(3), CoreId(0));
+        let rerun = move |_: &TaskSet, _: usize| Some(moved.clone());
+        let ctx = AuditContext::new(&ts, &p, "t").with_repartition(&rerun);
+        let out = run(&ctx);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.severity == Severity::Error));
+        assert!(out.iter().any(|d| d.subject == Subject::Task(TaskId(0))));
+        assert!(out.iter().any(|d| d.subject == Subject::Task(TaskId(3))));
+    }
+
+    #[test]
+    fn infeasible_rerun_is_a_system_error() {
+        let (ts, p) = fixture();
+        let rerun = |_: &TaskSet, _: usize| None;
+        let ctx = AuditContext::new(&ts, &p, "t").with_repartition(&rerun);
+        let out = run(&ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].subject, Subject::System);
+    }
+
+    #[test]
+    fn without_a_repartition_closure_the_rule_skips() {
+        let (ts, p) = fixture();
+        assert!(run(&AuditContext::new(&ts, &p, "t")).is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Harness dispatch overhead: what does routing a sweep through the
+//! `mcs-harness` trial runner cost per trial, relative to the bare inline
+//! loop every experiment command used before the refactor?
+//!
+//! Three views on a fixed 32-trial batch at the paper's default generator
+//! point:
+//!
+//! * `inline_loop` — seed derivation + generation + all paper schemes +
+//!   quality summaries, in a plain `for` loop (the pre-harness shape);
+//! * `trial_runner` — the identical work through `run_point` at one
+//!   thread (runner scheduling + record building + trial-order fold);
+//! * `runner_dispatch_empty` — the runner driving an empty trial body,
+//!   isolating the pure dispatch cost floor.
+//!
+//! `mcs-exp perf` times the same inline-vs-runner pair end to end and
+//! records it into `BENCH_partition.json`; this bench is the
+//! statistically-sampled version of that number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs_exp::sweep::{run_point, SweepConfig};
+use mcs_gen::{generate_task_set, trial_seed, GenParams};
+use mcs_harness::{RunConfig, RunSession, SchemeFlags, SchemeRegistry, PAPER_SET};
+use mcs_partition::{PartitionQuality, Partitioner, QualityScratch};
+
+const TRIALS: usize = 32;
+const SEED: u64 = 0x5EED;
+
+fn bench_harness_overhead(c: &mut Criterion) {
+    let params = GenParams::default();
+    let schemes: Vec<Box<dyn Partitioner + Send + Sync>> =
+        SchemeRegistry::standard().build_set(&PAPER_SET, &SchemeFlags::default());
+
+    let mut group = c.benchmark_group("harness_overhead");
+
+    group.bench_function("inline_loop", |b| {
+        let mut quality = QualityScratch::new();
+        b.iter(|| {
+            for i in 0..TRIALS {
+                let ts = generate_task_set(&params, trial_seed(SEED, i));
+                for scheme in &schemes {
+                    if let Ok(partition) = scheme.partition(&ts, params.cores) {
+                        black_box(
+                            PartitionQuality::summarize(&ts, &partition, &mut quality).is_some(),
+                        );
+                    }
+                }
+            }
+        });
+    });
+
+    group.bench_function("trial_runner", |b| {
+        let config = SweepConfig { trials: TRIALS, threads: 1, seed: SEED };
+        b.iter(|| black_box(run_point(&params, &schemes, &config)));
+    });
+
+    group.bench_function("runner_dispatch_empty", |b| {
+        let config = RunConfig { trials: TRIALS, threads: 1, seed: SEED };
+        b.iter(|| {
+            let mut session = RunSession::new(config.clone());
+            session.point("empty").run(
+                || (),
+                |_, trial| {
+                    black_box(trial.seed);
+                },
+            );
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_harness_overhead);
+criterion_main!(benches);

@@ -2,10 +2,11 @@
 //! one design choice) over a common workload and compare schedulability.
 
 use mcs_gen::{GenParams, WcetGrowth};
+use mcs_harness::RunSession;
 use mcs_partition::{CatpaVariant, Partitioner};
 
 use crate::report::{fmt3, Table};
-use crate::sweep::{run_point, PointResult, SweepConfig};
+use crate::sweep::{run_point_in, PointResult, SweepConfig};
 
 /// Results of the ablation battery at a range of NSU points.
 #[derive(Clone, Debug)]
@@ -25,6 +26,12 @@ pub fn ablation(config: &SweepConfig) -> AblationResult {
 /// Ablation with an explicit WCET-growth reading.
 #[must_use]
 pub fn ablation_with(config: &SweepConfig, growth: WcetGrowth) -> AblationResult {
+    ablation_session(&mut RunSession::new(config.clone()), growth)
+}
+
+/// Ablation on an existing session (enables `--jsonl`/`--resume`).
+#[must_use]
+pub fn ablation_session(session: &mut RunSession, growth: WcetGrowth) -> AblationResult {
     let xs = vec![0.5, 0.6, 0.7];
     let points = xs
         .iter()
@@ -34,7 +41,7 @@ pub fn ablation_with(config: &SweepConfig, growth: WcetGrowth) -> AblationResult
                 .into_iter()
                 .map(|v| Box::new(v) as Box<dyn Partitioner + Send + Sync>)
                 .collect();
-            run_point(&params, &schemes, config)
+            run_point_in(session, &format!("NSU={nsu}"), &params, &schemes)
         })
         .collect();
     AblationResult { xs, points }

@@ -5,16 +5,17 @@
 //! Two generator points are swept: the default multi-level parameters for
 //! the Theorem-1 family (CA-TPA, FFD/BFD/WFD/NFD, Hybrid, CA-TPA+LS, SA)
 //! and a dual-criticality point that additionally exercises the DBF and
-//! FP-AMC baselines (their analyses are K = 2 only). Every audit `Error`
-//! makes the command exit non-zero.
+//! FP-AMC baselines (their analyses are K = 2 only). The roster comes from
+//! [`SchemeRegistry::audit_roster`]; each scheme's context facts (Theorem-1
+//! claim, contribution ordering, α, and a re-run closure for the
+//! `harness-determinism` rule) are attached from its [`SchemeInfo`]
+//! metadata. Every audit `Error` makes the command exit non-zero.
 
-use crossbeam::thread;
 use mcs_audit::{AuditContext, ContributionOrdering, Invariant, Registry, Severity};
 use mcs_gen::{generate_task_set, GenParams};
+use mcs_harness::{JsonValue, RunSession, SchemeFlags, SchemeInfo, SchemeRegistry, TrialRecord};
 use mcs_partition::contribution::{contribution, system_totals};
-use mcs_partition::{
-    BinPacker, Catpa, CatpaLs, DbfFirstFit, FpAmc, Hybrid, Partitioner, SimAnneal, DEFAULT_ALPHA,
-};
+use mcs_partition::Partitioner;
 
 use crate::report::{render_table, Table};
 use crate::sweep::SweepConfig;
@@ -122,49 +123,6 @@ impl AuditOutcome {
     }
 }
 
-/// One roster entry: a scheme plus the context facts the audit should
-/// verify about it.
-struct Entry {
-    scheme: Box<dyn Partitioner + Send + Sync>,
-    /// Attach the recomputed contribution ordering (CA-TPA family).
-    uses_contribution_order: bool,
-    /// The α threshold the scheme runs with, if any.
-    alpha: Option<f64>,
-    /// Generator point the scheme is swept at.
-    dual_only: bool,
-}
-
-fn roster() -> Vec<Entry> {
-    let e = |scheme: Box<dyn Partitioner + Send + Sync>| Entry {
-        scheme,
-        uses_contribution_order: false,
-        alpha: None,
-        dual_only: false,
-    };
-    vec![
-        Entry {
-            scheme: Box::new(Catpa::default()),
-            uses_contribution_order: true,
-            alpha: Some(DEFAULT_ALPHA),
-            dual_only: false,
-        },
-        e(Box::new(BinPacker::ffd())),
-        e(Box::new(BinPacker::bfd())),
-        e(Box::new(BinPacker::wfd())),
-        e(Box::new(BinPacker::nfd())),
-        e(Box::<Hybrid>::default()),
-        Entry {
-            scheme: Box::new(CatpaLs::default()),
-            uses_contribution_order: true,
-            alpha: Some(DEFAULT_ALPHA),
-            dual_only: false,
-        },
-        e(Box::<SimAnneal>::default()),
-        Entry { dual_only: true, ..e(Box::new(DbfFirstFit)) },
-        Entry { dual_only: true, ..e(Box::new(FpAmc::dm_du())) },
-    ]
-}
-
 /// The contribution ordering CA-TPA uses, recomputed for the audit context
 /// (the `contribution-order` rule re-derives it again, independently).
 fn contribution_ordering(ts: &mcs_model::TaskSet) -> ContributionOrdering {
@@ -174,105 +132,173 @@ fn contribution_ordering(ts: &mcs_model::TaskSet) -> ContributionOrdering {
     ContributionOrdering { order, keys }
 }
 
+/// Per-trial record: for each roster scheme, `None` when it could not
+/// partition its task set, otherwise `[info, warning, error]` finding
+/// counts per rule, in registry rule order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct AuditTrial {
+    per_scheme: Vec<Option<Vec<[usize; 3]>>>,
+}
+
+impl TrialRecord for AuditTrial {
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("\"res\":[");
+        for (i, s) in self.per_scheme.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match s {
+                None => out.push_str("null"),
+                Some(tallies) => {
+                    out.push('[');
+                    for (j, t) in tallies.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{},{},{}]", t[0], t[1], t[2]);
+                    }
+                    out.push(']');
+                }
+            }
+        }
+        out.push(']');
+        out
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        let arr = v.get("res")?.as_arr()?;
+        let mut per_scheme = Vec::with_capacity(arr.len());
+        for s in arr {
+            if *s == JsonValue::Null {
+                per_scheme.push(None);
+                continue;
+            }
+            let tallies = s
+                .as_arr()?
+                .iter()
+                .map(|t| {
+                    let t = t.as_arr()?;
+                    if t.len() != 3 {
+                        return None;
+                    }
+                    Some([t[0].as_usize()?, t[1].as_usize()?, t[2].as_usize()?])
+                })
+                .collect::<Option<Vec<_>>>()?;
+            per_scheme.push(Some(tallies));
+        }
+        Some(Self { per_scheme })
+    }
+}
+
+/// Audit one partitioning result under every standard rule; returns the
+/// per-rule `[info, warning, error]` counts.
+fn audit_one(
+    registry: &Registry,
+    rule_ids: &[&'static str],
+    info: &SchemeInfo,
+    scheme: &(dyn Partitioner + Send + Sync),
+    ts: &mcs_model::TaskSet,
+    partition: &mcs_model::Partition,
+    flags: &SchemeFlags,
+) -> Vec<[usize; 3]> {
+    let ordering;
+    let rerun = |ts: &mcs_model::TaskSet, cores: usize| scheme.partition(ts, cores).ok();
+    let mut ctx = AuditContext::new(ts, partition, info.name)
+        .with_theorem1_claim(scheme.certifies_theorem1())
+        .with_repartition(&rerun);
+    if info.uses_contribution_order {
+        ordering = contribution_ordering(ts);
+        ctx = ctx.with_ordering(&ordering);
+    }
+    if let Some(a) = info.effective_alpha(flags) {
+        ctx = ctx.with_alpha(a);
+    }
+    let report = registry.run(&ctx);
+    let mut tallies = vec![[0usize; 3]; rule_ids.len()];
+    for d in &report.diagnostics {
+        let slot = rule_ids
+            .iter()
+            .position(|&id| id == d.rule_id)
+            .expect("diagnostic from an unregistered rule");
+        match d.severity {
+            Severity::Info => tallies[slot][0] += 1,
+            Severity::Warning => tallies[slot][1] += 1,
+            Severity::Error => tallies[slot][2] += 1,
+        }
+    }
+    tallies
+}
+
 /// Run the audit sweep: `config.trials` task sets per generator point, all
-/// schemes, all standard rules. Trials are split across
-/// `config.effective_threads()` scoped worker threads (as in
-/// [`crate::sweep`]); per-trial seeds make the tallies independent of the
-/// thread count.
+/// schemes, all standard rules, on the harness trial runner (the audit
+/// `Registry` is not `Sync`, so each worker builds its own).
 #[must_use]
 pub fn run(config: &SweepConfig) -> AuditOutcome {
+    run_session(&mut RunSession::new(config.clone()))
+}
+
+/// The audit sweep on an existing session (enables `--jsonl`/`--resume`).
+#[must_use]
+pub fn run_session(session: &mut RunSession) -> AuditOutcome {
     let rule_ids: Vec<&'static str> = Registry::standard().rules().map(Invariant::id).collect();
     let multi = GenParams::default();
     let dual = GenParams::default().with_levels(2);
-    let entries = roster();
+    let flags = SchemeFlags::default();
+    let scheme_registry = SchemeRegistry::standard();
+    let roster = scheme_registry.audit_roster(&flags);
 
-    let threads = config.effective_threads().max(1).min(config.trials.max(1));
-    let chunk = config.trials.div_ceil(threads);
-    let blank: Vec<RuleTally> =
-        rule_ids.iter().map(|&rule_id| RuleTally { rule_id, ..RuleTally::default() }).collect();
+    let records = session.point("audit").run(Registry::standard, |registry, trial| {
+        let ts_multi = generate_task_set(&multi, trial.seed);
+        let ts_dual = generate_task_set(&dual, trial.seed);
+        let per_scheme = roster
+            .iter()
+            .map(|(info, scheme)| {
+                let (ts, params) =
+                    if info.dual_only { (&ts_dual, &dual) } else { (&ts_multi, &multi) };
+                let partition = scheme.partition(ts, params.cores).ok()?;
+                Some(audit_one(registry, &rule_ids, info, scheme.as_ref(), ts, &partition, &flags))
+            })
+            .collect();
+        AuditTrial { per_scheme }
+    });
 
-    // Per-worker partial: (partitioned count, per-rule tallies) per scheme.
-    let merged: Vec<(usize, Vec<RuleTally>)> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for w in 0..threads {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(config.trials);
-            if lo >= hi {
-                break;
-            }
-            let (entries, multi, dual, blank) = (&entries, &multi, &dual, &blank);
-            handles.push(s.spawn(move |_| {
-                // `Registry` rules are not `Sync`; each worker builds its own.
-                let registry = Registry::standard();
-                let mut accs: Vec<(usize, Vec<RuleTally>)> =
-                    entries.iter().map(|_| (0, blank.clone())).collect();
-                for trial in lo..hi {
-                    let seed = config.seed + trial as u64;
-                    let ts_multi = generate_task_set(multi, seed);
-                    let ts_dual = generate_task_set(dual, seed);
-                    for (entry, acc) in entries.iter().zip(&mut accs) {
-                        let (ts, params) =
-                            if entry.dual_only { (&ts_dual, dual) } else { (&ts_multi, multi) };
-                        let Ok(partition) = entry.scheme.partition(ts, params.cores) else {
-                            continue;
-                        };
-                        acc.0 += 1;
-                        let ordering;
-                        let mut ctx = AuditContext::new(ts, &partition, entry.scheme.name())
-                            .with_theorem1_claim(entry.scheme.certifies_theorem1());
-                        if entry.uses_contribution_order {
-                            ordering = contribution_ordering(ts);
-                            ctx = ctx.with_ordering(&ordering);
-                        }
-                        if let Some(a) = entry.alpha {
-                            ctx = ctx.with_alpha(a);
-                        }
-                        let report = registry.run(&ctx);
-                        for d in &report.diagnostics {
-                            let slot = acc
-                                .1
-                                .iter_mut()
-                                .find(|r| r.rule_id == d.rule_id)
-                                .expect("diagnostic from an unregistered rule");
-                            match d.severity {
-                                Severity::Info => slot.info += 1,
-                                Severity::Warning => slot.warning += 1,
-                                Severity::Error => slot.error += 1,
-                            }
-                        }
-                    }
-                }
-                accs
-            }));
-        }
-        let mut merged: Vec<(usize, Vec<RuleTally>)> =
-            entries.iter().map(|_| (0, blank.clone())).collect();
-        for h in handles {
-            let partial = h.join().expect("audit worker panicked");
-            for (m, p) in merged.iter_mut().zip(&partial) {
-                m.0 += p.0;
-                for (mr, pr) in m.1.iter_mut().zip(&p.1) {
-                    mr.info += pr.info;
-                    mr.warning += pr.warning;
-                    mr.error += pr.error;
-                }
-            }
-        }
-        merged
-    })
-    .expect("audit scope panicked");
-
-    let schemes = entries
+    let trials = records.len();
+    let mut partitioned = vec![0usize; roster.len()];
+    let mut tallies: Vec<Vec<RuleTally>> = roster
         .iter()
-        .zip(merged)
-        .map(|(e, (partitioned, rules))| SchemeAudit {
-            scheme: e.scheme.name(),
-            trials: config.trials,
+        .map(|_| {
+            rule_ids.iter().map(|&rule_id| RuleTally { rule_id, ..Default::default() }).collect()
+        })
+        .collect();
+    for rec in &records {
+        assert_eq!(rec.per_scheme.len(), roster.len(), "checkpoint shape mismatch");
+        for ((counts, scheme_tallies), done) in
+            rec.per_scheme.iter().zip(tallies.iter_mut()).zip(partitioned.iter_mut())
+        {
+            let Some(counts) = counts else { continue };
+            *done += 1;
+            assert_eq!(counts.len(), scheme_tallies.len(), "checkpoint rule-count mismatch");
+            for (t, c) in scheme_tallies.iter_mut().zip(counts) {
+                t.info += c[0];
+                t.warning += c[1];
+                t.error += c[2];
+            }
+        }
+    }
+
+    let schemes = roster
+        .iter()
+        .zip(tallies)
+        .zip(partitioned)
+        .map(|(((info, _), rules), partitioned)| SchemeAudit {
+            scheme: info.name,
+            trials,
             partitioned,
             rules,
         })
         .collect();
-    AuditOutcome { trials: config.trials, schemes }
+    AuditOutcome { trials, schemes }
 }
 
 /// Render the outcome (text or JSON) and report whether any rule errored.
@@ -304,7 +330,8 @@ mod tests {
         // Every scheme partitioned at least one set at these defaults.
         for s in &outcome.schemes {
             assert!(s.partitioned > 0, "{} never partitioned", s.scheme);
-            assert_eq!(s.rules.len(), 7);
+            assert_eq!(s.rules.len(), 8);
+            assert!(s.rules.iter().any(|r| r.rule_id == "harness-determinism"));
         }
     }
 
@@ -326,5 +353,15 @@ mod tests {
         for name in ["CA-TPA", "FFD", "NFD", "Hybrid", "SA", "DBF-FFD"] {
             assert!(text.contains(name), "missing {name} in\n{text}");
         }
+    }
+
+    #[test]
+    fn audit_trial_record_round_trips() {
+        let rec = AuditTrial {
+            per_scheme: vec![Some(vec![[0, 0, 0], [1, 2, 3]]), None, Some(vec![[0, 1, 0]])],
+        };
+        let line = format!("{{{}}}", rec.to_json());
+        let back = AuditTrial::from_json(&mcs_harness::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(rec, back);
     }
 }

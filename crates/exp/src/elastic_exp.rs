@@ -17,6 +17,7 @@
 
 use mcs_analysis::{elastic_stretch_factors, Theorem1, VdAssignment};
 use mcs_gen::{generate_task_set, GenParams};
+use mcs_harness::{JsonValue, RunSession, TrialRecord};
 use mcs_model::{CoreId, CritLevel, McTask, UtilTable};
 use mcs_partition::{Catpa, Partitioner};
 use mcs_sim::{CoreSim, DegradationPolicy, LevelCap, SchedulerKind, SimConfig, Trace};
@@ -55,19 +56,61 @@ impl ElasticResult {
     }
 }
 
+/// Per-trial record: `None` when CA-TPA rejected the set; otherwise both
+/// policies' service counters summed over the partition's cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct ElasticTrial {
+    partitioned: bool,
+    drop_completed: u64,
+    elastic_completed: u64,
+    elastic_killed: u64,
+    violations: usize,
+}
+
+impl TrialRecord for ElasticTrial {
+    fn to_json(&self) -> String {
+        if !self.partitioned {
+            return "\"ok\":false".to_string();
+        }
+        format!(
+            "\"ok\":true,\"drop\":{},\"elastic\":{},\"killed\":{},\"viol\":{}",
+            self.drop_completed, self.elastic_completed, self.elastic_killed, self.violations
+        )
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        if !v.get("ok")?.as_bool()? {
+            return Some(Self::default());
+        }
+        Some(Self {
+            partitioned: true,
+            drop_completed: v.get("drop")?.as_u64()?,
+            elastic_completed: v.get("elastic")?.as_u64()?,
+            elastic_killed: v.get("killed")?.as_u64()?,
+            violations: v.get("viol")?.as_usize()?,
+        })
+    }
+}
+
 /// Run the experiment at a loaded point (NSU = 0.6) under sustained
 /// worst-case behaviour, where modes stay elevated for long stretches.
 #[must_use]
 pub fn elastic_experiment(config: &SweepConfig, horizon_periods: u32) -> ElasticResult {
+    elastic_experiment_session(&mut RunSession::new(config.clone()), horizon_periods)
+}
+
+/// The experiment on an existing session (enables `--jsonl`/`--resume`).
+#[must_use]
+pub fn elastic_experiment_session(session: &mut RunSession, horizon_periods: u32) -> ElasticResult {
     let params = GenParams::default().with_n_range(16, 32).with_cores(4).with_nsu(0.6);
     let sim_config = SimConfig { horizon_periods, ..Default::default() };
-    let catpa = Catpa::default();
-    let mut result = ElasticResult::default();
 
-    for trial in 0..config.trials {
-        let ts = generate_task_set(&params, config.seed + trial as u64);
-        let Ok(partition) = catpa.partition(&ts, params.cores) else { continue };
-        result.runs += 1;
+    let records = session.point("elastic").run(Catpa::default, |catpa, trial| {
+        let ts = generate_task_set(&params, trial.seed);
+        let Ok(partition) = catpa.partition(&ts, params.cores) else {
+            return ElasticTrial::default();
+        };
+        let mut rec = ElasticTrial { partitioned: true, ..ElasticTrial::default() };
         for core in CoreId::all(params.cores) {
             let tasks: Vec<&McTask> = partition.tasks_on(core).map(|id| ts.task(id)).collect();
             let table = UtilTable::from_tasks(ts.num_levels(), tasks.iter().copied());
@@ -86,15 +129,28 @@ pub fn elastic_experiment(config: &SweepConfig, horizon_periods: u32) -> Elastic
                 .with_degradation(DegradationPolicy::Elastic { factors })
                 .run(&mut LevelCap::new(top), horizon, &mut Trace::disabled());
 
-            result.drop_completed += drop_run.completed;
-            result.elastic_completed += elastic_run.completed;
-            result.elastic_killed += elastic_run.dropped;
+            rec.drop_completed += drop_run.completed;
+            rec.elastic_completed += elastic_run.completed;
+            rec.elastic_killed += elastic_run.dropped;
             if drop_run.mandatory_misses(CritLevel::new(top)) > 0
                 || elastic_run.mandatory_misses(CritLevel::new(top)) > 0
             {
-                result.violations += 1;
+                rec.violations += 1;
             }
         }
+        rec
+    });
+
+    let mut result = ElasticResult::default();
+    for rec in &records {
+        if !rec.partitioned {
+            continue;
+        }
+        result.runs += 1;
+        result.drop_completed += rec.drop_completed;
+        result.elastic_completed += rec.elastic_completed;
+        result.elastic_killed += rec.elastic_killed;
+        result.violations += rec.violations;
     }
     result
 }

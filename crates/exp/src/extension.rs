@@ -6,21 +6,17 @@
 //! paper's related-work section positions CA-TPA among.
 
 use mcs_gen::GenParams;
-use mcs_partition::{BinPacker, Catpa, DbfFirstFit, FpAmc, Partitioner};
+use mcs_harness::{RunSession, SchemeFlags, SchemeRegistry, DUAL_SET};
+use mcs_partition::Partitioner;
 
 use crate::report::{fmt3, Table};
-use crate::sweep::{run_point, PointResult, SweepConfig};
+use crate::sweep::{run_point_in, PointResult, SweepConfig};
 
-/// The scheme line-up of the extension comparison.
+/// The scheme line-up of the extension comparison ([`DUAL_SET`], resolved
+/// through the registry).
 #[must_use]
 pub fn dual_schemes() -> Vec<Box<dyn Partitioner + Send + Sync>> {
-    vec![
-        Box::new(Catpa::default()),
-        Box::new(BinPacker::ffd()),
-        Box::new(FpAmc::dm_du()),
-        Box::new(FpAmc::audsley()),
-        Box::new(DbfFirstFit),
-    ]
+    SchemeRegistry::standard().build_set(&DUAL_SET, &SchemeFlags::default())
 }
 
 /// Results of the dual-criticality scheduler-family comparison.
@@ -39,6 +35,12 @@ pub struct DualComparison {
 /// to \[20\], measured directly by the `analysis` benchmarks).
 #[must_use]
 pub fn dual_comparison(config: &SweepConfig) -> DualComparison {
+    dual_comparison_session(&mut RunSession::new(config.clone()))
+}
+
+/// The comparison on an existing session (enables `--jsonl`/`--resume`).
+#[must_use]
+pub fn dual_comparison_session(session: &mut RunSession) -> DualComparison {
     let xs: Vec<f64> = (0..=7).map(|i| 0.55 + 0.05 * f64::from(i)).collect();
     let points = xs
         .iter()
@@ -48,7 +50,7 @@ pub fn dual_comparison(config: &SweepConfig) -> DualComparison {
                 .with_cores(4)
                 .with_n_range(16, 48)
                 .with_nsu(nsu);
-            run_point(&params, &dual_schemes(), config)
+            run_point_in(session, &format!("NSU={nsu}"), &params, &dual_schemes())
         })
         .collect();
     DualComparison { xs, points }
@@ -75,6 +77,7 @@ impl DualComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::run_point;
 
     #[test]
     fn tiny_comparison_runs() {

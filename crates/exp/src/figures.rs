@@ -14,10 +14,11 @@
 //! defaults `M = 8, K = 4, NSU = 0.6, IFC = 0.4, α = 0.7`.
 
 use mcs_gen::{GenParams, WcetGrowth};
-use mcs_partition::{paper_schemes, paper_schemes_weak, Catpa, Partitioner};
+use mcs_harness::{RunSession, SchemeFlags, SchemeRegistry, PAPER_SET};
+use mcs_partition::Partitioner;
 
 use crate::report::{fmt3, Table};
-use crate::sweep::{run_point, PointResult, SweepConfig};
+use crate::sweep::{run_point_in, PointResult, SweepConfig};
 
 /// Which reading of the baselines' fit test to use (see
 /// `mcs_partition::paper_schemes_weak` for the rationale).
@@ -119,25 +120,20 @@ impl FigureId {
         if options.random_k && self != Self::Levels {
             params = params.with_level_range(2, 6);
         }
-        let schemes = match options.baselines {
-            Baselines::Strong => paper_schemes(),
-            Baselines::Weak => paper_schemes_weak(),
+        let mut flags = match options.baselines {
+            Baselines::Strong => SchemeFlags::default(),
+            Baselines::Weak => SchemeFlags::weak(),
         };
+        if self == Self::Alpha {
+            // Only CA-TPA consumes α; the other schemes are flat in x (the
+            // paper still plots them as horizontal references).
+            flags = flags.with_alpha(x);
+        }
+        let schemes = SchemeRegistry::standard().build_set(&PAPER_SET, &flags);
         match self {
             Self::Nsu => (params.with_nsu(x), schemes),
             Self::Ifc => (params.with_ifc(x), schemes),
-            Self::Alpha => {
-                // Only CA-TPA consumes α; the other schemes are flat in x
-                // (the paper still plots them as horizontal references).
-                let mut schemes = schemes;
-                // Replace the default CA-TPA (α = 0.7) with α = x.
-                let idx = schemes
-                    .iter()
-                    .position(|s| s.name() == "CA-TPA")
-                    .expect("paper_schemes contains CA-TPA");
-                schemes[idx] = Box::new(Catpa::with_alpha(x));
-                (params, schemes)
-            }
+            Self::Alpha => (params, schemes),
             Self::Cores =>
             {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -179,12 +175,23 @@ pub fn figure_with(id: FigureId, config: &SweepConfig, baselines: Baselines) -> 
 /// (EXPERIMENTS.md maps the combinations).
 #[must_use]
 pub fn figure_full(id: FigureId, config: &SweepConfig, options: FigureOptions) -> FigureResult {
+    figure_session(id, &mut RunSession::new(config.clone()), options)
+}
+
+/// Run a figure's full sweep on an existing session (enables `--jsonl`
+/// streaming and `--resume`); point labels are `"<x_label>=<x>"`.
+#[must_use]
+pub fn figure_session(
+    id: FigureId,
+    session: &mut RunSession,
+    options: FigureOptions,
+) -> FigureResult {
     let xs = id.xs();
     let points = xs
         .iter()
         .map(|&x| {
             let (params, schemes) = id.point(x, options);
-            run_point(&params, &schemes, config)
+            run_point_in(session, &format!("{}={x}", id.x_label()), &params, &schemes)
         })
         .collect();
     FigureResult { id, xs, points }

@@ -13,8 +13,13 @@
 //!
 //! The comparison is deliberately biased in favour of global scheduling;
 //! partitioned CA-TPA holding its own against it is therefore meaningful.
+//!
+//! Each trial runs a full global-EDF simulation, so this is the
+//! wall-clock-heaviest sweep in the suite — and the one that profits most
+//! from the harness's `--threads` parallelism.
 
 use mcs_gen::{generate_task_set, GenParams};
+use mcs_harness::{JsonValue, RunSession, TrialRecord};
 use mcs_model::{CritLevel, McTask};
 use mcs_partition::{Catpa, Partitioner};
 use mcs_sim::{GlobalSim, LevelCap, SchedulerKind, SimConfig, Trace};
@@ -56,38 +61,61 @@ impl GlobalCmpResult {
     }
 }
 
+/// Per-trial record: both sides' verdicts on the same task set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CmpTrial {
+    partitioned: bool,
+    global_ok: bool,
+}
+
+impl TrialRecord for CmpTrial {
+    fn to_json(&self) -> String {
+        format!("\"part\":{},\"glob\":{}", self.partitioned, self.global_ok)
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        Some(Self { partitioned: v.get("part")?.as_bool()?, global_ok: v.get("glob")?.as_bool()? })
+    }
+}
+
 /// Run the sweep (K = 2, M = 4, smallish N so the simulations stay cheap).
 #[must_use]
 pub fn global_comparison(config: &SweepConfig, horizon_periods: u32) -> GlobalCmpResult {
+    global_comparison_session(&mut RunSession::new(config.clone()), horizon_periods)
+}
+
+/// The sweep on an existing session (enables `--jsonl`/`--resume`).
+#[must_use]
+pub fn global_comparison_session(
+    session: &mut RunSession,
+    horizon_periods: u32,
+) -> GlobalCmpResult {
     let sim_config = SimConfig { horizon_periods, ..Default::default() };
-    let catpa = Catpa::default();
     let mut result = GlobalCmpResult::default();
     for nsu in [0.55, 0.65, 0.75, 0.85] {
         let params =
             GenParams::default().with_levels(2).with_cores(4).with_n_range(12, 32).with_nsu(nsu);
-        let mut point = GlobalCmpPoint { nsu, trials: config.trials, ..Default::default() };
-        for trial in 0..config.trials {
-            let ts = generate_task_set(&params, config.seed + trial as u64);
-            if catpa.partition(&ts, params.cores).is_ok() {
-                point.partitioned += 1;
-            }
-            let refs: Vec<&McTask> = ts.tasks().iter().collect();
-            let horizon = sim_config.horizon_for(&refs);
-            let mut ok = true;
-            for b in 1..=2u8 {
-                let r = GlobalSim::new(refs.clone(), params.cores, SchedulerKind::PlainEdf).run(
-                    &mut LevelCap::new(b),
-                    horizon,
-                    &mut Trace::disabled(),
-                );
-                if r.mandatory_misses(CritLevel::new(b)) > 0 {
-                    ok = false;
-                    break;
+        let records =
+            session.point(&format!("NSU={nsu}")).run(Catpa::default, |catpa, trial| {
+                let ts = generate_task_set(&params, trial.seed);
+                let partitioned = catpa.partition(&ts, params.cores).is_ok();
+                let refs: Vec<&McTask> = ts.tasks().iter().collect();
+                let horizon = sim_config.horizon_for(&refs);
+                let mut global_ok = true;
+                for b in 1..=2u8 {
+                    let r = GlobalSim::new(refs.clone(), params.cores, SchedulerKind::PlainEdf)
+                        .run(&mut LevelCap::new(b), horizon, &mut Trace::disabled());
+                    if r.mandatory_misses(CritLevel::new(b)) > 0 {
+                        global_ok = false;
+                        break;
+                    }
                 }
-            }
-            if ok {
-                point.global_ok += 1;
-            }
+                CmpTrial { partitioned, global_ok }
+            });
+        let mut point = GlobalCmpPoint { nsu, trials: records.len(), ..Default::default() };
+        for rec in &records {
+            point.partitioned += usize::from(rec.partitioned);
+            point.global_ok += usize::from(rec.global_ok);
         }
         result.points.push(point);
     }
@@ -111,5 +139,15 @@ mod tests {
         let light = &r.points[0];
         assert!(light.partitioned >= light.trials - 1);
         assert_eq!(r.table().rows.len(), 4);
+    }
+
+    #[test]
+    fn counts_are_thread_invariant() {
+        let one = global_comparison(&SweepConfig { trials: 8, threads: 1, seed: 5 }, 2);
+        let four = global_comparison(&SweepConfig { trials: 8, threads: 4, seed: 5 }, 2);
+        for (a, b) in one.points.iter().zip(&four.points) {
+            assert_eq!(a.partitioned, b.partitioned);
+            assert_eq!(a.global_ok, b.global_ok);
+        }
     }
 }

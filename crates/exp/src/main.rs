@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! mcs-exp <command> [--trials N] [--threads N] [--seed S] [--csv]
-//!         [--horizon-periods H]
+//!         [--horizon-periods H] [--jsonl PATH] [--resume]
 //!
 //! commands:
 //!   fig1 | fig2 | fig3 | fig4 | fig5   reproduce one figure (4 panels each)
 //!   figs                               all five figures
 //!   table1 | table2 | table3 | table4  the paper's tables
 //!   tables                             all four tables
+//!   sweep                              one default-point paired sweep
 //!   soundness                          simulation-backed validation
 //!   ablation                           CA-TPA variant battery
 //!   dualcmp                            EDF-VD vs FP-AMC vs DBF (K = 2)
+//!   gap | optgap                       heuristics vs exact branch-and-bound
 //!   partition --file F [--cores N] [--scheme S] [--validate]
 //!                                      partition a task-set file
 //!   audit [--json]                     invariant audit over all schemes
@@ -19,28 +21,35 @@
 //!                                      (also records BENCH_partition.json)
 //!   all                                everything above
 //! ```
+//!
+//! `--jsonl PATH` streams every trial record to a checkpointed JSONL file;
+//! a later identical invocation with `--resume` picks up where an
+//! interrupted sweep stopped. With an aggregate command (`figs`, `all`) or
+//! several commands, each sub-command writes `PATH-<cmd>.jsonl` siblings.
 
 #![forbid(unsafe_code)]
 
 use std::env;
+use std::path::Path;
 use std::process::ExitCode;
 
-use mcs_exp::ablation::ablation_with;
+use mcs_exp::ablation::ablation_session;
 use mcs_exp::audit_cmd;
 use mcs_exp::describe;
-use mcs_exp::elastic_exp::elastic_experiment;
-use mcs_exp::extension::dual_comparison;
-use mcs_exp::figures::{figure_full, Baselines, FigureId, FigureOptions};
-use mcs_exp::globalcmp::global_comparison;
-use mcs_exp::optgap::optimality_gap;
-use mcs_exp::overhead::overhead_sweep;
+use mcs_exp::elastic_exp::elastic_experiment_session;
+use mcs_exp::extension::dual_comparison_session;
+use mcs_exp::figures::{figure_session, Baselines, FigureId, FigureOptions};
+use mcs_exp::globalcmp::global_comparison_session;
+use mcs_exp::optgap::optimality_gap_session;
+use mcs_exp::overhead::overhead_sweep_session;
 use mcs_exp::partition_cmd;
-use mcs_exp::report::{render_csv, render_table, Table};
-use mcs_exp::soundness::soundness;
-use mcs_exp::sweep::SweepConfig;
+use mcs_exp::report::{fmt3, render_csv, render_table, Table};
+use mcs_exp::soundness::soundness_session;
+use mcs_exp::sweep::{run_point_in, SweepConfig};
 use mcs_exp::tables;
 use mcs_gen::GenParams;
 use mcs_gen::WcetGrowth;
+use mcs_harness::{RunSession, SchemeFlags, SchemeRegistry, PAPER_SET};
 
 struct Options {
     commands: Vec<String>,
@@ -57,10 +66,41 @@ struct Options {
     baselines: Baselines,
     growth: WcetGrowth,
     random_k: bool,
+    /// Stream trial records to this JSONL checkpoint file.
+    jsonl: Option<String>,
+    /// Resume from an existing compatible checkpoint instead of truncating.
+    resume: bool,
+}
+
+impl Options {
+    /// Whether more than one leaf command will run (each then gets its own
+    /// derived checkpoint file so streams don't clobber each other).
+    fn multi_command(&self) -> bool {
+        self.commands.len() > 1
+            || self.commands.iter().any(|c| matches!(c.as_str(), "figs" | "all"))
+    }
+
+    /// Build the run session for one leaf command. `params` is the
+    /// command's parameter fingerprint, checked on `--resume`.
+    fn session(&self, cmd: &str, params: &str) -> Result<RunSession, String> {
+        let Some(base) = &self.jsonl else {
+            return Ok(RunSession::new(self.config.clone()));
+        };
+        let path = if self.multi_command() { derive_jsonl_path(base, cmd) } else { base.clone() };
+        RunSession::with_checkpoint(self.config.clone(), Path::new(&path), self.resume, cmd, params)
+    }
+}
+
+/// `results/run.jsonl` + `fig2` → `results/run-fig2.jsonl`.
+fn derive_jsonl_path(base: &str, cmd: &str) -> String {
+    match base.strip_suffix(".jsonl") {
+        Some(stem) => format!("{stem}-{cmd}.jsonl"),
+        None => format!("{base}-{cmd}"),
+    }
 }
 
 fn usage() -> &'static str {
-    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|soundness|ablation|dualcmp|gap|overhead|elastic|globalcmp|partition|describe|audit|perf|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart]"
+    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|sweep|soundness|ablation|dualcmp|gap|optgap|overhead|elastic|globalcmp|partition|describe|audit|perf|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart] [--jsonl PATH] [--resume]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -78,6 +118,8 @@ fn parse_args() -> Result<Options, String> {
         baselines: Baselines::Strong,
         growth: WcetGrowth::default(),
         random_k: false,
+        jsonl: None,
+        resume: false,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -105,6 +147,8 @@ fn parse_args() -> Result<Options, String> {
             "--weak-baselines" => opts.baselines = Baselines::Weak,
             "--geometric" => opts.growth = WcetGrowth::Geometric,
             "--random-k" => opts.random_k = true,
+            "--jsonl" => opts.jsonl = Some(args.next().ok_or("--jsonl needs a path")?),
+            "--resume" => opts.resume = true,
             "--file" => opts.partition_file = Some(args.next().ok_or("--file needs a path")?),
             "--cores" => {
                 let v = args.next().ok_or("--cores needs a value")?;
@@ -122,6 +166,9 @@ fn parse_args() -> Result<Options, String> {
     if opts.commands.is_empty() {
         return Err(usage().to_string());
     }
+    if opts.resume && opts.jsonl.is_none() {
+        return Err(format!("--resume requires --jsonl PATH\n{}", usage()));
+    }
     Ok(opts)
 }
 
@@ -134,18 +181,21 @@ fn print_table(title: &str, table: &Table, csv: bool) {
     }
 }
 
-fn run_figure(id: FigureId, opts: &Options) {
+fn run_figure(id: FigureId, opts: &Options) -> Result<(), String> {
     eprintln!(
         "[mcs-exp] figure {}: {} trials/point, {} threads",
         id.number(),
         opts.config.trials,
         opts.config.effective_threads()
     );
-    let result = figure_full(
-        id,
-        &opts.config,
-        FigureOptions { baselines: opts.baselines, growth: opts.growth, random_k: opts.random_k },
+    let options =
+        FigureOptions { baselines: opts.baselines, growth: opts.growth, random_k: opts.random_k };
+    let params = format!(
+        "baselines={:?} growth={:?} random_k={}",
+        opts.baselines, opts.growth, opts.random_k
     );
+    let mut session = opts.session(&format!("fig{}", id.number()), &params)?;
+    let result = figure_session(id, &mut session, options);
     if opts.chart {
         for chart in result.chart_panels() {
             println!("{chart}");
@@ -155,13 +205,42 @@ fn run_figure(id: FigureId, opts: &Options) {
             print_table(&title, &table, opts.csv);
         }
     }
+    Ok(())
+}
+
+/// The `sweep` command: the paper's scheme line-up at the default
+/// generator point — the smallest full pass through the harness (used by
+/// the CI resume/determinism smoke tests).
+fn run_sweep(opts: &Options) -> Result<(), String> {
+    eprintln!(
+        "[mcs-exp] sweep: {} trials at the default point, {} threads",
+        opts.config.trials,
+        opts.config.effective_threads()
+    );
+    let params = GenParams::default().with_growth(opts.growth);
+    let schemes = SchemeRegistry::standard().build_set(&PAPER_SET, &SchemeFlags::default());
+    let mut session = opts.session("sweep", &format!("growth={:?}", opts.growth))?;
+    let points = run_point_in(&mut session, "default", &params, &schemes);
+    let mut t = Table::new(["scheme", "schedulable", "ratio", "U_sys", "U_avg", "imbalance"]);
+    for p in &points {
+        t.push_row([
+            p.scheme.to_string(),
+            format!("{}/{}", p.schedulable, p.trials),
+            fmt3(p.ratio()),
+            fmt3(p.u_sys),
+            fmt3(p.u_avg),
+            fmt3(p.imbalance),
+        ]);
+    }
+    print_table("Sweep — paper line-up at the default generator point", &t, opts.csv);
+    Ok(())
 }
 
 fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
     match cmd {
         "fig1" | "fig2" | "fig3" | "fig4" | "fig5" => {
             let id = FigureId::parse(cmd).expect("validated");
-            run_figure(id, opts);
+            run_figure(id, opts)?;
         }
         "figs" => {
             for f in ["fig1", "fig2", "fig3", "fig4", "fig5"] {
@@ -192,14 +271,17 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 run_command(t, opts)?;
             }
         }
+        "sweep" => run_sweep(opts)?,
         "soundness" => {
             eprintln!(
                 "[mcs-exp] soundness: {} trials, horizon {} periods",
                 opts.config.trials, opts.horizon_periods
             );
-            let r = soundness(
+            let params = format!("growth={:?} horizon={}", opts.growth, opts.horizon_periods);
+            let mut session = opts.session("soundness", &params)?;
+            let r = soundness_session(
                 &GenParams::default().with_growth(opts.growth),
-                &opts.config,
+                &mut session,
                 opts.horizon_periods,
             );
             print_table(
@@ -220,12 +302,14 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
         }
         "ablation" => {
             eprintln!("[mcs-exp] ablation: {} trials/point", opts.config.trials);
-            let r = ablation_with(&opts.config, opts.growth);
+            let mut session = opts.session("ablation", &format!("growth={:?}", opts.growth))?;
+            let r = ablation_session(&mut session, opts.growth);
             print_table("Ablation — CA-TPA variant schedulability ratio", &r.table(), opts.csv);
         }
-        "gap" => {
+        "gap" | "optgap" => {
             eprintln!("[mcs-exp] optimality gap: {} small instances", opts.config.trials);
-            let r = optimality_gap(&opts.config);
+            let mut session = opts.session("optgap", "default")?;
+            let r = optimality_gap_session(&mut session);
             print_table(
                 "Optimality gap — heuristic acceptance vs exact branch-and-bound",
                 &r.table(),
@@ -241,7 +325,9 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 "[mcs-exp] partitioned vs global: {} trials/point, horizon {} periods",
                 opts.config.trials, opts.horizon_periods
             );
-            let r = global_comparison(&opts.config, opts.horizon_periods);
+            let mut session =
+                opts.session("globalcmp", &format!("horizon={}", opts.horizon_periods))?;
+            let r = global_comparison_session(&mut session, opts.horizon_periods);
             print_table(
                 "Partitioned (CA-TPA, analytical) vs global EDF+AMC (empirical)",
                 &r.table(),
@@ -253,7 +339,9 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 "[mcs-exp] elastic degradation: {} trials, horizon {} periods",
                 opts.config.trials, opts.horizon_periods
             );
-            let r = elastic_experiment(&opts.config, opts.horizon_periods);
+            let mut session =
+                opts.session("elastic", &format!("horizon={}", opts.horizon_periods))?;
+            let r = elastic_experiment_session(&mut session, opts.horizon_periods);
             print_table(
                 "Elastic degradation — LO service retained vs AMC dropping",
                 &r.table(),
@@ -272,7 +360,9 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 "[mcs-exp] overhead sensitivity: {} trials, horizon {} periods",
                 opts.config.trials, opts.horizon_periods
             );
-            let r = overhead_sweep(&opts.config, opts.horizon_periods);
+            let mut session =
+                opts.session("overhead", &format!("horizon={}", opts.horizon_periods))?;
+            let r = overhead_sweep_session(&mut session, opts.horizon_periods);
             print_table(
                 "Overhead sensitivity — guarantee violations vs kernel cost",
                 &r.table(),
@@ -305,7 +395,8 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 opts.config.trials,
                 opts.config.effective_threads()
             );
-            let outcome = audit_cmd::run(&opts.config);
+            let mut session = opts.session("audit", "default")?;
+            let outcome = audit_cmd::run_session(&mut session);
             println!("{}", audit_cmd::render(&outcome, opts.json).trim_end());
             if outcome.errors() > 0 {
                 return Err(format!("audit found {} invariant violation(s)", outcome.errors()));
@@ -348,7 +439,8 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 "[mcs-exp] dual-criticality family comparison: {} trials/point",
                 opts.config.trials
             );
-            let r = dual_comparison(&opts.config);
+            let mut session = opts.session("dualcmp", "default")?;
+            let r = dual_comparison_session(&mut session);
             print_table(
                 "Extension — EDF-VD vs FP-AMC vs DBF partitioning (K = 2)",
                 &r.table(),
@@ -359,6 +451,7 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             for c in [
                 "tables",
                 "figs",
+                "sweep",
                 "soundness",
                 "ablation",
                 "dualcmp",

@@ -4,7 +4,8 @@
 //! many genuinely-feasible instances does each heuristic miss?
 
 use mcs_gen::GenParams;
-use mcs_partition::{paper_schemes, CatpaLs, ExactBnb, ExactOutcome, Partitioner, SimAnneal};
+use mcs_harness::{JsonValue, RunSession, SchemeFlags, SchemeRegistry, TrialRecord, GAP_SET};
+use mcs_partition::{ExactBnb, ExactOutcome, Partitioner};
 
 use crate::report::{fmt3, Table};
 use crate::sweep::SweepConfig;
@@ -53,45 +54,126 @@ impl GapResult {
     }
 }
 
+/// Exact verdict of one instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Truth {
+    Feasible,
+    Infeasible,
+    Undecided,
+}
+
+/// Per-trial record: the exact verdict plus each scheme's acceptance, in
+/// [`GAP_SET`] order.
+#[derive(Clone, Debug, PartialEq)]
+struct GapTrial {
+    truth: Truth,
+    accepted: Vec<bool>,
+}
+
+impl TrialRecord for GapTrial {
+    fn to_json(&self) -> String {
+        let truth = match self.truth {
+            Truth::Feasible => "feasible",
+            Truth::Infeasible => "infeasible",
+            Truth::Undecided => "undecided",
+        };
+        let acc: Vec<&str> =
+            self.accepted.iter().map(|&a| if a { "true" } else { "false" }).collect();
+        format!("\"truth\":\"{truth}\",\"acc\":[{}]", acc.join(","))
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        let truth = match v.get("truth")?.as_str()? {
+            "feasible" => Truth::Feasible,
+            "infeasible" => Truth::Infeasible,
+            "undecided" => Truth::Undecided,
+            _ => return None,
+        };
+        let accepted =
+            v.get("acc")?.as_arr()?.iter().map(JsonValue::as_bool).collect::<Option<Vec<_>>>()?;
+        Some(Self { truth, accepted })
+    }
+}
+
+/// The experiment's scheme line-up: [`GAP_SET`] with the smaller SA budget
+/// (8 000 iterations) the gap experiment has always used.
+fn gap_schemes() -> Vec<Box<dyn Partitioner + Send + Sync>> {
+    SchemeRegistry::standard()
+        .build_set(&GAP_SET, &SchemeFlags::default().with_sa_iterations(8_000))
+}
+
 /// Run the gap experiment: small instances (N ∈ [8, 14], M = 3) at a load
 /// near the transition so both outcomes are common.
 #[must_use]
 pub fn optimality_gap(config: &SweepConfig) -> GapResult {
+    optimality_gap_session(&mut RunSession::new(config.clone()))
+}
+
+/// The gap experiment on an existing session (enables `--jsonl`/`--resume`).
+///
+/// # Panics
+/// Panics if any heuristic accepts an instance the exact search proved
+/// infeasible — that would falsify the heuristics' soundness claim.
+#[must_use]
+pub fn optimality_gap_session(session: &mut RunSession) -> GapResult {
     let params = GenParams::default().with_n_range(8, 14).with_cores(3).with_nsu(0.68);
-    let exact = ExactBnb::default();
-    let mut schemes = paper_schemes();
-    // The extension partitioners ride along to show how much of the gap
-    // one-move repair and annealing recover.
-    schemes.push(Box::new(CatpaLs::default()));
-    schemes.push(Box::new(SimAnneal { iterations: 8_000, ..Default::default() }));
+    let base_seed = session.config().seed;
+    let schemes = gap_schemes();
     let mut result = GapResult {
-        trials: config.trials,
+        trials: session.config().trials,
         rows: schemes.iter().map(|s| GapRow { scheme: s.name(), ..Default::default() }).collect(),
         ..Default::default()
     };
-    for trial in 0..config.trials {
-        let ts = mcs_gen::generate_task_set(&params, config.seed + trial as u64);
-        let truth = exact.decide(&ts, params.cores);
-        if truth == ExactOutcome::Unknown {
-            result.undecided += 1;
-            continue;
-        }
-        let feasible = matches!(truth, ExactOutcome::Feasible(_));
-        if feasible {
-            result.feasible += 1;
-        }
-        for (row, scheme) in result.rows.iter_mut().zip(&schemes) {
-            let accepted = scheme.partition(&ts, params.cores).is_ok();
-            if accepted {
-                row.accepted += 1;
+
+    let records = session.point("gap").run(ExactBnb::default, |exact, trial| {
+        let ts = mcs_gen::generate_task_set(&params, trial.seed);
+        let truth = match exact.decide(&ts, params.cores) {
+            ExactOutcome::Unknown => Truth::Undecided,
+            ExactOutcome::Feasible(_) => Truth::Feasible,
+            ExactOutcome::Infeasible => Truth::Infeasible,
+        };
+        let accepted = schemes
+            .iter()
+            .map(|scheme| {
+                if truth == Truth::Undecided {
+                    return false; // excluded from the accounting anyway
+                }
+                let ok = scheme.partition(&ts, params.cores).is_ok();
                 assert!(
-                    feasible,
+                    !(ok && truth == Truth::Infeasible),
                     "{} accepted an instance the exact search proved infeasible \
                      (seed {}): exactness violated",
                     scheme.name(),
-                    config.seed + trial as u64
+                    trial.seed
                 );
-            } else if feasible {
+                ok
+            })
+            .collect();
+        GapTrial { truth, accepted }
+    });
+
+    for (i, rec) in records.iter().enumerate() {
+        match rec.truth {
+            Truth::Undecided => {
+                result.undecided += 1;
+                continue;
+            }
+            Truth::Feasible => result.feasible += 1,
+            Truth::Infeasible => {}
+        }
+        assert_eq!(rec.accepted.len(), result.rows.len(), "checkpoint shape mismatch");
+        for (row, &accepted) in result.rows.iter_mut().zip(&rec.accepted) {
+            if accepted {
+                row.accepted += 1;
+                // Re-assert on reloaded records too: a resumed file must
+                // satisfy the same exactness invariant as a fresh run.
+                assert!(
+                    rec.truth == Truth::Feasible,
+                    "{} accepted an infeasible instance (seed {})",
+                    row.scheme,
+                    mcs_gen::trial_seed(base_seed, i)
+                );
+            } else if rec.truth == Truth::Feasible {
                 row.missed += 1;
             }
         }

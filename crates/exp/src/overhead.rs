@@ -10,6 +10,7 @@
 //! mandatory miss is reported.
 
 use mcs_gen::{generate_task_set, GenParams};
+use mcs_harness::{JsonValue, RunSession, TrialRecord};
 use mcs_model::{CoreId, CritLevel, McTask};
 use mcs_partition::{Catpa, Partitioner};
 use mcs_sim::{CoreSim, LevelCap, Overheads, SchedulerKind, SimConfig, Trace};
@@ -19,6 +20,11 @@ use mcs_model::UtilTable;
 
 use crate::report::{fmt3, Table};
 use crate::sweep::SweepConfig;
+
+/// The swept context-switch costs (ticks; 1 000 ticks = 1 paper time unit).
+/// Periods span 50–2 000 units, so the ladder reaches ~10 % of a short
+/// period.
+const COSTS: [u64; 6] = [0, 500, 1_000, 2_000, 5_000, 10_000];
 
 /// One row of the overhead sweep.
 #[derive(Clone, Debug)]
@@ -56,50 +62,90 @@ impl OverheadResult {
     }
 }
 
+/// Per-trial record: `None` when CA-TPA rejected the set; otherwise the
+/// per-cost violation verdicts, in [`COSTS`] order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct OverheadTrial {
+    violated: Option<Vec<bool>>,
+}
+
+impl TrialRecord for OverheadTrial {
+    fn to_json(&self) -> String {
+        match &self.violated {
+            None => "\"ok\":false".to_string(),
+            Some(v) => {
+                let items: Vec<&str> =
+                    v.iter().map(|&x| if x { "true" } else { "false" }).collect();
+                format!("\"ok\":true,\"viol\":[{}]", items.join(","))
+            }
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        if !v.get("ok")?.as_bool()? {
+            return Some(Self { violated: None });
+        }
+        let violated =
+            v.get("viol")?.as_arr()?.iter().map(JsonValue::as_bool).collect::<Option<Vec<_>>>()?;
+        Some(Self { violated: Some(violated) })
+    }
+}
+
 /// Run the sweep over context-switch costs (ticks).
 #[must_use]
 pub fn overhead_sweep(config: &SweepConfig, horizon_periods: u32) -> OverheadResult {
+    overhead_sweep_session(&mut RunSession::new(config.clone()), horizon_periods)
+}
+
+/// The sweep on an existing session (enables `--jsonl`/`--resume`).
+#[must_use]
+pub fn overhead_sweep_session(session: &mut RunSession, horizon_periods: u32) -> OverheadResult {
     let params = GenParams::default().with_n_range(16, 32).with_cores(4).with_nsu(0.6);
-    // Ticks; 1 000 ticks = 1 paper time unit. Periods span 50–2 000 units,
-    // so the ladder reaches ~10 % of a short period.
-    let costs: &[u64] = &[0, 500, 1_000, 2_000, 5_000, 10_000];
     let sim_config = SimConfig { horizon_periods, ..Default::default() };
-    let catpa = Catpa::default();
+
+    let records = session.point("overhead").run(Catpa::default, |catpa, trial| {
+        let ts = generate_task_set(&params, trial.seed);
+        let Ok(partition) = catpa.partition(&ts, params.cores) else {
+            return OverheadTrial { violated: None };
+        };
+        // Simulate the partition once per overhead level; worst-case
+        // behaviour at the top level stresses mode switches too.
+        let violated = COSTS
+            .iter()
+            .map(|&cost| {
+                let mut violated = false;
+                for core in CoreId::all(params.cores) {
+                    let tasks: Vec<&McTask> =
+                        partition.tasks_on(core).map(|id| ts.task(id)).collect();
+                    let table = UtilTable::from_tasks(ts.num_levels(), tasks.iter().copied());
+                    let analysis = Theorem1::compute(&table);
+                    let vd = VdAssignment::compute(&table, &analysis).expect("CA-TPA output");
+                    let horizon = sim_config.horizon_for(&tasks);
+                    let report = CoreSim::new(tasks, SchedulerKind::EdfVd(vd))
+                        .with_overheads(Overheads { context_switch: cost, mode_switch: cost })
+                        .run(&mut LevelCap::new(ts.num_levels()), horizon, &mut Trace::disabled());
+                    if report.mandatory_misses(CritLevel::new(ts.num_levels())) > 0 {
+                        violated = true;
+                    }
+                }
+                violated
+            })
+            .collect();
+        OverheadTrial { violated: Some(violated) }
+    });
 
     let mut result = OverheadResult {
-        points: costs
+        points: COSTS
             .iter()
             .map(|&c| OverheadPoint { context_switch: c, runs: 0, violated: 0 })
             .collect(),
     };
-
-    for trial in 0..config.trials {
-        let ts = generate_task_set(&params, config.seed + trial as u64);
-        let Ok(partition) = catpa.partition(&ts, params.cores) else { continue };
-        // Build per-core simulators once per overhead level; worst-case
-        // behaviour at the top level stresses mode switches too.
-        for point in &mut result.points {
-            let mut violated = false;
-            for core in CoreId::all(params.cores) {
-                let tasks: Vec<&McTask> = partition.tasks_on(core).map(|id| ts.task(id)).collect();
-                let table = UtilTable::from_tasks(ts.num_levels(), tasks.iter().copied());
-                let analysis = Theorem1::compute(&table);
-                let vd = VdAssignment::compute(&table, &analysis).expect("CA-TPA output");
-                let horizon = sim_config.horizon_for(&tasks);
-                let report = CoreSim::new(tasks, SchedulerKind::EdfVd(vd))
-                    .with_overheads(Overheads {
-                        context_switch: point.context_switch,
-                        mode_switch: point.context_switch,
-                    })
-                    .run(&mut LevelCap::new(ts.num_levels()), horizon, &mut Trace::disabled());
-                if report.mandatory_misses(CritLevel::new(ts.num_levels())) > 0 {
-                    violated = true;
-                }
-            }
+    for rec in records.iter() {
+        let Some(violated) = &rec.violated else { continue };
+        assert_eq!(violated.len(), result.points.len(), "checkpoint shape mismatch");
+        for (point, &v) in result.points.iter_mut().zip(violated) {
             point.runs += 1;
-            if violated {
-                point.violated += 1;
-            }
+            point.violated += usize::from(v);
         }
     }
     result

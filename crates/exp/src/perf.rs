@@ -18,7 +18,9 @@
 //!
 //! A second section times the end-to-end sweep hot path (`run_point` over
 //! the paper schemes) in trials/second — the quantity that bounds figure
-//! turnaround.
+//! turnaround — and isolates the harness dispatch overhead by timing the
+//! identical per-trial work as a bare inline loop (the pre-harness shape)
+//! against `run_point` at one thread.
 //!
 //! Results render as a table, as JSON (`--json`), and are recorded to
 //! `BENCH_partition.json` in the working directory so the repository keeps
@@ -29,9 +31,12 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use mcs_analysis::{CoreSums, TaskRow, Theorem1};
-use mcs_gen::{generate_task_set, GenParams};
+use mcs_gen::{generate_task_set, trial_seed, GenParams};
 use mcs_model::{TaskSet, UtilTable, WithTask};
-use mcs_partition::{paper_schemes, reference_paper_schemes, PartitionFailure, Partitioner};
+use mcs_partition::{
+    paper_schemes, reference_paper_schemes, PartitionFailure, PartitionQuality, Partitioner,
+    QualityScratch,
+};
 
 use crate::report::Table;
 use crate::sweep::{run_point, SweepConfig};
@@ -80,6 +85,26 @@ impl ProbePerf {
     }
 }
 
+/// Harness dispatch overhead: the same per-trial work (generate + all
+/// paper schemes + quality summaries) as a bare inline loop vs the
+/// [`run_point`] trial runner at one thread.
+#[derive(Clone, Debug)]
+pub struct RunnerPerf {
+    /// Inline-loop trials per second (the pre-harness sweep shape).
+    pub inline_per_sec: f64,
+    /// `run_point` (single-threaded) trials per second.
+    pub runner_per_sec: f64,
+}
+
+impl RunnerPerf {
+    /// Runner dispatch overhead per trial, in nanoseconds (clamped at 0:
+    /// on noisy boxes the runner can measure marginally faster).
+    #[must_use]
+    pub fn overhead_ns_per_trial(&self) -> f64 {
+        ((self.runner_per_sec.recip() - self.inline_per_sec.recip()) * 1e9).max(0.0)
+    }
+}
+
 /// Full benchmark report.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
@@ -99,6 +124,8 @@ pub struct PerfReport {
     pub reference_per_sec: f64,
     /// Aggregate engine partition calls per second (all schemes).
     pub engine_per_sec: f64,
+    /// Harness dispatch overhead measurement (inline loop vs runner).
+    pub runner: RunnerPerf,
     /// End-to-end sweep throughput, trials per second (`run_point` over the
     /// paper schemes, all worker threads).
     pub sweep_trials_per_sec: f64,
@@ -139,6 +166,12 @@ impl PerfReport {
             format!("{:.0}", self.engine_per_sec),
             format!("{:.2}x", self.speedup()),
         ]);
+        t.push_row([
+            "harness dispatch (trials/s)".into(),
+            format!("{:.0}", self.runner.inline_per_sec),
+            format!("{:.0}", self.runner.runner_per_sec),
+            format!("+{:.0}ns/trial", self.runner.overhead_ns_per_trial()),
+        ]);
         t
     }
 
@@ -175,6 +208,14 @@ impl PerfReport {
         let _ = writeln!(out, "  \"reference_partitions_per_sec\": {:.1},", self.reference_per_sec);
         let _ = writeln!(out, "  \"engine_partitions_per_sec\": {:.1},", self.engine_per_sec);
         let _ = writeln!(out, "  \"speedup\": {:.3},", self.speedup());
+        let _ =
+            writeln!(out, "  \"inline_loop_trials_per_sec\": {:.1},", self.runner.inline_per_sec);
+        let _ = writeln!(out, "  \"runner_trials_per_sec\": {:.1},", self.runner.runner_per_sec);
+        let _ = writeln!(
+            out,
+            "  \"runner_overhead_ns_per_trial\": {:.1},",
+            self.runner.overhead_ns_per_trial()
+        );
         let _ = writeln!(out, "  \"sweep_trials\": {},", self.sweep_trials);
         let _ = writeln!(out, "  \"sweep_threads\": {},", self.sweep_threads);
         let _ = writeln!(out, "  \"sweep_trials_per_sec\": {:.1}", self.sweep_trials_per_sec);
@@ -297,6 +338,58 @@ fn probe_rates(sets: &[TaskSet], cores: usize) -> ProbePerf {
     ProbePerf { reference_per_sec, engine_per_sec }
 }
 
+/// Time the harness dispatch overhead: the exact per-trial sweep work
+/// (deterministic seed derivation, task-set generation, every scheme
+/// partitioning, quality summaries) as a bare inline loop — the shape every
+/// command used before the harness — against [`run_point`] at one thread.
+/// Both sides repeat full `trials`-sized passes until [`MIN_TIMED`]
+/// elapses; the difference of per-trial times is the runner's scheduling,
+/// record-building, and fold cost.
+fn runner_rates(
+    params: &GenParams,
+    schemes: &[Box<dyn Partitioner + Send + Sync>],
+    trials: usize,
+    seed: u64,
+) -> RunnerPerf {
+    let inline_pass = |quality: &mut QualityScratch| {
+        for i in 0..trials {
+            let ts = generate_task_set(params, trial_seed(seed, i));
+            for scheme in schemes {
+                if let Ok(partition) = scheme.partition(&ts, params.cores) {
+                    black_box(PartitionQuality::summarize(&ts, &partition, quality).is_some());
+                }
+            }
+        }
+    };
+    let mut quality = QualityScratch::new();
+    inline_pass(&mut quality);
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        inline_pass(&mut quality);
+        done += trials as u64;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let inline_per_sec = done as f64 / start.elapsed().as_secs_f64();
+
+    let config = SweepConfig { trials, threads: 1, seed };
+    black_box(run_point(params, schemes, &config));
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        black_box(run_point(params, schemes, &config));
+        done += trials as u64;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let runner_per_sec = done as f64 / start.elapsed().as_secs_f64();
+
+    RunnerPerf { inline_per_sec, runner_per_sec }
+}
+
 /// Run the benchmark: equivalence check, per-scheme reference/engine rates,
 /// then the end-to-end sweep rate.
 ///
@@ -342,6 +435,8 @@ pub fn run(config: &SweepConfig) -> PerfReport {
     let reference_per_sec = n / ref_total;
     let engine_per_sec = n / eng_total;
 
+    let runner = runner_rates(&params, &engine, batch, config.seed);
+
     let sweep_start = Instant::now();
     let point = run_point(&params, &engine, config);
     black_box(&point);
@@ -356,6 +451,7 @@ pub fn run(config: &SweepConfig) -> PerfReport {
         schemes,
         reference_per_sec,
         engine_per_sec,
+        runner,
         sweep_trials_per_sec,
         sweep_trials: config.trials,
         sweep_threads: config.effective_threads(),
@@ -375,9 +471,12 @@ mod tests {
         assert!(r.reference_per_sec > 0.0 && r.engine_per_sec > 0.0);
         assert!(r.probe.reference_per_sec > 0.0 && r.probe.engine_per_sec > 0.0);
         assert!(r.sweep_trials_per_sec > 0.0);
+        assert!(r.runner.inline_per_sec > 0.0 && r.runner.runner_per_sec > 0.0);
+        assert!(r.runner.overhead_ns_per_trial().is_finite());
         let json = r.to_json();
         assert!(json.contains("\"partitions_identical\": true"));
         assert!(json.contains("\"probe_path_speedup\""));
+        assert!(json.contains("\"runner_overhead_ns_per_trial\""));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -9,6 +9,7 @@
 //! counts as a violation. The expected output is a table of zeros.
 
 use mcs_gen::{generate_task_set, GenParams};
+use mcs_harness::{JsonValue, RunSession, TrialRecord};
 use mcs_model::CritLevel;
 use mcs_partition::{Catpa, Partitioner};
 use mcs_sim::system::SystemScheduler;
@@ -48,6 +49,37 @@ impl SoundnessResult {
     }
 }
 
+/// Per-trial record: `None` when CA-TPA rejected the set; otherwise the
+/// per-level violation verdicts plus the mode switches observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SoundnessTrial {
+    /// Per behaviour level `b = 1..=K`: whether the guarantee was violated.
+    per_level: Option<Vec<bool>>,
+    mode_switches: u64,
+}
+
+impl TrialRecord for SoundnessTrial {
+    fn to_json(&self) -> String {
+        match &self.per_level {
+            None => "\"ok\":false".to_string(),
+            Some(v) => {
+                let items: Vec<&str> =
+                    v.iter().map(|&x| if x { "true" } else { "false" }).collect();
+                format!("\"ok\":true,\"viol\":[{}],\"ms\":{}", items.join(","), self.mode_switches)
+            }
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        if !v.get("ok")?.as_bool()? {
+            return Some(Self { per_level: None, mode_switches: 0 });
+        }
+        let per_level =
+            v.get("viol")?.as_arr()?.iter().map(JsonValue::as_bool).collect::<Option<Vec<_>>>()?;
+        Some(Self { per_level: Some(per_level), mode_switches: v.get("ms")?.as_u64()? })
+    }
+}
+
 /// Run the soundness experiment.
 ///
 /// `horizon_periods` bounds per-core simulation length (the horizon is
@@ -58,30 +90,54 @@ pub fn soundness(
     config: &SweepConfig,
     horizon_periods: u32,
 ) -> SoundnessResult {
+    soundness_session(params, &mut RunSession::new(config.clone()), horizon_periods)
+}
+
+/// The experiment on an existing session (enables `--jsonl`/`--resume`).
+#[must_use]
+pub fn soundness_session(
+    params: &GenParams,
+    session: &mut RunSession,
+    horizon_periods: u32,
+) -> SoundnessResult {
+    let sim_config = SimConfig { horizon_periods, ..Default::default() };
+
+    let records = session.point("soundness").run(Catpa::default, |catpa, trial| {
+        let ts = generate_task_set(params, trial.seed);
+        let Ok(partition) = catpa.partition(&ts, params.cores) else {
+            return SoundnessTrial { per_level: None, mode_switches: 0 };
+        };
+        let mut mode_switches = 0;
+        let per_level = (1..=params.levels)
+            .map(|b| {
+                let (report, _) = simulate_partition(
+                    &ts,
+                    &partition,
+                    SystemScheduler::EdfVd,
+                    &sim_config,
+                    |_| LevelCap::new(b),
+                )
+                .expect("CA-TPA partitions are feasible on every core");
+                mode_switches += report.total().mode_switches;
+                !report.guarantee_held(CritLevel::new(b))
+            })
+            .collect();
+        SoundnessTrial { per_level: Some(per_level), mode_switches }
+    });
+
     let mut result = SoundnessResult {
-        trials: config.trials,
+        trials: records.len(),
         per_level: vec![(0, 0); usize::from(params.levels)],
         ..Default::default()
     };
-    let catpa = Catpa::default();
-    let sim_config = SimConfig { horizon_periods, ..Default::default() };
-
-    for trial in 0..config.trials {
-        let ts = generate_task_set(params, config.seed + trial as u64);
-        let Ok(partition) = catpa.partition(&ts, params.cores) else { continue };
+    for rec in &records {
+        result.mode_switches += rec.mode_switches;
+        let Some(per_level) = &rec.per_level else { continue };
         result.partitioned += 1;
-        for b in 1..=params.levels {
-            let (report, _) =
-                simulate_partition(&ts, &partition, SystemScheduler::EdfVd, &sim_config, |_| {
-                    LevelCap::new(b)
-                })
-                .expect("CA-TPA partitions are feasible on every core");
-            let entry = &mut result.per_level[usize::from(b - 1)];
+        assert_eq!(per_level.len(), result.per_level.len(), "checkpoint shape mismatch");
+        for (entry, &violated) in result.per_level.iter_mut().zip(per_level) {
             entry.0 += 1;
-            if !report.guarantee_held(CritLevel::new(b)) {
-                entry.1 += 1;
-            }
-            result.mode_switches += report.total().mode_switches;
+            entry.1 += usize::from(violated);
         }
     }
     result

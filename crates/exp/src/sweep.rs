@@ -1,4 +1,4 @@
-//! Parallel Monte-Carlo sweep engine.
+//! Parallel Monte-Carlo sweep engine, on the `mcs-harness` trial runner.
 //!
 //! One *point* = one generator parameterization. For each of `trials` task
 //! sets (deterministically seeded), every scheme partitions the same set —
@@ -6,44 +6,22 @@
 //! aggregated: schedulability ratio over all trials; `U_sys`, `U_avg`, `Λ`
 //! averaged over the *schedulable* trials of that scheme only.
 //!
-//! Trials are split across threads with crossbeam scoped threads; per-thread
-//! partial sums are merged at the end, so results are independent of the
-//! thread count.
-
-use crossbeam::thread;
+//! Trials execute on [`mcs_harness::TrialRunner`]: per-trial records come
+//! back indexed by trial and are folded sequentially in trial order, so the
+//! aggregate is bit-identical at any `--threads` (and equal to the
+//! pre-harness single-threaded loops). With a session checkpoint, each
+//! trial's per-scheme outcome streams to JSONL and interrupted sweeps
+//! resume without recomputation.
 
 use mcs_gen::{generate_task_set, GenParams};
+use mcs_harness::{JsonValue, RunSession, TrialRecord};
 use mcs_partition::{PartitionQuality, Partitioner, QualityScratch};
 
-/// Sweep execution knobs.
-#[derive(Clone, Debug)]
-pub struct SweepConfig {
-    /// Task sets per data point (the paper uses 50,000; the default trades
-    /// precision for turnaround and is overridable via `--trials`).
-    pub trials: usize,
-    /// Worker threads (0 = available parallelism).
-    pub threads: usize,
-    /// Base RNG seed; trial `i` uses `seed + i`.
-    pub seed: u64,
-}
+pub use mcs_harness::RunConfig;
 
-impl Default for SweepConfig {
-    fn default() -> Self {
-        Self { trials: 2_000, threads: 0, seed: 0x5EED }
-    }
-}
-
-impl SweepConfig {
-    /// Resolved worker-thread count.
-    #[must_use]
-    pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        }
-    }
-}
+/// Sweep execution knobs (the harness [`RunConfig`], kept under the
+/// historical name used throughout the experiment modules).
+pub type SweepConfig = RunConfig;
 
 /// Aggregated metrics of one scheme at one sweep point.
 #[derive(Clone, Debug, PartialEq)]
@@ -102,83 +80,127 @@ struct Acc {
     imbalance: f64,
 }
 
-impl Acc {
-    fn merge(&mut self, other: &Acc) {
-        self.schedulable += other.schedulable;
-        self.with_quality += other.with_quality;
-        self.u_sys += other.u_sys;
-        self.u_avg += other.u_avg;
-        self.imbalance += other.imbalance;
+/// One scheme's outcome on one trial.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchemeTrial {
+    /// Whether the scheme found a feasible partition.
+    pub schedulable: bool,
+    /// `(U_sys, U_avg, Λ)` when the partition has a Theorem-1 quality
+    /// report.
+    pub quality: Option<(f64, f64, f64)>,
+}
+
+/// The per-trial record of a sweep point: every scheme's outcome on the
+/// same generated task set (the paired design).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepTrial {
+    /// One outcome per scheme, in line-up order.
+    pub schemes: Vec<SchemeTrial>,
+}
+
+impl TrialRecord for SweepTrial {
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("\"schemes\":[");
+        for (i, s) in self.schemes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match s.quality {
+                Some((u_sys, u_avg, imb)) => {
+                    let _ = write!(
+                        out,
+                        "{{\"ok\":{},\"usys\":{},\"uavg\":{},\"imb\":{}}}",
+                        s.schedulable,
+                        mcs_harness::json::fmt_f64(u_sys),
+                        mcs_harness::json::fmt_f64(u_avg),
+                        mcs_harness::json::fmt_f64(imb)
+                    );
+                }
+                None => {
+                    let _ = write!(out, "{{\"ok\":{}}}", s.schedulable);
+                }
+            }
+        }
+        out.push(']');
+        out
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        let arr = v.get("schemes")?.as_arr()?;
+        let mut schemes = Vec::with_capacity(arr.len());
+        for s in arr {
+            let schedulable = s.get("ok")?.as_bool()?;
+            let quality = match s.get("usys") {
+                Some(u) => Some((u.as_f64()?, s.get("uavg")?.as_f64()?, s.get("imb")?.as_f64()?)),
+                None => None,
+            };
+            schemes.push(SchemeTrial { schedulable, quality });
+        }
+        Some(Self { schemes })
     }
 }
 
-/// Run all `schemes` over `trials` generated task sets at one parameter
-/// point.
+/// Run all `schemes` over the session's trials at one parameter point.
+/// `label` names the point in the session's JSONL stream (unique per run).
 #[must_use]
-pub fn run_point(
+pub fn run_point_in(
+    session: &mut RunSession,
+    label: &str,
     params: &GenParams,
     schemes: &[Box<dyn Partitioner + Send + Sync>],
-    config: &SweepConfig,
 ) -> Vec<PointResult> {
-    let threads = config.effective_threads().max(1).min(config.trials.max(1));
-    let chunk = config.trials.div_ceil(threads);
-
-    let merged: Vec<Acc> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for w in 0..threads {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(config.trials);
-            if lo >= hi {
-                break;
-            }
-            handles.push(s.spawn(move |_| {
-                let mut accs = vec![Acc::default(); schemes.len()];
-                // Warm per-worker scratch: quality evaluation across the
-                // whole chunk runs without a single heap allocation.
-                let mut quality = QualityScratch::new();
-                for trial in lo..hi {
-                    let ts = generate_task_set(params, config.seed + trial as u64);
-                    for (i, scheme) in schemes.iter().enumerate() {
-                        if let Ok(partition) = scheme.partition(&ts, params.cores) {
-                            let a = &mut accs[i];
-                            a.schedulable += 1;
-                            // Quality is defined via the Theorem-1 core
-                            // utilization; schemes with other admission
-                            // tests (FP-AMC, DBF) may yield partitions it
-                            // cannot rate — count them as schedulable only.
-                            if let Some(q) =
-                                PartitionQuality::summarize(&ts, &partition, &mut quality)
-                            {
-                                a.with_quality += 1;
-                                a.u_sys += q.u_sys;
-                                a.u_avg += q.u_avg;
-                                a.imbalance += q.imbalance;
-                            }
-                        }
-                    }
+    let trials = session.config().trials;
+    let records = session.point(label).run(QualityScratch::new, |quality, trial| {
+        let ts = generate_task_set(params, trial.seed);
+        let outcomes = schemes
+            .iter()
+            .map(|scheme| match scheme.partition(&ts, params.cores) {
+                Ok(partition) => {
+                    // Quality is defined via the Theorem-1 core utilization;
+                    // schemes with other admission tests (FP-AMC, DBF) may
+                    // yield partitions it cannot rate — schedulable only.
+                    let quality = PartitionQuality::summarize(&ts, &partition, quality)
+                        .map(|q| (q.u_sys, q.u_avg, q.imbalance));
+                    SchemeTrial { schedulable: true, quality }
                 }
-                accs
-            }));
-        }
-        let mut merged = vec![Acc::default(); schemes.len()];
-        for h in handles {
-            let partial = h.join().expect("sweep worker panicked");
-            for (m, p) in merged.iter_mut().zip(&partial) {
-                m.merge(p);
+                Err(_) => SchemeTrial { schedulable: false, quality: None },
+            })
+            .collect();
+        SweepTrial { schemes: outcomes }
+    });
+
+    // Fold in trial order — this ordering is what makes the result
+    // independent of the worker schedule.
+    let mut accs = vec![Acc::default(); schemes.len()];
+    for rec in &records {
+        assert_eq!(
+            rec.schemes.len(),
+            schemes.len(),
+            "checkpoint record shape does not match the scheme line-up \
+             (resumed file from a different configuration?)"
+        );
+        for (a, s) in accs.iter_mut().zip(&rec.schemes) {
+            if s.schedulable {
+                a.schedulable += 1;
+            }
+            if let Some((u_sys, u_avg, imbalance)) = s.quality {
+                a.with_quality += 1;
+                a.u_sys += u_sys;
+                a.u_avg += u_avg;
+                a.imbalance += imbalance;
             }
         }
-        merged
-    })
-    .expect("sweep scope panicked");
+    }
 
     schemes
         .iter()
-        .zip(merged)
+        .zip(accs)
         .map(|(scheme, acc)| {
             let n = acc.with_quality as f64;
             PointResult {
                 scheme: scheme.name(),
-                trials: config.trials,
+                trials,
                 schedulable: acc.schedulable,
                 u_sys: acc.u_sys / n,
                 u_avg: acc.u_avg / n,
@@ -186,6 +208,17 @@ pub fn run_point(
             }
         })
         .collect()
+}
+
+/// Run all `schemes` over `trials` generated task sets at one parameter
+/// point (no streaming; see [`run_point_in`] for the session variant).
+#[must_use]
+pub fn run_point(
+    params: &GenParams,
+    schemes: &[Box<dyn Partitioner + Send + Sync>],
+    config: &SweepConfig,
+) -> Vec<PointResult> {
+    run_point_in(&mut RunSession::new(config.clone()), "point", params, schemes)
 }
 
 #[cfg(test)]
@@ -210,8 +243,56 @@ mod tests {
         let b = run_point(&params, &schemes, &SweepConfig { threads: 4, ..small_config(40) });
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.schedulable, y.schedulable);
-            assert!((x.u_sys - y.u_sys).abs() < 1e-9 || x.schedulable == 0);
+            // The harness folds in trial order, so the float aggregates are
+            // bit-identical, not merely close.
+            assert_eq!(x.u_sys.to_bits(), y.u_sys.to_bits());
+            assert_eq!(x.u_avg.to_bits(), y.u_avg.to_bits());
+            assert_eq!(x.imbalance.to_bits(), y.imbalance.to_bits());
         }
+    }
+
+    #[test]
+    fn killed_sweep_resumes_to_the_uninterrupted_result() {
+        let params = small_params();
+        let schemes = paper_schemes();
+        let config = SweepConfig { trials: 25, threads: 2, seed: 13 };
+        let dir = std::env::temp_dir();
+        let full_path = dir.join(format!("mcs-sweep-full-{}.jsonl", std::process::id()));
+        let killed_path = dir.join(format!("mcs-sweep-killed-{}.jsonl", std::process::id()));
+
+        // Uninterrupted run → reference JSONL + reference results.
+        let full = {
+            let mut session =
+                RunSession::with_checkpoint(config.clone(), &full_path, false, "sweep", "t")
+                    .unwrap();
+            run_point_in(&mut session, "default", &params, &schemes)
+        };
+        let reference = std::fs::read_to_string(&full_path).unwrap();
+
+        // Simulate a mid-run kill: header + 12 whole records + one torn
+        // line the crash left behind.
+        let lines: Vec<&str> = reference.lines().collect();
+        let mut partial = lines[..13].join("\n");
+        partial.push('\n');
+        partial.push_str(&lines[13][..lines[13].len() / 2]);
+        std::fs::write(&killed_path, partial).unwrap();
+
+        let resumed = {
+            let mut session =
+                RunSession::with_checkpoint(config, &killed_path, true, "sweep", "t").unwrap();
+            run_point_in(&mut session, "default", &params, &schemes)
+        };
+        assert_eq!(full.len(), resumed.len());
+        for (a, b) in full.iter().zip(&resumed) {
+            assert_eq!(a.schedulable, b.schedulable);
+            assert_eq!(a.u_sys.to_bits(), b.u_sys.to_bits());
+            assert_eq!(a.u_avg.to_bits(), b.u_avg.to_bits());
+            assert_eq!(a.imbalance.to_bits(), b.imbalance.to_bits());
+        }
+        // The resumed stream is byte-identical to the uninterrupted one.
+        assert_eq!(std::fs::read_to_string(&killed_path).unwrap(), reference);
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&killed_path).ok();
     }
 
     #[test]
@@ -242,6 +323,20 @@ mod tests {
                 assert!(r.imbalance >= 0.0 && r.imbalance <= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn sweep_trial_record_round_trips() {
+        let rec = SweepTrial {
+            schemes: vec![
+                SchemeTrial { schedulable: true, quality: Some((0.91, 0.85, 0.07)) },
+                SchemeTrial { schedulable: true, quality: None },
+                SchemeTrial { schedulable: false, quality: None },
+            ],
+        };
+        let line = format!("{{{}}}", rec.to_json());
+        let back = SweepTrial::from_json(&mcs_harness::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(rec, back);
     }
 }
 

@@ -89,6 +89,53 @@ fn partition_and_describe_work_on_a_file() {
 }
 
 #[test]
+fn sweep_jsonl_resume_matches_a_fresh_run() {
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!("{}-mcs-cli-resume.jsonl", std::process::id()));
+    let fresh = dir.join(format!("{}-mcs-cli-fresh.jsonl", std::process::id()));
+    let ck_s = ck.to_str().unwrap();
+    let fresh_s = fresh.to_str().unwrap();
+
+    // 12 trials, then resume the same file up to 30.
+    let out = bin()
+        .args(["sweep", "--trials", "12", "--seed", "5", "--jsonl", ck_s])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["sweep", "--trials", "30", "--seed", "5", "--resume", "--jsonl", ck_s])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let resumed_stdout = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // One uninterrupted 30-trial run: same stdout, same JSONL records.
+    let out = bin()
+        .args(["sweep", "--trials", "30", "--seed", "5", "--jsonl", fresh_s])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert_eq!(resumed_stdout, String::from_utf8_lossy(&out.stdout));
+    let strip_header = |p: &std::path::Path| {
+        let s = std::fs::read_to_string(p).unwrap();
+        s.split_once('\n').unwrap().1.to_string()
+    };
+    assert_eq!(strip_header(&ck), strip_header(&fresh));
+
+    // A mismatched resume (different seed) is refused, not silently merged.
+    let out = bin()
+        .args(["sweep", "--trials", "30", "--seed", "6", "--resume", "--jsonl", ck_s])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("mismatch"), "unexpected error: {stderr}");
+
+    std::fs::remove_file(&ck).ok();
+    std::fs::remove_file(&fresh).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().args(["bogus"]).output().expect("binary runs");
     assert!(!out.status.success());

@@ -1,0 +1,272 @@
+//! Streaming JSONL results with crash-safe checkpoint/resume.
+//!
+//! File layout (`results/*.jsonl`):
+//!
+//! * **line 1 — header**: `{"schema":"mcs-harness/1","command":…,"seed":…,
+//!   "git":…,"params":…}`. The trial *count* is deliberately excluded: a
+//!   resumed run may ask for more trials than the interrupted one, and the
+//!   already-recorded prefix is still valid (trial `i` depends only on
+//!   `seed + i`).
+//! * **data lines**: `{"point":"<label>","trial":N,…}` — one per completed
+//!   trial, appended in trial order per point, flushed per line.
+//!
+//! Resume never trusts a stored high-water mark. It re-derives progress by
+//! counting the *contiguous* trial prefix recorded for each point: a torn
+//! final line (crash mid-write) is truncated away, and any out-of-order or
+//! gapped record ends the trusted prefix. Records past the contiguous
+//! prefix are discarded on the next append.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead as _, BufReader, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, JsonValue};
+
+/// Schema tag written to (and required of) every checkpoint header.
+pub const SCHEMA: &str = "mcs-harness/1";
+
+/// An open streaming-results file: every completed trial is appended as one
+/// JSONL line, so an interrupted sweep can resume where it stopped.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    file: File,
+    /// Decoded data records surviving from a resumed file, keyed by point
+    /// label, each a contiguous trial prefix `0..len`.
+    loaded: HashMap<String, Vec<JsonValue>>,
+}
+
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+fn header_line(command: &str, seed: u64, params: &str) -> String {
+    format!(
+        "{{\"schema\":\"{}\",\"command\":\"{}\",\"seed\":{},\"git\":\"{}\",\"params\":\"{}\"}}",
+        SCHEMA,
+        json::escape(command),
+        seed,
+        json::escape(&git_describe()),
+        json::escape(params),
+    )
+}
+
+fn header_compatible(
+    header: &JsonValue,
+    command: &str,
+    seed: u64,
+    params: &str,
+) -> Result<(), String> {
+    let field = |k: &str| header.get(k).and_then(JsonValue::as_str).map(str::to_string);
+    if field("schema").as_deref() != Some(SCHEMA) {
+        return Err(format!("schema mismatch (want {SCHEMA})"));
+    }
+    if field("command").as_deref() != Some(command) {
+        return Err(format!(
+            "command mismatch (file has {:?}, run is {command:?})",
+            field("command")
+        ));
+    }
+    if header.get("seed").and_then(JsonValue::as_u64) != Some(seed) {
+        return Err(format!("seed mismatch (file has {:?}, run uses {seed})", header.get("seed")));
+    }
+    if field("params").as_deref() != Some(params) {
+        return Err(format!("params mismatch (file has {:?}, run is {params:?})", field("params")));
+    }
+    Ok(())
+}
+
+impl Checkpoint {
+    /// Start a fresh checkpoint file (truncating any previous one), writing
+    /// the header line. Parent directories are created as needed.
+    ///
+    /// # Errors
+    /// I/O failure creating or writing the file.
+    pub fn create(path: &Path, command: &str, seed: u64, params: &str) -> Result<Self, String> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        let mut file =
+            File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        writeln!(file, "{}", header_line(command, seed, params))
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(Self { path: path.to_path_buf(), file, loaded: HashMap::new() })
+    }
+
+    /// Reopen an interrupted checkpoint file for resumption.
+    ///
+    /// Validates that the header matches this run (schema, command, seed,
+    /// params — a resumed run must be re-deriving the *same* trial stream),
+    /// truncates a torn final line, and loads the contiguous trial prefix
+    /// recorded for each point. If the file does not exist, this falls back
+    /// to [`Checkpoint::create`].
+    ///
+    /// # Errors
+    /// I/O failure, or a header that belongs to a different run.
+    pub fn resume(path: &Path, command: &str, seed: u64, params: &str) -> Result<Self, String> {
+        if !path.exists() {
+            return Self::create(path, command, seed, params);
+        }
+        let file = File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        let mut reader = BufReader::new(file);
+        let mut line = String::new();
+        let mut good_bytes: u64 = 0;
+        let mut header_seen = false;
+        let mut loaded: HashMap<String, Vec<JsonValue>> = HashMap::new();
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            if n == 0 {
+                break;
+            }
+            if !line.ends_with('\n') {
+                break; // torn final line: crash mid-write — truncate it away
+            }
+            let Ok(v) = json::parse(line.trim_end()) else {
+                break; // corrupt tail — treat like a torn line
+            };
+            if !header_seen {
+                header_compatible(&v, command, seed, params).map_err(|e| {
+                    format!("{}: {e}; pass a fresh --jsonl path or drop --resume", path.display())
+                })?;
+                header_seen = true;
+            } else {
+                let point = v.get("point").and_then(JsonValue::as_str).map(str::to_string);
+                let trial = v.get("trial").and_then(JsonValue::as_usize);
+                let (Some(point), Some(trial)) = (point, trial) else { break };
+                let records = loaded.entry(point).or_default();
+                if trial != records.len() {
+                    break; // gap or reorder: end of the trusted prefix
+                }
+                records.push(v);
+            }
+            good_bytes += n as u64;
+        }
+        if !header_seen {
+            // Empty or headerless file: start over.
+            return Self::create(path, command, seed, params);
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot reopen {}: {e}", path.display()))?;
+        file.set_len(good_bytes).map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0)).map_err(|e| format!("cannot seek {}: {e}", path.display()))?;
+        Ok(Self { path: path.to_path_buf(), file, loaded })
+    }
+
+    /// The records already on disk for `point` (a contiguous trial prefix
+    /// starting at 0). Taken by the runner exactly once per point.
+    pub(crate) fn take_loaded(&mut self, point: &str) -> Vec<JsonValue> {
+        self.loaded.remove(point).unwrap_or_default()
+    }
+
+    /// Append one data line for `point`. `fragment` is the record's own
+    /// fields, already JSON-encoded (without braces), e.g. `"sched":true`.
+    ///
+    /// # Errors
+    /// I/O failure writing the line.
+    pub(crate) fn append(
+        &mut self,
+        point: &str,
+        trial: usize,
+        fragment: &str,
+    ) -> Result<(), String> {
+        let sep = if fragment.is_empty() { "" } else { "," };
+        writeln!(
+            self.file,
+            "{{\"point\":\"{}\",\"trial\":{trial}{sep}{fragment}}}",
+            json::escape(point)
+        )
+        .and_then(|()| self.file.flush())
+        .map_err(|e| format!("cannot write {}: {e}", self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mcs-harness-ckpt-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_then_resume_loads_contiguous_prefix() {
+        let path = tmp("roundtrip");
+        {
+            let mut ck = Checkpoint::create(&path, "sweep", 7, "m=4").unwrap();
+            ck.append("p0", 0, "\"x\":1").unwrap();
+            ck.append("p0", 1, "\"x\":2").unwrap();
+            ck.append("p1", 0, "\"x\":3").unwrap();
+        }
+        let mut ck = Checkpoint::resume(&path, "sweep", 7, "m=4").unwrap();
+        let p0 = ck.take_loaded("p0");
+        assert_eq!(p0.len(), 2);
+        assert_eq!(p0[1].get("x").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(ck.take_loaded("p1").len(), 1);
+        assert!(ck.take_loaded("p0").is_empty(), "taken once");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated() {
+        let path = tmp("torn");
+        {
+            let mut ck = Checkpoint::create(&path, "sweep", 7, "").unwrap();
+            ck.append("p", 0, "\"x\":1").unwrap();
+        }
+        // Simulate a crash mid-write of trial 1.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"point\":\"p\",\"trial\":1,\"x\"").unwrap();
+        drop(f);
+        let mut ck = Checkpoint::resume(&path, "sweep", 7, "").unwrap();
+        assert_eq!(ck.take_loaded("p").len(), 1);
+        ck.append("p", 1, "\"x\":2").unwrap();
+        drop(ck);
+        // The torn bytes are gone; the file re-resumes cleanly with 2 trials.
+        let mut ck = Checkpoint::resume(&path, "sweep", 7, "").unwrap();
+        assert_eq!(ck.take_loaded("p").len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_header_is_rejected() {
+        let path = tmp("mismatch");
+        drop(Checkpoint::create(&path, "sweep", 7, "m=4").unwrap());
+        assert!(Checkpoint::resume(&path, "sweep", 8, "m=4").is_err(), "seed drift");
+        assert!(Checkpoint::resume(&path, "figures", 7, "m=4").is_err(), "command drift");
+        assert!(Checkpoint::resume(&path, "sweep", 7, "m=8").is_err(), "params drift");
+        assert!(Checkpoint::resume(&path, "sweep", 7, "m=4").is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gapped_records_end_the_trusted_prefix() {
+        let path = tmp("gap");
+        {
+            let mut ck = Checkpoint::create(&path, "sweep", 7, "").unwrap();
+            ck.append("p", 0, "").unwrap();
+            ck.append("p", 2, "").unwrap(); // gap: trial 1 missing
+        }
+        let mut ck = Checkpoint::resume(&path, "sweep", 7, "").unwrap();
+        assert_eq!(ck.take_loaded("p").len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

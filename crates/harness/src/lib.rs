@@ -1,0 +1,39 @@
+//! # mcs-harness
+//!
+//! The experiment harness every `mcs-exp` command runs on. Three layers:
+//!
+//! * [`RunConfig`] — the execution knobs (`--trials`, `--threads`,
+//!   `--seed`) parsed once and shared by every trial-driven subcommand;
+//! * [`RunSession`] / [`TrialRunner`] — a crossbeam scoped-thread executor
+//!   with deterministic per-trial seeding ([`mcs_gen::trial_seed`], i.e.
+//!   `seed + i` — preserved exactly across the refactor so every published
+//!   number is unchanged) and merge-order-independent reduction: records
+//!   come back **indexed by trial**, so output is bit-identical at any
+//!   thread count;
+//! * the streaming result layer ([`checkpoint`], [`TrialRecord`]) — each
+//!   trial can emit one JSONL line to `results/*.jsonl` under a checkpoint
+//!   header, so an interrupted sweep resumes with `--resume` instead of
+//!   restarting.
+//!
+//! Scheme construction lives in [`mcs_partition::registry`]
+//! (re-exported here): one name→constructor table replaces the per-command
+//! copy-pasted scheme lists.
+
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod json;
+pub mod runner;
+
+pub use checkpoint::Checkpoint;
+pub use config::RunConfig;
+pub use json::JsonValue;
+pub use runner::{RunSession, Trial, TrialRecord, TrialRunner};
+
+// The scheme registry is defined next to the schemes themselves (the
+// dependency points partition → audit, so the table cannot live higher);
+// re-exported here because harness users are its main consumers.
+pub use mcs_partition::{
+    BaselineFit, SchemeFlags, SchemeInfo, SchemeRegistry, AUDIT_SET, DUAL_SET, GAP_SET, PAPER_SET,
+};

@@ -1,0 +1,354 @@
+//! The deterministic parallel trial executor.
+//!
+//! Every experiment command reduces to the same shape: *N* independent
+//! trials, trial `i` seeded with [`mcs_gen::trial_seed`]`(seed, i)`, folded
+//! into an aggregate. [`TrialRunner::run`] executes the trials across worker
+//! threads and returns the per-trial records **indexed by trial**, so the
+//! caller's fold runs sequentially in trial order — the output is therefore
+//! bit-identical at any `--threads`, and exactly equal to the historical
+//! single-threaded loops (same per-trial seeds, same fold order).
+//!
+//! Work distribution is dynamic (atomic block claiming), which is safe
+//! precisely because ordering is restored afterwards: a slow trial never
+//! perturbs the result, only the wall clock.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crossbeam::thread;
+
+use crate::checkpoint::Checkpoint;
+use crate::config::RunConfig;
+use crate::json::JsonValue;
+
+/// One unit of work handed to the trial closure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trial {
+    /// Trial index within the point, `0..trials`.
+    pub index: usize,
+    /// The trial's RNG seed: [`mcs_gen::trial_seed`]`(config.seed, index)`.
+    pub seed: u64,
+}
+
+/// A per-trial result that can stream to (and reload from) a JSONL
+/// checkpoint line.
+pub trait TrialRecord: Sized + Send {
+    /// Encode as a JSON object *fragment* — the record's own fields without
+    /// braces, e.g. `"sched":true,"usys":0.91` (empty string for no fields).
+    /// The runner wraps it with the `point` and `trial` keys.
+    fn to_json(&self) -> String;
+
+    /// Decode from a parsed checkpoint line. `None` rejects the record (the
+    /// runner recomputes it and everything after it).
+    fn from_json(v: &JsonValue) -> Option<Self>;
+}
+
+/// Records that never stream (commands run without `--jsonl` still go
+/// through the runner; an in-memory-only record type can use this).
+impl TrialRecord for () {
+    fn to_json(&self) -> String {
+        String::new()
+    }
+    fn from_json(_: &JsonValue) -> Option<Self> {
+        Some(())
+    }
+}
+
+/// One experiment run: execution knobs plus the optional streaming-results
+/// checkpoint shared by every point of the run.
+#[derive(Debug)]
+pub struct RunSession {
+    config: RunConfig,
+    checkpoint: Option<Checkpoint>,
+}
+
+impl RunSession {
+    /// A session without streaming results.
+    #[must_use]
+    pub fn new(config: RunConfig) -> Self {
+        Self { config, checkpoint: None }
+    }
+
+    /// A session streaming every trial to a JSONL checkpoint at `path`.
+    ///
+    /// With `resume`, an existing compatible file is continued (recorded
+    /// trials are reloaded instead of recomputed); without it the file is
+    /// truncated. `command` and `params` go into the header and must match
+    /// on resume — they fingerprint the trial stream.
+    ///
+    /// # Errors
+    /// I/O failure, or (on resume) a header from a different run.
+    pub fn with_checkpoint(
+        config: RunConfig,
+        path: &Path,
+        resume: bool,
+        command: &str,
+        params: &str,
+    ) -> Result<Self, String> {
+        let checkpoint = if resume {
+            Checkpoint::resume(path, command, config.seed, params)?
+        } else {
+            Checkpoint::create(path, command, config.seed, params)?
+        };
+        Ok(Self { config, checkpoint: Some(checkpoint) })
+    }
+
+    /// The session's execution knobs.
+    #[must_use]
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Start one data point; `label` names it in the JSONL stream (each
+    /// point's label must be unique within a run).
+    pub fn point(&mut self, label: &str) -> TrialRunner<'_> {
+        TrialRunner { session: self, label: label.to_string() }
+    }
+}
+
+/// Executor for the trials of one data point; see the module docs for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct TrialRunner<'a> {
+    session: &'a mut RunSession,
+    label: String,
+}
+
+impl TrialRunner<'_> {
+    /// Run `config.trials` trials and return their records indexed by trial.
+    ///
+    /// `init` builds one per-worker state (scratch buffers, a scheme set, an
+    /// audit registry — anything reused across that worker's trials); `f`
+    /// executes one trial against it. Trials already present in a resumed
+    /// checkpoint are decoded instead of recomputed; newly computed trials
+    /// stream to the checkpoint in trial order.
+    ///
+    /// # Panics
+    /// Propagates worker panics; panics on checkpoint I/O failure.
+    pub fn run<S, T, I, F>(self, init: I, f: F) -> Vec<T>
+    where
+        T: TrialRecord,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Trial) -> T + Sync,
+    {
+        let trials = self.session.config.trials;
+        let base_seed = self.session.config.seed;
+
+        // Reload the contiguous prefix a resumed checkpoint already holds.
+        let mut results: Vec<T> = Vec::with_capacity(trials);
+        if let Some(ck) = self.session.checkpoint.as_mut() {
+            for v in ck.take_loaded(&self.label) {
+                if results.len() == trials {
+                    break;
+                }
+                match T::from_json(&v) {
+                    Some(rec) => results.push(rec),
+                    None => break, // undecodable tail: recompute from here
+                }
+            }
+        }
+        let done = results.len();
+        if done >= trials {
+            return results;
+        }
+        let remaining = trials - done;
+        let trial = |i: usize| Trial { index: i, seed: mcs_gen::trial_seed(base_seed, i) };
+
+        let threads = self.session.config.effective_threads().max(1).min(remaining);
+        if threads == 1 {
+            let mut state = init();
+            for i in done..trials {
+                let rec = f(&mut state, trial(i));
+                if let Some(ck) = self.session.checkpoint.as_mut() {
+                    ck.append(&self.label, i, &rec.to_json()).unwrap_or_else(|e| panic!("{e}"));
+                }
+                results.push(rec);
+            }
+            return results;
+        }
+
+        // Dynamic block claiming: workers race for blocks of consecutive
+        // trials and send each record home tagged with its index; the main
+        // thread slots records by trial and streams them to the checkpoint
+        // in trial order. Scheduling nondeterminism cannot reach the output.
+        let block = (remaining / (threads * 4)).clamp(1, 64);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(remaining, || None);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let init = &init;
+                let f = &f;
+                handles.push(s.spawn(move |_| {
+                    let mut state = init();
+                    loop {
+                        let lo = next.fetch_add(block, Ordering::Relaxed);
+                        if lo >= remaining {
+                            break;
+                        }
+                        let hi = (lo + block).min(remaining);
+                        for off in lo..hi {
+                            let i = done + off;
+                            let rec = f(&mut state, trial(i));
+                            if tx.send((off, rec)).is_err() {
+                                return; // receiver gone: run is unwinding
+                            }
+                        }
+                    }
+                }));
+            }
+            drop(tx);
+            let mut next_write = 0usize;
+            while let Ok((off, rec)) = rx.recv() {
+                slots[off] = Some(rec);
+                while let Some(Some(rec)) = slots.get(next_write) {
+                    if let Some(ck) = self.session.checkpoint.as_mut() {
+                        ck.append(&self.label, done + next_write, &rec.to_json())
+                            .unwrap_or_else(|e| panic!("{e}"));
+                    }
+                    next_write += 1;
+                }
+            }
+            for h in handles {
+                h.join().expect("trial worker panicked");
+            }
+        })
+        .expect("trial scope panicked");
+
+        results.extend(slots.into_iter().map(|s| s.expect("all trials completed")));
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A record carrying the trial seed, so reorderings are detectable.
+    struct Rec {
+        seed: u64,
+        metric: f64,
+    }
+
+    impl TrialRecord for Rec {
+        fn to_json(&self) -> String {
+            format!("\"seed\":{},\"metric\":{}", self.seed, crate::json::fmt_f64(self.metric))
+        }
+        fn from_json(v: &JsonValue) -> Option<Self> {
+            Some(Self {
+                seed: v.get("seed").and_then(JsonValue::as_u64)?,
+                metric: v.get("metric").and_then(JsonValue::as_f64)?,
+            })
+        }
+    }
+
+    fn compute(t: Trial) -> Rec {
+        // A seed-dependent irrational-ish metric: any fold-order change
+        // would flip output bits.
+        Rec { seed: t.seed, metric: (t.seed as f64).sqrt() / 3.0 }
+    }
+
+    fn run_with(threads: usize) -> Vec<Rec> {
+        let mut session = RunSession::new(RunConfig { trials: 97, threads, seed: 41 });
+        session.point("p").run(|| (), |(), t| compute(t))
+    }
+
+    #[test]
+    fn output_is_bit_identical_across_thread_counts() {
+        let one = run_with(1);
+        for threads in [2, 4, 8] {
+            let many = run_with(threads);
+            assert_eq!(one.len(), many.len());
+            for (a, b) in one.iter().zip(&many) {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.metric.to_bits(), b.metric.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_seeds_follow_the_published_derivation() {
+        let recs = run_with(3);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seed, 41 + i as u64);
+        }
+    }
+
+    #[test]
+    fn resume_skips_recorded_trials() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mcs-harness-runner-{}.jsonl", std::process::id()));
+        let config = RunConfig { trials: 20, threads: 2, seed: 9 };
+        let calls = AtomicUsize::new(0);
+        let full = {
+            let mut session =
+                RunSession::with_checkpoint(config.clone(), &path, false, "t", "").unwrap();
+            session.point("p").run(
+                || (),
+                |(), t| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    compute(t)
+                },
+            )
+        };
+        assert_eq!(calls.swap(0, Ordering::Relaxed), 20);
+
+        // Resume with more trials: only the extra 10 are computed, and the
+        // reloaded prefix is bit-identical to the original run.
+        let config = RunConfig { trials: 30, ..config };
+        let mut session = RunSession::with_checkpoint(config, &path, true, "t", "").unwrap();
+        let resumed = session.point("p").run(
+            || (),
+            |(), t| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                compute(t)
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        assert_eq!(resumed.len(), 30);
+        for (a, b) in full.iter().zip(&resumed) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.metric.to_bits(), b.metric.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Bit-identical output at any worker count, for arbitrary
+            /// base seeds and trial counts (including counts far from
+            /// multiples of the claiming block size).
+            #[test]
+            fn runner_output_is_thread_count_invariant(
+                seed in any::<u64>(),
+                trials in 1usize..80,
+                threads in 2usize..9,
+            ) {
+                let run = |threads: usize| {
+                    let mut session =
+                        RunSession::new(RunConfig { trials, threads, seed });
+                    session.point("p").run(|| (), |(), t| compute(t))
+                };
+                let one = run(1);
+                let many = run(threads);
+                prop_assert_eq!(one.len(), many.len());
+                for (a, b) in one.iter().zip(&many) {
+                    prop_assert_eq!(a.seed, b.seed);
+                    prop_assert_eq!(a.metric.to_bits(), b.metric.to_bits());
+                }
+            }
+        }
+    }
+}

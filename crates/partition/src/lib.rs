@@ -41,6 +41,7 @@ pub mod fppart;
 pub mod hybrid;
 pub mod metrics;
 pub mod reference;
+pub mod registry;
 pub mod repair;
 
 use std::fmt;
@@ -58,6 +59,9 @@ pub use fppart::{FpAmc, FpOrdering, FpPriorities};
 pub use hybrid::Hybrid;
 pub use metrics::{PartitionQuality, QualityScratch, QualitySummary};
 pub use reference::{reference_paper_schemes, ReferenceBinPacker, ReferenceCatpa, ReferenceHybrid};
+pub use registry::{
+    BaselineFit, SchemeFlags, SchemeInfo, SchemeRegistry, AUDIT_SET, DUAL_SET, GAP_SET, PAPER_SET,
+};
 pub use repair::CatpaLs;
 
 use mcs_model::{Partition, TaskId, TaskSet};
@@ -135,13 +139,7 @@ impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
 /// reading.
 #[must_use]
 pub fn paper_schemes() -> Vec<Box<dyn Partitioner + Send + Sync>> {
-    vec![
-        Box::new(BinPacker::wfd()),
-        Box::new(BinPacker::ffd()),
-        Box::new(BinPacker::bfd()),
-        Box::new(Hybrid::default()),
-        Box::new(Catpa::default()),
-    ]
+    SchemeRegistry::standard().build_set(&PAPER_SET, &SchemeFlags::default())
 }
 
 /// The same five schemes, but with the *classical* baselines: WFD, FFD, BFD
@@ -153,11 +151,5 @@ pub fn paper_schemes() -> Vec<Box<dyn Partitioner + Send + Sync>> {
 /// erases it (see EXPERIMENTS.md).
 #[must_use]
 pub fn paper_schemes_weak() -> Vec<Box<dyn Partitioner + Send + Sync>> {
-    vec![
-        Box::new(BinPacker::wfd().with_fit(FitTest::Simple)),
-        Box::new(BinPacker::ffd().with_fit(FitTest::Simple)),
-        Box::new(BinPacker::bfd().with_fit(FitTest::Simple)),
-        Box::new(Hybrid::default().with_fit(FitTest::Simple)),
-        Box::new(Catpa::default()),
-    ]
+    SchemeRegistry::standard().build_set(&PAPER_SET, &SchemeFlags::weak())
 }

@@ -1,0 +1,359 @@
+//! The [`SchemeRegistry`] — the single catalogue of every partitioning
+//! scheme the experiment harness can run.
+//!
+//! Before this registry existed the repo built its scheme line-ups in four
+//! separate places (`paper_schemes*()`, the dual-criticality extension
+//! list, the optimality-gap list, and the audit roster), each hand-copying
+//! constructors and per-scheme metadata. Adding a scheme meant editing all
+//! of them. Now a scheme is **one registration**: a stable name, a
+//! constructor closed over the [`SchemeFlags`] (strong/weak baseline fit,
+//! α override, SA iteration budget), and the audit-relevant facts
+//! (whether it sorts by utilization contribution, its default α, whether
+//! its analysis is dual-criticality only).
+//!
+//! The canonical experiment line-ups ([`PAPER_SET`], [`DUAL_SET`],
+//! [`GAP_SET`], [`SchemeRegistry::audit_roster`]) are name lists resolved
+//! through the registry, so their construction is shared and their order —
+//! which fixes table/figure row order in every recorded result — is
+//! defined in exactly one place.
+
+use crate::fit::FitTest;
+use crate::{
+    BinPacker, Catpa, CatpaLs, DbfFirstFit, FpAmc, Hybrid, Partitioner, SimAnneal, DEFAULT_ALPHA,
+};
+
+/// Which reading of the baselines' fit test to construct (see
+/// [`crate::paper_schemes_weak`] for the experimental rationale).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BaselineFit {
+    /// Eq. (4) then Theorem 1 — the paper-text reading.
+    #[default]
+    Strong,
+    /// Eq. (4) only — the classical-literature reading.
+    Weak,
+}
+
+/// Construction-time knobs shared by every registry build. The flags cover
+/// every variation the experiments need; schemes ignore flags that do not
+/// concern them (CA-TPA ignores the baseline fit, FFD ignores α).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchemeFlags {
+    /// Fit-test reading for the bin-packing family and Hybrid.
+    pub baseline_fit: BaselineFit,
+    /// Override of the CA-TPA-family imbalance threshold α (used by the
+    /// Fig. 3 sweep); `None` keeps [`DEFAULT_ALPHA`].
+    pub alpha: Option<f64>,
+    /// Override of the simulated-annealing iteration budget (the
+    /// optimality-gap experiment uses a smaller budget than the default).
+    pub sa_iterations: Option<u32>,
+}
+
+impl SchemeFlags {
+    /// Flags selecting the weak (Eq. (4)-only) baselines.
+    #[must_use]
+    pub fn weak() -> Self {
+        Self { baseline_fit: BaselineFit::Weak, ..Self::default() }
+    }
+
+    /// Set the CA-TPA α override.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Set the SA iteration budget.
+    #[must_use]
+    pub fn with_sa_iterations(mut self, iterations: u32) -> Self {
+        self.sa_iterations = Some(iterations);
+        self
+    }
+
+    fn fit(&self) -> FitTest {
+        match self.baseline_fit {
+            BaselineFit::Strong => FitTest::default(),
+            BaselineFit::Weak => FitTest::Simple,
+        }
+    }
+}
+
+/// One registered scheme: stable name, constructor, and the metadata the
+/// audit sweep attaches to its partitions.
+pub struct SchemeInfo {
+    /// Stable display name — the same string the built partitioner's
+    /// `Partitioner::name` returns (asserted by the registry tests).
+    pub name: &'static str,
+    /// Whether the scheme places tasks in utilization-contribution order
+    /// (the audit's `contribution-order` rule re-derives and checks it).
+    pub uses_contribution_order: bool,
+    /// The α threshold the scheme runs with by default, if it uses one.
+    pub default_alpha: Option<f64>,
+    /// Whether the scheme's admission analysis is dual-criticality (K = 2)
+    /// only (DBF, FP-AMC).
+    pub dual_only: bool,
+    ctor: fn(&SchemeFlags) -> Box<dyn Partitioner + Send + Sync>,
+}
+
+impl SchemeInfo {
+    /// Construct the scheme with the given flags.
+    #[must_use]
+    pub fn build(&self, flags: &SchemeFlags) -> Box<dyn Partitioner + Send + Sync> {
+        (self.ctor)(flags)
+    }
+
+    /// The α the scheme would run with under `flags` (audit context input).
+    #[must_use]
+    pub fn effective_alpha(&self, flags: &SchemeFlags) -> Option<f64> {
+        self.default_alpha.map(|d| flags.alpha.unwrap_or(d))
+    }
+}
+
+/// The paper's figure line-up, in plot order (fixes table column order).
+pub const PAPER_SET: [&str; 5] = ["WFD", "FFD", "BFD", "Hybrid", "CA-TPA"];
+
+/// The dual-criticality scheduler-family comparison line-up.
+pub const DUAL_SET: [&str; 5] = ["CA-TPA", "FFD", "FP-DM", "FP-OPA", "DBF-FFD"];
+
+/// The optimality-gap line-up: the paper set plus the repair and annealing
+/// extensions (which show how much of the gap local search recovers).
+pub const GAP_SET: [&str; 7] = ["WFD", "FFD", "BFD", "Hybrid", "CA-TPA", "CA-TPA+LS", "SA"];
+
+/// The audit-sweep roster, in report order.
+pub const AUDIT_SET: [&str; 10] =
+    ["CA-TPA", "FFD", "BFD", "WFD", "NFD", "Hybrid", "CA-TPA+LS", "SA", "DBF-FFD", "FP-DM"];
+
+/// Name → constructor/metadata catalogue of every scheme.
+pub struct SchemeRegistry {
+    entries: Vec<SchemeInfo>,
+}
+
+impl Default for SchemeRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl SchemeRegistry {
+    /// The standard registry: every scheme the repo implements.
+    #[must_use]
+    pub fn standard() -> Self {
+        let catpa = |flags: &SchemeFlags| -> Box<dyn Partitioner + Send + Sync> {
+            match flags.alpha {
+                Some(a) => Box::new(Catpa::with_alpha(a)),
+                None => Box::new(Catpa::default()),
+            }
+        };
+        let entries = vec![
+            SchemeInfo {
+                name: "CA-TPA",
+                uses_contribution_order: true,
+                default_alpha: Some(DEFAULT_ALPHA),
+                dual_only: false,
+                ctor: catpa,
+            },
+            SchemeInfo {
+                name: "FFD",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: false,
+                ctor: |f| Box::new(BinPacker::ffd().with_fit(f.fit())),
+            },
+            SchemeInfo {
+                name: "BFD",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: false,
+                ctor: |f| Box::new(BinPacker::bfd().with_fit(f.fit())),
+            },
+            SchemeInfo {
+                name: "WFD",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: false,
+                ctor: |f| Box::new(BinPacker::wfd().with_fit(f.fit())),
+            },
+            SchemeInfo {
+                name: "NFD",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: false,
+                ctor: |f| Box::new(BinPacker::nfd().with_fit(f.fit())),
+            },
+            SchemeInfo {
+                name: "Hybrid",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: false,
+                ctor: |f| Box::new(Hybrid::default().with_fit(f.fit())),
+            },
+            SchemeInfo {
+                name: "CA-TPA+LS",
+                uses_contribution_order: true,
+                default_alpha: Some(DEFAULT_ALPHA),
+                dual_only: false,
+                ctor: |f| {
+                    let mut ls = CatpaLs::default();
+                    if let Some(a) = f.alpha {
+                        ls.alpha = Some(a);
+                    }
+                    Box::new(ls)
+                },
+            },
+            SchemeInfo {
+                name: "SA",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: false,
+                ctor: |f| {
+                    let mut sa = SimAnneal::default();
+                    if let Some(n) = f.sa_iterations {
+                        sa.iterations = n;
+                    }
+                    Box::new(sa)
+                },
+            },
+            SchemeInfo {
+                name: "DBF-FFD",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: true,
+                ctor: |_| Box::new(DbfFirstFit),
+            },
+            SchemeInfo {
+                name: "FP-DM",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: true,
+                ctor: |_| Box::new(FpAmc::dm_du()),
+            },
+            SchemeInfo {
+                name: "FP-DM-DC",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: true,
+                ctor: |_| Box::new(FpAmc::dm_dc()),
+            },
+            SchemeInfo {
+                name: "FP-OPA",
+                uses_contribution_order: false,
+                default_alpha: None,
+                dual_only: true,
+                ctor: |_| Box::new(FpAmc::audsley()),
+            },
+        ];
+        Self { entries }
+    }
+
+    /// All registered schemes, in registration order.
+    #[must_use]
+    pub fn entries(&self) -> &[SchemeInfo] {
+        &self.entries
+    }
+
+    /// Look up a scheme by its stable name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&SchemeInfo> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Construct one scheme by name.
+    ///
+    /// # Panics
+    /// Panics when `name` is not registered — experiment line-ups are
+    /// static, so an unknown name is a programming error, not an input
+    /// error.
+    #[must_use]
+    pub fn build(&self, name: &str, flags: &SchemeFlags) -> Box<dyn Partitioner + Send + Sync> {
+        self.get(name).unwrap_or_else(|| panic!("unregistered scheme: {name}")).build(flags)
+    }
+
+    /// Construct a named line-up in order.
+    #[must_use]
+    pub fn build_set(
+        &self,
+        names: &[&str],
+        flags: &SchemeFlags,
+    ) -> Vec<Box<dyn Partitioner + Send + Sync>> {
+        names.iter().map(|n| self.build(n, flags)).collect()
+    }
+
+    /// The audit-sweep roster: `(info, scheme)` pairs in report order, so
+    /// the audit can attach each scheme's metadata to its context.
+    #[must_use]
+    pub fn audit_roster(
+        &self,
+        flags: &SchemeFlags,
+    ) -> Vec<(&SchemeInfo, Box<dyn Partitioner + Send + Sync>)> {
+        AUDIT_SET
+            .iter()
+            .map(|n| {
+                let info = self.get(n).unwrap_or_else(|| panic!("unregistered scheme: {n}"));
+                (info, info.build(flags))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_name_matches_its_partitioner() {
+        let reg = SchemeRegistry::standard();
+        let flags = SchemeFlags::default();
+        for e in reg.entries() {
+            assert_eq!(e.name, e.build(&flags).name(), "registry name drifted");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let reg = SchemeRegistry::standard();
+        let mut names: Vec<&str> = reg.entries().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn named_sets_resolve() {
+        let reg = SchemeRegistry::standard();
+        let flags = SchemeFlags::default();
+        assert_eq!(reg.build_set(&PAPER_SET, &flags).len(), 5);
+        assert_eq!(reg.build_set(&DUAL_SET, &flags).len(), 5);
+        assert_eq!(reg.build_set(&GAP_SET, &flags).len(), 7);
+        assert_eq!(reg.audit_roster(&flags).len(), 10);
+    }
+
+    #[test]
+    fn alpha_flag_reaches_catpa() {
+        let reg = SchemeRegistry::standard();
+        let info = reg.get("CA-TPA").unwrap();
+        assert_eq!(info.effective_alpha(&SchemeFlags::default()), Some(DEFAULT_ALPHA));
+        assert_eq!(info.effective_alpha(&SchemeFlags::default().with_alpha(0.3)), Some(0.3));
+        // Schemes without α ignore the override.
+        assert_eq!(
+            reg.get("FFD").unwrap().effective_alpha(&SchemeFlags::default().with_alpha(0.3)),
+            None
+        );
+    }
+
+    #[test]
+    fn dual_only_flags_match_analysis_scope() {
+        let reg = SchemeRegistry::standard();
+        for name in ["DBF-FFD", "FP-DM", "FP-DM-DC", "FP-OPA"] {
+            assert!(reg.get(name).unwrap().dual_only, "{name} must be dual-only");
+        }
+        for name in ["CA-TPA", "FFD", "Hybrid", "SA"] {
+            assert!(!reg.get(name).unwrap().dual_only, "{name} is not dual-only");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered scheme")]
+    fn unknown_name_panics() {
+        let _ = SchemeRegistry::standard().build("BOGUS", &SchemeFlags::default());
+    }
+}
