@@ -42,6 +42,39 @@ diff "$TMP/resumed.txt" "$TMP/fresh.txt" \
 diff <(tail -n +2 "$TMP/ck.jsonl") <(tail -n +2 "$TMP/fresh.jsonl") \
   || { echo "ci: resumed JSONL records differ from an uninterrupted run"; exit 1; }
 
+echo "== mcs-exp telemetry smoke"
+# Telemetry must never perturb published stdout: a sweep with --telemetry
+# is byte-identical to one without, and the sidecar is valid JSONL with
+# the provenance header first.
+"$MCS_EXP" sweep --trials "${SWEEP_TRIALS:-200}" > "$TMP/sweep-plain.txt" 2> /dev/null
+"$MCS_EXP" sweep --trials "${SWEEP_TRIALS:-200}" --telemetry "$TMP/telemetry.jsonl" \
+  > "$TMP/sweep-telemetry.txt" 2> /dev/null
+diff "$TMP/sweep-plain.txt" "$TMP/sweep-telemetry.txt" \
+  || { echo "ci: --telemetry changed sweep stdout"; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 - "$TMP/telemetry.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert lines, "telemetry sidecar is empty"
+head = lines[0]
+assert head.get("kind") == "header", f"first line is not the header: {head}"
+for key in ("schema", "command", "seed", "trials", "threads", "schemes",
+            "git", "build_profile", "timing"):
+    assert key in head, f"header missing {key!r}"
+kinds = {l["kind"] for l in lines}
+assert "counter" in kinds, "no counter lines in sidecar"
+assert "phase" in kinds, "no phase lines in sidecar"
+print(f"ci: telemetry sidecar ok ({len(lines)} lines)")
+EOF
+else
+  grep -q '"kind":"header"' "$TMP/telemetry.jsonl" \
+    && grep -q '"kind":"counter"' "$TMP/telemetry.jsonl" \
+    || { echo "ci: telemetry sidecar malformed"; exit 1; }
+fi
+
+echo "== cargo build (telemetry compiled out)"
+cargo build -q --offline --no-default-features --features telemetry-off
+
 # Record-only: refreshes BENCH_partition.json (and re-checks that the
 # optimized probe path emits partitions identical to the reference loops);
 # the speedup number itself is not a gate.

@@ -44,6 +44,9 @@ pub struct AuditContext<'a> {
     /// Closure re-running the scheme on the same inputs, if the caller can
     /// provide one; enables the `harness-determinism` rule.
     pub repartition: Option<&'a Repartition<'a>>,
+    /// A quiescent telemetry counter observation, if the caller captured
+    /// one; enables the `telemetry-consistency` rule.
+    pub telemetry: Option<&'a rules::telemetry::TelemetryCounters>,
 }
 
 impl<'a> AuditContext<'a> {
@@ -59,6 +62,7 @@ impl<'a> AuditContext<'a> {
             ordering: None,
             alpha: None,
             repartition: None,
+            telemetry: None,
         }
     }
 
@@ -88,6 +92,14 @@ impl<'a> AuditContext<'a> {
     #[must_use]
     pub fn with_repartition(mut self, repartition: &'a Repartition<'a>) -> Self {
         self.repartition = Some(repartition);
+        self
+    }
+
+    /// Attach a quiescent telemetry counter observation, enabling the
+    /// `telemetry-consistency` rule.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &'a rules::telemetry::TelemetryCounters) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -130,6 +142,7 @@ impl Registry {
         r.push(Box::new(rules::ordering::ContributionOrderRule));
         r.push(Box::new(rules::ordering::AlphaDomain));
         r.push(Box::new(rules::harness::HarnessDeterminism));
+        r.push(Box::new(rules::telemetry::TelemetryConsistency));
         r
     }
 
@@ -164,8 +177,9 @@ mod tests {
     fn standard_registry_has_unique_ids() {
         let r = Registry::standard();
         let ids: Vec<&str> = r.rules().map(Invariant::id).collect();
-        assert!(ids.len() >= 8, "expected at least eight standard rules, got {ids:?}");
+        assert!(ids.len() >= 9, "expected at least nine standard rules, got {ids:?}");
         assert!(ids.contains(&"harness-determinism"), "missing harness rule in {ids:?}");
+        assert!(ids.contains(&"telemetry-consistency"), "missing telemetry rule in {ids:?}");
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();

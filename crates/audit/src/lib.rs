@@ -16,8 +16,9 @@
 //! * [`rules`] — the standard rules: partition well-formedness, per-core
 //!   Theorem-1 re-verification, `f64`-vs-exact verdict agreement,
 //!   [`mcs_model::UtilTable`] cache consistency, probe-engine-vs-scratch
-//!   bit equality, contribution-order and α-domain checks, and
-//!   re-run placement determinism (`harness-determinism`);
+//!   bit equality, contribution-order and α-domain checks,
+//!   re-run placement determinism (`harness-determinism`), and telemetry
+//!   counter algebra (`telemetry-consistency`);
 //! * [`diagnostic`] — severities, subjects, and text/JSON rendering.
 //!
 //! The crate deliberately depends only on `mcs-model` and `mcs-analysis`:
@@ -34,6 +35,7 @@ pub mod rules;
 
 pub use diagnostic::{AuditReport, Diagnostic, Severity, Subject};
 pub use invariant::{AuditContext, ContributionOrdering, Invariant, Registry, Repartition};
+pub use rules::telemetry::{check_counters, TelemetryCounters, TELEMETRY_ID};
 pub use rules::theorem1::EXACT_BAND;
 
 use mcs_model::{Partition, TaskSet};

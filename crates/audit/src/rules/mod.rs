@@ -7,6 +7,7 @@
 pub mod harness;
 pub mod ordering;
 pub mod probe_cache;
+pub mod telemetry;
 pub mod theorem1;
 pub mod util_cache;
 pub mod well_formed;

@@ -1,0 +1,98 @@
+//! Telemetry overhead on the probe hot path — the three cost tiers
+//! DESIGN.md budgets: the raw `CoreSums` batch kernel (the
+//! `telemetry-off` proxy, no instrumentation), the instrumented
+//! `ProbeEngine::probe_all_cores` with counters only (tally cells + the
+//! span-timing gate, the default), and the same with span timing enabled
+//! (two `Instant` reads + a histogram record per batch). The counters-only
+//! arm must stay within ~2% of the raw kernel (the `mcs-exp perf`
+//! `telemetry_probe_overhead_pct` figure tracks the same bound end to
+//! end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcs_analysis::{CoreSums, TaskRow};
+use mcs_bench::fixture;
+use mcs_model::TaskSet;
+use mcs_obs::{set_timing, Counter};
+use mcs_partition::ProbeEngine;
+
+const CORES: usize = 8;
+
+/// Mid-placement state shared by every arm: tasks dealt round-robin, kept
+/// only where the engine admits them, mirrored into raw `CoreSums`.
+fn mid_placement(ts: &TaskSet) -> (ProbeEngine, Vec<CoreSums>) {
+    let mut engine = ProbeEngine::new();
+    engine.reset(ts, CORES);
+    let mut sums = vec![CoreSums::new(ts.num_levels()); CORES];
+    for (i, task) in ts.tasks().iter().enumerate() {
+        let core = i % CORES;
+        let v = engine.probe_verdict(core, task.id());
+        if let (true, Some(util)) = (v.feasible(), v.core_utilization) {
+            engine.commit(task.id(), core, util);
+            sums[core].add(&TaskRow::new(task));
+        }
+    }
+    (engine, sums)
+}
+
+fn bench_probe_batch_tiers(c: &mut Criterion) {
+    let ts = fixture(120, CORES, 4, 0.5, 11);
+    let rows: Vec<TaskRow> = ts.tasks().iter().map(TaskRow::new).collect();
+
+    let mut group = c.benchmark_group("telemetry_probe_batch");
+    group.bench_function("raw_kernel_compiled_out_proxy", |b| {
+        let (_, sums) = mid_placement(&ts);
+        b.iter(|| {
+            for row in &rows {
+                for core in &sums {
+                    black_box(core.probe_verdict(row).feasible());
+                }
+            }
+        });
+    });
+    group.bench_function("engine_counters_timing_off", |b| {
+        let (mut engine, _) = mid_placement(&ts);
+        set_timing(false);
+        b.iter(|| {
+            for task in ts.tasks() {
+                let (verdicts, _) = engine.probe_all_cores(task.id());
+                black_box(verdicts.len());
+            }
+        });
+    });
+    group.bench_function("engine_counters_timing_on", |b| {
+        let (mut engine, _) = mid_placement(&ts);
+        set_timing(true);
+        b.iter(|| {
+            for task in ts.tasks() {
+                let (verdicts, _) = engine.probe_all_cores(task.id());
+                black_box(verdicts.len());
+            }
+        });
+        set_timing(false);
+    });
+    group.finish();
+}
+
+fn bench_telemetry_primitives(c: &mut Criterion) {
+    c.bench_function("counter_sharded_add", |b| {
+        b.iter(|| mcs_obs::counter!(Counter::EngineProbesIssued));
+    });
+    c.bench_function("span_timing_off", |b| {
+        set_timing(false);
+        b.iter(|| {
+            let _timer = mcs_obs::span(mcs_obs::Phase::ProbeBatch);
+        });
+    });
+    c.bench_function("span_timing_on", |b| {
+        set_timing(true);
+        b.iter(|| {
+            let _timer = mcs_obs::span(mcs_obs::Phase::ProbeBatch);
+        });
+        set_timing(false);
+    });
+}
+
+criterion_group!(benches, bench_probe_batch_tiers, bench_telemetry_primitives);
+criterion_main!(benches);

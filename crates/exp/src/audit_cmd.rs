@@ -9,7 +9,10 @@
 //! [`SchemeRegistry::audit_roster`]; each scheme's context facts (Theorem-1
 //! claim, contribution ordering, α, and a re-run closure for the
 //! `harness-determinism` rule) are attached from its [`SchemeInfo`]
-//! metadata. Every audit `Error` makes the command exit non-zero.
+//! metadata. Every audit `Error` makes the command exit non-zero. The
+//! `telemetry-consistency` rule is not part of the per-partition pass: it
+//! needs a quiescent counter snapshot, so the binary runs it once after
+//! the sweep (reporting via stderr and the exit code only).
 
 use mcs_audit::{AuditContext, ContributionOrdering, Invariant, Registry, Severity};
 use mcs_gen::{generate_task_set, GenParams};
@@ -241,7 +244,16 @@ pub fn run(config: &SweepConfig) -> AuditOutcome {
 /// The audit sweep on an existing session (enables `--jsonl`/`--resume`).
 #[must_use]
 pub fn run_session(session: &mut RunSession) -> AuditOutcome {
-    let rule_ids: Vec<&'static str> = Registry::standard().rules().map(Invariant::id).collect();
+    // The telemetry rule needs a quiescent global counter snapshot, which
+    // only the single-command binary can supply; it runs after the sweep
+    // (see `telemetry::quiescent_check` and main.rs) and is kept out of the
+    // per-scheme table so the published output and the checkpoint record
+    // shape stay stable.
+    let rule_ids: Vec<&'static str> = Registry::standard()
+        .rules()
+        .map(Invariant::id)
+        .filter(|&id| id != mcs_audit::TELEMETRY_ID)
+        .collect();
     let multi = GenParams::default();
     let dual = GenParams::default().with_levels(2);
     let flags = SchemeFlags::default();

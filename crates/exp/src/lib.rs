@@ -16,6 +16,8 @@
 //! * [`audit_cmd`] — invariant-audit sweep over every scheme (`mcs-audit`);
 //! * [`perf`] — probe-path throughput benchmark (reference loops vs the
 //!   incremental `ProbeEngine`), recorded to `BENCH_partition.json`;
+//! * [`telemetry`] — `--telemetry` sidecar plumbing and the quiescent
+//!   counter-algebra check (`mcs-obs` ↔ `mcs-audit` bridge);
 //! * [`report`] — plain-text/CSV rendering.
 
 #![forbid(unsafe_code)]
@@ -38,6 +40,7 @@ pub mod soundness;
 pub mod stats;
 pub mod sweep;
 pub mod tables;
+pub mod telemetry;
 
 pub use example::paper_example_task_set;
 pub use figures::{figure, FigureId, FigureResult};

@@ -19,6 +19,8 @@
 //!   audit [--json]                     invariant audit over all schemes
 //!   perf [--json]                      probe-path throughput benchmark
 //!                                      (also records BENCH_partition.json)
+//!   profile                            phase-time breakdown + top counters
+//!                                      for a default-point sweep
 //!   all                                everything above
 //! ```
 //!
@@ -26,6 +28,12 @@
 //! a later identical invocation with `--resume` picks up where an
 //! interrupted sweep stopped. With an aggregate command (`figs`, `all`) or
 //! several commands, each sub-command writes `PATH-<cmd>.jsonl` siblings.
+//!
+//! `--telemetry PATH` enables span timing and, after the run, writes the
+//! `mcs-obs` JSONL sidecar (provenance header, counters, phase timings,
+//! per-worker stats) to PATH (`-` = stderr) plus a human summary to
+//! stderr. Telemetry never writes to stdout: published tables are
+//! byte-identical with or without it.
 
 #![forbid(unsafe_code)]
 
@@ -70,6 +78,8 @@ struct Options {
     jsonl: Option<String>,
     /// Resume from an existing compatible checkpoint instead of truncating.
     resume: bool,
+    /// Write the telemetry JSONL sidecar here after the run (`-` = stderr).
+    telemetry: Option<String>,
 }
 
 impl Options {
@@ -100,7 +110,7 @@ fn derive_jsonl_path(base: &str, cmd: &str) -> String {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|sweep|soundness|ablation|dualcmp|gap|optgap|overhead|elastic|globalcmp|partition|describe|audit|perf|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart] [--jsonl PATH] [--resume]"
+    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|sweep|soundness|ablation|dualcmp|gap|optgap|overhead|elastic|globalcmp|partition|describe|audit|perf|profile|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart] [--jsonl PATH] [--resume] [--telemetry PATH]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -120,6 +130,7 @@ fn parse_args() -> Result<Options, String> {
         random_k: false,
         jsonl: None,
         resume: false,
+        telemetry: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -149,6 +160,9 @@ fn parse_args() -> Result<Options, String> {
             "--random-k" => opts.random_k = true,
             "--jsonl" => opts.jsonl = Some(args.next().ok_or("--jsonl needs a path")?),
             "--resume" => opts.resume = true,
+            "--telemetry" => {
+                opts.telemetry = Some(args.next().ok_or("--telemetry needs a path (or -)")?);
+            }
             "--file" => opts.partition_file = Some(args.next().ok_or("--file needs a path")?),
             "--cores" => {
                 let v = args.next().ok_or("--cores needs a value")?;
@@ -395,11 +409,27 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
                 opts.config.trials,
                 opts.config.effective_threads()
             );
+            let before = mcs_obs::Snapshot::capture();
             let mut session = opts.session("audit", "default")?;
             let outcome = audit_cmd::run_session(&mut session);
+            // All workers have joined: the counter delta over the sweep is
+            // quiescent, so the telemetry-consistency algebra applies.
+            let delta = mcs_obs::Snapshot::capture().delta_since(&before);
             println!("{}", audit_cmd::render(&outcome, opts.json).trim_end());
             if outcome.errors() > 0 {
                 return Err(format!("audit found {} invariant violation(s)", outcome.errors()));
+            }
+            let expected = mcs_obs::compiled().then(|| opts.config.trials as u64);
+            let findings = mcs_exp::telemetry::quiescent_check(&delta, expected);
+            if findings.is_empty() {
+                eprintln!(
+                    "[mcs-exp] telemetry-consistency: counter algebra holds over the audit sweep"
+                );
+            } else {
+                for d in &findings {
+                    eprintln!("[mcs-exp] telemetry-consistency: {}", d.message);
+                }
+                return Err(format!("telemetry-consistency found {} violation(s)", findings.len()));
             }
         }
         "perf" => {
@@ -432,6 +462,40 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             );
             if !r.identical {
                 return Err("reference and engine paths disagreed on some partition".into());
+            }
+        }
+        "profile" => {
+            mcs_obs::set_timing(true);
+            eprintln!(
+                "[mcs-exp] profile: {} trials at the default point, {} threads, span timing on",
+                opts.config.trials,
+                opts.config.effective_threads()
+            );
+            let before = mcs_obs::Snapshot::capture();
+            let params = GenParams::default().with_growth(opts.growth);
+            let schemes = SchemeRegistry::standard().build_set(&PAPER_SET, &SchemeFlags::default());
+            let mut session = opts.session("profile", &format!("growth={:?}", opts.growth))?;
+            let _points = run_point_in(&mut session, "default", &params, &schemes);
+            let snap = mcs_obs::Snapshot::capture().delta_since(&before);
+            print_table(
+                "Profile — phase timing (default-point sweep)",
+                &mcs_exp::telemetry::phase_table(&snap),
+                opts.csv,
+            );
+            print_table(
+                "Profile — top counters",
+                &mcs_exp::telemetry::counter_table(&snap, 15),
+                opts.csv,
+            );
+            // Without --telemetry the sidecar goes to stderr; with it, the
+            // end-of-run writer in main() emits the file.
+            if opts.telemetry.is_none() {
+                let prov = mcs_exp::telemetry::provenance(
+                    "profile",
+                    &opts.config,
+                    &format!("growth={:?}", opts.growth),
+                );
+                mcs_exp::telemetry::write_sidecar("-", &prov, &snap)?;
             }
         }
         "dualcmp" => {
@@ -477,8 +541,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.telemetry.is_some() {
+        mcs_obs::set_timing(true);
+    }
     for cmd in opts.commands.clone() {
         if let Err(e) = run_command(&cmd, &opts) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.telemetry {
+        let snap = mcs_obs::Snapshot::capture();
+        let prov = mcs_exp::telemetry::provenance(
+            &opts.commands.join("+"),
+            &opts.config,
+            &format!("growth={:?} horizon={}", opts.growth, opts.horizon_periods),
+        );
+        if let Err(e) = mcs_exp::telemetry::write_sidecar(path, &prov, &snap) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

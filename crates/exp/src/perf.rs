@@ -18,9 +18,14 @@
 //!
 //! A second section times the end-to-end sweep hot path (`run_point` over
 //! the paper schemes) in trials/second — the quantity that bounds figure
-//! turnaround — and isolates the harness dispatch overhead by timing the
+//! turnaround — and isolates the harness dispatch overhead two ways: the
 //! identical per-trial work as a bare inline loop (the pre-harness shape)
-//! against `run_point` at one thread.
+//! against `run_point` at one thread, and the *pure* dispatch cost over a
+//! large no-op trial batch (reported in fractional nanoseconds, or JSON
+//! `null` with `runner_overhead_below_resolution` when unmeasurable). A
+//! third section bounds the `mcs-obs` telemetry cost on the batch probe
+//! hot path (raw kernel loop vs the instrumented
+//! `ProbeEngine::probe_all_cores`).
 //!
 //! Results render as a table, as JSON (`--json`), and are recorded to
 //! `BENCH_partition.json` in the working directory so the repository keeps
@@ -32,10 +37,11 @@ use std::time::{Duration, Instant};
 
 use mcs_analysis::{CoreSums, TaskRow, Theorem1};
 use mcs_gen::{generate_task_set, trial_seed, GenParams};
+use mcs_harness::RunSession;
 use mcs_model::{TaskSet, UtilTable, WithTask};
 use mcs_partition::{
     paper_schemes, reference_paper_schemes, PartitionFailure, PartitionQuality, Partitioner,
-    QualityScratch,
+    ProbeEngine, QualityScratch,
 };
 
 use crate::report::Table;
@@ -85,24 +91,44 @@ impl ProbePerf {
     }
 }
 
+/// Telemetry cost on the batch probe hot path: the instrumented
+/// [`ProbeEngine::probe_all_cores`] (tally cells + the span-timing gate)
+/// vs the equivalent raw verdict kernel loop over identical core states.
+/// The difference *upper-bounds* the telemetry overhead — it also includes
+/// the engine's own batch bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TelemetryPerf {
+    /// Raw kernel batch probes per second (no instrumentation — the
+    /// `telemetry-off` proxy).
+    pub raw_per_sec: f64,
+    /// Instrumented engine batch probes per second (counters compiled in,
+    /// timing off).
+    pub engine_per_sec: f64,
+}
+
+impl TelemetryPerf {
+    /// Percent slowdown of the instrumented path (clamped at 0).
+    #[must_use]
+    pub fn overhead_pct(&self) -> f64 {
+        (self.engine_per_sec.recip() / self.raw_per_sec.recip() - 1.0).max(0.0) * 100.0
+    }
+}
+
 /// Harness dispatch overhead: the same per-trial work (generate + all
 /// paper schemes + quality summaries) as a bare inline loop vs the
-/// [`run_point`] trial runner at one thread.
+/// [`run_point`] trial runner at one thread, plus a direct measurement of
+/// the pure dispatch cost over a large no-op batch.
 #[derive(Clone, Debug)]
 pub struct RunnerPerf {
     /// Inline-loop trials per second (the pre-harness sweep shape).
     pub inline_per_sec: f64,
     /// `run_point` (single-threaded) trials per second.
     pub runner_per_sec: f64,
-}
-
-impl RunnerPerf {
-    /// Runner dispatch overhead per trial, in nanoseconds (clamped at 0:
-    /// on noisy boxes the runner can measure marginally faster).
-    #[must_use]
-    pub fn overhead_ns_per_trial(&self) -> f64 {
-        ((self.runner_per_sec.recip() - self.inline_per_sec.recip()) * 1e9).max(0.0)
-    }
+    /// Pure per-trial dispatch cost in nanoseconds, measured over a no-op
+    /// trial batch of [`DISPATCH_TRIALS`] (where real per-trial work can't
+    /// drown it). `None` when the difference is below the measurement
+    /// resolution — reported as JSON `null`, never a fabricated `0.0`.
+    pub dispatch_ns_per_trial: Option<f64>,
 }
 
 /// Full benchmark report.
@@ -118,6 +144,9 @@ pub struct PerfReport {
     pub identical: bool,
     /// Raw probe-path rates (single admission probes per second).
     pub probe: ProbePerf,
+    /// Telemetry overhead on the batch probe path (raw kernel vs
+    /// instrumented engine).
+    pub telemetry: TelemetryPerf,
     /// Per-scheme timing pairs, in the paper's plot order.
     pub schemes: Vec<SchemePerf>,
     /// Aggregate reference partition calls per second (all schemes).
@@ -167,10 +196,19 @@ impl PerfReport {
             format!("{:.2}x", self.speedup()),
         ]);
         t.push_row([
+            "telemetry batch probe (probes/s)".into(),
+            format!("{:.0}", self.telemetry.raw_per_sec),
+            format!("{:.0}", self.telemetry.engine_per_sec),
+            format!("+{:.2}%", self.telemetry.overhead_pct()),
+        ]);
+        t.push_row([
             "harness dispatch (trials/s)".into(),
             format!("{:.0}", self.runner.inline_per_sec),
             format!("{:.0}", self.runner.runner_per_sec),
-            format!("+{:.0}ns/trial", self.runner.overhead_ns_per_trial()),
+            match self.runner.dispatch_ns_per_trial {
+                Some(ns) => format!("+{ns:.1}ns/trial"),
+                None => "below resolution".to_string(),
+            },
         ]);
         t
     }
@@ -191,6 +229,19 @@ impl PerfReport {
         );
         let _ = writeln!(out, "  \"probe_path_engine_per_sec\": {:.1},", self.probe.engine_per_sec);
         let _ = writeln!(out, "  \"probe_path_speedup\": {:.3},", self.probe.speedup());
+        let _ = writeln!(out, "  \"telemetry_compiled\": {},", mcs_obs::compiled());
+        let _ =
+            writeln!(out, "  \"telemetry_probe_raw_per_sec\": {:.1},", self.telemetry.raw_per_sec);
+        let _ = writeln!(
+            out,
+            "  \"telemetry_probe_engine_per_sec\": {:.1},",
+            self.telemetry.engine_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "  \"telemetry_probe_overhead_pct\": {:.2},",
+            self.telemetry.overhead_pct()
+        );
         out.push_str("  \"schemes\": [\n");
         for (i, s) in self.schemes.iter().enumerate() {
             let _ = write!(
@@ -211,10 +262,18 @@ impl PerfReport {
         let _ =
             writeln!(out, "  \"inline_loop_trials_per_sec\": {:.1},", self.runner.inline_per_sec);
         let _ = writeln!(out, "  \"runner_trials_per_sec\": {:.1},", self.runner.runner_per_sec);
+        match self.runner.dispatch_ns_per_trial {
+            Some(ns) => {
+                let _ = writeln!(out, "  \"runner_overhead_ns_per_trial\": {ns:.1},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"runner_overhead_ns_per_trial\": null,");
+            }
+        }
         let _ = writeln!(
             out,
-            "  \"runner_overhead_ns_per_trial\": {:.1},",
-            self.runner.overhead_ns_per_trial()
+            "  \"runner_overhead_below_resolution\": {},",
+            self.runner.dispatch_ns_per_trial.is_none()
         );
         let _ = writeln!(out, "  \"sweep_trials\": {},", self.sweep_trials);
         let _ = writeln!(out, "  \"sweep_threads\": {},", self.sweep_threads);
@@ -338,6 +397,148 @@ fn probe_rates(sets: &[TaskSet], cores: usize) -> ProbePerf {
     ProbePerf { reference_per_sec, engine_per_sec }
 }
 
+/// Time the telemetry cost on the batch probe path: identical
+/// mid-placement core states probed through the raw verdict kernel (no
+/// instrumentation) and through [`ProbeEngine::probe_all_cores`] (tally
+/// cells + the span-timing gate). Each set's tasks are dealt round-robin
+/// and kept only where the engine admits them, so both sides hold the
+/// same state.
+fn telemetry_rates(sets: &[TaskSet], cores: usize) -> TelemetryPerf {
+    let mut engines: Vec<ProbeEngine> = Vec::with_capacity(sets.len());
+    let mut sums: Vec<Vec<CoreSums>> = Vec::with_capacity(sets.len());
+    let mut rows: Vec<Vec<TaskRow>> = Vec::with_capacity(sets.len());
+    for ts in sets {
+        let k = ts.num_levels();
+        let mut engine = ProbeEngine::new();
+        engine.reset(ts, cores);
+        let mut s = vec![CoreSums::new(k); cores];
+        for (i, task) in ts.tasks().iter().enumerate() {
+            let m = i % cores;
+            let v = engine.probe_verdict(m, task.id());
+            if let (true, Some(util)) = (v.feasible(), v.core_utilization) {
+                engine.commit(task.id(), m, util);
+                s[m].add(&TaskRow::new(task));
+            }
+        }
+        rows.push(ts.tasks().iter().map(TaskRow::new).collect());
+        engines.push(engine);
+        sums.push(s);
+    }
+    let per_pass: u64 = sets.iter().map(|ts| (ts.len() * cores) as u64).sum();
+
+    // Raw kernel loop — the `telemetry-off` proxy (one warm-up pass first).
+    let raw_pass = |rows: &[Vec<TaskRow>], sums: &[Vec<CoreSums>]| {
+        for (r, s) in rows.iter().zip(sums) {
+            for row in r {
+                for core in s {
+                    black_box(core.probe_verdict(row).feasible());
+                }
+            }
+        }
+    };
+    raw_pass(&rows, &sums);
+    let mut probes = 0u64;
+    let start = Instant::now();
+    loop {
+        raw_pass(&rows, &sums);
+        probes += per_pass;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let raw_per_sec = probes as f64 / start.elapsed().as_secs_f64();
+
+    // Instrumented batch path (counters on, timing off by default).
+    let engine_pass = |engines: &mut [ProbeEngine]| {
+        for (engine, ts) in engines.iter_mut().zip(sets) {
+            for task in ts.tasks() {
+                let (verdicts, _) = engine.probe_all_cores(task.id());
+                black_box(verdicts.len());
+            }
+        }
+    };
+    engine_pass(&mut engines);
+    let mut probes = 0u64;
+    let start = Instant::now();
+    loop {
+        engine_pass(&mut engines);
+        probes += per_pass;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let engine_per_sec = probes as f64 / start.elapsed().as_secs_f64();
+
+    TelemetryPerf { raw_per_sec, engine_per_sec }
+}
+
+/// Trials per no-op dispatch pass: large enough that the per-trial
+/// dispatch cost (well under a microsecond) accumulates measurably.
+const DISPATCH_TRIALS: usize = 1 << 16;
+
+/// Marker record for the dispatch measurement — no payload, but the
+/// runner still builds, slots, and returns one per trial.
+#[derive(Clone)]
+struct NoopTrial;
+
+impl mcs_harness::TrialRecord for NoopTrial {
+    fn to_json(&self) -> String {
+        "\"noop\":true".into()
+    }
+    fn from_json(_v: &mcs_harness::JsonValue) -> Option<Self> {
+        Some(Self)
+    }
+}
+
+/// Measure the runner's *pure* dispatch cost: a no-op trial body over
+/// [`DISPATCH_TRIALS`] single-threaded trials vs the same loop inline.
+/// Returns `None` when the difference is below measurement resolution.
+fn dispatch_overhead_ns(seed: u64) -> Option<f64> {
+    let inline_pass = || {
+        for i in 0..DISPATCH_TRIALS {
+            black_box(trial_seed(seed, i));
+        }
+    };
+    inline_pass();
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        inline_pass();
+        done += DISPATCH_TRIALS as u64;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let inline_ns = start.elapsed().as_nanos() as f64 / done as f64;
+
+    let config = SweepConfig { trials: DISPATCH_TRIALS, threads: 1, seed };
+    let runner_pass = || {
+        let mut session = RunSession::new(config.clone());
+        let records = session.point("dispatch").run(
+            || (),
+            |_, trial| {
+                black_box(trial.seed);
+                NoopTrial
+            },
+        );
+        black_box(records.len());
+    };
+    runner_pass();
+    let mut done = 0u64;
+    let start = Instant::now();
+    loop {
+        runner_pass();
+        done += DISPATCH_TRIALS as u64;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let runner_ns = start.elapsed().as_nanos() as f64 / done as f64;
+
+    let overhead = runner_ns - inline_ns;
+    (overhead > 0.0).then_some(overhead)
+}
+
 /// Time the harness dispatch overhead: the exact per-trial sweep work
 /// (deterministic seed derivation, task-set generation, every scheme
 /// partitioning, quality summaries) as a bare inline loop — the shape every
@@ -387,7 +588,7 @@ fn runner_rates(
     }
     let runner_per_sec = done as f64 / start.elapsed().as_secs_f64();
 
-    RunnerPerf { inline_per_sec, runner_per_sec }
+    RunnerPerf { inline_per_sec, runner_per_sec, dispatch_ns_per_trial: dispatch_overhead_ns(seed) }
 }
 
 /// Run the benchmark: equivalence check, per-scheme reference/engine rates,
@@ -419,6 +620,7 @@ pub fn run(config: &SweepConfig) -> PerfReport {
     }
 
     let probe = probe_rates(&sets, params.cores);
+    let telemetry = telemetry_rates(&sets, params.cores);
 
     let mut schemes = Vec::with_capacity(engine.len());
     let (mut ref_total, mut eng_total) = (0.0f64, 0.0f64);
@@ -448,6 +650,7 @@ pub fn run(config: &SweepConfig) -> PerfReport {
         tasks,
         identical,
         probe,
+        telemetry,
         schemes,
         reference_per_sec,
         engine_per_sec,
@@ -472,11 +675,17 @@ mod tests {
         assert!(r.probe.reference_per_sec > 0.0 && r.probe.engine_per_sec > 0.0);
         assert!(r.sweep_trials_per_sec > 0.0);
         assert!(r.runner.inline_per_sec > 0.0 && r.runner.runner_per_sec > 0.0);
-        assert!(r.runner.overhead_ns_per_trial().is_finite());
+        if let Some(ns) = r.runner.dispatch_ns_per_trial {
+            assert!(ns.is_finite() && ns > 0.0, "dispatch overhead must be positive: {ns}");
+        }
+        assert!(r.telemetry.raw_per_sec > 0.0 && r.telemetry.engine_per_sec > 0.0);
+        assert!(r.telemetry.overhead_pct().is_finite());
         let json = r.to_json();
         assert!(json.contains("\"partitions_identical\": true"));
         assert!(json.contains("\"probe_path_speedup\""));
         assert!(json.contains("\"runner_overhead_ns_per_trial\""));
+        assert!(json.contains("\"runner_overhead_below_resolution\""));
+        assert!(json.contains("\"telemetry_probe_overhead_pct\""));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -1,0 +1,260 @@
+//! Integration tests for the telemetry layer.
+//!
+//! * stdout byte-identity: `--telemetry` must not change a single byte of
+//!   any published command's stdout (`sweep`, `fig2`, `audit`);
+//! * sidecar schema: the JSONL sidecar parses with the same hand-rolled
+//!   parser the harness uses (`mcs_harness::json`) and carries the
+//!   provenance header plus registry-resolvable counter/phase names;
+//! * thread-count invariance: counter totals are a property of the work,
+//!   not the schedule — 1 worker and 8 workers produce identical deltas
+//!   for every deterministic counter (proptest over trials × seed).
+//!
+//! All counter-producing runs happen in subprocesses so the assertions
+//! see exactly one command's activity; the in-process test only snapshots
+//! and serializes, never asserts on global totals.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use mcs_harness::json;
+use proptest::prelude::*;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mcs-exp-telemetry-{}-{name}", std::process::id()));
+    p
+}
+
+/// Run the real `mcs-exp` binary; returns (stdout, stderr).
+fn run_mcs_exp(args: &[&str]) -> (Vec<u8>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcs-exp"))
+        .args(args)
+        .output()
+        .expect("failed to spawn mcs-exp");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "mcs-exp {args:?} failed:\n{stderr}");
+    (out.stdout, stderr)
+}
+
+/// Parse the counter lines of a sidecar into `name -> value`.
+fn sidecar_counters(path: &PathBuf) -> BTreeMap<String, u64> {
+    let text = std::fs::read_to_string(path).expect("sidecar unreadable");
+    let mut counters = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = json::parse(line).expect("sidecar line is not valid JSON");
+        if v.get("kind").and_then(json::JsonValue::as_str) == Some("counter") {
+            let name = v.get("name").and_then(json::JsonValue::as_str).unwrap().to_string();
+            let value = v.get("value").and_then(json::JsonValue::as_u64).unwrap();
+            counters.insert(name, value);
+        }
+    }
+    counters
+}
+
+#[test]
+fn telemetry_leaves_published_stdout_byte_identical() {
+    let cases: &[(&str, &[&str])] = &[
+        ("sweep", &["sweep", "--trials", "25"]),
+        ("fig2", &["fig2", "--trials", "5"]),
+        // Byte-identity is a formatting property, not a statistical one;
+        // the audit's exact-rational oracle is slow in debug builds, so a
+        // couple of trials suffice here (ci.sh audits at full depth).
+        ("audit", &["audit", "--trials", "2"]),
+    ];
+    for (name, args) in cases {
+        let (plain, _) = run_mcs_exp(args);
+        let sidecar = tmp_path(&format!("ident-{name}.jsonl"));
+        let mut with_telemetry = args.to_vec();
+        let sidecar_str = sidecar.to_str().unwrap().to_string();
+        with_telemetry.extend(["--telemetry", &sidecar_str]);
+        let (instrumented, _) = run_mcs_exp(&with_telemetry);
+        assert_eq!(plain, instrumented, "--telemetry changed the stdout bytes of `mcs-exp {name}`");
+        let _ = std::fs::remove_file(&sidecar);
+    }
+}
+
+#[test]
+fn sidecar_carries_provenance_header_and_registry_names() {
+    let sidecar = tmp_path("schema.jsonl");
+    let sidecar_str = sidecar.to_str().unwrap().to_string();
+    let (_, _) =
+        run_mcs_exp(&["sweep", "--trials", "25", "--seed", "123", "--telemetry", &sidecar_str]);
+
+    let text = std::fs::read_to_string(&sidecar).expect("sidecar was not written");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "sidecar is empty");
+
+    // Every line must round-trip through the harness's own JSON parser.
+    let parsed: Vec<json::JsonValue> =
+        lines.iter().map(|l| json::parse(l).expect("invalid JSONL line")).collect();
+
+    let head = &parsed[0];
+    assert_eq!(head.get("kind").and_then(json::JsonValue::as_str), Some("header"));
+    assert_eq!(head.get("schema").and_then(json::JsonValue::as_str), Some(mcs_obs::SCHEMA));
+    assert_eq!(head.get("command").and_then(json::JsonValue::as_str), Some("sweep"));
+    assert_eq!(head.get("seed").and_then(json::JsonValue::as_u64), Some(123));
+    assert_eq!(head.get("trials").and_then(json::JsonValue::as_u64), Some(25));
+    // --telemetry arms span timing for the run.
+    assert_eq!(head.get("timing").and_then(json::JsonValue::as_bool), Some(true));
+    for key in ["threads", "schemes", "params", "git", "build_profile"] {
+        assert!(head.get(key).is_some(), "header missing {key:?}");
+    }
+    let schemes = head.get("schemes").and_then(json::JsonValue::as_arr).unwrap();
+    assert!(!schemes.is_empty(), "header scheme roster is empty");
+
+    // Counter and phase names must resolve against the static registry.
+    let mut counter_lines = 0usize;
+    let mut phase_lines = 0usize;
+    for v in &parsed[1..] {
+        match v.get("kind").and_then(json::JsonValue::as_str) {
+            Some("counter") => {
+                counter_lines += 1;
+                let name = v.get("name").and_then(json::JsonValue::as_str).unwrap();
+                assert!(
+                    mcs_obs::Counter::from_name(name).is_some(),
+                    "unknown counter {name:?} in sidecar"
+                );
+                assert!(v.get("value").and_then(json::JsonValue::as_u64).is_some());
+            }
+            Some("phase") => {
+                phase_lines += 1;
+                let name = v.get("name").and_then(json::JsonValue::as_str).unwrap();
+                assert!(
+                    mcs_obs::Phase::from_name(name).is_some(),
+                    "unknown phase {name:?} in sidecar"
+                );
+                for key in ["count", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+                    assert!(v.get(key).is_some(), "phase line missing {key:?}");
+                }
+                assert!(v.get("buckets").and_then(json::JsonValue::as_arr).is_some());
+            }
+            Some("worker") => {
+                for key in ["index", "trials", "blocks", "busy_ns", "wall_ns", "idle_ns"] {
+                    assert!(v.get(key).is_some(), "worker line missing {key:?}");
+                }
+            }
+            kind => panic!("unexpected sidecar line kind {kind:?}"),
+        }
+    }
+    assert!(counter_lines > 0, "no counter lines in sidecar");
+    assert!(phase_lines > 0, "no phase lines in sidecar");
+
+    if mcs_obs::compiled() {
+        let counters = sidecar_counters(&sidecar);
+        assert_eq!(
+            counters.get("harness_trials_computed").copied(),
+            Some(25),
+            "sweep --trials 25 must compute exactly 25 trials"
+        );
+        let issued = counters.get("engine_probes_issued").copied().unwrap_or(0);
+        let rejected = counters.get("engine_probes_rejected").copied().unwrap_or(0);
+        let feasible = counters.get("engine_probes_feasible").copied().unwrap_or(0);
+        assert!(issued > 0, "a sweep must issue probes");
+        assert_eq!(issued, rejected + feasible, "probe verdict algebra broken");
+    }
+    let _ = std::fs::remove_file(&sidecar);
+}
+
+/// The deterministic counter set: totals depend only on (seed, trials,
+/// params), never on the worker schedule. Scheduling-shaped counters
+/// (`harness_block_claims`, `scratch_*`) and byte counts that include
+/// per-run headers are deliberately excluded.
+const SCHEDULE_INVARIANT: &[&str] = &[
+    "engine_probes_issued",
+    "engine_probes_rejected",
+    "engine_probes_feasible",
+    "engine_commits",
+    "engine_placements_untracked",
+    "engine_evictions",
+    "engine_resets",
+    "placement_attempts",
+    "alpha_fallbacks",
+    "repair_moves",
+    "harness_trials_computed",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn counter_totals_are_thread_count_invariant(
+        trials in 5usize..25,
+        seed in 0u64..1_000,
+    ) {
+        let trials_s = trials.to_string();
+        let seed_s = seed.to_string();
+        let mut totals: Vec<BTreeMap<String, u64>> = Vec::new();
+        for threads in ["1", "8"] {
+            let sidecar = tmp_path(&format!("threads-{threads}.jsonl"));
+            let sidecar_str = sidecar.to_str().unwrap().to_string();
+            run_mcs_exp(&[
+                "sweep", "--trials", &trials_s, "--seed", &seed_s,
+                "--threads", threads, "--telemetry", &sidecar_str,
+            ]);
+            totals.push(sidecar_counters(&sidecar));
+            let _ = std::fs::remove_file(&sidecar);
+        }
+        if mcs_obs::compiled() {
+            for name in SCHEDULE_INVARIANT {
+                prop_assert_eq!(
+                    totals[0].get(*name).copied().unwrap_or(0),
+                    totals[1].get(*name).copied().unwrap_or(0),
+                    "counter {} differs between 1 and 8 workers", name
+                );
+            }
+            prop_assert_eq!(
+                totals[0].get("harness_trials_computed").copied().unwrap_or(0),
+                trials as u64
+            );
+        }
+    }
+}
+
+#[test]
+fn write_jsonl_roundtrips_through_harness_json() {
+    let prov = mcs_obs::Provenance::capture(
+        "roundtrip".to_string(),
+        7,
+        10,
+        2,
+        vec!["ca-tpa".to_string(), "ffd \"quoted\"".to_string()],
+        "growth=Linear horizon=8".to_string(),
+    );
+    let snap = mcs_obs::Snapshot::capture();
+    let mut buf = Vec::new();
+    mcs_obs::write_jsonl(&mut buf, &prov, &snap).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    let mut kinds = BTreeMap::new();
+    for line in text.lines() {
+        let v = json::parse(line).expect("write_jsonl emitted unparseable JSON");
+        let kind = v.get("kind").and_then(json::JsonValue::as_str).unwrap().to_string();
+        *kinds.entry(kind.clone()).or_insert(0usize) += 1;
+        if kind == "header" {
+            assert_eq!(v.get("seed").and_then(json::JsonValue::as_u64), Some(7));
+            assert_eq!(v.get("trials").and_then(json::JsonValue::as_u64), Some(10));
+            assert_eq!(v.get("threads").and_then(json::JsonValue::as_u64), Some(2));
+            let schemes = v.get("schemes").and_then(json::JsonValue::as_arr).unwrap();
+            // Escaping survives the round trip, quotes and all.
+            assert_eq!(schemes[1].as_str(), Some("ffd \"quoted\""));
+            assert_eq!(
+                v.get("params").and_then(json::JsonValue::as_str),
+                Some("growth=Linear horizon=8")
+            );
+        }
+    }
+    assert_eq!(kinds.get("header"), Some(&1), "exactly one header line");
+    if mcs_obs::compiled() {
+        assert_eq!(
+            kinds.get("counter").copied().unwrap_or(0),
+            mcs_obs::Counter::COUNT,
+            "one line per registered counter"
+        );
+        assert_eq!(
+            kinds.get("phase").copied().unwrap_or(0),
+            mcs_obs::Phase::COUNT,
+            "one line per registered phase"
+        );
+    }
+}

@@ -186,14 +186,16 @@ impl Checkpoint {
         trial: usize,
         fragment: &str,
     ) -> Result<(), String> {
+        let _timer = mcs_obs::span(mcs_obs::Phase::CheckpointFlush);
         let sep = if fragment.is_empty() { "" } else { "," };
-        writeln!(
-            self.file,
-            "{{\"point\":\"{}\",\"trial\":{trial}{sep}{fragment}}}",
-            json::escape(point)
-        )
-        .and_then(|()| self.file.flush())
-        .map_err(|e| format!("cannot write {}: {e}", self.path.display()))
+        let line =
+            format!("{{\"point\":\"{}\",\"trial\":{trial}{sep}{fragment}}}\n", json::escape(point));
+        mcs_obs::counter!(mcs_obs::Counter::CheckpointFlushes);
+        mcs_obs::counter!(mcs_obs::Counter::CheckpointBytes, line.len() as u64);
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("cannot write {}: {e}", self.path.display()))
     }
 }
 

@@ -18,9 +18,16 @@ use std::sync::mpsc;
 
 use crossbeam::thread;
 
+use mcs_obs::{Counter, Phase};
+
 use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
 use crate::json::JsonValue;
+
+/// Saturating nanosecond reading of an elapsed interval.
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// One unit of work handed to the trial closure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,6 +156,9 @@ impl TrialRunner<'_> {
             }
         }
         let done = results.len();
+        if done > 0 {
+            mcs_obs::counter!(Counter::HarnessTrialsResumed, done as u64);
+        }
         if done >= trials {
             return results;
         }
@@ -157,13 +167,23 @@ impl TrialRunner<'_> {
 
         let threads = self.session.config.effective_threads().max(1).min(remaining);
         if threads == 1 {
+            let worker_start = mcs_obs::now_if_timing();
             let mut state = init();
             for i in done..trials {
+                let trial_start = mcs_obs::now_if_timing();
                 let rec = f(&mut state, trial(i));
+                if let Some(start) = trial_start {
+                    mcs_obs::worker_busy_ns(0, elapsed_ns(start));
+                }
+                mcs_obs::worker_trials(0, 1);
+                mcs_obs::counter!(Counter::HarnessTrialsComputed);
                 if let Some(ck) = self.session.checkpoint.as_mut() {
                     ck.append(&self.label, i, &rec.to_json()).unwrap_or_else(|e| panic!("{e}"));
                 }
                 results.push(rec);
+            }
+            if let Some(start) = worker_start {
+                mcs_obs::worker_wall_ns(0, elapsed_ns(start));
             }
             return results;
         }
@@ -180,32 +200,47 @@ impl TrialRunner<'_> {
 
         thread::scope(|s| {
             let mut handles = Vec::new();
-            for _ in 0..threads {
+            for w in 0..threads {
                 let tx = tx.clone();
                 let next = &next;
                 let init = &init;
                 let f = &f;
                 handles.push(s.spawn(move |_| {
+                    let worker_start = mcs_obs::now_if_timing();
                     let mut state = init();
                     loop {
-                        let lo = next.fetch_add(block, Ordering::Relaxed);
+                        let lo = {
+                            let _timer = mcs_obs::span(Phase::WorkerBlockClaim);
+                            next.fetch_add(block, Ordering::Relaxed)
+                        };
                         if lo >= remaining {
                             break;
                         }
+                        mcs_obs::counter!(Counter::HarnessBlockClaims);
+                        mcs_obs::worker_block(w);
                         let hi = (lo + block).min(remaining);
                         for off in lo..hi {
                             let i = done + off;
+                            let trial_start = mcs_obs::now_if_timing();
                             let rec = f(&mut state, trial(i));
+                            if let Some(start) = trial_start {
+                                mcs_obs::worker_busy_ns(w, elapsed_ns(start));
+                            }
+                            mcs_obs::worker_trials(w, 1);
                             if tx.send((off, rec)).is_err() {
                                 return; // receiver gone: run is unwinding
                             }
                         }
+                    }
+                    if let Some(start) = worker_start {
+                        mcs_obs::worker_wall_ns(w, elapsed_ns(start));
                     }
                 }));
             }
             drop(tx);
             let mut next_write = 0usize;
             while let Ok((off, rec)) = rx.recv() {
+                mcs_obs::counter!(Counter::HarnessTrialsComputed);
                 slots[off] = Some(rec);
                 while let Some(Some(rec)) = slots.get(next_write) {
                     if let Some(ck) = self.session.checkpoint.as_mut() {

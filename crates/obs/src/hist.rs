@@ -1,0 +1,123 @@
+//! Log₂-scale histogram arithmetic — the pure bucketing functions behind
+//! the per-phase latency histograms in [`crate::registry`].
+//!
+//! Bucket `0` holds the value `0`; bucket `b ≥ 1` holds the half-open
+//! power-of-two band `[2^(b-1), 2^b)` (the last bucket, 64, is closed at
+//! `u64::MAX`). One `u64::leading_zeros` per sample, no floating point, and
+//! any `u64` nanosecond reading lands in exactly one of the
+//! [`BUCKETS`] buckets.
+
+/// Number of histogram buckets: the zero bucket plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value falls into: `0` for `0`, else `64 - leading_zeros`
+/// (one plus the index of the highest set bit).
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    64 - value.leading_zeros() as usize
+}
+
+/// Inclusive `[low, high]` value range of a bucket.
+///
+/// # Panics
+/// If `index >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+/// The `q`-quantile of a bucketed sample (upper bound of the bucket where
+/// the cumulative count reaches `q * total`). Returns 0 for an empty
+/// histogram. `q` is clamped to `[0, 1]`.
+#[must_use]
+pub fn quantile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // 1-based rank of the sample realizing the quantile.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            return bucket_bounds(i).1;
+        }
+    }
+    bucket_bounds(buckets.len() - 1).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_gets_its_own_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn power_of_two_boundaries() {
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn every_value_lies_within_its_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1_000_000, u64::MAX / 2, u64::MAX] {
+            let b = bucket_index(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {b} = [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Consecutive buckets are adjacent: high(b) + 1 == low(b + 1).
+        for b in 0..BUCKETS - 1 {
+            assert_eq!(bucket_bounds(b).1 + 1, bucket_bounds(b + 1).0, "gap after bucket {b}");
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        assert_eq!(quantile(&[0; BUCKETS], 0.5), 0);
+    }
+
+    #[test]
+    fn quantile_follows_the_mass() {
+        // 10 samples in bucket 3 ([4, 7]), 90 in bucket 10 ([512, 1023]).
+        let mut h = [0u64; BUCKETS];
+        h[3] = 10;
+        h[10] = 90;
+        assert_eq!(quantile(&h, 0.05), bucket_bounds(3).1);
+        assert_eq!(quantile(&h, 0.50), bucket_bounds(10).1);
+        assert_eq!(quantile(&h, 0.99), bucket_bounds(10).1);
+        // Quantiles are monotone in q.
+        let q1 = quantile(&h, 0.1);
+        let q9 = quantile(&h, 0.9);
+        assert!(q1 <= q9);
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let mut h = [0u64; BUCKETS];
+        h[5] = 4;
+        assert_eq!(quantile(&h, -1.0), bucket_bounds(5).1);
+        assert_eq!(quantile(&h, 2.0), bucket_bounds(5).1);
+    }
+}

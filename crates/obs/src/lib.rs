@@ -1,0 +1,79 @@
+//! # mcs-obs
+//!
+//! Near-zero-overhead telemetry for the partitioner, harness, and
+//! simulator: a static registry of relaxed atomic counters and log₂
+//! latency histograms, RAII span timing for named phases, and a sink that
+//! writes a JSONL sidecar plus a human-readable summary — strictly to
+//! stderr or a `--telemetry <path>` file, never stdout.
+//!
+//! Three cost tiers:
+//!
+//! 1. **Compiled out** (`telemetry-off` feature): every probe point folds
+//!    to nothing ([`COMPILED`] is `false` and all instrumentation is
+//!    behind `if COMPILED`).
+//! 2. **Counters** (default): one relaxed `fetch_add` on a thread-sharded
+//!    slot per event; hot loops batch increments so the probe kernel pays
+//!    a register add per probe and one atomic per batch.
+//! 3. **Timing** (runtime, via [`set_timing`]): span sites additionally
+//!    take two `Instant` readings and feed a histogram. Off by default;
+//!    `--telemetry` and `mcs-exp profile` turn it on.
+//!
+//! Telemetry is write-only for the instrumented code — no decision ever
+//! reads a counter — so enabling or disabling it cannot change published
+//! outputs (the determinism contract; see DESIGN.md).
+//!
+//! ```
+//! use mcs_obs::{Counter, Phase, Snapshot};
+//!
+//! let before = Snapshot::capture();
+//! mcs_obs::counter!(Counter::EngineCommits);
+//! {
+//!     let _timer = mcs_obs::span(Phase::ProbeBatch); // inert unless timing is on
+//! }
+//! let delta = Snapshot::capture().delta_since(&before);
+//! assert!(delta.counter(Counter::EngineCommits) <= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use registry::{
+    add, now_if_timing, record_phase, set_timing, timing_enabled, worker_block, worker_busy_ns,
+    worker_trials, worker_wall_ns, Counter, Phase, PhaseStat, Snapshot, WorkerStat, COMPILED,
+    MAX_WORKERS,
+};
+pub use sink::{fmt_ns, git_describe, render_summary, write_jsonl, Provenance, SCHEMA};
+pub use span::{span, PhaseSpan};
+
+/// Whether telemetry is compiled into this build — `const`, so callers can
+/// use it to skip even the cheapest local bookkeeping.
+#[inline]
+#[must_use]
+pub const fn compiled() -> bool {
+    COMPILED
+}
+
+/// Increment a [`Counter`] by 1 (or by `n` with a second argument). One
+/// relaxed atomic add when telemetry is compiled in; nothing otherwise.
+#[macro_export]
+macro_rules! counter {
+    ($counter:expr) => {
+        $crate::add($counter, 1)
+    };
+    ($counter:expr, $n:expr) => {
+        $crate::add($counter, $n)
+    };
+}
+
+/// Record a raw nanosecond sample into a [`Phase`] histogram (the RAII
+/// alternative is [`span`]).
+#[macro_export]
+macro_rules! histogram {
+    ($phase:expr, $ns:expr) => {
+        $crate::record_phase($phase, $ns)
+    };
+}

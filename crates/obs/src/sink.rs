@@ -1,0 +1,294 @@
+//! Telemetry output: the run-provenance header, the JSONL sidecar, and the
+//! human-readable summary table.
+//!
+//! The sidecar is line-delimited JSON, schema [`SCHEMA`]: one `header`
+//! line (provenance: command, seed, scheme set, params, git describe,
+//! build profile), then one `counter` line per registered counter, one
+//! `phase` line per registered phase, and one `worker` line per active
+//! harness worker slot. It is written **only** to stderr or to the
+//! `--telemetry <path>` file — never to stdout — so every published
+//! command output stays byte-identical with telemetry enabled.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::registry::Snapshot;
+
+/// Sidecar schema identifier (first field of the header line).
+pub const SCHEMA: &str = "mcs-obs/1";
+
+/// Run provenance recorded in the sidecar header, making every telemetry
+/// artifact self-describing.
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    /// The command(s) that produced this run (e.g. `sweep` or `fig2+fig3`).
+    pub command: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Trials per sweep point.
+    pub trials: u64,
+    /// Requested worker threads (0 = auto).
+    pub threads: u64,
+    /// Scheme names in play.
+    pub schemes: Vec<String>,
+    /// Generator/experiment parameter summary.
+    pub params: String,
+    /// `git describe --always --dirty` of the built tree.
+    pub git: String,
+    /// `debug` or `release`.
+    pub build_profile: &'static str,
+    /// Whether span timing was on for the run.
+    pub timing: bool,
+}
+
+impl Provenance {
+    /// Provenance for the current process: fills `git`, `build_profile`,
+    /// and `timing` from the environment.
+    #[must_use]
+    pub fn capture(
+        command: String,
+        seed: u64,
+        trials: u64,
+        threads: u64,
+        schemes: Vec<String>,
+        params: String,
+    ) -> Self {
+        Self {
+            command,
+            seed,
+            trials,
+            threads,
+            schemes,
+            params,
+            git: git_describe(),
+            build_profile: if cfg!(debug_assertions) { "debug" } else { "release" },
+            timing: crate::registry::timing_enabled(),
+        }
+    }
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a repository.
+#[must_use]
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write the full JSONL sidecar: header, counters, phases, active workers.
+pub fn write_jsonl(w: &mut dyn Write, prov: &Provenance, snap: &Snapshot) -> io::Result<()> {
+    let schemes =
+        prov.schemes.iter().map(|s| format!("\"{}\"", escape(s))).collect::<Vec<_>>().join(",");
+    writeln!(
+        w,
+        "{{\"schema\":\"{}\",\"kind\":\"header\",\"command\":\"{}\",\"seed\":{},\"trials\":{},\
+         \"threads\":{},\"schemes\":[{}],\"params\":\"{}\",\"git\":\"{}\",\
+         \"build_profile\":\"{}\",\"timing\":{}}}",
+        SCHEMA,
+        escape(&prov.command),
+        prov.seed,
+        prov.trials,
+        prov.threads,
+        schemes,
+        escape(&prov.params),
+        escape(&prov.git),
+        prov.build_profile,
+        prov.timing,
+    )?;
+    for (counter, value) in snap.counters() {
+        writeln!(
+            w,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            counter.name(),
+            value
+        )?;
+    }
+    for stat in snap.phases() {
+        // Trim trailing zero buckets; an empty histogram serializes as [].
+        let used = stat.buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+        let buckets = stat.buckets[..used].iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        writeln!(
+            w,
+            "{{\"kind\":\"phase\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\
+             \"mean_ns\":{:.1},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+             \"buckets\":[{}]}}",
+            stat.phase.name(),
+            stat.count,
+            stat.total_ns,
+            stat.mean_ns(),
+            stat.quantile_ns(0.50),
+            stat.quantile_ns(0.90),
+            stat.quantile_ns(0.99),
+            stat.max_ns,
+            buckets,
+        )?;
+    }
+    for worker in snap.workers().iter().filter(|w| !w.is_empty()) {
+        writeln!(
+            w,
+            "{{\"kind\":\"worker\",\"index\":{},\"trials\":{},\"blocks\":{},\"busy_ns\":{},\
+             \"wall_ns\":{},\"idle_ns\":{}}}",
+            worker.index,
+            worker.trials,
+            worker.blocks,
+            worker.busy_ns,
+            worker.wall_ns,
+            worker.idle_ns(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Adaptive duration formatting (`38ns`, `1.20us`, `3.45ms`, `2.10s`).
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Human-readable per-counter / per-phase / per-worker summary (intended
+/// for stderr). Zero rows are omitted.
+#[must_use]
+pub fn render_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("telemetry summary\n");
+    out.push_str("  counters:\n");
+    let mut any = false;
+    for (counter, value) in snap.counters().filter(|(_, v)| *v > 0) {
+        let _ = writeln!(out, "    {:<28} {value}", counter.name());
+        any = true;
+    }
+    if !any {
+        out.push_str("    (none)\n");
+    }
+    let timed: Vec<_> = snap.phases().iter().filter(|p| p.count > 0).collect();
+    if !timed.is_empty() {
+        out.push_str("  phases:\n");
+        for stat in timed {
+            let _ = writeln!(
+                out,
+                "    {:<18} count={:<9} total={:<9} mean={:<9} p50={:<9} p99={:<9} max={}",
+                stat.phase.name(),
+                stat.count,
+                fmt_ns(stat.total_ns),
+                fmt_ns(stat.mean_ns() as u64),
+                fmt_ns(stat.quantile_ns(0.50)),
+                fmt_ns(stat.quantile_ns(0.99)),
+                fmt_ns(stat.max_ns),
+            );
+        }
+    }
+    let active: Vec<_> = snap.workers().iter().filter(|w| !w.is_empty()).collect();
+    if !active.is_empty() {
+        out.push_str("  workers:\n");
+        for worker in active {
+            let _ = writeln!(
+                out,
+                "    w{:<3} trials={:<8} blocks={:<6} busy={:<9} idle={}",
+                worker.index,
+                worker.trials,
+                worker.blocks,
+                fmt_ns(worker.busy_ns),
+                fmt_ns(worker.idle_ns()),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provenance() -> Provenance {
+        Provenance {
+            command: "sweep".to_string(),
+            seed: 42,
+            trials: 100,
+            threads: 8,
+            schemes: vec!["WFD".to_string(), "CA-TPA".to_string()],
+            params: "M=8 K=4".to_string(),
+            git: "abc123-dirty".to_string(),
+            build_profile: "release",
+            timing: true,
+        }
+    }
+
+    #[test]
+    fn jsonl_has_header_and_all_counters_and_phases() {
+        use crate::registry::{Counter, Phase};
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &provenance(), &Snapshot::capture()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"schema\":\"mcs-obs/1\""));
+        assert!(lines[0].contains("\"kind\":\"header\""));
+        assert!(lines[0].contains("\"git\":\"abc123-dirty\""));
+        assert!(lines[0].contains("\"schemes\":[\"WFD\",\"CA-TPA\"]"));
+        for c in Counter::ALL {
+            assert!(
+                text.contains(&format!("\"name\":\"{}\"", c.name())),
+                "missing counter {}",
+                c.name()
+            );
+        }
+        for p in Phase::ALL {
+            assert!(
+                text.contains(&format!("\"name\":\"{}\"", p.name())),
+                "missing phase {}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn summary_renders_without_panicking() {
+        let s = render_summary(&Snapshot::capture());
+        assert!(s.starts_with("telemetry summary"));
+    }
+}

@@ -178,7 +178,9 @@ impl CatpaVariant {
             ProbeMetric::Theorem1Slack => engine.probe_verdict(m, id).core_utilization_slack,
             ProbeMetric::OwnLevelSum => {
                 let s = engine.own_level_total_probe(m, id);
-                (s <= 1.0 + mcs_analysis::EPS).then_some(s)
+                let feasible = s <= 1.0 + mcs_analysis::EPS;
+                engine.note_probe(feasible);
+                feasible.then_some(s)
             }
         }
     }
@@ -198,7 +200,11 @@ impl Partitioner for CatpaVariant {
             let mut partition = Partition::empty(cores, ts.len());
 
             for (placed, &id) in scratch.order.iter().enumerate() {
+                engine.note_attempt();
                 let rebalance = self.alpha.is_some_and(|a| engine.imbalance() > a);
+                if rebalance {
+                    engine.note_alpha_fallback();
+                }
                 // (core, selection key, probed commit value). A manual core
                 // loop rather than the batch API: FirstFeasible must stop at
                 // the first hit, exactly like the original loop.

@@ -108,6 +108,7 @@ pub(crate) fn choose_core(
     id: TaskId,
     cursor: &mut usize,
 ) -> Option<usize> {
+    engine.note_attempt();
     let fits = |m: usize| -> bool { engine.fits(m, id, fit) };
     match placement {
         Placement::FirstFit => (0..loads.len()).find(|&m| fits(m)),

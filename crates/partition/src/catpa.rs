@@ -113,8 +113,13 @@ pub(crate) fn select_core(
     id: mcs_model::TaskId,
     alpha: Option<f64>,
 ) -> Option<(usize, f64)> {
+    engine.note_attempt();
     // Imbalance is O(1): the engine tracks the running min/max utilization.
     let rebalance = alpha.is_some_and(|alpha| engine.imbalance() > alpha);
+    if rebalance {
+        engine.note_alpha_fallback();
+    }
+    let _timer = rebalance.then(|| mcs_obs::span(mcs_obs::Phase::AlphaFallback));
     let (probes, utils) = engine.probe_all_cores(id);
     let mut best: Option<(usize, f64, f64)> = None;
     for (m, p) in probes.iter().enumerate() {

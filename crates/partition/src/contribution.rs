@@ -101,6 +101,7 @@ pub fn order_by_contribution_into(
     keyed: &mut Vec<(TaskId, f64, CritLevel)>,
     out: &mut Vec<TaskId>,
 ) {
+    let _timer = mcs_obs::span(mcs_obs::Phase::ContributionSort);
     system_totals_into(ts, totals);
     keyed.clear();
     keyed.extend(ts.tasks().iter().map(|t| (t.id(), contribution_max(t, totals), t.level())));

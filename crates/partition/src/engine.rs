@@ -26,12 +26,44 @@
 //! partitioners need and lives in a thread-local, so a sweep worker running
 //! hundreds of thousands of placements reuses one warm allocation set.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use mcs_analysis::{CoreSums, Probe, TaskRow, Verdict, EPS};
 use mcs_model::{CritLevel, TaskId, TaskSet};
+use mcs_obs::{Counter, Phase};
 
 use crate::fit::FitTest;
+
+/// Local telemetry tally. The probe kernel runs in tens of nanoseconds, so
+/// per-probe atomic traffic would dominate it; instead the engine counts
+/// into plain [`Cell`]s (a register add each — `&self` probe methods can
+/// still count) and [`with_scratch`] flushes the whole tally to the global
+/// [`mcs_obs`] registry once per partitioning run.
+#[derive(Debug, Default)]
+struct EngineTally {
+    issued: Cell<u64>,
+    rejected: Cell<u64>,
+    feasible: Cell<u64>,
+    commits: Cell<u64>,
+    untracked: Cell<u64>,
+    evictions: Cell<u64>,
+    resets: Cell<u64>,
+    attempts: Cell<u64>,
+    alpha_fallbacks: Cell<u64>,
+    repair_moves: Cell<u64>,
+}
+
+#[inline]
+fn bump(cell: &Cell<u64>, n: u64) {
+    cell.set(cell.get() + n);
+}
+
+fn flush(counter: Counter, cell: &Cell<u64>) {
+    let n = cell.take();
+    if n > 0 {
+        mcs_obs::add(counter, n);
+    }
+}
 
 /// Incremental probe state: per-task utilization rows, per-core running
 /// sums, cached core utilizations and their min/max.
@@ -50,6 +82,8 @@ pub struct ProbeEngine {
     min_util: f64,
     /// Reusable output buffer of [`Self::probe_all_cores`].
     probes: Vec<Verdict>,
+    /// Telemetry cells, flushed by [`with_scratch`].
+    tally: EngineTally,
 }
 
 impl ProbeEngine {
@@ -63,6 +97,9 @@ impl ProbeEngine {
     /// cores, reusing every buffer from previous runs.
     pub fn reset(&mut self, ts: &TaskSet, cores: usize) {
         assert!(cores >= 1, "need at least one core");
+        if mcs_obs::compiled() {
+            bump(&self.tally.resets, 1);
+        }
         let k = ts.num_levels();
         self.rows.clear();
         self.rows.extend(ts.tasks().iter().map(TaskRow::new));
@@ -105,10 +142,61 @@ impl ProbeEngine {
 
     /// Probe one core: Theorem 1 on `Ψ_m ∪ {task}`, full `A(k)` vector
     /// (the audit layer and tests read it; placement loops use
-    /// [`Self::probe_verdict`]).
+    /// [`Self::probe_verdict`]). Reference path, not telemetry-counted.
     #[must_use]
     pub fn probe(&self, m: usize, id: TaskId) -> Probe {
         self.cores[m].probe(&self.rows[id.index()])
+    }
+
+    /// Count one decided probe into the local tally.
+    #[inline]
+    pub(crate) fn note_probe(&self, feasible: bool) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.issued, 1);
+            bump(if feasible { &self.tally.feasible } else { &self.tally.rejected }, 1);
+        }
+    }
+
+    /// Count one placement attempt (one task a scheme tried to place).
+    #[inline]
+    pub(crate) fn note_attempt(&self) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.attempts, 1);
+        }
+    }
+
+    /// Count one α-threshold (imbalance fallback) activation.
+    #[inline]
+    pub(crate) fn note_alpha_fallback(&self) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.alpha_fallbacks, 1);
+        }
+    }
+
+    /// Count one applied repair (local-search) move.
+    #[inline]
+    pub(crate) fn note_repair_move(&self) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.repair_moves, 1);
+        }
+    }
+
+    /// Flush the local tally to the global registry (called by
+    /// [`with_scratch`] once per partitioning run).
+    pub(crate) fn flush_telemetry(&self) {
+        if mcs_obs::compiled() {
+            let t = &self.tally;
+            flush(Counter::EngineProbesIssued, &t.issued);
+            flush(Counter::EngineProbesRejected, &t.rejected);
+            flush(Counter::EngineProbesFeasible, &t.feasible);
+            flush(Counter::EngineCommits, &t.commits);
+            flush(Counter::EnginePlacementsUntracked, &t.untracked);
+            flush(Counter::EngineEvictions, &t.evictions);
+            flush(Counter::EngineResets, &t.resets);
+            flush(Counter::PlacementAttempts, &t.attempts);
+            flush(Counter::AlphaFallbacks, &t.alpha_fallbacks);
+            flush(Counter::RepairMoves, &t.repair_moves);
+        }
     }
 
     /// Fused probe of one core — the placement hot path: one kernel sweep
@@ -116,20 +204,35 @@ impl ProbeEngine {
     /// bit-identical to the [`Self::probe`] accessors.
     #[must_use]
     pub fn probe_verdict(&self, m: usize, id: TaskId) -> Verdict {
-        self.cores[m].probe_verdict(&self.rows[id.index()])
+        let v = self.cores[m].probe_verdict(&self.rows[id.index()]);
+        self.note_probe(v.feasible());
+        v
     }
 
     /// Batch probe: evaluate `Ψ_m ∪ {task}` for every core `m` in one pass
     /// over the reusable scratch buffer. Returns the verdicts alongside the
     /// committed utilizations (the selection keys need both).
     pub fn probe_all_cores(&mut self, id: TaskId) -> (&[Verdict], &[f64]) {
+        let _timer = mcs_obs::span(Phase::ProbeBatch);
         let row = &self.rows[id.index()];
         self.probes.clear();
-        self.probes.extend(self.cores.iter().map(|c| c.probe_verdict(row)));
+        let mut feasible = 0u64;
+        self.probes.extend(self.cores.iter().map(|c| {
+            let v = c.probe_verdict(row);
+            feasible += u64::from(v.feasible());
+            v
+        }));
+        if mcs_obs::compiled() {
+            let issued = self.probes.len() as u64;
+            bump(&self.tally.issued, issued);
+            bump(&self.tally.feasible, feasible);
+            bump(&self.tally.rejected, issued - feasible);
+        }
         (&self.probes, &self.utils)
     }
 
     /// Repair-move probe: Theorem 1 on `Ψ_m ∖ {minus} ∪ {plus}`.
+    /// Reference path, not telemetry-counted.
     #[must_use]
     pub fn probe_swap(&self, m: usize, minus: TaskId, plus: TaskId) -> Probe {
         self.cores[m].probe_swap(&self.rows[minus.index()], &self.rows[plus.index()])
@@ -138,7 +241,10 @@ impl ProbeEngine {
     /// Fused repair-move probe — the repair loop's hot path.
     #[must_use]
     pub fn probe_swap_verdict(&self, m: usize, minus: TaskId, plus: TaskId) -> Verdict {
-        self.cores[m].probe_swap_verdict(&self.rows[minus.index()], &self.rows[plus.index()])
+        let v =
+            self.cores[m].probe_swap_verdict(&self.rows[minus.index()], &self.rows[plus.index()]);
+        self.note_probe(v.feasible());
+        v
     }
 
     /// The Eq. (4) own-level total of `Ψ_m ∪ {task}` — the cheap first
@@ -154,11 +260,16 @@ impl ProbeEngine {
     #[must_use]
     pub fn fits(&self, m: usize, id: TaskId, fit: FitTest) -> bool {
         match fit {
-            FitTest::Simple => self.own_level_total_probe(m, id) <= 1.0 + EPS,
+            FitTest::Simple => {
+                let ok = self.own_level_total_probe(m, id) <= 1.0 + EPS;
+                self.note_probe(ok);
+                ok
+            }
             FitTest::Improved => self.probe_verdict(m, id).feasible(),
             FitTest::SimpleThenImproved => {
-                self.own_level_total_probe(m, id) <= 1.0 + EPS
-                    || self.probe_verdict(m, id).feasible()
+                let simple = self.own_level_total_probe(m, id) <= 1.0 + EPS;
+                self.note_probe(simple);
+                simple || self.probe_verdict(m, id).feasible()
             }
         }
     }
@@ -168,6 +279,10 @@ impl ProbeEngine {
     /// probe kernel's equivalence contract, so the old "probe, add,
     /// recompute" double evaluation is gone).
     pub fn commit(&mut self, id: TaskId, m: usize, util: f64) {
+        let _timer = mcs_obs::span(Phase::Commit);
+        if mcs_obs::compiled() {
+            bump(&self.tally.commits, 1);
+        }
         self.cores[m].add(&self.rows[id.index()]);
         let old = self.utils[m];
         self.utils[m] = util;
@@ -178,18 +293,27 @@ impl ProbeEngine {
     /// bin-packing family, which keys on the classical load, not on the
     /// Theorem-1 utilization.
     pub fn place_untracked(&mut self, id: TaskId, m: usize) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.untracked, 1);
+        }
         self.cores[m].add(&self.rows[id.index()]);
     }
 
     /// Remove `task` from core `m` (repair moves), re-deriving the core's
     /// committed utilization from the shrunk sums.
     pub fn evict(&mut self, id: TaskId, m: usize) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.evictions, 1);
+        }
         self.cores[m].remove(&self.rows[id.index()]);
         let old = self.utils[m];
-        let new = self.cores[m]
-            .evaluate_verdict()
-            .core_utilization
-            .expect("a subset of a feasible core stays feasible");
+        let new = {
+            let _timer = mcs_obs::span(Phase::Theorem1Eval);
+            self.cores[m]
+                .evaluate_verdict()
+                .core_utilization
+                .expect("a subset of a feasible core stays feasible")
+        };
         self.utils[m] = new;
         self.note_util_change(old, new);
     }
@@ -257,8 +381,19 @@ thread_local! {
 /// CA-TPA) fall back to a fresh scratch rather than aliasing the borrow.
 pub fn with_scratch<R>(f: impl FnOnce(&mut PlacementScratch) -> R) -> R {
     SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => f(&mut scratch),
-        Err(_) => f(&mut PlacementScratch::new()),
+        Ok(mut scratch) => {
+            mcs_obs::counter!(Counter::ScratchReuseHits);
+            let result = f(&mut scratch);
+            scratch.engine.flush_telemetry();
+            result
+        }
+        Err(_) => {
+            mcs_obs::counter!(Counter::ScratchFallbacks);
+            let mut scratch = PlacementScratch::new();
+            let result = f(&mut scratch);
+            scratch.engine.flush_telemetry();
+            result
+        }
     })
 }
 

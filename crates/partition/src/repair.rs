@@ -86,6 +86,7 @@ impl LsState<'_, '_> {
                 let target = (0..self.engine.num_cores())
                     .find(|&m2| m2 != m && self.engine.probe_verdict(m2, cand).feasible());
                 let Some(m2) = target else { continue };
+                self.engine.note_repair_move();
                 self.evict(cand, m);
                 self.commit(cand, m2);
                 self.commit(stuck, m);

@@ -130,7 +130,19 @@ impl Trace {
     }
 
     /// Record an event (no-op when disabled or full).
+    ///
+    /// Every simulator event flows through here whether or not the trace
+    /// is enabled, so this is also the telemetry bridge: each event kind
+    /// bumps its [`mcs_obs`] counter before the enabled check.
     pub fn push(&mut self, event: TraceEvent) {
+        mcs_obs::counter!(match event {
+            TraceEvent::Release { .. } => mcs_obs::Counter::SimReleases,
+            TraceEvent::Complete { .. } => mcs_obs::Counter::SimCompletions,
+            TraceEvent::ModeSwitch { .. } => mcs_obs::Counter::SimModeSwitches,
+            TraceEvent::Drop { .. } => mcs_obs::Counter::SimDrops,
+            TraceEvent::IdleReset { .. } => mcs_obs::Counter::SimIdleResets,
+            TraceEvent::DeadlineMiss { .. } => mcs_obs::Counter::SimDeadlineMisses,
+        });
         if self.enabled && self.events.len() < self.cap {
             self.events.push(event);
         }
