@@ -10,6 +10,24 @@ cargo fmt --all --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== mcs-lint (source invariants)"
+# Hard gate: zero error-severity findings after suppressions and the
+# (kept-empty) baseline. Exit code 1 means a violation.
+cargo run -q --offline -p mcs-lint --bin mcs-lint
+# The --json report must stay machine-readable.
+if command -v python3 > /dev/null; then
+  cargo run -q --offline -p mcs-lint --bin mcs-lint -- --json | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["tool"] == "mcs-lint", r
+assert r["errors"] == 0, r
+print(f"ci: mcs-lint json ok ({r[\"files\"]} files, {r[\"suppressed\"]} suppressed)")
+'
+else
+  cargo run -q --offline -p mcs-lint --bin mcs-lint -- --json | grep -q '"tool":"mcs-lint"' \
+    || { echo "ci: mcs-lint --json malformed"; exit 1; }
+fi
+
 echo "== cargo build --release"
 cargo build --release --offline
 

@@ -10,6 +10,8 @@
 //! only when some condition's slack `A(k)` is within the `EPS`
 //! neighbourhood of zero.
 
+// lint: exact
+
 use mcs_model::rational::Ratio;
 use mcs_model::{CritLevel, McTask};
 
@@ -107,6 +109,7 @@ pub fn theorem1_feasible_exact(tasks: &[&McTask], levels: u8) -> Option<bool> {
 /// Minimum absolute slack `|µ(k) − θ(k)|` across evaluable conditions, as
 /// `f64` — the cross-check uses this to identify boundary cases where the
 /// `f64` analysis is allowed to disagree.
+// lint: allow(exact-float, reports slack as f64 for the boundary-tolerance check; the walk itself stays rational)
 #[must_use]
 pub fn min_abs_slack_exact(tasks: &[&McTask], levels: u8) -> Option<f64> {
     if levels == 1 {

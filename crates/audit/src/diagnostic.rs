@@ -39,7 +39,12 @@ impl fmt::Display for Severity {
 }
 
 /// What a finding is about.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Runtime audit rules report on tasks, cores, or the system; the
+/// source-level `mcs-lint` pass reports on source locations. Both share
+/// this type (and [`Diagnostic`]) so text and JSON findings render the
+/// same everywhere.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Subject {
     /// The task set / partition as a whole.
     System,
@@ -47,6 +52,21 @@ pub enum Subject {
     Task(TaskId),
     /// One core.
     Core(CoreId),
+    /// A source location (workspace-relative path and 1-based line).
+    Source {
+        /// Workspace-relative path, `/`-separated.
+        file: String,
+        /// 1-based line number (0 when the finding is file-scoped).
+        line: u32,
+    },
+}
+
+impl Subject {
+    /// Source-location subject (the `mcs-lint` constructor).
+    #[must_use]
+    pub fn source(file: impl Into<String>, line: u32) -> Self {
+        Subject::Source { file: file.into(), line }
+    }
 }
 
 impl fmt::Display for Subject {
@@ -55,16 +75,21 @@ impl fmt::Display for Subject {
             Subject::System => f.write_str("system"),
             Subject::Task(t) => write!(f, "task τ{t}"),
             Subject::Core(c) => write!(f, "core {c}"),
+            Subject::Source { file, line } if *line == 0 => f.write_str(file),
+            Subject::Source { file, line } => write!(f, "{file}:{line}"),
         }
     }
 }
 
 impl Subject {
-    fn to_json(self) -> String {
+    fn to_json(&self) -> String {
         match self {
             Subject::System => r#"{"kind":"system"}"#.to_string(),
             Subject::Task(t) => format!(r#"{{"kind":"task","id":{}}}"#, t.0),
             Subject::Core(c) => format!(r#"{{"kind":"core","index":{}}}"#, c.0),
+            Subject::Source { file, line } => {
+                format!(r#"{{"kind":"source","file":"{}","line":{line}}}"#, json_escape(file))
+            }
         }
     }
 }
@@ -252,6 +277,21 @@ mod tests {
         let j = r.to_json();
         assert!(j.starts_with(r#"{"scheme":"FFD","diagnostics":["#), "{j}");
         assert!(j.ends_with("]}"), "{j}");
+    }
+
+    #[test]
+    fn source_subject_renders_and_serializes() {
+        let d = Diagnostic::warning(
+            "stdout-purity",
+            Subject::source("crates/sim/src/core.rs", 42),
+            "println! outside the command allowlist",
+        );
+        assert_eq!(format!("{}", d.subject), "crates/sim/src/core.rs:42");
+        assert!(d
+            .to_json()
+            .contains(r#""subject":{"kind":"source","file":"crates/sim/src/core.rs","line":42}"#));
+        let file_scoped = Subject::source("a/b.rs", 0);
+        assert_eq!(format!("{file_scoped}"), "a/b.rs");
     }
 
     #[test]

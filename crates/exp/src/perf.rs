@@ -31,6 +31,8 @@
 //! `BENCH_partition.json` in the working directory so the repository keeps
 //! a checked-in snapshot of the measured speedup.
 
+// lint: allow-file(determinism, wall-clock benchmark module; timings go to stderr and BENCH sidecars, never into published stdout records)
+
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};

@@ -16,7 +16,7 @@
 //! gapped record ends the trusted prefix. Records past the contiguous
 //! prefix are discarded on the next append.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead as _, BufReader, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
@@ -34,7 +34,7 @@ pub struct Checkpoint {
     file: File,
     /// Decoded data records surviving from a resumed file, keyed by point
     /// label, each a contiguous trial prefix `0..len`.
-    loaded: HashMap<String, Vec<JsonValue>>,
+    loaded: BTreeMap<String, Vec<JsonValue>>,
 }
 
 fn git_describe() -> String {
@@ -101,7 +101,7 @@ impl Checkpoint {
         writeln!(file, "{}", header_line(command, seed, params))
             .and_then(|()| file.flush())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-        Ok(Self { path: path.to_path_buf(), file, loaded: HashMap::new() })
+        Ok(Self { path: path.to_path_buf(), file, loaded: BTreeMap::new() })
     }
 
     /// Reopen an interrupted checkpoint file for resumption.
@@ -123,7 +123,7 @@ impl Checkpoint {
         let mut line = String::new();
         let mut good_bytes: u64 = 0;
         let mut header_seen = false;
-        let mut loaded: HashMap<String, Vec<JsonValue>> = HashMap::new();
+        let mut loaded: BTreeMap<String, Vec<JsonValue>> = BTreeMap::new();
         loop {
             line.clear();
             let n = reader

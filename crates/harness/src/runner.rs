@@ -178,6 +178,7 @@ impl TrialRunner<'_> {
                 mcs_obs::worker_trials(0, 1);
                 mcs_obs::counter!(Counter::HarnessTrialsComputed);
                 if let Some(ck) = self.session.checkpoint.as_mut() {
+                    // lint: allow(panic-policy, checkpoint IO failure mid-run has no recovery path; abort with the IO error)
                     ck.append(&self.label, i, &rec.to_json()).unwrap_or_else(|e| panic!("{e}"));
                 }
                 results.push(rec);
@@ -245,7 +246,7 @@ impl TrialRunner<'_> {
                 while let Some(Some(rec)) = slots.get(next_write) {
                     if let Some(ck) = self.session.checkpoint.as_mut() {
                         ck.append(&self.label, done + next_write, &rec.to_json())
-                            .unwrap_or_else(|e| panic!("{e}"));
+                            .unwrap_or_else(|e| panic!("{e}")); // lint: allow(panic-policy, checkpoint IO failure mid-run has no recovery path; abort with the IO error)
                     }
                     next_write += 1;
                 }

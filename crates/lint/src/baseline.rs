@@ -1,0 +1,141 @@
+//! The accepted-findings baseline.
+//!
+//! A baseline lets the gate turn on while legacy findings are burned
+//! down: findings listed in it are reported as *baselined* (not errors)
+//! and do not fail the run. The format is deliberately diff-friendly —
+//! one tab-separated `rule<TAB>file<TAB>message` line per accepted
+//! finding, `#` comments, sorted — and deliberately line-number-free, so
+//! unrelated edits above a finding do not invalidate the entry. Entries
+//! that no longer match anything are reported as stale warnings; this
+//! repo's checked-in baseline is empty and the gate keeps it that way.
+
+use std::io;
+use std::path::Path;
+
+use mcs_audit::{Diagnostic, Subject};
+
+/// One accepted finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Exact finding message.
+    pub message: String,
+}
+
+/// A loaded baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Accepted findings, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parse baseline text. Malformed lines (fewer than three tab-separated
+    /// fields) are returned as errors — a silently dropped baseline line
+    /// would un-accept a finding without anyone noticing.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(file), Some(message)) if !rule.is_empty() => {
+                    entries.push(Entry {
+                        rule: rule.to_string(),
+                        file: file.to_string(),
+                        message: message.to_string(),
+                    });
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `rule<TAB>file<TAB>message`, got `{line}`",
+                        idx + 1
+                    ));
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Load from a file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Result<Self, String>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Ok(Self::default())),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Index of the first entry matching `d`, if any.
+    #[must_use]
+    pub fn match_index(&self, d: &Diagnostic) -> Option<usize> {
+        let Subject::Source { file, .. } = &d.subject else { return None };
+        self.entries
+            .iter()
+            .position(|e| e.rule == d.rule_id && &e.file == file && e.message == d.message)
+    }
+
+    /// Render findings as baseline text (sorted, with a header comment).
+    #[must_use]
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let mut lines: Vec<String> = diags
+            .iter()
+            .filter_map(|d| match &d.subject {
+                Subject::Source { file, .. } => {
+                    Some(format!("{}\t{}\t{}", d.rule_id, file, d.message))
+                }
+                _ => None,
+            })
+            .collect();
+        lines.sort();
+        lines.dedup();
+        let mut out = String::from(
+            "# mcs-lint baseline: accepted findings, one `rule<TAB>file<TAB>message` per line.\n\
+             # Regenerate with `mcs-lint --write-baseline <this file>`; keep it empty.\n",
+        );
+        for l in &lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_render() {
+        let d = Diagnostic::error(
+            "determinism",
+            Subject::source("crates/sim/src/analyze.rs", 10),
+            "`HashMap` in record-producing code",
+        );
+        let text = Baseline::render(std::slice::from_ref(&d));
+        let b = Baseline::parse(&text).expect("rendered baselines parse");
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.match_index(&d), Some(0));
+    }
+
+    #[test]
+    fn matching_ignores_line_numbers() {
+        let b = Baseline::parse("r\ta.rs\tmsg\n").expect("well-formed");
+        let at_10 = Diagnostic::error("r", Subject::source("a.rs", 10), "msg");
+        let at_99 = Diagnostic::error("r", Subject::source("a.rs", 99), "msg");
+        assert_eq!(b.match_index(&at_10), Some(0));
+        assert_eq!(b.match_index(&at_99), Some(0));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Baseline::parse("just-a-rule-no-tabs\n").is_err());
+        assert!(Baseline::parse("# comment\n\n").expect("comments ok").entries.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Workspace-level facts the rules cross-check against — today, the
+//! `mcs-obs` static telemetry registry.
+//!
+//! The counter-discipline rule needs to know which `Counter::…` /
+//! `Phase::…` variants exist. Rather than depending on `mcs-obs` (which
+//! would make the linter's view drift from the source the moment the
+//! registry is edited without rebuilding), the names are read from the
+//! registry *source*: the `counters! { Variant => "wire_name", … }` and
+//! `phases! { … }` macro blocks in `crates/obs/src/registry.rs`.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{TokKind, Token};
+
+/// Path of the telemetry registry inside the workspace.
+pub const REGISTRY_PATH: &str = "crates/obs/src/registry.rs";
+
+/// Workspace facts shared by every rule.
+#[derive(Clone, Debug, Default)]
+pub struct LintContext {
+    /// Registered `Counter` variants → definition line in the registry.
+    pub counters: BTreeMap<String, u32>,
+    /// Registered `Phase` variants → definition line in the registry.
+    pub phases: BTreeMap<String, u32>,
+    /// Whether a registry file was found (rules that need it no-op
+    /// otherwise, so partial source sets — fixtures — stay usable).
+    pub has_registry: bool,
+}
+
+impl LintContext {
+    /// Build the context from the registry file's token stream (empty
+    /// context when `registry_tokens` is `None`).
+    #[must_use]
+    pub fn from_registry(registry_tokens: Option<&[Token]>) -> Self {
+        let Some(tokens) = registry_tokens else { return Self::default() };
+        let mut ctx = Self { has_registry: true, ..Self::default() };
+        ctx.counters = macro_variants(tokens, "counters");
+        ctx.phases = macro_variants(tokens, "phases");
+        ctx
+    }
+
+    /// Test constructor with explicit variant lists.
+    #[must_use]
+    pub fn with_names(counters: &[&str], phases: &[&str]) -> Self {
+        Self {
+            counters: counters.iter().map(|n| ((*n).to_string(), 0)).collect(),
+            phases: phases.iter().map(|n| ((*n).to_string(), 0)).collect(),
+            has_registry: true,
+        }
+    }
+}
+
+/// Extract `Variant => "name"` left-hand sides from a `name! { … }` macro
+/// invocation: idents directly followed by `=>` inside the block.
+fn macro_variants(tokens: &[Token], macro_name: &str) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        let is_open = matches!(&tokens[i].kind, TokKind::Ident(n) if n == macro_name)
+            && tokens[i + 1].kind == TokKind::Punct('!')
+            && tokens[i + 2].kind == TokKind::OpenBrace;
+        if !is_open {
+            i += 1;
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = i + 3;
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].kind {
+                TokKind::OpenBrace => depth += 1,
+                TokKind::CloseBrace => depth -= 1,
+                TokKind::Ident(name)
+                    if depth == 1
+                        && tokens.get(j + 1).map(|t| &t.kind) == Some(&TokKind::Punct('='))
+                        && tokens.get(j + 2).map(|t| &t.kind) == Some(&TokKind::Punct('>')) =>
+                {
+                    out.insert(name.clone(), tokens[j].line);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_variants_from_macro_blocks() {
+        let src = "\
+counters! {
+    /// Doc line.
+    EngineProbesIssued => \"engine_probes_issued\",
+    EngineCommits => \"engine_commits\",
+}
+phases! {
+    ProbeBatch => \"probe_batch\",
+}
+";
+        let lexed = lex(src);
+        let ctx = LintContext::from_registry(Some(&lexed.tokens));
+        assert_eq!(
+            ctx.counters.keys().cloned().collect::<Vec<_>>(),
+            vec!["EngineCommits", "EngineProbesIssued"]
+        );
+        assert_eq!(ctx.phases.keys().cloned().collect::<Vec<_>>(), vec!["ProbeBatch"]);
+        assert_eq!(ctx.counters["EngineProbesIssued"], 3);
+    }
+
+    #[test]
+    fn missing_registry_yields_inert_context() {
+        let ctx = LintContext::from_registry(None);
+        assert!(!ctx.has_registry);
+        assert!(ctx.counters.is_empty());
+    }
+}

@@ -1,0 +1,512 @@
+//! A hand-rolled Rust lexer — just enough of the language to lint it.
+//!
+//! The lexer splits a source file into a stream of *code tokens*
+//! (identifiers, numbers, punctuation, braces) and a separate list of
+//! *comments*. Rules only ever see code tokens, so a `println!` inside a
+//! doc comment or a string literal can never trip a rule; directive
+//! parsing ([`crate::directives`]) only ever sees comments. Handled
+//! syntax the token stream must not garble:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments;
+//! * string, raw-string (`r#"…"#` with any hash count), byte-string and
+//!   char literals — including the `'a'`-vs-`'a` lifetime ambiguity;
+//! * float literal detection (`1.5`, `1e3`, `1f64`) that does not
+//!   misread ranges (`0..n`) or method calls on integers (`1.max(2)`);
+//! * braces, so the scope scanner can track item extents.
+
+/// One code token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Code token kinds. String/char literal *contents* are dropped — no rule
+/// inspects them, and keeping them would invite matching inside strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A numeric literal; `float` is true for float-typed literals.
+    Number {
+        /// Whether the literal is float-typed (`1.5`, `1e3`, `1_f32`).
+        float: bool,
+    },
+    /// A string, raw-string, byte-string, or char literal. `empty` is
+    /// true for zero-length string contents (`""`) — the panic-policy
+    /// rule uses it to reject `.expect("")`.
+    Literal {
+        /// Whether the literal's contents are empty.
+        empty: bool,
+    },
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// `{`.
+    OpenBrace,
+    /// `}`.
+    CloseBrace,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// One comment, for directive parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text with the `//`/`///`/`//!`/`/*` markers stripped.
+    pub text: String,
+    /// Whether code tokens precede the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// Lexer output: the code-token stream plus the comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex one source file. Total: malformed input (e.g. an unterminated
+/// string) ends the current token at end-of-file rather than erroring —
+/// files that reach the linter have already survived `cargo check`.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { bytes: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Lexed::default();
+    let mut last_code_line: u32 = 0;
+
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let raw = &src[start..cur.pos];
+                let text = raw.trim_start_matches('/').trim_start_matches('!').trim();
+                out.comments.push(Comment {
+                    line,
+                    text: text.to_string(),
+                    trailing: last_code_line == line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let raw = &src[start..cur.pos];
+                let text = raw
+                    .trim_start_matches('/')
+                    .trim_start_matches('*')
+                    .trim_end_matches('/')
+                    .trim_end_matches('*')
+                    .trim();
+                out.comments.push(Comment {
+                    line,
+                    text: text.to_string(),
+                    trailing: last_code_line == line,
+                });
+            }
+            b'"' => {
+                cur.bump();
+                let empty = lex_string_body(&mut cur);
+                out.tokens.push(Token { kind: TokKind::Literal { empty }, line });
+                last_code_line = cur.line;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
+                let empty = lex_prefixed_literal(&mut cur);
+                out.tokens.push(Token { kind: TokKind::Literal { empty }, line });
+                last_code_line = cur.line;
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut cur);
+                out.tokens.push(Token { kind, line });
+                last_code_line = cur.line;
+            }
+            b if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens
+                    .push(Token { kind: TokKind::Ident(src[start..cur.pos].to_string()), line });
+                last_code_line = line;
+            }
+            b if b.is_ascii_digit() => {
+                let float = lex_number(&mut cur);
+                out.tokens.push(Token { kind: TokKind::Number { float }, line });
+                last_code_line = line;
+            }
+            b'{' => {
+                cur.bump();
+                out.tokens.push(Token { kind: TokKind::OpenBrace, line });
+                last_code_line = line;
+            }
+            b'}' => {
+                cur.bump();
+                out.tokens.push(Token { kind: TokKind::CloseBrace, line });
+                last_code_line = line;
+            }
+            other => {
+                cur.bump();
+                out.tokens.push(Token { kind: TokKind::Punct(char::from(other)), line });
+                last_code_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// After an opening `"`, consume up to and including the closing quote.
+/// Returns whether the string contents were empty.
+fn lex_string_body(cur: &mut Cursor<'_>) -> bool {
+    let mut content = false;
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+                content = true;
+            }
+            b'"' => return !content,
+            _ => content = true,
+        }
+    }
+    !content
+}
+
+/// Whether the cursor (on `r` or `b`) starts a raw/byte string or byte
+/// char literal rather than an identifier.
+fn starts_raw_or_byte_literal(cur: &Cursor<'_>) -> bool {
+    let first = cur.peek();
+    let mut i = 1;
+    if first == Some(b'b') && matches!(cur.peek_at(1), Some(b'\'') | Some(b'"')) {
+        return true;
+    }
+    if first == Some(b'b') && cur.peek_at(1) == Some(b'r') {
+        i = 2;
+    } else if first != Some(b'r') {
+        return false;
+    }
+    loop {
+        match cur.peek_at(i) {
+            Some(b'#') => i += 1,
+            Some(b'"') => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// Consume a raw string (`r#"…"#`), byte string (`b"…"`), raw byte string
+/// (`br#"…"#`), or byte char (`b'x'`), cursor on the prefix letter.
+/// Returns whether the literal's contents were empty.
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) -> bool {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+        if cur.peek() == Some(b'\'') {
+            cur.bump();
+            while let Some(b) = cur.bump() {
+                match b {
+                    b'\\' => {
+                        cur.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            return false; // byte chars always hold one byte
+        }
+        if cur.peek() == Some(b'"') {
+            cur.bump();
+            return lex_string_body(cur);
+        }
+    }
+    // Raw (byte) string: r…, count hashes.
+    cur.bump(); // the 'r'
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let mut content = false;
+    loop {
+        match cur.bump() {
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    return !content;
+                }
+                content = true;
+            }
+            Some(_) => content = true,
+            None => return !content,
+        }
+    }
+}
+
+/// Cursor on `'`: a char literal (`'a'`, `'\n'`) or a lifetime (`'a`).
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // opening '
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal.
+            cur.bump();
+            cur.bump();
+            while let Some(b) = cur.bump() {
+                if b == b'\'' {
+                    break;
+                }
+            }
+            TokKind::Literal { empty: false }
+        }
+        Some(b) if is_ident_start(b) => {
+            // `'a'` is a char, `'a` (no closing quote after one ident) is a
+            // lifetime. Consume the ident, then look for the quote.
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                TokKind::Literal { empty: false }
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '{' or '0'.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokKind::Literal { empty: false }
+        }
+        None => TokKind::Lifetime,
+    }
+}
+
+/// Cursor on a digit: consume the numeric literal, return float-ness.
+fn lex_number(cur: &mut Cursor<'_>) -> bool {
+    // Radix prefixes are never floats.
+    if cur.peek() == Some(b'0')
+        && matches!(cur.peek_at(1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'))
+    {
+        cur.bump();
+        cur.bump();
+        while cur.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            cur.bump();
+        }
+        return false;
+    }
+    let mut float = false;
+    while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        cur.bump();
+    }
+    // A `.` makes a float only when NOT a range (`1..`) and NOT a method
+    // call (`1.max(2)`).
+    if cur.peek() == Some(b'.')
+        && cur.peek_at(1) != Some(b'.')
+        && !cur.peek_at(1).is_some_and(is_ident_start)
+    {
+        float = true;
+        cur.bump();
+        while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+        let sign = usize::from(matches!(cur.peek_at(1), Some(b'+') | Some(b'-')));
+        if cur.peek_at(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            cur.bump();
+            if sign == 1 {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix: `1f64` is a float even without a dot.
+    if cur.peek().is_some_and(is_ident_start) {
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let suffix = &cur.bytes[start..cur.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+    }
+    float
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let l = lex("let x = 1; // println!(\"hi\")\n/* HashMap */ let y;\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert!(!idents("// println!\nfoo();").contains(&"println".to_string()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "println!(\"x\") } { HashMap"; s.len()"#);
+        let ids = l.tokens.iter().filter(|t| matches!(t.kind, TokKind::Ident(_))).count();
+        assert_eq!(ids, 4, "let, s, s, len — {l:?}");
+        assert_eq!(
+            l.tokens.iter().filter(|t| matches!(t.kind, TokKind::OpenBrace)).count(),
+            0,
+            "braces inside strings must not count"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"quote " inside"#; done()"###);
+        assert!(idents(r###"let s = r#"HashMap"#; done()"###).contains(&"done".to_string()));
+        assert!(!format!("{l:?}").contains("inside"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = l.tokens.iter().filter(|t| matches!(t.kind, TokKind::Literal { .. })).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn empty_literals_are_marked() {
+        let empties = |src: &str| {
+            lex(src)
+                .tokens
+                .into_iter()
+                .filter(|t| t.kind == (TokKind::Literal { empty: true }))
+                .count()
+        };
+        assert_eq!(empties(r#"x.expect("");"#), 1);
+        assert_eq!(empties(r#"x.expect("msg");"#), 0);
+        assert_eq!(empties(r##"let s = r#""#;"##), 1);
+        assert_eq!(empties(r#"let b = b"";"#), 1);
+        assert_eq!(empties("let c = 'x';"), 0);
+    }
+
+    #[test]
+    fn float_detection() {
+        let floats = |src: &str| {
+            lex(src)
+                .tokens
+                .into_iter()
+                .filter(|t| t.kind == (TokKind::Number { float: true }))
+                .count()
+        };
+        assert_eq!(floats("let x = 1.5;"), 1);
+        assert_eq!(floats("let x = 1e3;"), 1);
+        assert_eq!(floats("let x = 1f64;"), 1);
+        assert_eq!(floats("let x = 2.5e-3f32;"), 1);
+        assert_eq!(floats("for i in 0..10 {}"), 0);
+        assert_eq!(floats("let m = 1.max(2);"), 0);
+        assert_eq!(floats("let h = 0xff; let o = 0o7; let b = 0b1;"), 0);
+        assert_eq!(floats("let v = 1_000;"), 0);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ code();");
+        assert_eq!(l.comments.len(), 1);
+        assert!(idents("/* a /* b */ c */ code();").contains(&"code".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

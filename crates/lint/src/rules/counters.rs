@@ -1,0 +1,108 @@
+//! `counter-registry`: telemetry names stay in sync with the registry.
+//!
+//! Every `Counter::…` / `Phase::…` reference in instrumented code is
+//! cross-checked against the static registry parsed from
+//! `crates/obs/src/registry.rs` (see [`crate::context`]): a reference to
+//! an unregistered variant is an error (it would not compile, but the
+//! lint also runs on fixtures and diffs that never reach rustc), and a
+//! registered counter that no instrumented code references is dead
+//! telemetry — reported as a warning at its definition line so the
+//! registry cannot silently accrete abandoned entries.
+
+use std::collections::BTreeSet;
+
+use mcs_audit::{Diagnostic, Subject};
+
+use crate::context::{LintContext, REGISTRY_PATH};
+use crate::rules::LintRule;
+use crate::source::SourceFile;
+
+/// Associated items of the generated enums — not variants.
+const ASSOC_ITEMS: &[&str] = &["ALL", "COUNT", "name", "from_name"];
+
+/// See the module docs.
+#[derive(Default)]
+pub struct CounterRegistry {
+    used_counters: BTreeSet<String>,
+    used_phases: BTreeSet<String>,
+}
+
+impl LintRule for CounterRegistry {
+    fn id(&self) -> &'static str {
+        "counter-registry"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Counter::/Phase:: reference exists in the mcs-obs registry; \
+         registered counters no code references are reported"
+    }
+
+    fn check(&mut self, file: &SourceFile, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        if !ctx.has_registry || file.rel_path.starts_with("crates/obs/") {
+            // The registry defines the names; the obs crate's own plumbing
+            // (sinks iterating `Counter::ALL`) neither uses nor misuses
+            // any particular counter.
+            return;
+        }
+        for (i, line, name) in file.idents() {
+            let registry = match name {
+                "Counter" => &ctx.counters,
+                "Phase" => &ctx.phases,
+                _ => continue,
+            };
+            if !file.is_path_sep(i + 1) {
+                continue;
+            }
+            let Some(variant) = file.ident_at(i + 3) else { continue };
+            if ASSOC_ITEMS.contains(&variant) {
+                continue;
+            }
+            if registry.contains_key(variant) {
+                if name == "Counter" {
+                    self.used_counters.insert(variant.to_string());
+                } else {
+                    self.used_phases.insert(variant.to_string());
+                }
+            } else if is_variant_shaped(variant) {
+                out.push(Diagnostic::error(
+                    self.id(),
+                    Subject::source(&file.rel_path, line),
+                    format!(
+                        "`{name}::{variant}` is not in the mcs-obs registry; register it in \
+                         {REGISTRY_PATH} or fix the name"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        if !ctx.has_registry {
+            return;
+        }
+        for (kind, registry, used) in [
+            ("counter", &ctx.counters, &self.used_counters),
+            ("phase", &ctx.phases, &self.used_phases),
+        ] {
+            for (variant, line) in registry {
+                if !used.contains(variant) {
+                    out.push(Diagnostic::warning(
+                        self.id(),
+                        Subject::source(REGISTRY_PATH, *line),
+                        format!(
+                            "registered {kind} `{variant}` is never referenced by instrumented \
+                             code — dead telemetry; wire it up or remove it"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// CamelCase-with-lowercase shape — a variant, not an associated const or
+/// a method.
+fn is_variant_shaped(name: &str) -> bool {
+    name.starts_with(|c: char| c.is_ascii_uppercase())
+        && name.chars().any(|c| c.is_ascii_lowercase())
+}

@@ -1,0 +1,61 @@
+//! `determinism`: no nondeterminism sources in record-producing code.
+//!
+//! Published stdout and JSONL checkpoints must be byte-identical across
+//! runs and thread counts. `HashMap`/`HashSet` iterate in `RandomState`
+//! order, and wall-clock or thread-identity reads differ per run — any of
+//! them in code that feeds records is a reproducibility bug waiting for a
+//! refactor to expose it. The telemetry layer (`crates/obs`, strictly
+//! stderr/sidecar) and wall-clock benchmark modules carry explicit
+//! `allow`s instead of a config carve-out, so the exemption is visible at
+//! the use site.
+
+use mcs_audit::{Diagnostic, Subject};
+
+use crate::context::LintContext;
+use crate::rules::LintRule;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct Determinism;
+
+impl LintRule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet, Instant::now, or thread-identity reads in \
+         code feeding stdout records or JSONL checkpoints"
+    }
+
+    fn check(&mut self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for (i, line, name) in file.idents() {
+            let (what, hint) = match name {
+                "HashMap" => ("`HashMap`", "use BTreeMap (deterministic order), or a Vec keyed by dense ids"),
+                "HashSet" => ("`HashSet`", "use BTreeSet (deterministic order)"),
+                "RandomState" | "DefaultHasher" => {
+                    ("randomly-seeded hasher", "hash with a fixed-seed hasher or sort instead")
+                }
+                "Instant" | "SystemTime" if file.is_path_sep(i + 1)
+                    && file.ident_at(i + 3) == Some("now") =>
+                {
+                    ("wall-clock read", "derive times from the deterministic trial state, or route through mcs-obs timing")
+                }
+                "thread" if file.is_path_sep(i + 1)
+                    && file.ident_at(i + 3) == Some("current") =>
+                {
+                    ("thread-identity read", "index workers explicitly instead of reading thread ids")
+                }
+                "ThreadId" => {
+                    ("thread-identity type", "index workers explicitly instead of reading thread ids")
+                }
+                _ => continue,
+            };
+            out.push(Diagnostic::error(
+                self.id(),
+                Subject::source(&file.rel_path, line),
+                format!("{what} in record-producing code is a nondeterminism source; {hint}"),
+            ));
+        }
+    }
+}

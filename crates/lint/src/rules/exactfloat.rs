@@ -1,0 +1,59 @@
+//! `exact-float`: exact-arithmetic modules must stay float-free.
+//!
+//! The exact-rational oracle exists to catch `f64` rounding in the fast
+//! analysis; a float that sneaks *into* the oracle silently turns the
+//! cross-check into `f64`-vs-`f64`. Files tagged `// lint: exact` (and
+//! the two hardcoded oracle modules, so deleting the tag cannot disarm
+//! the rule) may not mention `f64`/`f32` or contain float literals —
+//! documented boundary conversions carry an explicit allow.
+
+use mcs_audit::{Diagnostic, Subject};
+
+use crate::context::LintContext;
+use crate::lexer::TokKind;
+use crate::rules::LintRule;
+use crate::source::SourceFile;
+
+/// Always-exact modules, enforced even if their `// lint: exact` tag is
+/// removed.
+const EXACT_PATHS: &[&str] =
+    &["crates/analysis/src/exact_arith.rs", "crates/model/src/rational.rs"];
+
+/// See the module docs.
+pub struct ExactFloat;
+
+impl LintRule for ExactFloat {
+    fn id(&self) -> &'static str {
+        "exact-float"
+    }
+
+    fn description(&self) -> &'static str {
+        "no f64/f32 tokens or float literals in exact-arithmetic modules \
+         (tag: `// lint: exact`)"
+    }
+
+    fn check(&mut self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        if !file.exact_tag && !EXACT_PATHS.contains(&file.rel_path.as_str()) {
+            return;
+        }
+        for (i, tok) in file.lexed.tokens.iter().enumerate() {
+            if file.flags(i).test {
+                continue;
+            }
+            let what = match &tok.kind {
+                TokKind::Ident(name) if name == "f64" || name == "f32" => {
+                    format!("`{name}` type in an exact-arithmetic module")
+                }
+                TokKind::Number { float: true } => {
+                    "float literal in an exact-arithmetic module".to_string()
+                }
+                _ => continue,
+            };
+            out.push(Diagnostic::error(
+                self.id(),
+                Subject::source(&file.rel_path, tok.line),
+                format!("{what}; keep the oracle rational (Ratio/i128) — a float here voids the cross-check"),
+            ));
+        }
+    }
+}

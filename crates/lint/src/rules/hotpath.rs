@@ -1,0 +1,57 @@
+//! `hot-path-alloc`: tagged hot paths stay allocation-free.
+//!
+//! The probe engine's placement loop runs hundreds of millions of times
+//! per sweep; PR 2 made it allocation-free and the throughput numbers in
+//! BENCH_partition.json depend on it staying that way. Functions tagged
+//! `// lint: no_alloc` (the probe kernels, `with_scratch`, and anything
+//! future PRs promote to the hot path) may not contain the usual
+//! allocation or formatting constructors.
+
+use mcs_audit::{Diagnostic, Subject};
+
+use crate::context::LintContext;
+use crate::rules::LintRule;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct HotPathAlloc;
+
+impl LintRule for HotPathAlloc {
+    fn id(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Vec::new/vec!/Box::new/format!/.clone()/.collect()/to_* \
+         allocation inside `// lint: no_alloc` regions"
+    }
+
+    fn check(&mut self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for (i, line, name) in file.idents() {
+            if !file.flags(i).no_alloc {
+                continue;
+            }
+            let construct = match name {
+                "Vec" | "Box" | "String" if file.is_path_sep(i + 1) => match file.ident_at(i + 3) {
+                    Some(m @ ("new" | "with_capacity" | "from")) => format!("{name}::{m}"),
+                    _ => continue,
+                },
+                "vec" | "format" if file.is_punct(i + 1, '!') => format!("{name}!"),
+                "clone" | "collect" | "to_vec" | "to_owned" | "to_string"
+                    if file.is_punct(i.wrapping_sub(1), '.') =>
+                {
+                    format!(".{name}()")
+                }
+                _ => continue,
+            };
+            out.push(Diagnostic::error(
+                self.id(),
+                Subject::source(&file.rel_path, line),
+                format!(
+                    "`{construct}` allocates inside a `no_alloc` region; reuse a scratch \
+                     buffer (clear+extend) or hoist the allocation out of the hot path"
+                ),
+            ));
+        }
+    }
+}

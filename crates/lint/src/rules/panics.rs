@@ -1,0 +1,73 @@
+//! `panic-policy`: library crates fail loudly but *explainably*.
+//!
+//! The sanctioned failure form in library crates is `.expect("why this
+//! cannot happen")` — the message is the proof obligation. `.unwrap()`
+//! carries no proof, `.expect("")` is an unwrap in a trench coat, and
+//! `panic!`/`unreachable!`/`todo!`/`unimplemented!` outside tests need an
+//! explicit `// lint: allow(panic-policy, …)` stating why aborting the
+//! process is the right response (e.g. a caller-side contract violation
+//! in a registry lookup). Binary entry points (`main.rs`) and the
+//! `mcs-exp` command layer are exempt: aborting a CLI with a message is
+//! normal error handling there.
+
+use mcs_audit::{Diagnostic, Subject};
+
+use crate::context::LintContext;
+use crate::lexer::TokKind;
+use crate::rules::LintRule;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct PanicPolicy;
+
+impl PanicPolicy {
+    fn exempt(rel_path: &str) -> bool {
+        rel_path.starts_with("crates/exp/") || rel_path.ends_with("/main.rs")
+    }
+}
+
+impl LintRule for PanicPolicy {
+    fn id(&self) -> &'static str {
+        "panic-policy"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/panic!/unreachable!/todo!/empty-message expect in \
+         library code outside #[cfg(test)]"
+    }
+
+    fn check(&mut self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        if Self::exempt(&file.rel_path) {
+            return;
+        }
+        for (i, line, name) in file.idents() {
+            let finding = match name {
+                "unwrap" if file.is_punct(i.wrapping_sub(1), '.') => {
+                    "`.unwrap()` gives no failure context; use `.expect(\"why this cannot \
+                     fail\")` or propagate the error"
+                        .to_string()
+                }
+                "expect"
+                    if file.is_punct(i.wrapping_sub(1), '.')
+                        && file.is_punct(i + 1, '(')
+                        && matches!(
+                            file.lexed.tokens.get(i + 2).map(|t| &t.kind),
+                            Some(TokKind::Literal { empty: true })
+                        ) =>
+                {
+                    "`.expect(\"\")` is an unwrap with extra steps; state why the value must \
+                     be present"
+                        .to_string()
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" if file.is_punct(i + 1, '!') => {
+                    format!(
+                        "`{name}!` aborts the process from library code; return an error, or \
+                         allow it with a reason if aborting is the contract"
+                    )
+                }
+                _ => continue,
+            };
+            out.push(Diagnostic::error(self.id(), Subject::source(&file.rel_path, line), finding));
+        }
+    }
+}

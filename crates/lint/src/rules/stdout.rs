@@ -1,0 +1,55 @@
+//! `stdout-purity`: stdout belongs to published experiment records only.
+//!
+//! Every published table and JSONL record is written by the `mcs-exp`
+//! command layer; byte-identical stdout at any `--threads` is a repo-wide
+//! contract (checked at runtime by ci.sh diffs). A stray `println!` in a
+//! library crate silently corrupts that contract, so outside the
+//! allowlisted command modules everything must use `eprintln!`, a passed
+//! writer, or `mcs-obs`.
+
+use mcs_audit::{Diagnostic, Subject};
+
+use crate::context::LintContext;
+use crate::rules::LintRule;
+use crate::source::SourceFile;
+
+/// Files that own the stdout contract: binary entry points and the
+/// `mcs-exp` command modules that render published output directly.
+const ALLOWLIST: &[&str] =
+    &["crates/exp/src/main.rs", "crates/exp/src/telemetry.rs", "crates/lint/src/main.rs"];
+
+/// See the module docs.
+pub struct StdoutPurity;
+
+impl LintRule for StdoutPurity {
+    fn id(&self) -> &'static str {
+        "stdout-purity"
+    }
+
+    fn description(&self) -> &'static str {
+        "println!/print!/io::stdout only in allowlisted command modules; \
+         libraries use stderr or mcs-obs"
+    }
+
+    fn check(&mut self, file: &SourceFile, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        if ALLOWLIST.contains(&file.rel_path.as_str()) {
+            return;
+        }
+        for (i, line, name) in file.idents() {
+            let finding = match name {
+                "println" | "print" if file.is_punct(i + 1, '!') => {
+                    format!("`{name}!` writes to stdout outside the command allowlist")
+                }
+                "stdout" if file.is_punct(i + 1, '(') => {
+                    "direct `stdout()` handle outside the command allowlist".to_string()
+                }
+                _ => continue,
+            };
+            out.push(Diagnostic::error(
+                self.id(),
+                Subject::source(&file.rel_path, line),
+                format!("{finding}; published records are written by mcs-exp only — use eprintln!, a passed writer, or mcs-obs"),
+            ));
+        }
+    }
+}

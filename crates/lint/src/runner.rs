@@ -1,0 +1,309 @@
+//! Rule orchestration: run every rule, apply suppressions and the
+//! baseline, and render the report.
+//!
+//! Order of operations matters and is fixed: (1) malformed directives
+//! become `lint-directive` errors — these are never suppressible, because
+//! a typoed `allow` must not be silenceable by another typoed `allow`;
+//! (2) per-file and file-wide `allow`s filter rule findings, and every
+//! allow must earn its keep — an allow that suppressed nothing is itself
+//! a warning; (3) the baseline filters what remains, and stale baseline
+//! entries warn. Findings are sorted by `(file, line, rule)` so output is
+//! byte-stable regardless of rule registration order.
+
+use mcs_audit::{Diagnostic, Severity, Subject};
+
+use crate::baseline::Baseline;
+use crate::rules::{self, LintRule};
+use crate::workspace::Workspace;
+
+/// Pseudo-rule id for malformed `// lint:` directives.
+pub const DIRECTIVE_RULE: &str = "lint-directive";
+
+/// The result of one lint run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Surviving findings, sorted by `(file, line, rule, message)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files checked.
+    pub files: usize,
+    /// Findings removed by `// lint: allow` directives.
+    pub suppressed: usize,
+    /// Findings removed by the baseline.
+    pub baselined: usize,
+}
+
+impl Outcome {
+    /// Number of surviving findings at the given severity.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Whether the run passes the gate (no errors; warnings tolerated).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Plain-text report: one finding per line plus a summary line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out.push_str(&format!(
+            "mcs-lint: {} error(s), {} warning(s) in {} file(s) \
+             ({} suppressed, {} baselined)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.files,
+            self.suppressed,
+            self.baselined
+        ));
+        out
+    }
+
+    /// JSON report, shaped like an `AuditReport` with run counters.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            r#"{{"tool":"mcs-lint","files":{},"errors":{},"warnings":{},"suppressed":{},"baselined":{},"diagnostics":[{}]}}"#,
+            self.files,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.suppressed,
+            self.baselined,
+            items.join(",")
+        )
+    }
+}
+
+/// Run the standard rules over a loaded workspace.
+#[must_use]
+pub fn run(ws: &Workspace, baseline: &Baseline) -> Outcome {
+    run_rules(ws, baseline, rules::standard())
+}
+
+/// Run an explicit rule set (test entry point).
+#[must_use]
+pub fn run_rules(
+    ws: &Workspace,
+    baseline: &Baseline,
+    mut rules: Vec<Box<dyn LintRule>>,
+) -> Outcome {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for file in &ws.files {
+        for (line, problem) in &file.malformed {
+            raw.push(Diagnostic::error(
+                DIRECTIVE_RULE,
+                Subject::source(&file.rel_path, *line),
+                problem.clone(),
+            ));
+        }
+        for rule in &mut rules {
+            rule.check(file, &ws.ctx, &mut raw);
+        }
+    }
+    for rule in &mut rules {
+        rule.finish(&ws.ctx, &mut raw);
+    }
+
+    let mut out = Outcome { files: ws.files.len(), ..Outcome::default() };
+
+    // Suppression pass. Track per-file which allows fired so unused ones
+    // can be reported.
+    let mut used_allows: Vec<Vec<bool>> =
+        ws.files.iter().map(|f| vec![false; f.allows.len()]).collect();
+    let mut used_file_allows: Vec<Vec<bool>> =
+        ws.files.iter().map(|f| vec![false; f.file_allows.len()]).collect();
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        if d.rule_id == DIRECTIVE_RULE {
+            kept.push(d);
+            continue;
+        }
+        let Subject::Source { file, line } = &d.subject else {
+            kept.push(d);
+            continue;
+        };
+        let Some(fi) = ws.files.iter().position(|f| &f.rel_path == file) else {
+            kept.push(d);
+            continue;
+        };
+        let f = &ws.files[fi];
+        if let Some(ai) = f.file_allows.iter().position(|a| a.rule == d.rule_id) {
+            used_file_allows[fi][ai] = true;
+            out.suppressed += 1;
+            continue;
+        }
+        if let Some(ai) =
+            f.allows.iter().position(|a| a.rule == d.rule_id && (a.from..=a.to).contains(line))
+        {
+            used_allows[fi][ai] = true;
+            out.suppressed += 1;
+            continue;
+        }
+        kept.push(d);
+    }
+
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (ai, a) in f.allows.iter().enumerate() {
+            if !used_allows[fi][ai] {
+                kept.push(Diagnostic::warning(
+                    DIRECTIVE_RULE,
+                    Subject::source(&f.rel_path, a.line),
+                    format!(
+                        "allow({}) suppressed nothing — the finding is gone; remove the \
+                         directive",
+                        a.rule
+                    ),
+                ));
+            }
+        }
+        for (ai, a) in f.file_allows.iter().enumerate() {
+            if !used_file_allows[fi][ai] {
+                kept.push(Diagnostic::warning(
+                    DIRECTIVE_RULE,
+                    Subject::source(&f.rel_path, a.line),
+                    format!(
+                        "allow-file({}) suppressed nothing — the finding is gone; remove \
+                         the directive",
+                        a.rule
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Baseline pass.
+    let mut used_entries = vec![false; baseline.entries.len()];
+    let mut survivors: Vec<Diagnostic> = Vec::new();
+    for d in kept {
+        match baseline.match_index(&d) {
+            Some(ei) if d.rule_id != DIRECTIVE_RULE => {
+                used_entries[ei] = true;
+                out.baselined += 1;
+            }
+            _ => survivors.push(d),
+        }
+    }
+    for (ei, used) in used_entries.iter().enumerate() {
+        if !used {
+            let e = &baseline.entries[ei];
+            survivors.push(Diagnostic::warning(
+                DIRECTIVE_RULE,
+                Subject::source(e.file.clone(), 0),
+                format!(
+                    "stale baseline entry for rule `{}`: `{}` — the finding is gone; \
+                     remove the line",
+                    e.rule, e.message
+                ),
+            ));
+        }
+    }
+
+    survivors.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    out.diagnostics = survivors;
+    out
+}
+
+fn sort_key(d: &Diagnostic) -> (String, u32, &'static str, &str) {
+    match &d.subject {
+        Subject::Source { file, line } => (file.clone(), *line, d.rule_id, d.message.as_str()),
+        other => (format!("{other}"), 0, d.rule_id, d.message.as_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::standard_ids;
+    use crate::workspace::Workspace;
+
+    fn lint(sources: &[(&str, &str)]) -> Outcome {
+        run(&Workspace::from_sources(sources, &standard_ids()), &Baseline::default())
+    }
+
+    #[test]
+    fn findings_are_sorted_and_counted() {
+        let out = lint(&[
+            ("crates/b/src/lib.rs", "fn f() { println!(\"x\"); }"),
+            ("crates/a/src/lib.rs", "use std::collections::HashMap;\nfn g() { println!(\"y\"); }"),
+        ]);
+        assert!(!out.is_clean());
+        let files: Vec<String> = out
+            .diagnostics
+            .iter()
+            .map(|d| match &d.subject {
+                Subject::Source { file, .. } => file.clone(),
+                other => format!("{other}"),
+            })
+            .collect();
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert_eq!(out.count(Severity::Error), 3);
+    }
+
+    #[test]
+    fn allows_suppress_and_unused_allows_warn() {
+        let suppressed = lint(&[(
+            "crates/a/src/lib.rs",
+            "fn f() {\n    println!(\"x\"); // lint: allow(stdout-purity, demo reason)\n}\n",
+        )]);
+        assert!(suppressed.is_clean(), "{}", suppressed.render_text());
+        assert_eq!(suppressed.suppressed, 1);
+
+        let unused = lint(&[(
+            "crates/a/src/lib.rs",
+            "fn f() {} // lint: allow(stdout-purity, nothing to suppress)\n",
+        )]);
+        assert!(unused.is_clean());
+        assert_eq!(unused.count(Severity::Warning), 1, "{}", unused.render_text());
+    }
+
+    #[test]
+    fn malformed_directives_are_unsuppressable_errors() {
+        let out = lint(&[(
+            "crates/a/src/lib.rs",
+            "// lint: allow-file(lint-directive, try to silence)\n// lint: alow(oops)\n",
+        )]);
+        assert_eq!(out.count(Severity::Error), 1, "{}", out.render_text());
+        assert!(out.diagnostics.iter().any(|d| d.rule_id == DIRECTIVE_RULE));
+    }
+
+    #[test]
+    fn baseline_filters_and_stale_entries_warn() {
+        let src = [("crates/a/src/lib.rs", "fn f() { println!(\"x\"); }")];
+        let ws = Workspace::from_sources(&src, &standard_ids());
+        let unfiltered = run(&ws, &Baseline::default());
+        assert_eq!(unfiltered.count(Severity::Error), 1);
+
+        let text = Baseline::render(&unfiltered.diagnostics);
+        let baseline = Baseline::parse(&text).expect("rendered baseline parses");
+        let filtered = run(&ws, &baseline);
+        assert!(filtered.is_clean(), "{}", filtered.render_text());
+        assert_eq!(filtered.baselined, 1);
+
+        let stale = Baseline::parse("stdout-purity\tgone.rs\told message\n").expect("ok");
+        let with_stale = run(&ws, &stale);
+        assert!(
+            with_stale
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Warning && d.message.contains("stale")),
+            "{}",
+            with_stale.render_text()
+        );
+    }
+
+    #[test]
+    fn json_report_carries_counts() {
+        let out = lint(&[("crates/a/src/lib.rs", "fn f() { println!(\"x\"); }")]);
+        let j = out.render_json();
+        assert!(j.starts_with(r#"{"tool":"mcs-lint","#), "{j}");
+        assert!(j.contains(r#""errors":1"#), "{j}");
+    }
+}

@@ -1,0 +1,278 @@
+//! Brace-tracked scopes over the token stream.
+//!
+//! The scanner walks the code tokens once and computes, per token, whether
+//! it sits inside a `#[cfg(test)]`-gated scope and whether it sits inside
+//! a `// lint: no_alloc` region. It also records *item spans* — the line
+//! ranges of brace-delimited items — which [`crate::directives`] uses to
+//! attach an own-line `// lint: allow(…)` to the whole item that follows
+//! it rather than just the next line.
+//!
+//! Both region kinds attach to the next `{`…`}` scope: an attribute
+//! `#[cfg(test)]` marks the scope it introduces (and everything nested),
+//! and a `no_alloc` directive line marks the first scope opened after it
+//! (the tagged function's body, including closures inside).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{TokKind, Token};
+
+/// Region membership of one token.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TokenFlags {
+    /// Inside a `#[cfg(test)]`-gated scope.
+    pub test: bool,
+    /// Inside a `// lint: no_alloc` region.
+    pub no_alloc: bool,
+}
+
+/// The line extent of one brace-delimited item or block.
+///
+/// `start_line` is where the owning statement begins (the `pub` of a
+/// `pub fn`, including any preceding attribute), not where the `{` sits —
+/// multi-line signatures resolve to their first line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ItemSpan {
+    /// First line of the item (statement start).
+    pub start_line: u32,
+    /// Line of the opening `{`.
+    pub open_line: u32,
+    /// Line of the matching `}` (equal to `open_line` until closed).
+    pub close_line: u32,
+}
+
+/// Scanner output: per-token flags (parallel to the token slice) and the
+/// recorded item spans.
+#[derive(Clone, Debug, Default)]
+pub struct ScopeMap {
+    /// `flags[i]` describes `tokens[i]`.
+    pub flags: Vec<TokenFlags>,
+    /// Every brace scope, in opening order.
+    pub items: Vec<ItemSpan>,
+}
+
+struct Frame {
+    test: bool,
+    no_alloc: bool,
+    stmt_start: u32,
+    at_stmt_start: bool,
+    item_index: Option<usize>,
+}
+
+/// Scan the token stream. `no_alloc_lines` holds the lines of own-line
+/// `// lint: no_alloc` directives; each marks the first scope opened on a
+/// later line.
+#[must_use]
+pub fn scan(tokens: &[Token], no_alloc_lines: &BTreeSet<u32>) -> ScopeMap {
+    let mut out = ScopeMap { flags: Vec::with_capacity(tokens.len()), items: Vec::new() };
+    let mut stack: Vec<Frame> = vec![Frame {
+        test: false,
+        no_alloc: false,
+        stmt_start: 1,
+        at_stmt_start: true,
+        item_index: None,
+    }];
+    let mut pending_test = false;
+    let mut pending_no_alloc = false;
+    let mut no_alloc_iter = no_alloc_lines.iter().copied().peekable();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        while no_alloc_iter.peek().is_some_and(|&l| l < tok.line) {
+            no_alloc_iter.next();
+            pending_no_alloc = true;
+        }
+        let top = stack.last_mut().expect("root frame is never popped");
+        if top.at_stmt_start {
+            top.stmt_start = tok.line;
+            top.at_stmt_start = false;
+        }
+        let current = TokenFlags { test: top.test, no_alloc: top.no_alloc };
+
+        match &tok.kind {
+            TokKind::Punct('#') if is_attr_open(tokens, i) => {
+                // Consume the whole `#[…]` / `#![…]`, checking for
+                // cfg(test).
+                let (end, is_cfg_test) = scan_attribute(tokens, i);
+                if is_cfg_test {
+                    pending_test = true;
+                }
+                for _ in i..end {
+                    out.flags.push(current);
+                }
+                i = end;
+                continue;
+            }
+            TokKind::OpenBrace => {
+                let new_flags = TokenFlags {
+                    test: current.test || pending_test,
+                    no_alloc: current.no_alloc || pending_no_alloc,
+                };
+                pending_test = false;
+                pending_no_alloc = false;
+                let start_line = top.stmt_start;
+                let item_index = out.items.len();
+                out.items.push(ItemSpan { start_line, open_line: tok.line, close_line: tok.line });
+                stack.push(Frame {
+                    test: new_flags.test,
+                    no_alloc: new_flags.no_alloc,
+                    stmt_start: tok.line,
+                    at_stmt_start: true,
+                    item_index: Some(item_index),
+                });
+                out.flags.push(new_flags);
+            }
+            TokKind::CloseBrace => {
+                let frame = if stack.len() > 1 {
+                    stack.pop().expect("len checked")
+                } else {
+                    // Unbalanced `}` (macro fragment); stay at root.
+                    Frame {
+                        test: current.test,
+                        no_alloc: current.no_alloc,
+                        stmt_start: tok.line,
+                        at_stmt_start: true,
+                        item_index: None,
+                    }
+                };
+                if let Some(idx) = frame.item_index {
+                    out.items[idx].close_line = tok.line;
+                }
+                out.flags.push(TokenFlags { test: frame.test, no_alloc: frame.no_alloc });
+                // A closed block ends the statement for item-like scopes;
+                // expression blocks are closed mid-statement, but treating
+                // the next token as a fresh statement start only widens an
+                // allow's reach by one expression — harmless.
+                stack.last_mut().expect("root frame").at_stmt_start = true;
+            }
+            TokKind::Punct(';') => {
+                pending_test = false;
+                pending_no_alloc = false;
+                top.at_stmt_start = true;
+                out.flags.push(current);
+            }
+            _ => out.flags.push(current),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn is_attr_open(tokens: &[Token], i: usize) -> bool {
+    match tokens.get(i + 1).map(|t| &t.kind) {
+        Some(TokKind::Punct('[')) => true,
+        Some(TokKind::Punct('!')) => {
+            matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct('[')))
+        }
+        _ => false,
+    }
+}
+
+/// From the `#` at `tokens[i]`, find the token index one past the closing
+/// `]` and whether the attribute is a `cfg(test)` gate.
+fn scan_attribute(tokens: &[Token], i: usize) -> (usize, bool) {
+    let mut j = i + 1;
+    if matches!(tokens.get(j).map(|t| &t.kind), Some(TokKind::Punct('!'))) {
+        j += 1;
+    }
+    // tokens[j] is `[`.
+    let mut depth = 0usize;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, has_cfg && has_test);
+                }
+            }
+            TokKind::Ident(name) if name == "cfg" => has_cfg = true,
+            TokKind::Ident(name) if name == "test" => has_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, has_cfg && has_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn flags_of(src: &str, no_alloc: &[u32]) -> (Vec<Token>, ScopeMap) {
+        let lexed = lex(src);
+        let lines: BTreeSet<u32> = no_alloc.iter().copied().collect();
+        let map = scan(&lexed.tokens, &lines);
+        (lexed.tokens, map)
+    }
+
+    fn ident_flag(tokens: &[Token], map: &ScopeMap, name: &str) -> TokenFlags {
+        let idx = tokens
+            .iter()
+            .position(|t| t.kind == TokKind::Ident(name.to_string()))
+            .unwrap_or_else(|| panic!("no ident {name}"));
+        map.flags[idx]
+    }
+
+    #[test]
+    fn cfg_test_scopes_are_marked() {
+        let src = "fn live() { real(); }\n#[cfg(test)]\nmod tests {\n fn t() { gated(); }\n}\nfn after() { also_real(); }";
+        let (tokens, map) = flags_of(src, &[]);
+        assert!(!ident_flag(&tokens, &map, "real").test);
+        assert!(ident_flag(&tokens, &map, "gated").test);
+        assert!(!ident_flag(&tokens, &map, "also_real").test);
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn() {
+        let src = "#[cfg(test)]\nfn helper() { gated(); }\nfn live() { real(); }";
+        let (tokens, map) = flags_of(src, &[]);
+        assert!(ident_flag(&tokens, &map, "gated").test);
+        assert!(!ident_flag(&tokens, &map, "real").test);
+    }
+
+    #[test]
+    fn cfg_test_cleared_by_semicolon_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { real(); }";
+        let (tokens, map) = flags_of(src, &[]);
+        assert!(!ident_flag(&tokens, &map, "real").test);
+    }
+
+    #[test]
+    fn other_attributes_do_not_gate() {
+        let src = "#[derive(Debug)]\nstruct S { field: u32 }";
+        let (tokens, map) = flags_of(src, &[]);
+        assert!(!ident_flag(&tokens, &map, "field").test);
+    }
+
+    #[test]
+    fn no_alloc_marks_next_item_and_nested_closures() {
+        // Directive on line 1; fn on lines 2-4 with a closure.
+        let src = "\npub fn hot(&self) -> u32 {\n    self.iter().map(|x| x + 1).sum()\n}\nfn cold() { other(); }";
+        let (tokens, map) = flags_of(src, &[1]);
+        assert!(ident_flag(&tokens, &map, "sum").no_alloc);
+        assert!(!ident_flag(&tokens, &map, "other").no_alloc);
+    }
+
+    #[test]
+    fn item_spans_cover_multiline_signatures() {
+        let src = "pub fn long(\n    a: u32,\n) -> u32 {\n    a\n}";
+        let (_, map) = flags_of(src, &[]);
+        assert_eq!(map.items.len(), 1);
+        let span = map.items[0];
+        assert_eq!(span.start_line, 1);
+        assert_eq!(span.open_line, 3);
+        assert_eq!(span.close_line, 5);
+    }
+
+    #[test]
+    fn nested_items_all_recorded() {
+        let src = "impl Foo {\n    fn a() { x(); }\n    fn b() { y(); }\n}";
+        let (_, map) = flags_of(src, &[]);
+        assert_eq!(map.items.len(), 3);
+        assert_eq!(map.items[0].close_line, 4); // the impl block
+    }
+}

@@ -1,0 +1,82 @@
+//! One analyzed source file: tokens, scopes, and resolved directives.
+
+use std::collections::BTreeSet;
+
+use crate::directives::{self, Allow, FileAllow};
+use crate::lexer::{self, Lexed, TokKind};
+use crate::scope::{self, ScopeMap, TokenFlags};
+
+/// A lexed, scope-scanned, directive-resolved source file, ready for the
+/// rules.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Per-token region flags and item spans.
+    pub scope: ScopeMap,
+    /// File is tagged `// lint: exact`.
+    pub exact_tag: bool,
+    /// Resolved line-range suppressions.
+    pub allows: Vec<Allow>,
+    /// File-wide suppressions.
+    pub file_allows: Vec<FileAllow>,
+    /// Malformed directives: `(line, problem)`.
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lex and analyze one file. `known_rules` validates allow directives.
+    #[must_use]
+    pub fn parse(rel_path: &str, src: &str, known_rules: &BTreeSet<&'static str>) -> Self {
+        let lexed = lexer::lex(src);
+        let dirs = directives::parse(&lexed.comments, known_rules);
+        let scope = scope::scan(&lexed.tokens, &dirs.no_alloc_lines);
+        let allows = directives::resolve_allows(&dirs.raw_allows, &lexed.tokens, &scope.items);
+        Self {
+            rel_path: rel_path.to_string(),
+            lexed,
+            scope,
+            exact_tag: dirs.exact,
+            allows,
+            file_allows: dirs.file_allows,
+            malformed: dirs.malformed,
+        }
+    }
+
+    /// The flags of token `i`.
+    #[must_use]
+    pub fn flags(&self, i: usize) -> TokenFlags {
+        self.scope.flags.get(i).copied().unwrap_or_default()
+    }
+
+    /// Iterate `(index, line, ident)` over non-test identifier tokens.
+    pub fn idents(&self) -> impl Iterator<Item = (usize, u32, &str)> + '_ {
+        self.lexed.tokens.iter().enumerate().filter_map(|(i, t)| match &t.kind {
+            TokKind::Ident(name) if !self.flags(i).test => Some((i, t.line, name.as_str())),
+            _ => None,
+        })
+    }
+
+    /// Whether token `i` is the punctuation `c`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        self.lexed.tokens.get(i).map(|t| &t.kind) == Some(&TokKind::Punct(c))
+    }
+
+    /// Whether tokens `i..i+2` spell `::`.
+    #[must_use]
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':')
+    }
+
+    /// The identifier at token `i`, if any.
+    #[must_use]
+    pub fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.lexed.tokens.get(i).map(|t| &t.kind) {
+            Some(TokKind::Ident(name)) => Some(name.as_str()),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Satellite: the shared diagnostic schema round-trips through the
+//! harness's JSON parser — `mcs-audit` and `mcs-lint` findings serialize
+//! to the same shape, and `mcs-lint --json` output is machine-readable
+//! with the repo's own parser (the same one ci.sh consumers would use).
+
+use mcs_audit::{Diagnostic, Severity, Subject};
+use mcs_harness::json::{self, JsonValue};
+use mcs_lint::rules::standard_ids;
+use mcs_lint::{runner, Baseline, Workspace};
+
+fn parse(s: &str) -> JsonValue {
+    json::parse(s).unwrap_or_else(|e| panic!("{e}: {s}"))
+}
+
+#[test]
+fn source_diagnostic_round_trips() {
+    let d = Diagnostic::error(
+        "stdout-purity",
+        Subject::source("crates/sim/src/core.rs", 42),
+        "println! with \"quotes\" and\nnewline",
+    );
+    let v = parse(&d.to_json());
+    assert_eq!(v.get("rule").and_then(JsonValue::as_str), Some("stdout-purity"));
+    assert_eq!(v.get("severity").and_then(JsonValue::as_str), Some("error"));
+    let subject = v.get("subject").expect("subject object");
+    assert_eq!(subject.get("kind").and_then(JsonValue::as_str), Some("source"));
+    assert_eq!(subject.get("file").and_then(JsonValue::as_str), Some("crates/sim/src/core.rs"));
+    assert_eq!(subject.get("line").and_then(JsonValue::as_u64), Some(42));
+    assert_eq!(
+        v.get("message").and_then(JsonValue::as_str),
+        Some("println! with \"quotes\" and\nnewline")
+    );
+}
+
+#[test]
+fn audit_subjects_share_the_same_schema() {
+    use mcs_model::{CoreId, TaskId};
+    for (d, kind) in [
+        (Diagnostic::info("r", Subject::System, "m"), "system"),
+        (Diagnostic::warning("r", Subject::Task(TaskId(3)), "m"), "task"),
+        (Diagnostic::error("r", Subject::Core(CoreId(1)), "m"), "core"),
+        (Diagnostic::error("r", Subject::source("a.rs", 1), "m"), "source"),
+    ] {
+        let v = parse(&d.to_json());
+        assert_eq!(
+            v.get("subject").and_then(|s| s.get("kind")).and_then(JsonValue::as_str),
+            Some(kind)
+        );
+        assert_eq!(v.get("severity").and_then(JsonValue::as_str), Some(d.severity.label()));
+    }
+}
+
+#[test]
+fn lint_json_report_parses_with_the_harness_parser() {
+    let ws = Workspace::from_sources(
+        &[("crates/fake/src/lib.rs", "fn f() { println!(\"x\"); }")],
+        &standard_ids(),
+    );
+    let out = runner::run(&ws, &Baseline::default());
+    let v = parse(&out.render_json());
+    assert_eq!(v.get("tool").and_then(JsonValue::as_str), Some("mcs-lint"));
+    assert_eq!(v.get("files").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(v.get("errors").and_then(JsonValue::as_u64), Some(1));
+    let diags = v.get("diagnostics").and_then(JsonValue::as_arr).expect("diagnostics array");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("rule").and_then(JsonValue::as_str), Some("stdout-purity"));
+    assert_eq!(
+        diags[0].get("subject").and_then(|s| s.get("line")).and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    let _ = Severity::Error; // schema shared with mcs-audit by construction
+}

@@ -1,0 +1,15 @@
+//! Fixture: nondeterminism sources in record-producing code.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for k in keys {
+        *m.entry(*k).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

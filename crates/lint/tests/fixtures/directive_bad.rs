@@ -1,0 +1,9 @@
+//! Fixture: malformed directives — each line below is a lint-directive
+//! error, and the reasonless allow must not suppress the violation.
+
+pub fn noisy() {
+    println!("not actually suppressed"); // lint: allow(stdout-purity)
+}
+
+// lint: alow(stdout-purity, typoed keyword)
+pub fn other() {}

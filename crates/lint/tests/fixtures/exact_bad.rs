@@ -1,0 +1,15 @@
+//! Fixture: float contamination in a tagged exact-arithmetic module.
+
+// lint: exact
+
+pub fn approx(x: u64) -> f64 {
+    x as f64 * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_in_tests_are_fine() {
+        assert!((0.5_f64).abs() > 0.0);
+    }
+}

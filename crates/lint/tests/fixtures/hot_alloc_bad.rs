@@ -1,0 +1,15 @@
+//! Fixture: allocation inside a `no_alloc`-tagged hot path.
+
+// lint: no_alloc
+pub fn hot(xs: &[u32], scratch: &mut Vec<u32>) -> String {
+    let v = vec![1, 2, 3];
+    let copied = xs.to_vec();
+    let fresh: Vec<u32> = Vec::new();
+    scratch.clear();
+    scratch.extend(v.iter().chain(copied.iter()).chain(fresh.iter()));
+    format!("{}", scratch.len())
+}
+
+pub fn cold(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec() // untagged: allocation is fine here
+}

@@ -1,0 +1,23 @@
+//! Fixture: panic-policy violations in library code.
+
+pub fn bad(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b: Result<u32, ()> = Err(());
+    let c = b.expect("");
+    if a + c > 3 {
+        panic!("boom");
+    }
+    todo!()
+}
+
+pub fn sanctioned(x: Option<u32>) -> u32 {
+    x.expect("caller guarantees presence per the documented contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: stdout-purity violations in a library file.
+
+pub fn announce(n: usize) {
+    println!("leaking {n} records to stdout");
+    print!("more");
+    let mut handle = std::io::stdout();
+    let _ = &mut handle;
+}
+
+pub fn fine(n: usize) {
+    eprintln!("status: {n}"); // stderr is always allowed
+}

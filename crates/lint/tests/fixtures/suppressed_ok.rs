@@ -1,0 +1,13 @@
+//! Fixture: violations covered by well-formed `allow` directives.
+
+pub fn quiet() {
+    println!("ok"); // lint: allow(stdout-purity, fixture demonstrates a trailing allow)
+}
+
+// lint: allow(panic-policy, fixture demonstrates an item-spanning allow)
+pub fn item_allowed(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        None => panic!("covered by the item allow"),
+    }
+}

@@ -1,0 +1,33 @@
+//! The linter linting its own workspace: the tree must be clean.
+//!
+//! This is the test-suite mirror of the ci.sh gate — zero errors *and*
+//! zero warnings (an unused allow or a dead counter fails here too), with
+//! the checked-in baseline applied exactly as the CLI would apply it.
+
+use std::path::Path;
+
+use mcs_audit::Severity;
+use mcs_lint::rules::standard_ids;
+use mcs_lint::{runner, Baseline, Workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let ws = Workspace::load(root, &standard_ids()).expect("workspace sources load");
+    assert!(ws.files.len() > 50, "walker found only {} files", ws.files.len());
+    assert!(ws.ctx.has_registry, "mcs-obs registry must be discovered");
+
+    let baseline = Baseline::load(&root.join("lint.baseline"))
+        .expect("baseline readable")
+        .expect("baseline well-formed");
+    let out = runner::run(&ws, &baseline);
+    assert_eq!(
+        (out.count(Severity::Error), out.count(Severity::Warning)),
+        (0, 0),
+        "the tree must ship lint-clean:\n{}",
+        out.render_text()
+    );
+}

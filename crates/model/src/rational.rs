@@ -11,6 +11,8 @@
 //! returns `None` rather than silently wrapping (λ-recursion denominators
 //! can grow quickly).
 
+// lint: exact
+
 use std::cmp::Ordering;
 
 /// An exact rational number with `i128` numerator and positive `i128`
@@ -126,6 +128,7 @@ impl Ratio {
     }
 
     /// Lossy conversion for reporting.
+    // lint: allow(exact-float, the one sanctioned exact→float boundary; callers own the tolerance)
     #[must_use]
     pub fn to_f64(self) -> f64 {
         self.num as f64 / self.den as f64

@@ -276,7 +276,7 @@ pub fn timing_enabled() -> bool {
 #[inline]
 #[must_use]
 pub fn now_if_timing() -> Option<Instant> {
-    timing_enabled().then(Instant::now)
+    timing_enabled().then(Instant::now) // lint: allow(determinism, telemetry timing is stderr/sidecar-only by contract)
 }
 
 /// Count `n` trials computed by harness worker `w`.

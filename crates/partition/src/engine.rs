@@ -202,6 +202,7 @@ impl ProbeEngine {
     /// Fused probe of one core — the placement hot path: one kernel sweep
     /// yields feasibility, Eq. (9) utilization and the slack reading,
     /// bit-identical to the [`Self::probe`] accessors.
+    // lint: no_alloc
     #[must_use]
     pub fn probe_verdict(&self, m: usize, id: TaskId) -> Verdict {
         let v = self.cores[m].probe_verdict(&self.rows[id.index()]);
@@ -212,6 +213,7 @@ impl ProbeEngine {
     /// Batch probe: evaluate `Ψ_m ∪ {task}` for every core `m` in one pass
     /// over the reusable scratch buffer. Returns the verdicts alongside the
     /// committed utilizations (the selection keys need both).
+    // lint: no_alloc
     pub fn probe_all_cores(&mut self, id: TaskId) -> (&[Verdict], &[f64]) {
         let _timer = mcs_obs::span(Phase::ProbeBatch);
         let row = &self.rows[id.index()];
@@ -239,6 +241,7 @@ impl ProbeEngine {
     }
 
     /// Fused repair-move probe — the repair loop's hot path.
+    // lint: no_alloc
     #[must_use]
     pub fn probe_swap_verdict(&self, m: usize, minus: TaskId, plus: TaskId) -> Verdict {
         let v =
@@ -249,6 +252,7 @@ impl ProbeEngine {
 
     /// The Eq. (4) own-level total of `Ψ_m ∪ {task}` — the cheap first
     /// stage of the two-stage fit test, O(K) instead of O(K²).
+    // lint: no_alloc
     #[must_use]
     pub fn own_level_total_probe(&self, m: usize, id: TaskId) -> f64 {
         self.cores[m].own_level_total_probe(&self.rows[id.index()])
@@ -257,6 +261,7 @@ impl ProbeEngine {
     /// Whether `task` fits on core `m` under `fit` — the bin-packing
     /// admission test, short-circuiting exactly like
     /// [`FitTest::feasible`] over a `WithTask` view.
+    // lint: no_alloc
     #[must_use]
     pub fn fits(&self, m: usize, id: TaskId, fit: FitTest) -> bool {
         match fit {
@@ -278,6 +283,7 @@ impl ProbeEngine {
     /// `util` (bit-identical to a post-add recomputation — that is the
     /// probe kernel's equivalence contract, so the old "probe, add,
     /// recompute" double evaluation is gone).
+    // lint: no_alloc
     pub fn commit(&mut self, id: TaskId, m: usize, util: f64) {
         let _timer = mcs_obs::span(Phase::Commit);
         if mcs_obs::compiled() {
@@ -379,6 +385,7 @@ thread_local! {
 /// Run `f` with this thread's warm [`PlacementScratch`]. Re-entrant calls
 /// (a partitioner invoking another partitioner, e.g. annealing seeding from
 /// CA-TPA) fall back to a fresh scratch rather than aliasing the borrow.
+// lint: no_alloc
 pub fn with_scratch<R>(f: impl FnOnce(&mut PlacementScratch) -> R) -> R {
     SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut scratch) => {

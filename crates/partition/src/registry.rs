@@ -264,6 +264,7 @@ impl SchemeRegistry {
     /// error.
     #[must_use]
     pub fn build(&self, name: &str, flags: &SchemeFlags) -> Box<dyn Partitioner + Send + Sync> {
+        // lint: allow(panic-policy, documented contract — experiment line-ups are static, an unknown name is a programming error)
         self.get(name).unwrap_or_else(|| panic!("unregistered scheme: {name}")).build(flags)
     }
 
@@ -287,6 +288,7 @@ impl SchemeRegistry {
         AUDIT_SET
             .iter()
             .map(|n| {
+                // lint: allow(panic-policy, documented contract — AUDIT_SET names are static and registered)
                 let info = self.get(n).unwrap_or_else(|| panic!("unregistered scheme: {n}"));
                 (info, info.build(flags))
             })

@@ -3,7 +3,7 @@
 //! counts — the numbers a systems paper's "runtime behaviour" section
 //! reports.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mcs_model::{CritLevel, TaskId, Tick};
 
@@ -28,8 +28,8 @@ pub struct ResponseStats {
 /// Full trace analysis.
 #[derive(Clone, Debug, Default)]
 pub struct TraceAnalysis {
-    /// Per-task response statistics.
-    pub responses: HashMap<TaskId, ResponseStats>,
+    /// Per-task response statistics, in task-id order.
+    pub responses: BTreeMap<TaskId, ResponseStats>,
     /// Ticks spent in each operation mode (`residency[l-1]`), measured
     /// between the first and last event.
     pub mode_residency: Vec<Tick>,
@@ -52,7 +52,7 @@ impl TraceAnalysis {
         let mut out =
             TraceAnalysis { mode_residency: vec![0; usize::from(levels)], ..Default::default() };
         let events = trace.events();
-        let mut releases: HashMap<(TaskId, u64), Tick> = HashMap::new();
+        let mut releases: BTreeMap<(TaskId, u64), Tick> = BTreeMap::new();
         let mut mode: usize = 0; // level-1 == index 0
         let mut mode_since: Option<Tick> = events.first().map(TraceEvent::time);
 
