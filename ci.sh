@@ -21,7 +21,7 @@ import json, sys
 r = json.load(sys.stdin)
 assert r["tool"] == "mcs-lint", r
 assert r["errors"] == 0, r
-print(f"ci: mcs-lint json ok ({r[\"files\"]} files, {r[\"suppressed\"]} suppressed)")
+print("ci: mcs-lint json ok (%d files, %d suppressed)" % (r["files"], r["suppressed"]))
 '
 else
   cargo run -q --offline -p mcs-lint --bin mcs-lint -- --json | grep -q '"tool":"mcs-lint"' \

@@ -177,24 +177,38 @@ fn scan_attribute(tokens: &[Token], i: usize) -> (usize, bool) {
     }
     // tokens[j] is `[`.
     let mut depth = 0usize;
-    let mut has_cfg = false;
-    let mut has_test = false;
+    let mut is_cfg_test = false;
     while j < tokens.len() {
         match &tokens[j].kind {
             TokKind::Punct('[') => depth += 1,
             TokKind::Punct(']') => {
                 depth -= 1;
                 if depth == 0 {
-                    return (j + 1, has_cfg && has_test);
+                    return (j + 1, is_cfg_test);
                 }
             }
-            TokKind::Ident(name) if name == "cfg" => has_cfg = true,
-            TokKind::Ident(name) if name == "test" => has_test = true,
+            // Only the exact predicate `cfg(test)` gates a scope. Forms
+            // like `cfg(not(test))` or `cfg(any(test, feature = "x"))`
+            // also cover non-test builds, so treating them as test-only
+            // would silently exempt production code from every rule.
+            TokKind::Ident(name) if name == "cfg" && is_exact_test_predicate(tokens, j) => {
+                is_cfg_test = true;
+            }
             _ => {}
         }
         j += 1;
     }
-    (j, has_cfg && has_test)
+    (j, is_cfg_test)
+}
+
+/// Whether the tokens after the `cfg` at `cfg_idx` are exactly `( test )`.
+fn is_exact_test_predicate(tokens: &[Token], cfg_idx: usize) -> bool {
+    matches!(tokens.get(cfg_idx + 1).map(|t| &t.kind), Some(TokKind::Punct('(')))
+        && matches!(
+            tokens.get(cfg_idx + 2).map(|t| &t.kind),
+            Some(TokKind::Ident(name)) if name == "test"
+        )
+        && matches!(tokens.get(cfg_idx + 3).map(|t| &t.kind), Some(TokKind::Punct(')')))
 }
 
 #[cfg(test)]
@@ -246,6 +260,29 @@ mod tests {
         let src = "#[derive(Debug)]\nstruct S { field: u32 }";
         let (tokens, map) = flags_of(src, &[]);
         assert!(!ident_flag(&tokens, &map, "field").test);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_gate() {
+        let src = "#[cfg(not(test))]\nfn live() { real(); }";
+        let (tokens, map) = flags_of(src, &[]);
+        assert!(!ident_flag(&tokens, &map, "real").test);
+    }
+
+    #[test]
+    fn cfg_any_test_does_not_gate() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn live() { real(); }";
+        let (tokens, map) = flags_of(src, &[]);
+        assert!(!ident_flag(&tokens, &map, "real").test);
+    }
+
+    #[test]
+    fn cfg_all_test_does_not_gate() {
+        // Conservative: only the exact `cfg(test)` predicate exempts code
+        // from the rules; compound predicates stay linted.
+        let src = "#[cfg(all(test, unix))]\nfn helper() { maybe(); }";
+        let (tokens, map) = flags_of(src, &[]);
+        assert!(!ident_flag(&tokens, &map, "maybe").test);
     }
 
     #[test]
