@@ -93,10 +93,29 @@ fi
 echo "== cargo build (telemetry compiled out)"
 cargo build -q --offline --no-default-features --features telemetry-off
 
-# Record-only: refreshes BENCH_partition.json (and re-checks that the
-# optimized probe path emits partitions identical to the reference loops);
-# the speedup number itself is not a gate.
-echo "== mcs-exp perf (record-only)"
-cargo run -q --release --offline -p mcs-exp -- perf --trials "${PERF_TRIALS:-128}" >/dev/null
+# Refreshes BENCH_partition.json and gates on the two identity invariants
+# the batch kernel must never break: reference-vs-engine partitions
+# identical on every set, and every batch lane bit-equal to the scalar
+# verdict. (The binary itself exits non-zero on either divergence; the
+# JSON assertions below keep the gate explicit and machine-checked.) The
+# speedup numbers are a record, not a gate — they move with the host.
+echo "== mcs-exp perf smoke (partition identity + batch-vs-scalar gates)"
+cargo run -q --release --offline -p mcs-exp -- perf --json \
+  --trials "${PERF_TRIALS:-2000}" > "$TMP/perf.json"
+if command -v python3 > /dev/null; then
+  python3 - "$TMP/perf.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["partitions_identical"] is True, "reference and engine partitions diverged"
+assert r["probe_path_batch_matches_scalar"] is True, "batch kernel diverged from scalar verdicts"
+assert r["probe_scaling"], "per-(cores, K) scaling table is empty"
+print("ci: perf smoke ok (batch %.1fM probes/s over %d sets, scaling cells %d)"
+      % (r["probe_path_engine_per_sec"] / 1e6, r["task_sets"], len(r["probe_scaling"])))
+EOF
+else
+  grep -q '"partitions_identical": true' "$TMP/perf.json" \
+    && grep -q '"probe_path_batch_matches_scalar": true' "$TMP/perf.json" \
+    || { echo "ci: perf smoke gates failed"; exit 1; }
+fi
 
 echo "== ci: all green"

@@ -29,7 +29,11 @@
 //!   subset under Theorem 1);
 //! * [`probe`] — the zero-allocation Theorem-1 probe kernel used by the
 //!   partitioners' hot path ([`TaskRow`] / [`CoreSums`] / [`Probe`]),
-//!   bit-identical to [`theorem1`] by construction.
+//!   bit-identical to [`theorem1`] by construction;
+//! * [`soa`] — struct-of-arrays probe storage ([`TaskTable`] /
+//!   [`CoreBank`]) and the lane-parallel batch kernel
+//!   [`batch_probe_verdicts`] that evaluates all M cores of one candidate
+//!   probe in a single sweep, bit-identical to the scalar kernels per lane.
 
 #![forbid(unsafe_code)]
 
@@ -42,6 +46,7 @@ pub mod exact_arith;
 pub mod probe;
 pub mod sensitivity;
 pub mod simple;
+pub mod soa;
 pub mod theorem1;
 pub mod vd;
 
@@ -52,6 +57,7 @@ pub use elastic::elastic_stretch_factors;
 pub use probe::{CoreSums, Probe, TaskRow, Verdict};
 pub use sensitivity::{critical_scaling, ScaledView};
 pub use simple::simple_condition;
+pub use soa::{batch_probe_verdicts, CoreBank, CoreView, TaskTable, LANES};
 pub use theorem1::{core_utilization, is_feasible, Theorem1};
 pub use vd::VdAssignment;
 

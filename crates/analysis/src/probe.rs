@@ -50,7 +50,7 @@ pub const TRI_LEN: usize = ML * (ML + 1) / 2;
 
 /// Index of `(j, k)` (1-based levels, `k ≤ j`) in the triangle.
 #[inline]
-fn tri(j: u8, k: u8) -> usize {
+pub(crate) fn tri(j: u8, k: u8) -> usize {
     debug_assert!(1 <= k && k <= j && j <= MAX_LEVELS);
     let j = usize::from(j - 1);
     j * (j + 1) / 2 + usize::from(k - 1)
@@ -64,9 +64,9 @@ fn tri(j: u8, k: u8) -> usize {
 /// change any probe result.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TaskRow {
-    level: u8,
+    pub(crate) level: u8,
     /// `utils[k-1] = u(k)` for `k ≤ level`, 0.0 above.
-    utils: [f64; ML],
+    pub(crate) utils: [f64; ML],
 }
 
 impl TaskRow {
@@ -112,9 +112,9 @@ impl TaskRow {
 /// same row sequence holds bit-identical sums.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CoreSums {
-    k: u8,
-    sums: [f64; TRI_LEN],
-    tasks: u32,
+    pub(crate) k: u8,
+    pub(crate) sums: [f64; TRI_LEN],
+    pub(crate) tasks: u32,
 }
 
 impl CoreSums {
@@ -254,34 +254,63 @@ impl LevelUtils for CoreSums {
     }
 }
 
+/// Raw in-triangle access to one core's running `U_j(k)` sums — the
+/// storage abstraction the kernels are generic over. Implemented by the
+/// fixed-array [`CoreSums`] and by the strided per-core view of the
+/// struct-of-arrays [`crate::CoreBank`]; both return the **same `f64`
+/// values** for the same accumulated row sequence (identical `+=`/clamped
+/// `-=` op order), so the monomorphized kernels below are bit-identical
+/// over either backing store.
+pub(crate) trait SumsRead {
+    /// System criticality level count `K`.
+    fn num_levels(&self) -> u8;
+
+    /// Raw `U_j(k)` for in-triangle `(j, kk)` (`1 ≤ kk ≤ j ≤ K`); callers
+    /// never leave the triangle, where `UtilTable::util_jk`'s out-of-range
+    /// guard is a no-op.
+    fn raw(&self, j: u8, kk: u8) -> f64;
+}
+
+impl SumsRead for CoreSums {
+    #[inline]
+    fn num_levels(&self) -> u8 {
+        self.k
+    }
+
+    #[inline]
+    fn raw(&self, j: u8, kk: u8) -> f64 {
+        self.sums[tri(j, kk)]
+    }
+}
+
 /// Monomorphized `U_j(k)` access of the probed view — one implementation
 /// per access pattern, so the kernel's inner loops compile without per-read
 /// `Option` branches. Kernel call sites stay inside the triangle
 /// (`k ≤ j ≤ K`), where `UtilTable::util_jk`'s out-of-range guard is a
-/// no-op, so the direct array reads below are bit-identical to the guarded
+/// no-op, so the direct reads below are bit-identical to the guarded
 /// [`CoreSums::entry`].
-trait ProbeView {
+pub(crate) trait ProbeView {
     /// `U_j(k)` of the viewed subset for in-triangle `(j, kk)`.
-    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64;
+    fn at<S: SumsRead>(&self, sums: &S, j: u8, kk: u8) -> f64;
 }
 
 /// The resident subset, unchanged (`evaluate`).
-struct Resident;
+pub(crate) struct Resident;
 
 impl ProbeView for Resident {
     #[inline]
-    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64 {
-        sums.sums[tri(j, kk)]
+    fn at<S: SumsRead>(&self, sums: &S, j: u8, kk: u8) -> f64 {
+        sums.raw(j, kk)
     }
 }
 
 /// The resident subset plus one hypothetical row — the `WithTask` reading.
-struct Added<'a>(&'a TaskRow);
+pub(crate) struct Added<'a>(pub(crate) &'a TaskRow);
 
 impl ProbeView for Added<'_> {
     #[inline]
-    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64 {
-        let v = sums.sums[tri(j, kk)];
+    fn at<S: SumsRead>(&self, sums: &S, j: u8, kk: u8) -> f64 {
+        let v = sums.raw(j, kk);
         if j == self.0.level {
             v + self.0.utils[usize::from(kk - 1)]
         } else {
@@ -292,12 +321,12 @@ impl ProbeView for Added<'_> {
 
 /// One row removed (clamped like `WithoutTask`), one added on top of the
 /// removal — the composition order the repair-move probe uses.
-struct Swapped<'a>(&'a TaskRow, &'a TaskRow);
+pub(crate) struct Swapped<'a>(pub(crate) &'a TaskRow, pub(crate) &'a TaskRow);
 
 impl ProbeView for Swapped<'_> {
     #[inline]
-    fn at(&self, sums: &CoreSums, j: u8, kk: u8) -> f64 {
-        let mut v = sums.sums[tri(j, kk)];
+    fn at<S: SumsRead>(&self, sums: &S, j: u8, kk: u8) -> f64 {
+        let mut v = sums.raw(j, kk);
         if j == self.0.level {
             v = (v - self.0.utils[usize::from(kk - 1)]).max(0.0);
         }
@@ -439,8 +468,8 @@ impl Verdict {
 /// `Theorem1::compute` with `util_jk` inlined to the monomorphized
 /// [`ProbeView`]. Any edit here must preserve the exact operation order —
 /// see the module docs.
-fn kernel<V: ProbeView>(sums: &CoreSums, v: &V) -> Probe {
-    let k = sums.k;
+pub(crate) fn kernel<S: SumsRead, V: ProbeView>(sums: &S, v: &V) -> Probe {
+    let k = sums.num_levels();
 
     // own_level_total(): ascending-k fold, as the LevelUtils default.
     let mut own_level_total = 0.0;
@@ -521,8 +550,8 @@ fn kernel<V: ProbeView>(sums: &CoreSums, v: &V) -> Probe {
 /// * the `A(k) ≥ −EPS` folds run inside the µ loop, in the same ascending
 ///   order [`Probe::core_utilization`] / [`Probe::core_utilization_slack`]
 ///   scan the materialized `A(k)` array, over the same values.
-fn kernel_verdict<V: ProbeView>(sums: &CoreSums, v: &V) -> Verdict {
-    let k = sums.k;
+pub(crate) fn kernel_verdict<S: SumsRead, V: ProbeView>(sums: &S, v: &V) -> Verdict {
+    let k = sums.num_levels();
 
     // own_level_total(): ascending-k fold, as the LevelUtils default.
     let mut own_level_total = 0.0;

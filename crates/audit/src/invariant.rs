@@ -139,6 +139,7 @@ impl Registry {
         r.push(Box::new(rules::theorem1::ExactAgreement));
         r.push(Box::new(rules::util_cache::UtilCacheConsistency));
         r.push(Box::new(rules::probe_cache::ProbeEngineConsistency));
+        r.push(Box::new(rules::batch_kernel::BatchKernelConsistency));
         r.push(Box::new(rules::ordering::ContributionOrderRule));
         r.push(Box::new(rules::ordering::AlphaDomain));
         r.push(Box::new(rules::harness::HarnessDeterminism));
@@ -177,8 +178,9 @@ mod tests {
     fn standard_registry_has_unique_ids() {
         let r = Registry::standard();
         let ids: Vec<&str> = r.rules().map(Invariant::id).collect();
-        assert!(ids.len() >= 9, "expected at least nine standard rules, got {ids:?}");
+        assert!(ids.len() >= 10, "expected at least ten standard rules, got {ids:?}");
         assert!(ids.contains(&"harness-determinism"), "missing harness rule in {ids:?}");
+        assert!(ids.contains(&"batch-kernel-consistency"), "missing batch rule in {ids:?}");
         assert!(ids.contains(&"telemetry-consistency"), "missing telemetry rule in {ids:?}");
         let mut dedup = ids.clone();
         dedup.sort_unstable();

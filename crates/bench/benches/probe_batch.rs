@@ -1,0 +1,89 @@
+//! The batch Theorem-1 kernel against the scalar per-core probe loop it
+//! replaces: one `batch_probe_verdicts` sweep over the struct-of-arrays
+//! `CoreBank` versus M independent `CoreView::probe_verdict` calls, across
+//! core counts from a workstation (8) to a rack (1024). The two paths are
+//! bit-identical (asserted before timing); the benchmark measures the
+//! layout + lane-parallel win alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mcs_analysis::{batch_probe_verdicts, CoreBank, TaskRow, TaskTable, Verdict};
+use mcs_bench::fixture;
+use mcs_model::TaskSet;
+
+/// Deal the fixture round-robin into a bank and materialize probe rows.
+fn dealt(ts: &TaskSet, cores: usize) -> (CoreBank, Vec<TaskRow>) {
+    let mut table = TaskTable::new();
+    table.reset(ts);
+    let mut bank = CoreBank::new();
+    bank.reset(ts.num_levels(), cores);
+    let rows: Vec<TaskRow> = (0..table.len()).map(|i| table.row(i)).collect();
+    for (i, row) in rows.iter().enumerate() {
+        bank.add(i % cores, row);
+    }
+    (bank, rows)
+}
+
+fn opt_bits(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+fn verdicts_bit_equal(a: &Verdict, b: &Verdict) -> bool {
+    a.own_level_total.to_bits() == b.own_level_total.to_bits()
+        && opt_bits(a.core_utilization, b.core_utilization)
+        && opt_bits(a.core_utilization_slack, b.core_utilization_slack)
+}
+
+fn bench_batch_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_all_cores");
+    for cores in [8usize, 64, 256, 1024] {
+        // 16 tasks per core keeps per-task utilization realistic as the
+        // machine grows (same shape as the `mcs-exp perf` scaling table).
+        let n = 16 * cores;
+        let ts = fixture(n, cores, 4, 0.5, 11);
+        let (bank, rows) = dealt(&ts, cores);
+
+        // The two paths must agree bitwise before we time either.
+        let mut out = Vec::new();
+        for row in &rows {
+            batch_probe_verdicts(&bank, row, &mut out);
+            assert_eq!(out.len(), cores);
+            for (m, v) in out.iter().enumerate() {
+                assert!(
+                    verdicts_bit_equal(v, &bank.view(m).probe_verdict(row)),
+                    "batch/scalar divergence at core {m}"
+                );
+            }
+        }
+
+        // One "element" = one (task, core) probe, so criterion's
+        // throughput line reads directly in probes per second.
+        group.throughput(Throughput::Elements((rows.len() * cores) as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", cores), &cores, |b, _| {
+            b.iter(|| {
+                for row in &rows {
+                    for m in 0..cores {
+                        black_box(bank.view(m).probe_verdict(row).feasible());
+                    }
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch", cores), &cores, |b, _| {
+            b.iter(|| {
+                for row in &rows {
+                    batch_probe_verdicts(&bank, row, &mut out);
+                    black_box(out.len());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_scalar);
+criterion_main!(benches);

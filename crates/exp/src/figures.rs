@@ -43,6 +43,14 @@ pub struct FigureOptions {
     /// protocol) instead of fixing it at the Table-IV default. Ignored by
     /// Fig. 5, which sweeps `K` explicitly.
     pub random_k: bool,
+    /// Override the core count `M` (large-scale sweeps; ignored by Fig. 4,
+    /// which sweeps `M` itself).
+    pub cores: Option<usize>,
+    /// Override the criticality-level count `K` (ignored by Fig. 5, which
+    /// sweeps `K` itself).
+    pub levels: Option<u8>,
+    /// Override the inclusive task-count range `N`.
+    pub n_range: Option<(usize, usize)>,
 }
 
 /// Which figure to reproduce.
@@ -117,6 +125,21 @@ impl FigureId {
         options: FigureOptions,
     ) -> (GenParams, Vec<Box<dyn Partitioner + Send + Sync>>) {
         let mut params = GenParams::default().with_growth(options.growth);
+        if let Some(m) = options.cores {
+            if self != Self::Cores {
+                params = params.with_cores(m);
+            }
+        }
+        if let Some(k) = options.levels {
+            if self != Self::Levels {
+                params = params.with_levels(k);
+            }
+        }
+        if let Some((lo, hi)) = options.n_range {
+            params = params.with_n_range(lo, hi);
+        }
+        // After the explicit K override: `with_level_range` raises `levels`
+        // to the range maximum, so the combination stays valid.
         if options.random_k && self != Self::Levels {
             params = params.with_level_range(2, 6);
         }
@@ -301,6 +324,30 @@ mod tests {
             assert_eq!(t.rows.len(), 5);
             assert_eq!(t.header.len(), 6);
         }
+    }
+
+    #[test]
+    fn shape_overrides_apply_to_non_swept_figures() {
+        let options = FigureOptions {
+            cores: Some(128),
+            levels: Some(6),
+            n_range: Some((1000, 2000)),
+            ..Default::default()
+        };
+        let (params, _) = FigureId::Nsu.point(0.6, options);
+        assert_eq!(params.cores, 128);
+        assert_eq!(params.levels, 6);
+        assert_eq!(params.n_range, (1000, 2000));
+        assert!(params.validate().is_ok());
+        // The swept parameter wins over its own override.
+        let (params, _) = FigureId::Cores.point(16.0, options);
+        assert_eq!(params.cores, 16);
+        let (params, _) = FigureId::Levels.point(3.0, options);
+        assert_eq!(params.levels, 3);
+        // random_k stays valid under a small K override.
+        let options = FigureOptions { levels: Some(2), random_k: true, ..Default::default() };
+        let (params, _) = FigureId::Nsu.point(0.6, options);
+        assert!(params.validate().is_ok());
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   all                                everything above
 //! ```
 //!
+//! `--cores M`, `--levels K`, and `--tasks N` (or `--tasks LO:HI`)
+//! override the generator shape for `sweep` and the figure commands —
+//! large-scale runs (128–1024 cores, `K` up to 8, task sets in the tens of
+//! thousands) ride the same SoA batch probe kernel as the defaults, and
+//! stdout stays byte-identical across `--threads` settings. The swept
+//! parameter of a figure always wins over its own override (`fig4` ignores
+//! `--cores`; `fig5` ignores `--levels`).
+//!
 //! `--jsonl PATH` streams every trial record to a checkpointed JSONL file;
 //! a later identical invocation with `--resume` picks up where an
 //! interrupted sweep stopped. With an aggregate command (`figs`, `all`) or
@@ -38,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 use std::env;
+use std::fmt::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -74,6 +83,12 @@ struct Options {
     baselines: Baselines,
     growth: WcetGrowth,
     random_k: bool,
+    /// Generator-shape overrides for sweeps and figures (`--cores`,
+    /// `--levels`, `--tasks`): core counts up to 1024, `K` up to 8, task
+    /// sets into the tens of thousands.
+    gen_cores: Option<usize>,
+    gen_levels: Option<u8>,
+    gen_tasks: Option<(usize, usize)>,
     /// Stream trial records to this JSONL checkpoint file.
     jsonl: Option<String>,
     /// Resume from an existing compatible checkpoint instead of truncating.
@@ -101,6 +116,38 @@ impl Options {
     }
 }
 
+impl Options {
+    /// Apply the generator-shape overrides to one parameter set.
+    fn apply_shape(&self, mut params: GenParams) -> GenParams {
+        if let Some(m) = self.gen_cores {
+            params = params.with_cores(m);
+        }
+        if let Some(k) = self.gen_levels {
+            params = params.with_levels(k);
+        }
+        if let Some((lo, hi)) = self.gen_tasks {
+            params = params.with_n_range(lo, hi);
+        }
+        params
+    }
+
+    /// Checkpoint-fingerprint suffix for the overrides — empty when none
+    /// are set, so default invocations keep their historical fingerprints.
+    fn shape_fingerprint(&self) -> String {
+        let mut s = String::new();
+        if let Some(m) = self.gen_cores {
+            let _ = write!(s, " cores={m}");
+        }
+        if let Some(k) = self.gen_levels {
+            let _ = write!(s, " levels={k}");
+        }
+        if let Some((lo, hi)) = self.gen_tasks {
+            let _ = write!(s, " tasks={lo}:{hi}");
+        }
+        s
+    }
+}
+
 /// `results/run.jsonl` + `fig2` → `results/run-fig2.jsonl`.
 fn derive_jsonl_path(base: &str, cmd: &str) -> String {
     match base.strip_suffix(".jsonl") {
@@ -110,7 +157,7 @@ fn derive_jsonl_path(base: &str, cmd: &str) -> String {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|sweep|soundness|ablation|dualcmp|gap|optgap|overhead|elastic|globalcmp|partition|describe|audit|perf|profile|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart] [--jsonl PATH] [--resume] [--telemetry PATH]"
+    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|sweep|soundness|ablation|dualcmp|gap|optgap|overhead|elastic|globalcmp|partition|describe|audit|perf|profile|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart] [--jsonl PATH] [--resume] [--telemetry PATH]\n       [--cores M] [--levels K] [--tasks N|LO:HI]   generator-shape overrides for sweep/figures (M up to 1024, K up to 8, N into the tens of thousands)"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -128,6 +175,9 @@ fn parse_args() -> Result<Options, String> {
         baselines: Baselines::Strong,
         growth: WcetGrowth::default(),
         random_k: false,
+        gen_cores: None,
+        gen_levels: None,
+        gen_tasks: None,
         jsonl: None,
         resume: false,
         telemetry: None,
@@ -166,7 +216,37 @@ fn parse_args() -> Result<Options, String> {
             "--file" => opts.partition_file = Some(args.next().ok_or("--file needs a path")?),
             "--cores" => {
                 let v = args.next().ok_or("--cores needs a value")?;
-                opts.partition_cores = v.parse().map_err(|_| format!("bad --cores: {v}"))?;
+                let m: usize = v.parse().map_err(|_| format!("bad --cores: {v}"))?;
+                if m == 0 {
+                    return Err("--cores must be >= 1".into());
+                }
+                opts.partition_cores = m;
+                opts.gen_cores = Some(m);
+            }
+            "--levels" => {
+                let v = args.next().ok_or("--levels needs a value")?;
+                let k: u8 = v.parse().map_err(|_| format!("bad --levels: {v}"))?;
+                if !(1..=8).contains(&k) {
+                    return Err("--levels must be in 1..=8".into());
+                }
+                opts.gen_levels = Some(k);
+            }
+            "--tasks" => {
+                let v = args.next().ok_or("--tasks needs N or LO:HI")?;
+                let (lo, hi) = match v.split_once(':') {
+                    Some((a, b)) => (
+                        a.parse().map_err(|_| format!("bad --tasks: {v}"))?,
+                        b.parse().map_err(|_| format!("bad --tasks: {v}"))?,
+                    ),
+                    None => {
+                        let n: usize = v.parse().map_err(|_| format!("bad --tasks: {v}"))?;
+                        (n, n)
+                    }
+                };
+                if lo == 0 || lo > hi {
+                    return Err("--tasks must satisfy 1 <= LO <= HI".into());
+                }
+                opts.gen_tasks = Some((lo, hi));
             }
             "--scheme" => {
                 opts.partition_scheme = args.next().ok_or("--scheme needs a name")?;
@@ -202,11 +282,20 @@ fn run_figure(id: FigureId, opts: &Options) -> Result<(), String> {
         opts.config.trials,
         opts.config.effective_threads()
     );
-    let options =
-        FigureOptions { baselines: opts.baselines, growth: opts.growth, random_k: opts.random_k };
+    let options = FigureOptions {
+        baselines: opts.baselines,
+        growth: opts.growth,
+        random_k: opts.random_k,
+        cores: opts.gen_cores,
+        levels: opts.gen_levels,
+        n_range: opts.gen_tasks,
+    };
     let params = format!(
-        "baselines={:?} growth={:?} random_k={}",
-        opts.baselines, opts.growth, opts.random_k
+        "baselines={:?} growth={:?} random_k={}{}",
+        opts.baselines,
+        opts.growth,
+        opts.random_k,
+        opts.shape_fingerprint()
     );
     let mut session = opts.session(&format!("fig{}", id.number()), &params)?;
     let result = figure_session(id, &mut session, options);
@@ -231,9 +320,11 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         opts.config.trials,
         opts.config.effective_threads()
     );
-    let params = GenParams::default().with_growth(opts.growth);
+    let params = opts.apply_shape(GenParams::default().with_growth(opts.growth));
+    params.validate()?;
     let schemes = SchemeRegistry::standard().build_set(&PAPER_SET, &SchemeFlags::default());
-    let mut session = opts.session("sweep", &format!("growth={:?}", opts.growth))?;
+    let mut session =
+        opts.session("sweep", &format!("growth={:?}{}", opts.growth, opts.shape_fingerprint()))?;
     let points = run_point_in(&mut session, "default", &params, &schemes);
     let mut t = Table::new(["scheme", "schedulable", "ratio", "U_sys", "U_avg", "imbalance"]);
     for p in &points {
@@ -462,6 +553,9 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             );
             if !r.identical {
                 return Err("reference and engine paths disagreed on some partition".into());
+            }
+            if !r.probe.batch_matches_scalar {
+                return Err("batch kernel and scalar probe verdicts disagreed".into());
             }
         }
         "profile" => {

@@ -37,7 +37,7 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-use mcs_analysis::{CoreSums, TaskRow, Theorem1};
+use mcs_analysis::{batch_probe_verdicts, CoreBank, CoreSums, TaskRow, Theorem1, Verdict};
 use mcs_gen::{generate_task_set, trial_seed, GenParams};
 use mcs_harness::RunSession;
 use mcs_model::{TaskSet, UtilTable, WithTask};
@@ -81,21 +81,50 @@ pub struct ProbePerf {
     /// Reference path: fresh `WithTask` composite + full `Theorem1::compute`
     /// + the Eq. (9) accessor, per probe.
     pub reference_per_sec: f64,
-    /// Engine path: precomputed `TaskRow` + the fused verdict kernel.
-    pub engine_per_sec: f64,
+    /// Scalar engine path: precomputed `TaskRow` + the fused verdict kernel,
+    /// one core per call.
+    pub scalar_per_sec: f64,
+    /// Batch engine path: one SoA sweep ([`batch_probe_verdicts`]) answers
+    /// all `M` cores per call — the headline probe rate.
+    pub batch_per_sec: f64,
+    /// Whether every batch lane verdict was bit-identical to the scalar
+    /// verdict for the same (candidate, core) pair across the whole batch.
+    pub batch_matches_scalar: bool,
 }
 
 impl ProbePerf {
-    /// Engine probe throughput over reference probe throughput.
+    /// Batch probe throughput over reference probe throughput (headline).
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        self.engine_per_sec / self.reference_per_sec
+        self.batch_per_sec / self.reference_per_sec
     }
+
+    /// Scalar probe throughput over reference probe throughput.
+    #[must_use]
+    pub fn scalar_speedup(&self) -> f64 {
+        self.scalar_per_sec / self.reference_per_sec
+    }
+}
+
+/// One cell of the batch-kernel scaling table: batch probes per second at a
+/// given core count and criticality-level count, on a task set sized
+/// proportionally to the machine (16 tasks per core, so the 1024-core cell
+/// probes a set in the tens of thousands of tasks).
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Cores per batch sweep.
+    pub cores: usize,
+    /// System criticality levels `K`.
+    pub levels: u8,
+    /// Tasks in the generated set.
+    pub tasks: usize,
+    /// Batch probes per second (each sweep counts `cores` probes).
+    pub batch_per_sec: f64,
 }
 
 /// Telemetry cost on the batch probe hot path: the instrumented
 /// [`ProbeEngine::probe_all_cores`] (tally cells + the span-timing gate)
-/// vs the equivalent raw verdict kernel loop over identical core states.
+/// vs the equivalent raw batch-kernel loop over identical core states.
 /// The difference *upper-bounds* the telemetry overhead — it also includes
 /// the engine's own batch bookkeeping.
 #[derive(Clone, Debug)]
@@ -146,6 +175,8 @@ pub struct PerfReport {
     pub identical: bool,
     /// Raw probe-path rates (single admission probes per second).
     pub probe: ProbePerf,
+    /// Batch-kernel scaling table over (cores, K) cells up to 1024 cores.
+    pub scaling: Vec<ScalingPoint>,
     /// Telemetry overhead on the batch probe path (raw kernel vs
     /// instrumented engine).
     pub telemetry: TelemetryPerf,
@@ -178,11 +209,25 @@ impl PerfReport {
     pub fn table(&self) -> Table {
         let mut t = Table::new(["scheme", "ref part/s", "engine part/s", "speedup"]);
         t.push_row([
-            "probe path (probes/s)".into(),
+            "probe path batch (probes/s)".into(),
             format!("{:.0}", self.probe.reference_per_sec),
-            format!("{:.0}", self.probe.engine_per_sec),
+            format!("{:.0}", self.probe.batch_per_sec),
             format!("{:.2}x", self.probe.speedup()),
         ]);
+        t.push_row([
+            "probe path scalar (probes/s)".into(),
+            format!("{:.0}", self.probe.reference_per_sec),
+            format!("{:.0}", self.probe.scalar_per_sec),
+            format!("{:.2}x", self.probe.scalar_speedup()),
+        ]);
+        for p in &self.scaling {
+            t.push_row([
+                format!("batch M={} K={} N={} (probes/s)", p.cores, p.levels, p.tasks),
+                "-".into(),
+                format!("{:.0}", p.batch_per_sec),
+                "-".into(),
+            ]);
+        }
         for s in &self.schemes {
             t.push_row([
                 s.scheme.to_string(),
@@ -229,8 +274,27 @@ impl PerfReport {
             "  \"probe_path_reference_per_sec\": {:.1},",
             self.probe.reference_per_sec
         );
-        let _ = writeln!(out, "  \"probe_path_engine_per_sec\": {:.1},", self.probe.engine_per_sec);
+        let _ = writeln!(out, "  \"probe_path_engine_per_sec\": {:.1},", self.probe.batch_per_sec);
+        let _ = writeln!(out, "  \"probe_path_scalar_per_sec\": {:.1},", self.probe.scalar_per_sec);
         let _ = writeln!(out, "  \"probe_path_speedup\": {:.3},", self.probe.speedup());
+        let _ =
+            writeln!(out, "  \"probe_path_scalar_speedup\": {:.3},", self.probe.scalar_speedup());
+        let _ = writeln!(
+            out,
+            "  \"probe_path_batch_matches_scalar\": {},",
+            self.probe.batch_matches_scalar
+        );
+        out.push_str("  \"probe_scaling\": [\n");
+        for (i, p) in self.scaling.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"cores\": {}, \"levels\": {}, \"tasks\": {}, \
+                 \"batch_probes_per_sec\": {:.1}}}",
+                p.cores, p.levels, p.tasks, p.batch_per_sec
+            );
+            out.push_str(if i + 1 < self.scaling.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
         let _ = writeln!(out, "  \"telemetry_compiled\": {},", mcs_obs::compiled());
         let _ =
             writeln!(out, "  \"telemetry_probe_raw_per_sec\": {:.1},", self.telemetry.raw_per_sec);
@@ -322,26 +386,44 @@ fn rate(scheme: &dyn Partitioner, sets: &[TaskSet], cores: usize) -> f64 {
     calls as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Time the raw probe path, reference vs engine, over mid-placement core
-/// states: each set's tasks are dealt round-robin across `cores` cores,
-/// then every task is probed against every core — the admission question
-/// the placement loops ask `N·M` times per run. Both sides are timed over
-/// at least [`MIN_TIMED`] on the identical states.
+/// Bitwise equality of two fused verdicts on every observable the
+/// placement loops consume.
+fn verdict_bits_match(a: &Verdict, b: &Verdict) -> bool {
+    let ob = |v: Option<f64>| v.map(f64::to_bits);
+    a.feasible() == b.feasible()
+        && a.own_level_total.to_bits() == b.own_level_total.to_bits()
+        && ob(a.core_utilization) == ob(b.core_utilization)
+        && ob(a.core_utilization_slack) == ob(b.core_utilization_slack)
+}
+
+/// Time the raw probe path — reference vs scalar engine vs the SoA batch
+/// kernel — over mid-placement core states: each set's tasks are dealt
+/// round-robin across `cores` cores, then every task is probed against
+/// every core — the admission question the placement loops ask `N·M` times
+/// per run. All three sides are timed over at least [`MIN_TIMED`] on the
+/// identical states; before timing, every batch lane is checked bit-equal
+/// to the scalar verdict for the same (candidate, core) pair.
 fn probe_rates(sets: &[TaskSet], cores: usize) -> ProbePerf {
     let mut tables: Vec<Vec<UtilTable>> = Vec::with_capacity(sets.len());
     let mut sums: Vec<Vec<CoreSums>> = Vec::with_capacity(sets.len());
+    let mut banks: Vec<CoreBank> = Vec::with_capacity(sets.len());
     let mut rows: Vec<Vec<TaskRow>> = Vec::with_capacity(sets.len());
     for ts in sets {
         let k = ts.num_levels();
         let mut t = vec![UtilTable::new(k); cores];
         let mut s = vec![CoreSums::new(k); cores];
+        let mut bank = CoreBank::new();
+        bank.reset(k, cores);
         for (i, task) in ts.tasks().iter().enumerate() {
             t[i % cores].add(task);
-            s[i % cores].add(&TaskRow::new(task));
+            let row = TaskRow::new(task);
+            s[i % cores].add(&row);
+            bank.add(i % cores, &row);
         }
         rows.push(ts.tasks().iter().map(TaskRow::new).collect());
         tables.push(t);
         sums.push(s);
+        banks.push(bank);
     }
     let per_pass: u64 = sets.iter().map(|ts| (ts.len() * cores) as u64).sum();
 
@@ -371,7 +453,8 @@ fn probe_rates(sets: &[TaskSet], cores: usize) -> ProbePerf {
     }
     let reference_per_sec = probes as f64 / start.elapsed().as_secs_f64();
 
-    // Engine: precomputed rows + the fused verdict kernel.
+    // Scalar engine: precomputed rows + the fused verdict kernel, one core
+    // per call.
     for (r, s) in rows.iter().zip(&sums) {
         for row in r {
             for core in s {
@@ -394,55 +477,132 @@ fn probe_rates(sets: &[TaskSet], cores: usize) -> ProbePerf {
             break;
         }
     }
-    let engine_per_sec = probes as f64 / start.elapsed().as_secs_f64();
+    let scalar_per_sec = probes as f64 / start.elapsed().as_secs_f64();
 
-    ProbePerf { reference_per_sec, engine_per_sec }
+    // Batch: one SoA sweep answers every core. The bit-equality pass
+    // doubles as the warm-up.
+    let mut out: Vec<Verdict> = Vec::new();
+    let mut batch_matches_scalar = true;
+    for ((r, s), bank) in rows.iter().zip(&sums).zip(&banks) {
+        for row in r {
+            batch_probe_verdicts(bank, row, &mut out);
+            for (core, lane) in s.iter().zip(&out) {
+                if !verdict_bits_match(lane, &core.probe_verdict(row)) {
+                    batch_matches_scalar = false;
+                }
+            }
+        }
+    }
+    let mut probes = 0u64;
+    let start = Instant::now();
+    loop {
+        for (r, bank) in rows.iter().zip(&banks) {
+            for row in r {
+                batch_probe_verdicts(bank, row, &mut out);
+                black_box(out.len());
+            }
+        }
+        probes += per_pass;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let batch_per_sec = probes as f64 / start.elapsed().as_secs_f64();
+
+    ProbePerf { reference_per_sec, scalar_per_sec, batch_per_sec, batch_matches_scalar }
+}
+
+/// Minimum wall-clock per scaling-table cell: large machines finish a
+/// whole pass in this budget; small ones repeat passes.
+const MIN_SCALED: Duration = Duration::from_millis(60);
+
+/// Batch-kernel throughput across (cores, K) cells up to 1024 cores. Task
+/// sets are sized at 16 tasks per core — per-core load stays at the default
+/// NSU while the 1024-core cells probe sets in the tens of thousands of
+/// tasks — and dealt round-robin, as in [`probe_rates`].
+fn scaling_rates(seed: u64) -> Vec<ScalingPoint> {
+    const GRID: &[(usize, u8)] =
+        &[(8, 2), (8, 4), (8, 8), (128, 2), (128, 4), (128, 8), (1024, 2), (1024, 4), (1024, 8)];
+    let mut points = Vec::with_capacity(GRID.len());
+    for &(cores, levels) in GRID {
+        let n = 16 * cores;
+        let params = GenParams::default().with_cores(cores).with_levels(levels).with_n_range(n, n);
+        let ts = generate_task_set(&params, seed);
+        let rows: Vec<TaskRow> = ts.tasks().iter().map(TaskRow::new).collect();
+        let mut bank = CoreBank::new();
+        bank.reset(ts.num_levels(), cores);
+        for (i, row) in rows.iter().enumerate() {
+            bank.add(i % cores, row);
+        }
+        let per_pass = (ts.len() * cores) as u64;
+        let mut out: Vec<Verdict> = Vec::new();
+        let mut probes = 0u64;
+        let start = Instant::now();
+        loop {
+            for row in &rows {
+                batch_probe_verdicts(&bank, row, &mut out);
+                black_box(out.len());
+            }
+            probes += per_pass;
+            if start.elapsed() >= MIN_SCALED {
+                break;
+            }
+        }
+        points.push(ScalingPoint {
+            cores,
+            levels,
+            tasks: ts.len(),
+            batch_per_sec: probes as f64 / start.elapsed().as_secs_f64(),
+        });
+    }
+    points
 }
 
 /// Time the telemetry cost on the batch probe path: identical
-/// mid-placement core states probed through the raw verdict kernel (no
+/// mid-placement core states probed through the raw batch kernel (no
 /// instrumentation) and through [`ProbeEngine::probe_all_cores`] (tally
 /// cells + the span-timing gate). Each set's tasks are dealt round-robin
 /// and kept only where the engine admits them, so both sides hold the
 /// same state.
 fn telemetry_rates(sets: &[TaskSet], cores: usize) -> TelemetryPerf {
     let mut engines: Vec<ProbeEngine> = Vec::with_capacity(sets.len());
-    let mut sums: Vec<Vec<CoreSums>> = Vec::with_capacity(sets.len());
+    let mut banks: Vec<CoreBank> = Vec::with_capacity(sets.len());
     let mut rows: Vec<Vec<TaskRow>> = Vec::with_capacity(sets.len());
     for ts in sets {
-        let k = ts.num_levels();
         let mut engine = ProbeEngine::new();
         engine.reset(ts, cores);
-        let mut s = vec![CoreSums::new(k); cores];
+        let mut bank = CoreBank::new();
+        bank.reset(ts.num_levels(), cores);
         for (i, task) in ts.tasks().iter().enumerate() {
             let m = i % cores;
             let v = engine.probe_verdict(m, task.id());
             if let (true, Some(util)) = (v.feasible(), v.core_utilization) {
                 engine.commit(task.id(), m, util);
-                s[m].add(&TaskRow::new(task));
+                bank.add(m, &TaskRow::new(task));
             }
         }
         rows.push(ts.tasks().iter().map(TaskRow::new).collect());
         engines.push(engine);
-        sums.push(s);
+        banks.push(bank);
     }
     let per_pass: u64 = sets.iter().map(|ts| (ts.len() * cores) as u64).sum();
 
-    // Raw kernel loop — the `telemetry-off` proxy (one warm-up pass first).
-    let raw_pass = |rows: &[Vec<TaskRow>], sums: &[Vec<CoreSums>]| {
-        for (r, s) in rows.iter().zip(sums) {
+    // Raw batch-kernel loop — the `telemetry-off` proxy for what
+    // `probe_all_cores` runs inside its spans (one warm-up pass first).
+    let mut out: Vec<Verdict> = Vec::new();
+    let mut raw_pass = |rows: &[Vec<TaskRow>], banks: &[CoreBank]| {
+        for (r, bank) in rows.iter().zip(banks) {
             for row in r {
-                for core in s {
-                    black_box(core.probe_verdict(row).feasible());
-                }
+                batch_probe_verdicts(bank, row, &mut out);
+                black_box(out.len());
             }
         }
     };
-    raw_pass(&rows, &sums);
+    raw_pass(&rows, &banks);
     let mut probes = 0u64;
     let start = Instant::now();
     loop {
-        raw_pass(&rows, &sums);
+        raw_pass(&rows, &banks);
         probes += per_pass;
         if start.elapsed() >= MIN_TIMED {
             break;
@@ -622,6 +782,7 @@ pub fn run(config: &SweepConfig) -> PerfReport {
     }
 
     let probe = probe_rates(&sets, params.cores);
+    let scaling = scaling_rates(config.seed);
     let telemetry = telemetry_rates(&sets, params.cores);
 
     let mut schemes = Vec::with_capacity(engine.len());
@@ -652,6 +813,7 @@ pub fn run(config: &SweepConfig) -> PerfReport {
         tasks,
         identical,
         probe,
+        scaling,
         telemetry,
         schemes,
         reference_per_sec,
@@ -674,7 +836,11 @@ mod tests {
         assert_eq!(r.sets, 6);
         assert!(r.identical, "reference and engine paths diverged");
         assert!(r.reference_per_sec > 0.0 && r.engine_per_sec > 0.0);
-        assert!(r.probe.reference_per_sec > 0.0 && r.probe.engine_per_sec > 0.0);
+        assert!(r.probe.reference_per_sec > 0.0 && r.probe.scalar_per_sec > 0.0);
+        assert!(r.probe.batch_per_sec > 0.0);
+        assert!(r.probe.batch_matches_scalar, "batch kernel diverged from scalar verdicts");
+        assert_eq!(r.scaling.len(), 9);
+        assert!(r.scaling.iter().all(|p| p.batch_per_sec > 0.0 && p.tasks == 16 * p.cores));
         assert!(r.sweep_trials_per_sec > 0.0);
         assert!(r.runner.inline_per_sec > 0.0 && r.runner.runner_per_sec > 0.0);
         if let Some(ns) = r.runner.dispatch_ns_per_trial {
@@ -685,6 +851,9 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"partitions_identical\": true"));
         assert!(json.contains("\"probe_path_speedup\""));
+        assert!(json.contains("\"probe_path_batch_matches_scalar\": true"));
+        assert!(json.contains("\"probe_path_scalar_per_sec\""));
+        assert!(json.contains("\"probe_scaling\""));
         assert!(json.contains("\"runner_overhead_ns_per_trial\""));
         assert!(json.contains("\"runner_overhead_below_resolution\""));
         assert!(json.contains("\"telemetry_probe_overhead_pct\""));

@@ -85,6 +85,12 @@ counters! {
     AlphaFallbacks => "alpha_fallbacks",
     /// Repair (local-search) relocation moves applied.
     RepairMoves => "repair_moves",
+    /// Batch-kernel invocations (`probe_all_cores` lane-parallel sweeps).
+    EngineBatchCalls => "engine_batch_calls",
+    /// SIMD lane slots evaluated by batch-kernel sweeps (core count
+    /// rounded up to the lane width; the excess over
+    /// `engine_probes_issued` from batch calls is padding overhead).
+    EngineBatchLaneSlots => "engine_batch_lane_slots",
     /// `with_scratch` calls served by the warm thread-local scratch.
     ScratchReuseHits => "scratch_reuse_hits",
     /// `with_scratch` calls that fell back to a fresh scratch (re-entrant
@@ -151,6 +157,9 @@ phases! {
     ContributionSort => "contribution_sort",
     /// One batch probe over all cores (`probe_all_cores`).
     ProbeBatch => "probe_batch",
+    /// One lane-parallel batch-kernel sweep (inside `probe_batch`,
+    /// excluding row materialization and telemetry counting).
+    BatchKernel => "batch_kernel",
     /// One tracked commit.
     Commit => "commit",
     /// One α-fallback placement (probe + min-utilization selection).

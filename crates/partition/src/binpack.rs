@@ -98,13 +98,16 @@ impl BinPacker {
 
 /// Place one task according to a placement policy, probing feasibility
 /// through the engine's zero-allocation kernel. `loads` are the classical
-/// per-core `Σ u_i(l_i)` sums best/worst fit compare; `cursor` is only used
-/// (and advanced) by next-fit. Returns the chosen core or `None`.
+/// per-core `Σ u_i(l_i)` sums best/worst fit compare; `rank` is a reused
+/// index buffer for the load-ordered probing of best/worst fit; `cursor`
+/// is only used (and advanced) by next-fit. Returns the chosen core or
+/// `None`.
 pub(crate) fn choose_core(
     placement: Placement,
     fit: FitTest,
     engine: &ProbeEngine,
     loads: &[f64],
+    rank: &mut Vec<usize>,
     id: TaskId,
     cursor: &mut usize,
 ) -> Option<usize> {
@@ -112,23 +115,43 @@ pub(crate) fn choose_core(
     let fits = |m: usize| -> bool { engine.fits(m, id, fit) };
     match placement {
         Placement::FirstFit => (0..loads.len()).find(|&m| fits(m)),
-        Placement::BestFit => {
-            let mut best: Option<(usize, f64)> = None;
-            for (m, &load) in loads.iter().enumerate() {
-                if fits(m) && best.is_none_or(|(_, bl)| load > bl) {
-                    best = Some((m, load));
+        // Best/worst fit probe candidates in preference order — load
+        // descending (best) / ascending (worst), ties → smaller index —
+        // and stop at the first feasible one. Outcome-identical to the
+        // classical probe-every-core fold: that fold selects the
+        // extremal-load feasible core with smallest-index tie-breaking,
+        // which is exactly the first feasible core in this order. The
+        // difference is probe count, not outcome: ~1 Theorem-1 probe per
+        // placement instead of M. The extremal core is found with a plain
+        // O(M) scan (it fits almost always — one probe, no sort); only
+        // when it rejects does the O(M log M) ranked fallback run.
+        Placement::BestFit | Placement::WorstFit => {
+            let preferred = |a: f64, b: f64| -> bool {
+                // Strict comparison keeps the smaller index on load ties.
+                if placement == Placement::BestFit {
+                    a > b
+                } else {
+                    a < b
+                }
+            };
+            let mut first = 0usize;
+            for (m, &load) in loads.iter().enumerate().skip(1) {
+                if preferred(load, loads[first]) {
+                    first = m;
                 }
             }
-            best.map(|(m, _)| m)
-        }
-        Placement::WorstFit => {
-            let mut best: Option<(usize, f64)> = None;
-            for (m, &load) in loads.iter().enumerate() {
-                if fits(m) && best.is_none_or(|(_, bl)| load < bl) {
-                    best = Some((m, load));
-                }
+            if fits(first) {
+                return Some(first);
             }
-            best.map(|(m, _)| m)
+            rank.clear();
+            rank.extend(0..loads.len());
+            rank.sort_unstable_by(|&a, &b| {
+                let by_load = loads[a].partial_cmp(&loads[b]).expect("loads are finite");
+                let by_load =
+                    if placement == Placement::BestFit { by_load.reverse() } else { by_load };
+                by_load.then_with(|| a.cmp(&b))
+            });
+            rank.iter().copied().filter(|&m| m != first).find(|&m| fits(m))
         }
         Placement::NextFit => {
             for step in 0..loads.len() {
@@ -160,9 +183,17 @@ impl Partitioner for BinPacker {
             let mut partition = Partition::empty(cores, ts.len());
             let mut cursor = 0usize;
             for (placed, &id) in scratch.order.iter().enumerate() {
-                match choose_core(self.placement, self.fit, engine, loads, id, &mut cursor) {
+                match choose_core(
+                    self.placement,
+                    self.fit,
+                    engine,
+                    loads,
+                    &mut scratch.rank,
+                    id,
+                    &mut cursor,
+                ) {
                     Some(m) => {
-                        loads[m] += engine.row(id).util_own();
+                        loads[m] += engine.util_own(id);
                         engine.place_untracked(id, m);
                         partition.assign(id, CoreId(u16::try_from(m).expect("core fits u16")));
                     }

@@ -4,17 +4,19 @@
 //!
 //! Responsibilities:
 //!
-//! * precompute every task's [`TaskRow`] once per task set (the `c/p`
-//!   divisions are never repeated inside the placement loop);
-//! * maintain one [`CoreSums`] per core, updated incrementally on
-//!   commit/evict with the exact `UtilTable` operation sequence;
+//! * precompute every task's utilization row once per task set into the
+//!   struct-of-arrays [`TaskTable`] (the `c/p` divisions are never
+//!   repeated inside the placement loop);
+//! * maintain all cores' running sums in one [`CoreBank`] — contiguous
+//!   per-`(j, k)` planes, updated incrementally on commit/evict with the
+//!   exact `UtilTable` operation sequence;
 //! * cache the committed per-core utilization `U^{Ψ_m}` and its running
 //!   min/max so the imbalance factor `Λ` (Eq. (16)) is O(1) per placement
 //!   instead of an O(M) scan;
-//! * expose the batch-probe API [`ProbeEngine::probe_all_cores`] over a
-//!   reusable scratch buffer — the min-increment heuristics inspect every
-//!   core anyway, so one pass fills all `M` probes with zero allocation
-//!   (after warm-up).
+//! * expose the batch-probe API [`ProbeEngine::probe_all_cores`] — a thin
+//!   wrapper over the lane-parallel [`batch_probe_verdicts`] kernel that
+//!   evaluates all `M` cores in one sweep over the contiguous planes into
+//!   a reusable scratch buffer (zero allocation after warm-up).
 //!
 //! Everything the engine reports is **bit-identical** to the generic
 //! `Theorem1::compute`-over-`WithTask` path the partitioners used before
@@ -28,7 +30,9 @@
 
 use std::cell::{Cell, RefCell};
 
-use mcs_analysis::{CoreSums, Probe, TaskRow, Verdict, EPS};
+use mcs_analysis::{
+    batch_probe_verdicts, CoreBank, CoreView, Probe, TaskRow, TaskTable, Verdict, EPS,
+};
 use mcs_model::{CritLevel, TaskId, TaskSet};
 use mcs_obs::{Counter, Phase};
 
@@ -51,6 +55,8 @@ struct EngineTally {
     attempts: Cell<u64>,
     alpha_fallbacks: Cell<u64>,
     repair_moves: Cell<u64>,
+    batch_calls: Cell<u64>,
+    batch_lanes: Cell<u64>,
 }
 
 #[inline]
@@ -69,9 +75,10 @@ fn flush(counter: Counter, cell: &Cell<u64>) {
 /// sums, cached core utilizations and their min/max.
 #[derive(Debug, Default)]
 pub struct ProbeEngine {
-    /// `rows[i]` is the precomputed row of `TaskId(i)`.
-    rows: Vec<TaskRow>,
-    cores: Vec<CoreSums>,
+    /// Per-level utilization planes of the loaded task set (SoA).
+    tasks: TaskTable,
+    /// All cores' triangular sums as contiguous per-entry planes (SoA).
+    bank: CoreBank,
     /// Committed metric value per core (the Theorem-1 core utilization for
     /// CA-TPA; variants may commit the slack or Eq. (4) readings). Always
     /// finite: only probed-feasible placements are committed.
@@ -100,16 +107,8 @@ impl ProbeEngine {
         if mcs_obs::compiled() {
             bump(&self.tally.resets, 1);
         }
-        let k = ts.num_levels();
-        self.rows.clear();
-        self.rows.extend(ts.tasks().iter().map(TaskRow::new));
-        self.cores.truncate(cores);
-        for c in &mut self.cores {
-            c.reset(k);
-        }
-        while self.cores.len() < cores {
-            self.cores.push(CoreSums::new(k));
-        }
+        self.tasks.reset(ts);
+        self.bank.reset(ts.num_levels(), cores);
         self.utils.clear();
         self.utils.resize(cores, 0.0);
         self.max_util = 0.0;
@@ -119,13 +118,23 @@ impl ProbeEngine {
     /// Number of cores of the current run.
     #[must_use]
     pub fn num_cores(&self) -> usize {
-        self.cores.len()
+        self.bank.num_cores()
     }
 
-    /// The precomputed row of a task.
+    /// The precomputed row of a task, materialized from the planes (the
+    /// cached divisions are verbatim copies — see [`TaskTable::row`]).
     #[must_use]
-    pub fn row(&self, id: TaskId) -> &TaskRow {
-        &self.rows[id.index()]
+    pub fn row(&self, id: TaskId) -> TaskRow {
+        self.tasks.row(id.index())
+    }
+
+    /// A task's own-level utilization `u_i(l_i)` — O(1) plane read, no row
+    /// gather (the bin-packing family's load key).
+    // lint: no_alloc
+    #[inline]
+    #[must_use]
+    pub fn util_own(&self, id: TaskId) -> f64 {
+        self.tasks.util_own(id.index())
     }
 
     /// Committed per-core utilizations.
@@ -134,10 +143,11 @@ impl ProbeEngine {
         &self.utils
     }
 
-    /// The running sums of one core (used by the audit layer and tests).
+    /// Scalar view of one core's running sums (used by tests and
+    /// diagnostics).
     #[must_use]
-    pub fn core(&self, m: usize) -> &CoreSums {
-        &self.cores[m]
+    pub fn core(&self, m: usize) -> CoreView<'_> {
+        self.bank.view(m)
     }
 
     /// Probe one core: Theorem 1 on `Ψ_m ∪ {task}`, full `A(k)` vector
@@ -145,7 +155,7 @@ impl ProbeEngine {
     /// [`Self::probe_verdict`]). Reference path, not telemetry-counted.
     #[must_use]
     pub fn probe(&self, m: usize, id: TaskId) -> Probe {
-        self.cores[m].probe(&self.rows[id.index()])
+        self.bank.view(m).probe(&self.tasks.row(id.index()))
     }
 
     /// Count one decided probe into the local tally.
@@ -196,6 +206,8 @@ impl ProbeEngine {
             flush(Counter::PlacementAttempts, &t.attempts);
             flush(Counter::AlphaFallbacks, &t.alpha_fallbacks);
             flush(Counter::RepairMoves, &t.repair_moves);
+            flush(Counter::EngineBatchCalls, &t.batch_calls);
+            flush(Counter::EngineBatchLaneSlots, &t.batch_lanes);
         }
     }
 
@@ -205,27 +217,31 @@ impl ProbeEngine {
     // lint: no_alloc
     #[must_use]
     pub fn probe_verdict(&self, m: usize, id: TaskId) -> Verdict {
-        let v = self.cores[m].probe_verdict(&self.rows[id.index()]);
+        let row = self.tasks.row(id.index());
+        let v = self.bank.view(m).probe_verdict(&row);
         self.note_probe(v.feasible());
         v
     }
 
-    /// Batch probe: evaluate `Ψ_m ∪ {task}` for every core `m` in one pass
-    /// over the reusable scratch buffer. Returns the verdicts alongside the
-    /// committed utilizations (the selection keys need both).
+    /// Batch probe: evaluate `Ψ_m ∪ {task}` for every core `m` in one
+    /// lane-parallel sweep over the bank's contiguous planes (the
+    /// [`batch_probe_verdicts`] kernel) into the reusable scratch buffer.
+    /// Returns the verdicts alongside the committed utilizations (the
+    /// selection keys need both). Each verdict is bit-identical to the
+    /// scalar [`Self::probe_verdict`] of the same core.
     // lint: no_alloc
     pub fn probe_all_cores(&mut self, id: TaskId) -> (&[Verdict], &[f64]) {
         let _timer = mcs_obs::span(Phase::ProbeBatch);
-        let row = &self.rows[id.index()];
-        self.probes.clear();
-        let mut feasible = 0u64;
-        self.probes.extend(self.cores.iter().map(|c| {
-            let v = c.probe_verdict(row);
-            feasible += u64::from(v.feasible());
-            v
-        }));
+        let row = self.tasks.row(id.index());
+        {
+            let _kernel = mcs_obs::span(Phase::BatchKernel);
+            batch_probe_verdicts(&self.bank, &row, &mut self.probes);
+        }
         if mcs_obs::compiled() {
             let issued = self.probes.len() as u64;
+            let feasible = self.probes.iter().filter(|v| v.feasible()).count() as u64;
+            bump(&self.tally.batch_calls, 1);
+            bump(&self.tally.batch_lanes, self.bank.lane_slots() as u64);
             bump(&self.tally.issued, issued);
             bump(&self.tally.feasible, feasible);
             bump(&self.tally.rejected, issued - feasible);
@@ -237,15 +253,16 @@ impl ProbeEngine {
     /// Reference path, not telemetry-counted.
     #[must_use]
     pub fn probe_swap(&self, m: usize, minus: TaskId, plus: TaskId) -> Probe {
-        self.cores[m].probe_swap(&self.rows[minus.index()], &self.rows[plus.index()])
+        self.bank.view(m).probe_swap(&self.tasks.row(minus.index()), &self.tasks.row(plus.index()))
     }
 
     /// Fused repair-move probe — the repair loop's hot path.
     // lint: no_alloc
     #[must_use]
     pub fn probe_swap_verdict(&self, m: usize, minus: TaskId, plus: TaskId) -> Verdict {
-        let v =
-            self.cores[m].probe_swap_verdict(&self.rows[minus.index()], &self.rows[plus.index()]);
+        let minus = self.tasks.row(minus.index());
+        let plus = self.tasks.row(plus.index());
+        let v = self.bank.view(m).probe_swap_verdict(&minus, &plus);
         self.note_probe(v.feasible());
         v
     }
@@ -255,7 +272,8 @@ impl ProbeEngine {
     // lint: no_alloc
     #[must_use]
     pub fn own_level_total_probe(&self, m: usize, id: TaskId) -> f64 {
-        self.cores[m].own_level_total_probe(&self.rows[id.index()])
+        let row = self.tasks.row(id.index());
+        self.bank.view(m).own_level_total_probe(&row)
     }
 
     /// Whether `task` fits on core `m` under `fit` — the bin-packing
@@ -289,7 +307,8 @@ impl ProbeEngine {
         if mcs_obs::compiled() {
             bump(&self.tally.commits, 1);
         }
-        self.cores[m].add(&self.rows[id.index()]);
+        let row = self.tasks.row(id.index());
+        self.bank.add(m, &row);
         let old = self.utils[m];
         self.utils[m] = util;
         self.note_util_change(old, util);
@@ -302,7 +321,8 @@ impl ProbeEngine {
         if mcs_obs::compiled() {
             bump(&self.tally.untracked, 1);
         }
-        self.cores[m].add(&self.rows[id.index()]);
+        let row = self.tasks.row(id.index());
+        self.bank.add(m, &row);
     }
 
     /// Remove `task` from core `m` (repair moves), re-deriving the core's
@@ -311,11 +331,13 @@ impl ProbeEngine {
         if mcs_obs::compiled() {
             bump(&self.tally.evictions, 1);
         }
-        self.cores[m].remove(&self.rows[id.index()]);
+        let row = self.tasks.row(id.index());
+        self.bank.remove(m, &row);
         let old = self.utils[m];
         let new = {
             let _timer = mcs_obs::span(Phase::Theorem1Eval);
-            self.cores[m]
+            self.bank
+                .view(m)
                 .evaluate_verdict()
                 .core_utilization
                 .expect("a subset of a feasible core stays feasible")
@@ -368,6 +390,8 @@ pub struct PlacementScratch {
     pub totals: Vec<f64>,
     /// Classical per-core loads `Σ u_i(l_i)` (bin-packing family).
     pub loads: Vec<f64>,
+    /// Core-index ranking buffer (best/worst fit load-ordered probing).
+    pub rank: Vec<usize>,
 }
 
 impl PlacementScratch {

@@ -10,7 +10,7 @@ mod common;
 use common::arb_task_set;
 use proptest::prelude::*;
 
-use mcs::analysis::{CoreSums, TaskRow, Theorem1};
+use mcs::analysis::{batch_probe_verdicts, CoreBank, CoreSums, TaskRow, Theorem1, Verdict};
 use mcs::gen::{generate_task_set, GenParams, WcetGrowth};
 use mcs::model::{LevelUtils, Partition, TaskSet, UtilTable, WithTask};
 use mcs::partition::{
@@ -74,6 +74,54 @@ fn scheme_pairs(fit: FitTest) -> Vec<(DynScheme, DynScheme)> {
         ),
         (Box::new(ReferenceCatpa::default()), Box::new(Catpa::default())),
     ]
+}
+
+/// Batch lane vs scalar verdict, bit-for-bit on every observable: the
+/// Eq. (4) own-level total (the weak-baseline gate), the Theorem-1
+/// utilization (the strong gate), and the monotone slack reading.
+fn assert_lane_bits(lane: &Verdict, scalar: &Verdict, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        lane.own_level_total.to_bits(),
+        scalar.own_level_total.to_bits(),
+        "own_level_total diverges {}",
+        ctx
+    );
+    prop_assert_eq!(
+        bits(lane.core_utilization),
+        bits(scalar.core_utilization),
+        "core_utilization diverges {}",
+        ctx
+    );
+    prop_assert_eq!(
+        bits(lane.core_utilization_slack),
+        bits(scalar.core_utilization_slack),
+        "core_utilization_slack diverges {}",
+        ctx
+    );
+    Ok(())
+}
+
+/// Probe every task against every core through both paths and compare
+/// lanes bitwise.
+fn assert_batch_matches_scalar(
+    bank: &CoreBank,
+    sums: &[CoreSums],
+    rows: &[TaskRow],
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        batch_probe_verdicts(bank, row, &mut out);
+        prop_assert_eq!(out.len(), sums.len());
+        for (m, lane) in out.iter().enumerate() {
+            assert_lane_bits(
+                lane,
+                &sums[m].probe_verdict(row),
+                &format!("{ctx} task {i} core {m}"),
+            )?;
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -207,5 +255,89 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The SoA batch kernel is bit-equal to the scalar `probe_verdict` on
+    /// generator-shaped workloads across K ∈ {2..8} × cores ∈ {2, 8, 128},
+    /// and stays bit-equal through the mutation paths the placement loops
+    /// exercise: evictions (`remove`) and cross-core swaps. Both the weak
+    /// Eq. (4) observable and the strong Theorem-1 observables are compared.
+    #[test]
+    fn batch_kernel_matches_scalar_across_grid(seed in any::<u64>()) {
+        for k in 2u8..=8 {
+            for cores in [2usize, 8, 128] {
+                // Two tasks per core keeps the grid fast while still
+                // filling every lane of every chunk.
+                let n = 2 * cores;
+                let params = GenParams::default()
+                    .with_n_range(n, n)
+                    .with_cores(cores)
+                    .with_levels(k)
+                    .with_nsu(0.6);
+                let ts = generate_task_set(&params, seed);
+                let rows: Vec<TaskRow> = ts.tasks().iter().map(TaskRow::new).collect();
+
+                let mut bank = CoreBank::new();
+                bank.reset(k, cores);
+                let mut sums = vec![CoreSums::new(k); cores];
+                let mut home: Vec<usize> = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    bank.add(i % cores, row);
+                    sums[i % cores].add(row);
+                    home.push(i % cores);
+                }
+                let ctx = format!("K={k} cores={cores}");
+                assert_batch_matches_scalar(&bank, &sums, &rows, &format!("{ctx} dealt"))?;
+
+                // Evict every third task from its core.
+                for (i, row) in rows.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+                    bank.remove(home[i], row);
+                    sums[home[i]].remove(row);
+                }
+                assert_batch_matches_scalar(&bank, &sums, &rows, &format!("{ctx} evicted"))?;
+
+                // Swap the remaining tasks one core over (remove + add on
+                // both sides — the repair/swap path's exact operations).
+                for (i, row) in rows.iter().enumerate().filter(|(i, _)| i % 3 != 0) {
+                    let from = home[i];
+                    let to = (from + 1) % cores;
+                    bank.remove(from, row);
+                    sums[from].remove(row);
+                    bank.add(to, row);
+                    sums[to].add(row);
+                }
+                assert_batch_matches_scalar(&bank, &sums, &rows, &format!("{ctx} swapped"))?;
+            }
+        }
+    }
+}
+
+/// At 128 cores — the fig-1-style acceptance-sweep scale — every optimized
+/// scheme (strong and weak families) still emits exactly the partition its
+/// pre-optimization reference loop emits.
+#[test]
+fn scheme_identity_at_128_cores() {
+    let params = GenParams::default().with_n_range(1024, 1024).with_cores(128).with_nsu(0.5);
+    let ts = generate_task_set(&params, 0xC0FFEE);
+
+    let strong = paper_schemes();
+    let strong_refs = reference_paper_schemes();
+    assert_eq!(strong.len(), strong_refs.len());
+    for (optimized, reference) in strong.iter().zip(&strong_refs) {
+        same_outcome(&ts, &reference.partition(&ts, 128), &optimized.partition(&ts, 128))
+            .unwrap_or_else(|e| panic!("{} diverges at 128 cores: {e:?}", optimized.name()));
+    }
+
+    let weak = paper_schemes_weak();
+    let weak_refs: Vec<DynScheme> = vec![
+        Box::new(ReferenceBinPacker::wfd().with_fit(FitTest::Simple)),
+        Box::new(ReferenceBinPacker::ffd().with_fit(FitTest::Simple)),
+        Box::new(ReferenceBinPacker::bfd().with_fit(FitTest::Simple)),
+        Box::new(ReferenceHybrid::default().with_fit(FitTest::Simple)),
+        Box::new(ReferenceCatpa::default()),
+    ];
+    for (optimized, reference) in weak.iter().zip(&weak_refs) {
+        same_outcome(&ts, &reference.partition(&ts, 128), &optimized.partition(&ts, 128))
+            .unwrap_or_else(|e| panic!("weak {} diverges at 128 cores: {e:?}", optimized.name()));
     }
 }
