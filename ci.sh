@@ -46,6 +46,18 @@ trap 'rm -rf "$TMP"' EXIT
 diff "$TMP/sweep-t1.txt" "$TMP/sweep-t8.txt" \
   || { echo "ci: sweep output differs between 1 and 8 threads"; exit 1; }
 
+echo "== mcs-exp admission smoke (shard identity + rebuild gate)"
+# Online admission streams: per-shard engines must not leak state across
+# shard boundaries (stdout byte-identical at any thread count), and the
+# binary itself exits non-zero unless every policy's live core sums are
+# bit-identical to a from-scratch rebuild of the survivors.
+"$MCS_EXP" admit --trials "${ADMIT_TRIALS:-50}" --threads 1 > "$TMP/admit-t1.txt"
+"$MCS_EXP" admit --trials "${ADMIT_TRIALS:-50}" --threads 8 > "$TMP/admit-t8.txt"
+diff "$TMP/admit-t1.txt" "$TMP/admit-t8.txt" \
+  || { echo "ci: admit output differs between 1 and 8 threads"; exit 1; }
+grep -q "admission state identical: true" "$TMP/admit-t1.txt" \
+  || { echo "ci: admission rebuild-identity gate missing or false"; exit 1; }
+
 echo "== mcs-exp checkpoint resume (smoke)"
 # A short run, then an identical longer run resumed from its checkpoint,
 # must produce the same stdout and the same JSONL records as one
@@ -109,12 +121,16 @@ r = json.load(open(sys.argv[1]))
 assert r["partitions_identical"] is True, "reference and engine partitions diverged"
 assert r["probe_path_batch_matches_scalar"] is True, "batch kernel diverged from scalar verdicts"
 assert r["probe_scaling"], "per-(cores, K) scaling table is empty"
-print("ci: perf smoke ok (batch %.1fM probes/s over %d sets, scaling cells %d)"
-      % (r["probe_path_engine_per_sec"] / 1e6, r["task_sets"], len(r["probe_scaling"])))
+assert r["admission_state_identical"] is True, "admission engine drifted from the rebuild"
+assert r["admissions_per_sec"] > 0, "no admission throughput measured"
+print("ci: perf smoke ok (batch %.1fM probes/s over %d sets, scaling cells %d, %.2fM admissions/s)"
+      % (r["probe_path_engine_per_sec"] / 1e6, r["task_sets"], len(r["probe_scaling"]),
+         r["admissions_per_sec"] / 1e6))
 EOF
 else
   grep -q '"partitions_identical": true' "$TMP/perf.json" \
     && grep -q '"probe_path_batch_matches_scalar": true' "$TMP/perf.json" \
+    && grep -q '"admission_state_identical": true' "$TMP/perf.json" \
     || { echo "ci: perf smoke gates failed"; exit 1; }
 fi
 

@@ -168,6 +168,25 @@ impl CoreSums {
         self.tasks -= 1;
     }
 
+    /// Replace `minus` by `plus` in one O(K) delta — the remove-then-add
+    /// composition, applied per entry in the same clamp-then-accumulate
+    /// order as [`Swapped`], so the committed sums are bit-identical to
+    /// the swap probe that justified the move (and to a sequential
+    /// [`Self::remove`] + [`Self::add`]).
+    // lint: no_alloc
+    pub fn swap(&mut self, minus: &TaskRow, plus: &TaskRow) {
+        assert!(minus.level <= self.k, "task level {} exceeds system K={}", minus.level, self.k);
+        assert!(plus.level <= self.k, "task level {} exceeds system K={}", plus.level, self.k);
+        assert!(self.tasks > 0, "swapping a task out of an empty table");
+        for kk in 1..=minus.level {
+            let e = &mut self.sums[tri(minus.level, kk)];
+            *e = (*e - minus.utils[usize::from(kk - 1)]).max(0.0);
+        }
+        for kk in 1..=plus.level {
+            self.sums[tri(plus.level, kk)] += plus.utils[usize::from(kk - 1)];
+        }
+    }
+
     /// Raw `U_j(k)` lookup with the same out-of-triangle semantics as
     /// `UtilTable::util_jk`.
     #[inline]
@@ -745,6 +764,32 @@ mod tests {
             let reference = WithTask::new(&without, &stuck);
             let p = sums.probe_swap(&TaskRow::new(cand), &TaskRow::new(&stuck));
             assert_probe_matches(&p, &reference);
+        }
+    }
+
+    #[test]
+    fn swap_commit_matches_remove_then_add_and_the_swap_probe() {
+        let tasks = mixed_tasks();
+        let incoming = task(9, 70, 2, &[5, 21]);
+        let mut base = CoreSums::new(3);
+        for t in &tasks {
+            base.add(&TaskRow::new(t));
+        }
+        for cand in &tasks {
+            let minus = TaskRow::new(cand);
+            let plus = TaskRow::new(&incoming);
+            // The committed swap must land exactly on the probed view…
+            let probed = base.probe_swap(&minus, &plus);
+            let mut swapped = base.clone();
+            swapped.swap(&minus, &plus);
+            let evaluated = swapped.evaluate();
+            assert_eq!(evaluated.own_level_total().to_bits(), probed.own_level_total().to_bits());
+            assert!(opt_bits(evaluated.core_utilization(), probed.core_utilization()));
+            // …and on the sequential remove-then-add composition.
+            let mut sequential = base.clone();
+            sequential.remove(&minus);
+            sequential.add(&plus);
+            assert_eq!(swapped, sequential);
         }
     }
 

@@ -222,6 +222,39 @@ impl CoreBank {
         self.tasks[m] -= 1;
     }
 
+    /// Replace `minus` by `plus` on core `m` in one O(K) delta — the same
+    /// clamp-then-accumulate per-entry order as [`CoreSums::swap`] (and the
+    /// `Swapped` probe view), so a committed migration lands bit-identical
+    /// to the swap probe that justified it.
+    // lint: no_alloc
+    pub fn swap(&mut self, m: usize, minus: &TaskRow, plus: &TaskRow) {
+        assert!(minus.level <= self.k, "task level {} exceeds system K={}", minus.level, self.k);
+        assert!(plus.level <= self.k, "task level {} exceeds system K={}", plus.level, self.k);
+        assert!(m < self.cores);
+        assert!(self.tasks[m] > 0, "swapping a task out of an empty core");
+        for kk in 1..=minus.level {
+            let e = &mut self.planes[tri(minus.level, kk) * self.stride + m];
+            *e = (*e - minus.utils[usize::from(kk - 1)]).max(0.0);
+        }
+        for kk in 1..=plus.level {
+            self.planes[tri(plus.level, kk) * self.stride + m] += plus.utils[usize::from(kk - 1)];
+        }
+    }
+
+    /// Zero core `m`'s triangle entries and row count — the per-core reset
+    /// a departure refold starts from. Only core `m`'s strided slots are
+    /// touched, so every other core's sums keep their exact bits.
+    // lint: no_alloc
+    pub fn clear_core(&mut self, m: usize) {
+        assert!(m < self.cores);
+        for j in 1..=self.k {
+            for kk in 1..=j {
+                self.planes[tri(j, kk) * self.stride + m] = 0.0;
+            }
+        }
+        self.tasks[m] = 0;
+    }
+
     /// Number of rows accumulated on core `m`.
     #[inline]
     #[must_use]
@@ -771,6 +804,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bank_swap_matches_core_sums_swap_and_remove_add() {
+        let ts = mixed_set(4);
+        let cores = 3;
+        let (table, bank, oracle) = dealt(&ts, cores);
+        let plus = table.row(1);
+        for i in 0..table.len() {
+            let minus = table.row(i);
+            let m = i % cores;
+            // Bank swap vs CoreSums swap fed the identical op sequence.
+            let mut b = bank.clone();
+            b.swap(m, &minus, &plus);
+            let mut o = oracle[m].clone();
+            o.swap(&minus, &plus);
+            assert_eq!(b.task_count(m), o.task_count());
+            assert_verdicts_bit_equal(&b.view(m).evaluate_verdict(), &o.evaluate_verdict());
+            // …and vs the sequential remove-then-add composition.
+            let mut seq = bank.clone();
+            seq.remove(m, &minus);
+            seq.add(m, &plus);
+            assert_verdicts_bit_equal(
+                &b.view(m).evaluate_verdict(),
+                &seq.view(m).evaluate_verdict(),
+            );
+            // …and vs the Swapped probe view of the untouched bank.
+            let probed = bank.view(m).probe_swap_verdict(&minus, &plus);
+            assert_verdicts_bit_equal(&b.view(m).evaluate_verdict(), &probed);
+        }
+    }
+
+    #[test]
+    fn clear_core_resets_one_core_and_keeps_the_rest_bit_exact() {
+        let ts = mixed_set(5);
+        let cores = 4;
+        let (table, mut bank, oracle) = dealt(&ts, cores);
+        bank.clear_core(2);
+        assert_eq!(bank.task_count(2), 0);
+        let empty = CoreSums::new(ts.num_levels());
+        assert_verdicts_bit_equal(&bank.view(2).evaluate_verdict(), &empty.evaluate_verdict());
+        for m in [0usize, 1, 3] {
+            assert_verdicts_bit_equal(
+                &bank.view(m).evaluate_verdict(),
+                &oracle[m].evaluate_verdict(),
+            );
+        }
+        // A refold of the surviving rows on the cleared core reproduces a
+        // fresh fold bit-for-bit (the departure path's contract).
+        let mut fresh = CoreSums::new(ts.num_levels());
+        for i in 0..table.len() {
+            if i % cores == 2 && i != 2 {
+                let row = table.row(i);
+                bank.add(2, &row);
+                fresh.add(&row);
+            }
+        }
+        assert_verdicts_bit_equal(&bank.view(2).evaluate_verdict(), &fresh.evaluate_verdict());
     }
 
     #[test]

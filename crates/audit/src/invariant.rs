@@ -140,6 +140,7 @@ impl Registry {
         r.push(Box::new(rules::util_cache::UtilCacheConsistency));
         r.push(Box::new(rules::probe_cache::ProbeEngineConsistency));
         r.push(Box::new(rules::batch_kernel::BatchKernelConsistency));
+        r.push(Box::new(rules::admission::AdmissionStateConsistency));
         r.push(Box::new(rules::ordering::ContributionOrderRule));
         r.push(Box::new(rules::ordering::AlphaDomain));
         r.push(Box::new(rules::harness::HarnessDeterminism));

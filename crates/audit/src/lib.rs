@@ -16,9 +16,11 @@
 //! * [`rules`] — the standard rules: partition well-formedness, per-core
 //!   Theorem-1 re-verification, `f64`-vs-exact verdict agreement,
 //!   [`mcs_model::UtilTable`] cache consistency, probe-engine-vs-scratch
-//!   bit equality, contribution-order and α-domain checks,
-//!   re-run placement determinism (`harness-determinism`), and telemetry
-//!   counter algebra (`telemetry-consistency`);
+//!   bit equality, batch-kernel lane agreement, admission-lifecycle state
+//!   reconstruction (`admission-state-consistency`), contribution-order
+//!   and α-domain checks, re-run placement determinism
+//!   (`harness-determinism`), and telemetry counter algebra
+//!   (`telemetry-consistency`);
 //! * [`diagnostic`] — severities, subjects, and text/JSON rendering.
 //!
 //! The crate deliberately depends only on `mcs-model` and `mcs-analysis`:

@@ -1,0 +1,239 @@
+//! Rule `admission-state-consistency`: the task-lifecycle state kept by an
+//! online admission engine must be *exactly* reconstructible. The rule
+//! replays a deterministic admit/depart churn sequence over the audited
+//! partition using the same analysis-layer operations the
+//! `mcs-partition` `AdmissionEngine` performs (per-core member lists,
+//! departure by `clear_core` + refold of the survivors in arrival order,
+//! re-admission by `add`), then demands that the churned live state —
+//! both the SoA [`CoreBank`] planes and the scalar [`CoreSums`] running
+//! sums — is bit-identical to a from-scratch rebuild of the surviving
+//! set, and that every churned core still certifies Theorem 1 when the
+//! scheme claims it (a subset of a feasible core stays feasible).
+//!
+//! The churn here is deterministic (a fixed stride over the resident
+//! tasks) so audit output is reproducible; the randomized-interleaving
+//! version of the same claim lives in the `probe_engine_differential`
+//! proptest suite.
+
+use mcs_analysis::{CoreBank, CoreSums, TaskRow, TaskTable, Verdict};
+use mcs_model::CoreId;
+
+use crate::diagnostic::{Diagnostic, Subject};
+use crate::invariant::{AuditContext, Invariant};
+use crate::rules::shapes_match;
+
+/// Stable id of this rule.
+pub const ID: &str = "admission-state-consistency";
+
+/// Every third resident task departs; every second departed task is then
+/// re-admitted to its original core. Both strides are coprime to typical
+/// core counts, so the churn touches most cores.
+const DEPART_STRIDE: usize = 3;
+const READMIT_STRIDE: usize = 2;
+
+/// See the module docs.
+pub struct AdmissionStateConsistency;
+
+fn opt_bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+/// Bitwise comparison of two fused verdicts on every observable the
+/// admission loops consume.
+fn verdicts_bit_equal(a: &Verdict, b: &Verdict) -> bool {
+    a.feasible() == b.feasible()
+        && a.own_level_total.to_bits() == b.own_level_total.to_bits()
+        && opt_bits(a.core_utilization) == opt_bits(b.core_utilization)
+        && opt_bits(a.core_utilization_slack) == opt_bits(b.core_utilization_slack)
+}
+
+impl Invariant for AdmissionStateConsistency {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "churned admission lifecycle state is bit-identical to a fresh rebuild of the survivors"
+    }
+
+    fn check(&self, ctx: &AuditContext<'_>, out: &mut Vec<Diagnostic>) {
+        if !shapes_match(ctx) {
+            return;
+        }
+        let cores = ctx.partition.num_cores();
+        if cores == 0 || ctx.ts.is_empty() {
+            return;
+        }
+        let k = ctx.ts.num_levels();
+
+        // Initial residency: the audited partition, folded per core in
+        // task-id order (the arrival order every rebuild in this crate
+        // uses). `members[m]` lists task indices in arrival order — the
+        // exact bookkeeping the admission engine keeps.
+        let mut tasks = TaskTable::new();
+        tasks.reset(ctx.ts);
+        let mut bank = CoreBank::new();
+        bank.reset(k, cores);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); cores];
+        let mut assigned: Vec<(usize, usize)> = Vec::new();
+        for (i, t) in ctx.ts.tasks().iter().enumerate() {
+            if let Some(core) = ctx.partition.core_of(t.id()) {
+                let m = core.0 as usize;
+                bank.add(m, &tasks.row(i));
+                members[m].push(i);
+                assigned.push((i, m));
+            }
+        }
+        if assigned.is_empty() {
+            return;
+        }
+
+        // Churn: depart every DEPART_STRIDE-th resident (departure = drop
+        // from the member list, clear the core, refold the survivors in
+        // retained arrival order), then re-admit every READMIT_STRIDE-th
+        // departed task to its original core (arrival order: end of list).
+        let refold = |bank: &mut CoreBank, tasks: &TaskTable, m: usize, members: &[usize]| {
+            bank.clear_core(m);
+            for &i in members {
+                bank.add(m, &tasks.row(i));
+            }
+        };
+        let departed: Vec<(usize, usize)> =
+            assigned.iter().copied().step_by(DEPART_STRIDE).collect();
+        for &(i, m) in &departed {
+            members[m].retain(|t| *t != i);
+            refold(&mut bank, &tasks, m, &members[m]);
+        }
+        for &(i, m) in departed.iter().step_by(READMIT_STRIDE) {
+            bank.add(m, &tasks.row(i));
+            members[m].push(i);
+        }
+
+        // The gate: per core, the churned live state must be bit-identical
+        // to a from-scratch rebuild of the surviving member list — SoA
+        // planes (via the strided view's verdict) and independent scalar
+        // running sums alike.
+        for (m, survivors) in members.iter().enumerate() {
+            let core = CoreId(u16::try_from(m).expect("core index fits u16"));
+            let mut fresh = CoreSums::new(k);
+            for &i in survivors {
+                fresh.add(&TaskRow::new(&ctx.ts.tasks()[i]));
+            }
+            let view = bank.view(m);
+            if view.task_count() != fresh.task_count() {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "after churn the live bank counts {} tasks, the surviving set has {}",
+                        view.task_count(),
+                        fresh.task_count()
+                    ),
+                ));
+                continue;
+            }
+            let live = view.evaluate_verdict();
+            let rebuilt = fresh.evaluate_verdict();
+            if !verdicts_bit_equal(&live, &rebuilt) {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "churned live sums (feasible={}, util={:?}) are not bit-identical \
+                         to the fresh rebuild of the survivors (feasible={}, util={:?})",
+                        live.feasible(),
+                        live.core_utilization,
+                        rebuilt.feasible(),
+                        rebuilt.core_utilization,
+                    ),
+                ));
+            }
+            // Re-certification: the final resident set of each core is a
+            // subset of the audited core's tasks, so a scheme that claims
+            // Theorem 1 must still pass it after the churn.
+            if ctx.claims_theorem1 && !survivors.is_empty() && !rebuilt.feasible() {
+                out.push(Diagnostic::error(
+                    ID,
+                    Subject::Core(core),
+                    format!(
+                        "a subset of the audited core fails Theorem 1 after churn \
+                         ({} of {} tasks remain)",
+                        survivors.len(),
+                        ctx.partition.tasks_on(core).count(),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{Partition, TaskBuilder, TaskId, TaskSet};
+
+    fn task(id: u32, period: u64, level: u8, wcet: &[u64]) -> mcs_model::McTask {
+        TaskBuilder::new(TaskId(id)).period(period).level(level).wcet(wcet).build().unwrap()
+    }
+
+    /// The §III worked example split the way CA-TPA does (feasible).
+    fn worked_example() -> (TaskSet, Partition) {
+        let ts = TaskSet::new(
+            2,
+            vec![
+                task(0, 1000, 1, &[450]),
+                task(1, 1000, 2, &[175, 326]),
+                task(2, 1000, 1, &[280]),
+                task(3, 1000, 2, &[339, 633]),
+                task(4, 1000, 1, &[300]),
+            ],
+        )
+        .unwrap();
+        let mut p = Partition::empty(2, 5);
+        p.assign(TaskId(3), CoreId(0));
+        p.assign(TaskId(4), CoreId(0));
+        p.assign(TaskId(0), CoreId(1));
+        p.assign(TaskId(1), CoreId(1));
+        p.assign(TaskId(2), CoreId(1));
+        (ts, p)
+    }
+
+    #[test]
+    fn feasible_partition_survives_the_churn_bit_exactly() {
+        let (ts, p) = worked_example();
+        let ctx = AuditContext::new(&ts, &p, "CA-TPA");
+        let mut out = Vec::new();
+        AdmissionStateConsistency.check(&ctx, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn infeasible_claiming_partition_fails_recertification() {
+        let (ts, mut p) = worked_example();
+        // Pile everything on core 0: infeasible, and still infeasible
+        // after the churn departs tasks 0 and 3 (indices 0, 3).
+        for i in 0..5 {
+            p.assign(TaskId(i), CoreId(0));
+        }
+        let ctx = AuditContext::new(&ts, &p, "X");
+        let mut out = Vec::new();
+        AdmissionStateConsistency.check(&ctx, &mut out);
+        assert!(
+            out.iter()
+                .any(|d| d.subject == Subject::Core(CoreId(0)) && d.message.contains("Theorem 1")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn non_claiming_schemes_skip_recertification_but_keep_the_state_gate() {
+        let (ts, mut p) = worked_example();
+        for i in 0..5 {
+            p.assign(TaskId(i), CoreId(0));
+        }
+        let ctx = AuditContext::new(&ts, &p, "DBF-FFD").with_theorem1_claim(false);
+        let mut out = Vec::new();
+        AdmissionStateConsistency.check(&ctx, &mut out);
+        assert!(out.is_empty(), "state gate must still hold without the claim: {out:?}");
+    }
+}

@@ -4,6 +4,7 @@
 //! the incremental code paths used during partitioning) so that a bug in
 //! the production path cannot hide itself from the audit.
 
+pub mod admission;
 pub mod batch_kernel;
 pub mod harness;
 pub mod ordering;

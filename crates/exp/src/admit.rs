@@ -1,0 +1,335 @@
+//! The `mcs-exp admit` command: batched online admission-control streams.
+//!
+//! One *point* replays `trials` deterministic arrival/departure traces
+//! (from [`mcs_gen::generate_trace`]) against one [`AdmissionEngine`] per
+//! admission policy. Engines are *per-shard*: each harness worker builds
+//! its own engine set in the per-worker `init` hook and resets it for every
+//! trial, so workers never share mutable state and the folded result is
+//! bit-identical at any `--threads` (the stdout of `mcs-exp admit` is
+//! byte-identical across shard counts).
+//!
+//! Every trial also evaluates the admission state gate: after the full
+//! churn sequence, the engine's live per-core sums must be bit-identical to
+//! a fresh fold over the surviving resident set
+//! ([`AdmissionEngine::state_identical_to_rebuild`]). The aggregate flag is
+//! the conjunction over all trials and policies — `mcs-exp admit` exits
+//! nonzero when it fails.
+
+use mcs_gen::{generate_task_set, generate_trace, GenParams, TraceOp, TraceParams};
+use mcs_harness::{JsonValue, RunSession, TrialRecord};
+use mcs_partition::{AdmissionEngine, AdmissionPolicy};
+
+/// One policy's outcome over one replayed trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyTrial {
+    /// Arrivals the engine admitted (possibly after repair).
+    pub admits: u64,
+    /// Arrivals no core (and no repair move) could accommodate.
+    pub rejects: u64,
+    /// Departures of resident tasks (rejected arrivals' later departures
+    /// are no-ops and not counted).
+    pub departs: u64,
+    /// Relocations applied by repair-on-reject.
+    pub repair_moves: u64,
+    /// Tasks still resident after the last op.
+    pub resident: u64,
+    /// Whether the live sums were bit-identical to a fresh rebuild of the
+    /// surviving set after the full churn sequence.
+    pub state_ok: bool,
+}
+
+/// The per-trial record of an admission point: every policy's outcome on
+/// the same generated task universe and trace (the paired design).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdmitTrial {
+    /// One outcome per policy, in line-up order.
+    pub policies: Vec<PolicyTrial>,
+}
+
+impl TrialRecord for AdmitTrial {
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("\"policies\":[");
+        for (i, p) in self.policies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"a\":{},\"r\":{},\"d\":{},\"mv\":{},\"res\":{},\"ok\":{}}}",
+                p.admits, p.rejects, p.departs, p.repair_moves, p.resident, p.state_ok
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        let arr = v.get("policies")?.as_arr()?;
+        let mut policies = Vec::with_capacity(arr.len());
+        for p in arr {
+            policies.push(PolicyTrial {
+                admits: p.get("a")?.as_u64()?,
+                rejects: p.get("r")?.as_u64()?,
+                departs: p.get("d")?.as_u64()?,
+                repair_moves: p.get("mv")?.as_u64()?,
+                resident: p.get("res")?.as_u64()?,
+                state_ok: p.get("ok")?.as_bool()?,
+            });
+        }
+        Some(Self { policies })
+    }
+}
+
+/// Aggregated admission outcomes of one policy at one point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdmitPointResult {
+    /// Policy display name (registry scheme name).
+    pub policy: &'static str,
+    /// Total trials (traces) replayed.
+    pub trials: usize,
+    /// Total admitted arrivals over all trials.
+    pub admits: u64,
+    /// Total rejected arrivals over all trials.
+    pub rejects: u64,
+    /// Total effective departures over all trials.
+    pub departs: u64,
+    /// Total repair relocations over all trials.
+    pub repair_moves: u64,
+    /// Total tasks resident at trace end, summed over trials.
+    pub resident: u64,
+    /// Whether every trial's final state was bit-identical to a fresh
+    /// rebuild of its surviving set.
+    pub state_identical: bool,
+}
+
+impl AdmitPointResult {
+    /// Admitted fraction of all arrivals, in `[0, 1]` (NaN with no
+    /// arrivals).
+    #[must_use]
+    pub fn accept_ratio(&self) -> f64 {
+        self.admits as f64 / (self.admits + self.rejects) as f64
+    }
+
+    /// Mean number of tasks resident at trace end.
+    #[must_use]
+    pub fn mean_resident(&self) -> f64 {
+        self.resident as f64 / self.trials as f64
+    }
+}
+
+/// Replay one trace against one (already reset) engine and record the
+/// outcome. The caller owns engine lifecycle; the engine's live state is
+/// left as of the last op so the rebuild gate sees the churned sums.
+fn replay(engine: &mut AdmissionEngine, ops: &[TraceOp]) -> PolicyTrial {
+    for op in ops {
+        match *op {
+            TraceOp::Arrive(id) => {
+                // A re-arrival of a task whose earlier admission was
+                // rejected is a fresh attempt; the trace guarantees the
+                // task is not intended-resident, and the engine asserts it
+                // is not actually resident.
+                let _ = engine.admit(id);
+            }
+            TraceOp::Depart(id) => {
+                // No-op (false) when the matching arrival was rejected.
+                let _ = engine.depart(id);
+            }
+        }
+    }
+    let stats = engine.stats();
+    PolicyTrial {
+        admits: stats.admits,
+        rejects: stats.rejects,
+        departs: stats.departs,
+        repair_moves: stats.repair_moves,
+        resident: engine.resident_count() as u64,
+        state_ok: engine.state_identical_to_rebuild(),
+    }
+}
+
+/// Run every `policies` entry over the session's trials at one parameter
+/// point. Each trial generates the task universe from `params` and the
+/// lifecycle trace from `trace` (both seeded by the trial), then replays
+/// the same trace through each policy's per-shard engine.
+#[must_use]
+pub fn run_point_in(
+    session: &mut RunSession,
+    label: &str,
+    params: &GenParams,
+    trace: &TraceParams,
+    policies: &[AdmissionPolicy],
+) -> Vec<AdmitPointResult> {
+    let trials = session.config().trials;
+    let records = session.point(label).run(
+        // The per-shard engine bank: one engine per policy per worker,
+        // reused (via `reset`) across all trials that worker executes.
+        || policies.iter().map(|p| AdmissionEngine::new(*p)).collect::<Vec<_>>(),
+        |engines, trial| {
+            let ts = generate_task_set(params, trial.seed);
+            let ops = generate_trace(ts.len(), trace, trial.seed);
+            let outcomes = engines
+                .iter_mut()
+                .map(|engine| {
+                    engine.reset(&ts, params.cores);
+                    let rec = replay(engine, &ops);
+                    engine.flush_telemetry();
+                    rec
+                })
+                .collect();
+            AdmitTrial { policies: outcomes }
+        },
+    );
+
+    // Fold in trial order — this ordering is what makes the result
+    // independent of the worker schedule.
+    let mut accs = vec![
+        AdmitPointResult {
+            policy: "",
+            trials,
+            admits: 0,
+            rejects: 0,
+            departs: 0,
+            repair_moves: 0,
+            resident: 0,
+            state_identical: true,
+        };
+        policies.len()
+    ];
+    for rec in &records {
+        assert_eq!(
+            rec.policies.len(),
+            policies.len(),
+            "checkpoint record shape does not match the policy line-up \
+             (resumed file from a different configuration?)"
+        );
+        for (a, p) in accs.iter_mut().zip(&rec.policies) {
+            a.admits += p.admits;
+            a.rejects += p.rejects;
+            a.departs += p.departs;
+            a.repair_moves += p.repair_moves;
+            a.resident += p.resident;
+            a.state_identical &= p.state_ok;
+        }
+    }
+    for (a, p) in accs.iter_mut().zip(policies) {
+        a.policy = p.name();
+    }
+    accs
+}
+
+/// Run every policy over `trials` traces at one point (no streaming; see
+/// [`run_point_in`] for the session variant).
+#[must_use]
+pub fn run_point(
+    params: &GenParams,
+    trace: &TraceParams,
+    policies: &[AdmissionPolicy],
+    config: &crate::sweep::SweepConfig,
+) -> Vec<AdmitPointResult> {
+    run_point_in(&mut RunSession::new(config.clone()), "point", params, trace, policies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepConfig;
+
+    fn small_params() -> GenParams {
+        GenParams::default().with_n_range(10, 20).with_cores(4)
+    }
+
+    fn small_trace() -> TraceParams {
+        TraceParams::default().with_ops(60)
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let params = small_params();
+        let trace = small_trace();
+        let policies = AdmissionPolicy::all();
+        let base = SweepConfig { trials: 30, threads: 1, seed: 11 };
+        let a = run_point(&params, &trace, &policies, &base);
+        let b = run_point(&params, &trace, &policies, &SweepConfig { threads: 4, ..base });
+        assert_eq!(a, b, "per-shard engines must not leak state across workers");
+    }
+
+    #[test]
+    fn every_policy_holds_the_rebuild_identity_gate() {
+        let params = small_params();
+        let trace = TraceParams::default();
+        let policies = AdmissionPolicy::all();
+        let config = SweepConfig { trials: 10, threads: 2, seed: 3 };
+        for r in run_point(&params, &trace, &policies, &config) {
+            assert!(r.state_identical, "{} drifted from the rebuild", r.policy);
+            assert!(r.admits > 0, "{} admitted nothing", r.policy);
+            assert!(r.accept_ratio() > 0.0 && r.accept_ratio() <= 1.0);
+            // Conservation: every admitted task either departed or is
+            // still resident at trace end.
+            assert_eq!(r.admits, r.departs + r.resident, "{} lost tasks", r.policy);
+        }
+    }
+
+    #[test]
+    fn admit_trial_record_round_trips() {
+        let rec = AdmitTrial {
+            policies: vec![
+                PolicyTrial {
+                    admits: 40,
+                    rejects: 2,
+                    departs: 17,
+                    repair_moves: 1,
+                    resident: 23,
+                    state_ok: true,
+                },
+                PolicyTrial {
+                    admits: 0,
+                    rejects: 9,
+                    departs: 0,
+                    repair_moves: 0,
+                    resident: 0,
+                    state_ok: false,
+                },
+            ],
+        };
+        let line = format!("{{{}}}", rec.to_json());
+        let back = AdmitTrial::from_json(&mcs_harness::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn killed_admit_run_resumes_to_the_uninterrupted_result() {
+        let params = small_params();
+        let trace = small_trace();
+        let policies = AdmissionPolicy::all();
+        let config = SweepConfig { trials: 20, threads: 2, seed: 29 };
+        let dir = std::env::temp_dir();
+        let full_path = dir.join(format!("mcs-admit-full-{}.jsonl", std::process::id()));
+        let killed_path = dir.join(format!("mcs-admit-killed-{}.jsonl", std::process::id()));
+
+        let full = {
+            let mut session =
+                RunSession::with_checkpoint(config.clone(), &full_path, false, "admit", "t")
+                    .unwrap();
+            run_point_in(&mut session, "default", &params, &trace, &policies)
+        };
+        let reference = std::fs::read_to_string(&full_path).unwrap();
+
+        // Header + 9 whole records + one torn line the crash left behind.
+        let lines: Vec<&str> = reference.lines().collect();
+        let mut partial = lines[..10].join("\n");
+        partial.push('\n');
+        partial.push_str(&lines[10][..lines[10].len() / 2]);
+        std::fs::write(&killed_path, partial).unwrap();
+
+        let resumed = {
+            let mut session =
+                RunSession::with_checkpoint(config, &killed_path, true, "admit", "t").unwrap();
+            run_point_in(&mut session, "default", &params, &trace, &policies)
+        };
+        assert_eq!(full, resumed);
+        assert_eq!(std::fs::read_to_string(&killed_path).unwrap(), reference);
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&killed_path).ok();
+    }
+}

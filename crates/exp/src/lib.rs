@@ -13,6 +13,9 @@
 //! * [`soundness`] — simulation-backed validation: partitions accepted by
 //!   the analysis must exhibit zero mandatory deadline misses;
 //! * [`ablation`] — CA-TPA variant comparison;
+//! * [`admit`] — online admission-control streams: deterministic
+//!   arrival/departure traces replayed through per-shard [`mcs_partition`]
+//!   `AdmissionEngine`s, with the bit-exact rebuild-identity gate;
 //! * [`audit_cmd`] — invariant-audit sweep over every scheme (`mcs-audit`);
 //! * [`perf`] — probe-path throughput benchmark (reference loops vs the
 //!   incremental `ProbeEngine`), recorded to `BENCH_partition.json`;
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod admit;
 pub mod audit_cmd;
 pub mod chart;
 pub mod describe;

@@ -10,6 +10,8 @@
 //!   table1 | table2 | table3 | table4  the paper's tables
 //!   tables                             all four tables
 //!   sweep                              one default-point paired sweep
+//!   admit                              online admission-control streams
+//!                                      (per-shard engines, rebuild gate)
 //!   soundness                          simulation-backed validation
 //!   ablation                           CA-TPA variant battery
 //!   dualcmp                            EDF-VD vs FP-AMC vs DBF (K = 2)
@@ -65,8 +67,10 @@ use mcs_exp::soundness::soundness_session;
 use mcs_exp::sweep::{run_point_in, SweepConfig};
 use mcs_exp::tables;
 use mcs_gen::GenParams;
+use mcs_gen::TraceParams;
 use mcs_gen::WcetGrowth;
 use mcs_harness::{RunSession, SchemeFlags, SchemeRegistry, PAPER_SET};
+use mcs_partition::AdmissionPolicy;
 
 struct Options {
     commands: Vec<String>,
@@ -157,7 +161,7 @@ fn derive_jsonl_path(base: &str, cmd: &str) -> String {
 }
 
 fn usage() -> &'static str {
-    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|sweep|soundness|ablation|dualcmp|gap|optgap|overhead|elastic|globalcmp|partition|describe|audit|perf|profile|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart] [--jsonl PATH] [--resume] [--telemetry PATH]\n       [--cores M] [--levels K] [--tasks N|LO:HI]   generator-shape overrides for sweep/figures (M up to 1024, K up to 8, N into the tens of thousands)"
+    "usage: mcs-exp <fig1|fig2|fig3|fig4|fig5|figs|table1|table2|table3|table4|tables|sweep|admit|soundness|ablation|dualcmp|gap|optgap|overhead|elastic|globalcmp|partition|describe|audit|perf|profile|all>\n       [--trials N] [--threads N] [--seed S] [--csv] [--json] [--horizon-periods H] [--weak-baselines] [--geometric] [--random-k] [--chart] [--jsonl PATH] [--resume] [--telemetry PATH]\n       [--cores M] [--levels K] [--tasks N|LO:HI]   generator-shape overrides for sweep/figures (M up to 1024, K up to 8, N into the tens of thousands)"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -341,6 +345,48 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The `admit` command: the online admission-control service — each trial
+/// replays one deterministic arrival/departure trace through a per-shard
+/// `AdmissionEngine` per policy, then checks the live state against a
+/// from-scratch rebuild of the survivors (bit-exact gate).
+fn run_admit(opts: &Options) -> Result<(), String> {
+    let trace = TraceParams::default();
+    eprintln!(
+        "[mcs-exp] admit: {} traces x {} lifecycle ops, {} threads",
+        opts.config.trials,
+        trace.ops,
+        opts.config.effective_threads()
+    );
+    let params = opts.apply_shape(GenParams::default().with_growth(opts.growth));
+    params.validate()?;
+    let policies = AdmissionPolicy::all();
+    let mut session =
+        opts.session("admit", &format!("growth={:?}{}", opts.growth, opts.shape_fingerprint()))?;
+    let points = mcs_exp::admit::run_point_in(&mut session, "default", &params, &trace, &policies);
+    let mut t = Table::new([
+        "policy", "admitted", "rejected", "accept", "departed", "repairs", "resident", "state",
+    ]);
+    for p in &points {
+        t.push_row([
+            p.policy.to_string(),
+            p.admits.to_string(),
+            p.rejects.to_string(),
+            fmt3(p.accept_ratio()),
+            p.departs.to_string(),
+            p.repair_moves.to_string(),
+            fmt3(p.mean_resident()),
+            (if p.state_identical { "exact" } else { "DRIFT" }).to_string(),
+        ]);
+    }
+    print_table("Admit — online admission streams (per-shard engines)", &t, opts.csv);
+    let all_exact = points.iter().all(|p| p.state_identical);
+    println!("admission state identical: {all_exact}");
+    if !all_exact {
+        return Err("admission engine state drifted from the from-scratch rebuild".into());
+    }
+    Ok(())
+}
+
 fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
     match cmd {
         "fig1" | "fig2" | "fig3" | "fig4" | "fig5" => {
@@ -377,6 +423,7 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             }
         }
         "sweep" => run_sweep(opts)?,
+        "admit" => run_admit(opts)?,
         "soundness" => {
             eprintln!(
                 "[mcs-exp] soundness: {} trials, horizon {} periods",
@@ -556,6 +603,9 @@ fn run_command(cmd: &str, opts: &Options) -> Result<(), String> {
             }
             if !r.probe.batch_matches_scalar {
                 return Err("batch kernel and scalar probe verdicts disagreed".into());
+            }
+            if !r.admission.state_identical {
+                return Err("admission engine state drifted from the from-scratch rebuild".into());
             }
         }
         "profile" => {

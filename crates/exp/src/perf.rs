@@ -38,12 +38,12 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use mcs_analysis::{batch_probe_verdicts, CoreBank, CoreSums, TaskRow, Theorem1, Verdict};
-use mcs_gen::{generate_task_set, trial_seed, GenParams};
+use mcs_gen::{generate_task_set, generate_trace, trial_seed, GenParams, TraceOp, TraceParams};
 use mcs_harness::RunSession;
 use mcs_model::{TaskSet, UtilTable, WithTask};
 use mcs_partition::{
-    paper_schemes, reference_paper_schemes, PartitionFailure, PartitionQuality, Partitioner,
-    ProbeEngine, QualityScratch,
+    paper_schemes, reference_paper_schemes, AdmissionEngine, AdmissionPolicy, PartitionFailure,
+    PartitionQuality, Partitioner, ProbeEngine, QualityScratch,
 };
 
 use crate::report::Table;
@@ -145,6 +145,23 @@ impl TelemetryPerf {
     }
 }
 
+/// Online admission throughput: arrival decisions per second through the
+/// [`AdmissionEngine`] under the CA-TPA policy, replaying deterministic
+/// lifecycle traces (the `mcs-exp admit` hot path). A decision is one
+/// `admit()` call — probe every core, select, commit (or repair/reject);
+/// departures ride along in the same stream but are not counted as
+/// decisions.
+#[derive(Clone, Debug)]
+pub struct AdmissionPerf {
+    /// Admission decisions per second over the timed stream.
+    pub admissions_per_sec: f64,
+    /// Admitted fraction of all arrival decisions.
+    pub accept_ratio: f64,
+    /// Whether the churned live state was bit-identical to a fresh rebuild
+    /// of the surviving set after every replayed trace.
+    pub state_identical: bool,
+}
+
 /// Harness dispatch overhead: the same per-trial work (generate + all
 /// paper schemes + quality summaries) as a bare inline loop vs the
 /// [`run_point`] trial runner at one thread, plus a direct measurement of
@@ -188,6 +205,8 @@ pub struct PerfReport {
     pub engine_per_sec: f64,
     /// Harness dispatch overhead measurement (inline loop vs runner).
     pub runner: RunnerPerf,
+    /// Online admission-stream throughput (the `mcs-exp admit` hot path).
+    pub admission: AdmissionPerf,
     /// End-to-end sweep throughput, trials per second (`run_point` over the
     /// paper schemes, all worker threads).
     pub sweep_trials_per_sec: f64,
@@ -256,6 +275,12 @@ impl PerfReport {
                 Some(ns) => format!("+{ns:.1}ns/trial"),
                 None => "below resolution".to_string(),
             },
+        ]);
+        t.push_row([
+            "admission stream (decisions/s)".into(),
+            "-".into(),
+            format!("{:.0}", self.admission.admissions_per_sec),
+            format!("accept {:.3}", self.admission.accept_ratio),
         ]);
         t
     }
@@ -343,7 +368,12 @@ impl PerfReport {
         );
         let _ = writeln!(out, "  \"sweep_trials\": {},", self.sweep_trials);
         let _ = writeln!(out, "  \"sweep_threads\": {},", self.sweep_threads);
-        let _ = writeln!(out, "  \"sweep_trials_per_sec\": {:.1}", self.sweep_trials_per_sec);
+        let _ = writeln!(out, "  \"sweep_trials_per_sec\": {:.1},", self.sweep_trials_per_sec);
+        let _ =
+            writeln!(out, "  \"admissions_per_sec\": {:.1},", self.admission.admissions_per_sec);
+        let _ = writeln!(out, "  \"admission_accept_ratio\": {:.4},", self.admission.accept_ratio);
+        let _ =
+            writeln!(out, "  \"admission_state_identical\": {}", self.admission.state_identical);
         out.push_str("}\n");
         out
     }
@@ -753,6 +783,66 @@ fn runner_rates(
     RunnerPerf { inline_per_sec, runner_per_sec, dispatch_ns_per_trial: dispatch_overhead_ns(seed) }
 }
 
+/// Time the online admission hot path: one CA-TPA [`AdmissionEngine`]
+/// replays a deterministic lifecycle trace per task set (the exact
+/// `mcs-exp admit` per-trial work), repeated until [`MIN_TIMED`] elapses.
+/// The warm-up pass also evaluates the rebuild-identity gate and the
+/// accept ratio, so both are measured on the same streams the rate is.
+fn admission_rates(sets: &[TaskSet], cores: usize, seed: u64) -> AdmissionPerf {
+    let trace = TraceParams::default();
+    let traces: Vec<Vec<TraceOp>> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, ts)| generate_trace(ts.len(), &trace, trial_seed(seed, i)))
+        .collect();
+    let decisions_per_pass: u64 = traces
+        .iter()
+        .map(|ops| ops.iter().filter(|op| matches!(op, TraceOp::Arrive(_))).count() as u64)
+        .sum();
+
+    let mut engine = AdmissionEngine::new(AdmissionPolicy::catpa());
+    let replay = |engine: &mut AdmissionEngine, ts: &TaskSet, ops: &[TraceOp]| {
+        engine.reset(ts, cores);
+        for op in ops {
+            match *op {
+                TraceOp::Arrive(id) => {
+                    black_box(engine.admit(id).admitted());
+                }
+                TraceOp::Depart(id) => {
+                    black_box(engine.depart(id));
+                }
+            }
+        }
+    };
+
+    // Warm-up pass doubles as the gate/ratio measurement.
+    let (mut admits, mut rejects) = (0u64, 0u64);
+    let mut state_identical = true;
+    for (ts, ops) in sets.iter().zip(&traces) {
+        replay(&mut engine, ts, ops);
+        let stats = engine.stats();
+        admits += stats.admits;
+        rejects += stats.rejects;
+        state_identical &= engine.state_identical_to_rebuild();
+    }
+    let accept_ratio = admits as f64 / (admits + rejects) as f64;
+
+    let mut decisions = 0u64;
+    let start = Instant::now();
+    loop {
+        for (ts, ops) in sets.iter().zip(&traces) {
+            replay(&mut engine, ts, ops);
+        }
+        decisions += decisions_per_pass;
+        if start.elapsed() >= MIN_TIMED {
+            break;
+        }
+    }
+    let admissions_per_sec = decisions as f64 / start.elapsed().as_secs_f64();
+
+    AdmissionPerf { admissions_per_sec, accept_ratio, state_identical }
+}
+
 /// Run the benchmark: equivalence check, per-scheme reference/engine rates,
 /// then the end-to-end sweep rate.
 ///
@@ -801,6 +891,7 @@ pub fn run(config: &SweepConfig) -> PerfReport {
     let engine_per_sec = n / eng_total;
 
     let runner = runner_rates(&params, &engine, batch, config.seed);
+    let admission = admission_rates(&sets, params.cores, config.seed);
 
     let sweep_start = Instant::now();
     let point = run_point(&params, &engine, config);
@@ -819,6 +910,7 @@ pub fn run(config: &SweepConfig) -> PerfReport {
         reference_per_sec,
         engine_per_sec,
         runner,
+        admission,
         sweep_trials_per_sec,
         sweep_trials: config.trials,
         sweep_threads: config.effective_threads(),
@@ -848,6 +940,9 @@ mod tests {
         }
         assert!(r.telemetry.raw_per_sec > 0.0 && r.telemetry.engine_per_sec > 0.0);
         assert!(r.telemetry.overhead_pct().is_finite());
+        assert!(r.admission.admissions_per_sec > 0.0);
+        assert!(r.admission.accept_ratio > 0.0 && r.admission.accept_ratio <= 1.0);
+        assert!(r.admission.state_identical, "admission state drifted from the rebuild");
         let json = r.to_json();
         assert!(json.contains("\"partitions_identical\": true"));
         assert!(json.contains("\"probe_path_speedup\""));
@@ -857,6 +952,9 @@ mod tests {
         assert!(json.contains("\"runner_overhead_ns_per_trial\""));
         assert!(json.contains("\"runner_overhead_below_resolution\""));
         assert!(json.contains("\"telemetry_probe_overhead_pct\""));
+        assert!(json.contains("\"admissions_per_sec\""));
+        assert!(json.contains("\"admission_accept_ratio\""));
+        assert!(json.contains("\"admission_state_identical\": true"));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -158,3 +158,24 @@ fn chart_flag_renders_ascii_panels() {
     assert!(stdout.contains("# CA-TPA"), "legend missing: {stdout}");
     assert!(stdout.contains('|'), "no axis: {stdout}");
 }
+
+#[test]
+fn admit_stdout_is_byte_identical_across_shard_counts() {
+    // The admission service runs one engine per policy per worker shard;
+    // records fold in trial order, so stdout must not depend on how many
+    // shards served the stream.
+    let run = |threads: &str| {
+        let out = bin()
+            .args(["admit", "--trials", "12", "--seed", "7", "--threads", threads])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let one = run("1");
+    let eight = run("8");
+    assert_eq!(one, eight, "admit stdout differs between 1 and 8 shards");
+    let stdout = String::from_utf8_lossy(&one);
+    assert!(stdout.contains("admission state identical: true"), "{stdout}");
+    assert!(stdout.contains("CA-TPA"), "{stdout}");
+}

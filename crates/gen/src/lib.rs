@@ -8,7 +8,9 @@
 //!   (IFC);
 //! * [`mod@uunifast`] — the classic UUniFast / UUniFast-Discard utilization
 //!   vector generator, offered as an alternative workload model;
-//! * [`params`] — parameter records with the paper's defaults.
+//! * [`params`] — parameter records with the paper's defaults;
+//! * [`trace`] — deterministic arrival/departure lifecycle streams for the
+//!   online admission service (`mcs-exp admit`).
 //!
 //! All generators are deterministic given a seed (`rand::SmallRng`), which
 //! the experiment harness exploits for reproducible parallel sweeps.
@@ -17,10 +19,12 @@
 
 pub mod paper;
 pub mod params;
+pub mod trace;
 pub mod uunifast;
 
 pub use paper::generate_task_set;
 pub use params::{GenParams, PeriodModel, PeriodRange, WcetGrowth, DEFAULT_PERIOD_RANGES};
+pub use trace::{generate_trace, TraceOp, TraceParams};
 pub use uunifast::{uunifast, uunifast_discard};
 
 /// The canonical per-trial seed derivation used by every experiment: trial

